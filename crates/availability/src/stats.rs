@@ -1,0 +1,153 @@
+//! Fleet-level availability statistics — the measurements behind the
+//! paper's Figure 1 ("percentage of unavailable resources … measured in
+//! 10-minute intervals").
+
+use crate::trace::AvailabilityTrace;
+use simkit::{SimDuration, SimTime};
+
+/// Fraction of the fleet unavailable in each `bucket`-long interval,
+/// averaged over the interval (time-weighted), from t = 0 to the common
+/// horizon. This is exactly the Figure 1 series.
+pub fn fleet_unavailability_series(
+    fleet: &[AvailabilityTrace],
+    bucket: SimDuration,
+) -> Vec<f64> {
+    assert!(!fleet.is_empty(), "empty fleet");
+    assert!(!bucket.is_zero(), "zero bucket");
+    let horizon = fleet[0].horizon();
+    assert!(
+        fleet.iter().all(|t| t.horizon() == horizon),
+        "fleet traces must share a horizon"
+    );
+    let n_buckets = horizon.as_micros().div_ceil(bucket.as_micros()) as usize;
+    let mut series = Vec::with_capacity(n_buckets);
+    for b in 0..n_buckets {
+        let from = SimTime::from_micros(b as u64 * bucket.as_micros());
+        let to = SimTime::from_micros(((b + 1) as u64 * bucket.as_micros()).min(horizon.as_micros()));
+        let avg: f64 = fleet
+            .iter()
+            .map(|t| t.unavailability_in(from, to))
+            .sum::<f64>()
+            / fleet.len() as f64;
+        series.push(avg);
+    }
+    series
+}
+
+/// Average fleet unavailability over the whole horizon.
+pub fn fleet_mean_unavailability(fleet: &[AvailabilityTrace]) -> f64 {
+    if fleet.is_empty() {
+        return 0.0;
+    }
+    fleet.iter().map(|t| t.unavailability()).sum::<f64>() / fleet.len() as f64
+}
+
+/// Number of nodes simultaneously unavailable at instant `t`.
+pub fn simultaneous_unavailable(fleet: &[AvailabilityTrace], t: SimTime) -> usize {
+    fleet.iter().filter(|tr| !tr.is_available(t)).count()
+}
+
+/// Peak fraction of the fleet simultaneously unavailable, sampled at
+/// every outage boundary (where the maximum must occur).
+pub fn peak_unavailability(fleet: &[AvailabilityTrace]) -> f64 {
+    if fleet.is_empty() {
+        return 0.0;
+    }
+    let mut peak = 0usize;
+    for tr in fleet {
+        for o in tr.outages() {
+            let down = simultaneous_unavailable(fleet, o.start);
+            peak = peak.max(down);
+        }
+    }
+    peak as f64 / fleet.len() as f64
+}
+
+/// Mean outage duration across the whole fleet (seconds), or None if the
+/// fleet never fails.
+pub fn fleet_mean_outage(fleet: &[AvailabilityTrace]) -> Option<SimDuration> {
+    let mut total = SimDuration::ZERO;
+    let mut count = 0u64;
+    for tr in fleet {
+        total += tr.unavailable_time();
+        count += tr.n_outages() as u64;
+    }
+    (count > 0).then(|| total / count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Outage;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn two_node_fleet() -> Vec<AvailabilityTrace> {
+        vec![
+            AvailabilityTrace::new(
+                vec![Outage {
+                    start: t(0),
+                    end: t(50),
+                }],
+                t(100),
+            ),
+            AvailabilityTrace::new(
+                vec![Outage {
+                    start: t(25),
+                    end: t(75),
+                }],
+                t(100),
+            ),
+        ]
+    }
+
+    #[test]
+    fn series_buckets_average_correctly() {
+        let fleet = two_node_fleet();
+        let series = fleet_unavailability_series(&fleet, SimDuration::from_secs(50));
+        assert_eq!(series.len(), 2);
+        // Bucket 0: node0 down 50/50, node1 down 25/50 → (1.0+0.5)/2 = 0.75
+        assert!((series[0] - 0.75).abs() < 1e-12);
+        // Bucket 1: node0 up, node1 down 25/50 → 0.25
+        assert!((series[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_unavailability() {
+        let fleet = two_node_fleet();
+        assert!((fleet_mean_unavailability(&fleet) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simultaneous_and_peak() {
+        let fleet = two_node_fleet();
+        assert_eq!(simultaneous_unavailable(&fleet, t(30)), 2);
+        assert_eq!(simultaneous_unavailable(&fleet, t(80)), 0);
+        assert!((peak_unavailability(&fleet) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_mean_outage_duration() {
+        let fleet = two_node_fleet();
+        assert_eq!(fleet_mean_outage(&fleet), Some(SimDuration::from_secs(50)));
+        let idle = vec![AvailabilityTrace::always_available(t(10))];
+        assert_eq!(fleet_mean_outage(&idle), None);
+    }
+
+    #[test]
+    fn uneven_final_bucket() {
+        let fleet = vec![AvailabilityTrace::new(
+            vec![Outage {
+                start: t(90),
+                end: t(100),
+            }],
+            t(100),
+        )];
+        let series = fleet_unavailability_series(&fleet, SimDuration::from_secs(40));
+        assert_eq!(series.len(), 3);
+        // Final bucket covers [80,100): 10s down of 20s → 0.5
+        assert!((series[2] - 0.5).abs() < 1e-12);
+    }
+}

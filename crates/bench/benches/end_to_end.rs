@@ -1,0 +1,41 @@
+//! End-to-end simulation benchmarks: one small-cluster job per policy.
+//! These measure simulator throughput (wall time per simulated job), the
+//! quantity that bounds how fast the figure sweeps regenerate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use moon::{ClusterConfig, Experiment, PolicyConfig};
+
+fn run(policy: PolicyConfig, rate: f64, seed: u64) -> moon::RunResult {
+    Experiment {
+        cluster: ClusterConfig::small(rate),
+        policy,
+        workload: moon::quick_workload(),
+        seed,
+    }
+    .run()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_small");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("moon_hybrid", PolicyConfig::moon_hybrid()),
+        ("moon", PolicyConfig::moon()),
+        (
+            "hadoop_1min",
+            PolicyConfig::hadoop(simkit::SimDuration::from_mins(1), 3),
+        ),
+    ] {
+        g.bench_function(format!("{name}_p0.3"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run(policy.clone(), 0.3, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Component microbenchmarks: the hot paths of the simulator substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use simkit::{EventQueue, PausableWork, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000u64, 10_000] {
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(SimTime::from_micros((i * 7919) % 1_000_000), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, _, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxmin");
+    for (n_res, n_flows) in [(50usize, 100usize), (200, 400)] {
+        let caps: Vec<f64> = (0..n_res).map(|i| 50.0 + (i % 7) as f64 * 10.0).collect();
+        let flows: Vec<Vec<usize>> = (0..n_flows)
+            .map(|f| vec![f % n_res, (f * 13 + 1) % n_res, (f * 31 + 2) % n_res])
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("progressive_filling", format!("{n_res}r_{n_flows}f")),
+            &(caps, flows),
+            |b, (caps, flows)| b.iter(|| black_box(netsim::maxmin_rates(caps, flows))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let cfg = availability::TraceGenConfig::paper(0.4);
+    c.bench_function("trace_gen/poisson_8h", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        b.iter(|| black_box(availability::TraceGenerator::poisson_insertion(&cfg, &mut rng)))
+    });
+}
+
+fn bench_pausable_work(c: &mut Criterion) {
+    c.bench_function("pausable_work/1000_cycles", |b| {
+        b.iter(|| {
+            let mut w = PausableWork::new(SimDuration::from_secs(100_000));
+            for k in 0..1000u64 {
+                w.resume(SimTime::from_secs(2 * k));
+                w.pause(SimTime::from_secs(2 * k + 1));
+            }
+            black_box(w.done(SimTime::from_secs(3000)))
+        })
+    });
+}
+
+fn bench_namenode(c: &mut Criterion) {
+    use dfs::{FileKind, NameNode, NameNodeConfig, NodeClass, NodeId, ReplicationFactor};
+    c.bench_function("namenode/heartbeat_plus_scan_66_nodes", |b| {
+        let mut nn = NameNode::new(NameNodeConfig::default());
+        for i in 0..66 {
+            let class = if i >= 60 { NodeClass::Dedicated } else { NodeClass::Volatile };
+            nn.register_node(SimTime::ZERO, NodeId(i), class);
+        }
+        let f = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 3));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..384 {
+            let blk = nn.allocate_block(f, 64 << 20);
+            let plan = nn.choose_write_targets(SimTime::ZERO, blk, None, &mut rng);
+            for t in plan.targets() {
+                nn.commit_replica(blk, t);
+            }
+        }
+        let mut t = 1u64;
+        b.iter(|| {
+            for i in 0..66 {
+                nn.heartbeat(SimTime::from_secs(t), NodeId(i), 1e6);
+            }
+            let cmds = nn.replication_scan(SimTime::from_secs(t), 8, &mut rng);
+            t += 3;
+            black_box(cmds)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_maxmin,
+    bench_trace_gen,
+    bench_pausable_work,
+    bench_namenode
+);
+criterion_main!(benches);

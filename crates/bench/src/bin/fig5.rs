@@ -1,0 +1,7 @@
+//! Figure 5: number of duplicated tasks issued by each scheduling policy
+//! (same sweep as Figure 4).
+
+fn main() {
+    let (_fig4, fig5) = bench::fig45();
+    println!("{fig5}");
+}

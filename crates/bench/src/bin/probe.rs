@@ -1,0 +1,43 @@
+//! Timeline probe: run one experiment, printing progress every interval.
+use moon::{ClusterConfig, PolicyConfig, World};
+use simkit::{SimTime, Simulation};
+
+fn main() {
+    let p: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let which = std::env::args().nth(2).unwrap_or_else(|| "hadoopvo".into());
+    let policy = match which.as_str() {
+        "moon" => PolicyConfig::moon_hybrid(),
+        "vo1" => PolicyConfig::vo_intermediate(1),
+        _ => PolicyConfig::hadoop_vo(simkit::SimDuration::from_mins(1), 6, 3),
+    };
+    let world = World::new(ClusterConfig::paper(p), policy, workloads::paper::sort());
+    let mut sim = Simulation::new(world, 42).with_event_limit(50_000_000);
+    World::init(&mut sim);
+    for k in 1..=28 {
+        let step: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1000);
+        let horizon = SimTime::from_secs(k * step);
+        let outcome = sim.run_until(horizon);
+        let w = sim.model();
+        let jm = w.job_metrics().unwrap_or_default();
+        println!(
+            "t={:>5}s maps={}/384 reduces={} dup={} killedr={} ff={} live={} events={} outcome={:?}",
+            horizon.as_secs_f64(),
+            jm.completed_maps,
+            jm.completed_reduces,
+            jm.duplicated_tasks,
+            jm.killed_reduces,
+            w.metrics.fetch_failures,
+            sim.model().metrics.shuffle_times.count(),
+            sim.events_handled(),
+            outcome,
+        );
+        if !matches!(outcome, simkit::RunOutcome::HorizonReached) {
+            break;
+        }
+        println!("   {}", w.debug_dedicated());
+        if k == 10 {
+            w.debug_dump_incomplete();
+            break;
+        }
+    }
+}

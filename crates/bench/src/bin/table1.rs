@@ -1,0 +1,22 @@
+//! Table I: application configurations.
+
+use workloads::{paper, ReduceCount};
+
+fn main() {
+    println!("# Table I — application configurations");
+    println!("application\tinput size\t# maps\t# reduces");
+    for w in [paper::sort(), paper::word_count()] {
+        let reduces = match w.reduces {
+            ReduceCount::Fixed(n) => n.to_string(),
+            ReduceCount::SlotsFraction(f) => format!("{f} x AvailSlots (= {} on 60x2 slots)", ReduceCount::SlotsFraction(f).resolve(120)),
+        };
+        println!(
+            "{}\t{} GB\t{}\t{}",
+            w.name,
+            w.input_bytes >> 30,
+            w.n_maps,
+            reduces
+        );
+    }
+    println!("# (by default, Hadoop runs 2 reduce tasks per node)");
+}

@@ -1,0 +1,259 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the MOON
+//! paper (see DESIGN.md §3 for the index). They share the sweep runner
+//! here: a grid of (policy × unavailability × workload) points, each run
+//! `MOON_SEEDS` times (default 1), executed in parallel with rayon, with
+//! paper-style text tables on stdout and machine-readable JSON dumped to
+//! `bench_results/`.
+
+use moon::{ClusterConfig, Experiment, PolicyConfig, RunResult};
+use rayon::prelude::*;
+use workloads::WorkloadSpec;
+
+/// The unavailability rates every figure sweeps.
+pub const PAPER_RATES: [f64; 3] = [0.1, 0.3, 0.5];
+
+/// Seeds to run per grid point (env `MOON_SEEDS`, default 1).
+pub fn seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("MOON_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    (0..n.max(1)).map(|k| 42 + k * 1000).collect()
+}
+
+/// Quick mode (env `MOON_QUICK=1`): shrink the cluster and workload so a
+/// full figure regenerates in seconds (for CI smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::var("MOON_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scale a workload down for quick mode.
+pub fn maybe_shrink(w: WorkloadSpec) -> WorkloadSpec {
+    if !quick_mode() {
+        return w;
+    }
+    WorkloadSpec {
+        n_maps: (w.n_maps / 8).max(8),
+        input_bytes: w.input_bytes / 8,
+        output_bytes: w.output_bytes / 8,
+        ..w
+    }
+}
+
+/// Cluster for a given rate (shrunk in quick mode).
+pub fn cluster(rate: f64, n_dedicated: u32) -> ClusterConfig {
+    let mut c = if quick_mode() {
+        ClusterConfig::small(rate)
+    } else {
+        ClusterConfig::paper(rate)
+    };
+    if !quick_mode() {
+        c.n_dedicated = n_dedicated;
+    }
+    c
+}
+
+/// One grid point of a sweep.
+#[derive(Clone)]
+pub struct Point {
+    /// Policy bundle.
+    pub policy: PolicyConfig,
+    /// Cluster (embeds the unavailability rate).
+    pub cluster: ClusterConfig,
+    /// Workload.
+    pub workload: WorkloadSpec,
+}
+
+/// Run the whole grid (each point × all seeds) in parallel; results come
+/// back in grid order, seeds averaged by the caller via [`mean_time`].
+pub fn run_grid(points: Vec<Point>) -> Vec<Vec<RunResult>> {
+    let seeds = seeds();
+    let total = points.len();
+    points
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, pt)| {
+            let results: Vec<RunResult> = seeds
+                .iter()
+                .map(|&seed| {
+                    Experiment {
+                        cluster: pt.cluster.clone(),
+                        policy: pt.policy.clone(),
+                        workload: pt.workload.clone(),
+                        seed,
+                    }
+                    .run()
+                })
+                .collect();
+            let r = &results[0];
+            eprintln!(
+                "[{}/{}] {} {} p={}: {}s",
+                i + 1,
+                total,
+                r.label,
+                r.workload,
+                r.unavailability,
+                moon::report::secs_or_dnf(r.job_time.map(|d| d.as_secs_f64()))
+            );
+            results
+        })
+        .collect()
+}
+
+/// Mean job time over finished seeds (`None` if every seed DNF'd).
+pub fn mean_time(results: &[RunResult]) -> Option<f64> {
+    let done: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.job_time.map(|d| d.as_secs_f64()))
+        .collect();
+    (!done.is_empty()).then(|| done.iter().sum::<f64>() / done.len() as f64)
+}
+
+/// Mean duplicated-task count across seeds.
+pub fn mean_duplicates(results: &[RunResult]) -> f64 {
+    results
+        .iter()
+        .map(|r| r.job.duplicated_tasks as f64)
+        .sum::<f64>()
+        / results.len().max(1) as f64
+}
+
+/// Dump raw results as JSON under `bench_results/<name>.json`.
+pub fn dump_json(name: &str, results: &[Vec<RunResult>]) {
+    #[derive(serde::Serialize)]
+    struct Row {
+        label: String,
+        workload: String,
+        unavailability: f64,
+        seed: u64,
+        job_secs: Option<f64>,
+        duplicated_tasks: u32,
+        killed_maps: u32,
+        killed_reduces: u32,
+        map_output_relaunches: u32,
+        avg_map_time: f64,
+        avg_shuffle_time: f64,
+        avg_reduce_time: f64,
+        fetch_failures: u64,
+        events: u64,
+    }
+    let rows: Vec<Row> = results
+        .iter()
+        .flatten()
+        .map(|r| Row {
+            label: r.label.clone(),
+            workload: r.workload.clone(),
+            unavailability: r.unavailability,
+            seed: r.seed,
+            job_secs: r.job_time.map(|d| d.as_secs_f64()),
+            duplicated_tasks: r.job.duplicated_tasks,
+            killed_maps: r.job.killed_maps,
+            killed_reduces: r.job.killed_reduces,
+            map_output_relaunches: r.job.map_output_relaunches,
+            avg_map_time: r.profile.avg_map_time,
+            avg_shuffle_time: r.profile.avg_shuffle_time,
+            avg_reduce_time: r.profile.avg_reduce_time,
+            fetch_failures: r.fetch_failures,
+            events: r.events,
+        })
+        .collect();
+    std::fs::create_dir_all("bench_results").ok();
+    let path = format!("bench_results/{name}.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Measure sort/word-count task-time means on an idle cluster, for the
+/// `sleep` workload (the paper feeds measured means into sleep, §VI-A).
+pub fn measured_sleep(base: &WorkloadSpec) -> WorkloadSpec {
+    let r = Experiment {
+        cluster: cluster(0.0, 6),
+        policy: PolicyConfig::moon_hybrid(),
+        workload: maybe_shrink(base.clone()),
+        seed: 7,
+    }
+    .run();
+    let map_mean = simkit::SimDuration::from_secs_f64(r.profile.avg_map_time.max(1.0));
+    let reduce_mean = simkit::SimDuration::from_secs_f64(
+        (r.profile.avg_shuffle_time * 0.0 + r.profile.avg_reduce_time).max(1.0),
+    );
+    workloads::paper::sleep(base, map_mean, reduce_mean)
+}
+
+/// The Figure 4 / Figure 5 sweep: `sleep` workloads replaying sort and
+/// word-count task times under five scheduling policies, with
+/// intermediate data forced reliable `{1,1}` to isolate scheduling
+/// (§VI-A). Returns (figure-4 tables, figure-5 tables) as printable text.
+pub fn fig45() -> (String, String) {
+    use simkit::SimDuration;
+    let mut fig4 = String::new();
+    let mut fig5 = String::new();
+    let mut all: Vec<Vec<RunResult>> = Vec::new();
+    for (panel, base) in [
+        ("(a) sort", workloads::paper::sort()),
+        ("(b) word count", workloads::paper::word_count()),
+    ] {
+        let sleep = measured_sleep(&base);
+        let policies: Vec<PolicyConfig> = vec![
+            PolicyConfig::hadoop(SimDuration::from_mins(10), 6).with_reliable_intermediate(),
+            PolicyConfig::hadoop(SimDuration::from_mins(5), 6).with_reliable_intermediate(),
+            PolicyConfig::hadoop(SimDuration::from_mins(1), 6).with_reliable_intermediate(),
+            PolicyConfig {
+                label: "MOON".into(),
+                ..PolicyConfig::moon().with_reliable_intermediate()
+            },
+            PolicyConfig {
+                label: "MOON-Hybrid".into(),
+                ..PolicyConfig::moon_hybrid().with_reliable_intermediate()
+            },
+        ];
+        let mut points = Vec::new();
+        for policy in &policies {
+            for &rate in &PAPER_RATES {
+                points.push(Point {
+                    policy: policy.clone(),
+                    cluster: cluster(rate, 6),
+                    workload: maybe_shrink(sleep.clone()),
+                });
+            }
+        }
+        let results = run_grid(points);
+        let mut time_rows = Vec::new();
+        let mut dup_rows = Vec::new();
+        for (pi, policy) in policies.iter().enumerate() {
+            let per_rate = &results[pi * PAPER_RATES.len()..(pi + 1) * PAPER_RATES.len()];
+            time_rows.push((
+                policy.label.clone(),
+                per_rate.iter().map(|r| mean_time(r)).collect::<Vec<_>>(),
+            ));
+            dup_rows.push((
+                policy.label.clone(),
+                per_rate
+                    .iter()
+                    .map(|r| Some(mean_duplicates(r)))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        fig4.push_str(&moon::report::series_table(
+            &format!("Figure 4{panel}: execution time, sleep({})", base.name),
+            &PAPER_RATES,
+            &time_rows,
+            "seconds",
+        ));
+        fig4.push('\n');
+        fig5.push_str(&moon::report::series_table(
+            &format!("Figure 5{panel}: duplicated tasks, sleep({})", base.name),
+            &PAPER_RATES,
+            &dup_rows,
+            "count",
+        ));
+        fig5.push('\n');
+        all.extend(results);
+    }
+    dump_json("fig4_fig5", &all);
+    (fig4, fig5)
+}

@@ -1,0 +1,118 @@
+//! DataNode-side bookkeeping: the physical block store on one machine.
+//!
+//! In the real system a DataNode holds block files on its local disk and
+//! answers read/write streams. In the simulation the actual bytes are
+//! modelled by `netsim` flows; this struct tracks *what* is stored and how
+//! much space it takes, so examples and tests can reason about capacity
+//! and the world model can report disk usage.
+
+use crate::types::BlockId;
+use std::collections::BTreeMap;
+
+/// The block store of one DataNode.
+#[derive(Debug, Clone)]
+pub struct DataNode {
+    capacity: u64,
+    used: u64,
+    blocks: BTreeMap<BlockId, u64>,
+}
+
+impl DataNode {
+    /// A DataNode with `capacity` bytes of disk.
+    pub fn new(capacity: u64) -> Self {
+        DataNode {
+            capacity,
+            used: 0,
+            blocks: BTreeMap::new(),
+        }
+    }
+
+    /// Total disk capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently used by stored blocks.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Store a block of `size` bytes. Returns false (and stores nothing)
+    /// if the disk lacks space or the block is already present.
+    pub fn store(&mut self, block: BlockId, size: u64) -> bool {
+        if self.blocks.contains_key(&block) || size > self.free() {
+            return false;
+        }
+        self.blocks.insert(block, size);
+        self.used += size;
+        true
+    }
+
+    /// Delete a block, freeing its space. Returns false if absent.
+    pub fn evict(&mut self, block: BlockId) -> bool {
+        match self.blocks.remove(&block) {
+            Some(size) => {
+                self.used -= size;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is the block stored here?
+    pub fn holds(&self, block: BlockId) -> bool {
+        self.blocks.contains_key(&block)
+    }
+
+    /// Number of blocks stored.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterate over stored blocks and their sizes.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, u64)> + '_ {
+        self.blocks.iter().map(|(&b, &s)| (b, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_evict_track_space() {
+        let mut dn = DataNode::new(100);
+        assert!(dn.store(BlockId(1), 60));
+        assert_eq!(dn.used(), 60);
+        assert_eq!(dn.free(), 40);
+        assert!(!dn.store(BlockId(2), 50), "would exceed capacity");
+        assert!(dn.store(BlockId(2), 40));
+        assert_eq!(dn.free(), 0);
+        assert!(dn.evict(BlockId(1)));
+        assert_eq!(dn.free(), 60);
+        assert!(!dn.evict(BlockId(1)), "double evict");
+    }
+
+    #[test]
+    fn duplicate_store_rejected() {
+        let mut dn = DataNode::new(100);
+        assert!(dn.store(BlockId(1), 10));
+        assert!(!dn.store(BlockId(1), 10));
+        assert_eq!(dn.n_blocks(), 1);
+        assert!(dn.holds(BlockId(1)));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut dn = DataNode::new(100);
+        dn.store(BlockId(5), 1);
+        dn.store(BlockId(2), 1);
+        let ids: Vec<u64> = dn.blocks().map(|(b, _)| b.0).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+}

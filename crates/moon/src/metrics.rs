@@ -1,0 +1,137 @@
+//! Measured results of one simulation run — everything the paper's
+//! figures and Table II report.
+
+use mapred::JobMetrics;
+use simkit::{SimDuration, SimTime, Summary};
+use std::fmt;
+
+/// Raw measurements accumulated while the world runs.
+#[derive(Debug, Default, Clone)]
+pub struct RunMetrics {
+    /// When the job was submitted.
+    pub job_submitted: Option<SimTime>,
+    /// When the job's output reached its replication factor.
+    pub job_finished: Option<SimTime>,
+    /// Resolved reduce count (Table I's 0.9 × AvailSlots for sort).
+    pub n_reduces: u32,
+    /// Per-successful-map-attempt wall time (launch → success).
+    pub map_times: Summary,
+    /// Per-successful-reduce shuffle time (launch → last fetch).
+    pub shuffle_times: Summary,
+    /// Per-successful-reduce compute+write time (shuffle end → success).
+    pub reduce_times: Summary,
+    /// Total shuffle fetch failures reported.
+    pub fetch_failures: u64,
+}
+
+impl RunMetrics {
+    /// Job response time, if it finished.
+    pub fn job_time(&self) -> Option<SimDuration> {
+        Some(self.job_finished?.since(self.job_submitted?))
+    }
+}
+
+/// Final, flattened result of one run (what the bench harness prints).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Policy label ("MOON-Hybrid", "Hadoop1Min", "VO-V3", …).
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Target unavailability rate of the run.
+    pub unavailability: f64,
+    /// Job response time; `None` = did not finish within the horizon
+    /// (the paper's "unable to finish" outcome).
+    pub job_time: Option<SimDuration>,
+    /// Counters from the JobTracker.
+    pub job: JobMetrics,
+    /// Table II row: averages per task.
+    pub profile: ExecutionProfile,
+    /// Total shuffle fetch failures.
+    pub fetch_failures: u64,
+    /// Events processed (simulator diagnostics).
+    pub events: u64,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl RunResult {
+    /// Job time in seconds, or NaN for DNF (plots well as a gap).
+    pub fn job_secs(&self) -> f64 {
+        self.job_time.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN)
+    }
+}
+
+/// The per-task execution profile of Table II.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionProfile {
+    /// Avg Map Time (s).
+    pub avg_map_time: f64,
+    /// Avg Shuffle Time (s).
+    pub avg_shuffle_time: f64,
+    /// Avg Reduce Time (s).
+    pub avg_reduce_time: f64,
+    /// Avg # Killed Maps.
+    pub killed_maps: u32,
+    /// Avg # Killed Reduces.
+    pub killed_reduces: u32,
+}
+
+impl fmt::Display for ExecutionProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "map {:.1}s, shuffle {:.1}s, reduce {:.1}s, killed {}m/{}r",
+            self.avg_map_time,
+            self.avg_shuffle_time,
+            self.avg_reduce_time,
+            self.killed_maps,
+            self.killed_reduces
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_time_requires_both_endpoints() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.job_time(), None);
+        m.job_submitted = Some(SimTime::from_secs(1));
+        assert_eq!(m.job_time(), None);
+        m.job_finished = Some(SimTime::from_secs(100));
+        assert_eq!(m.job_time(), Some(SimDuration::from_secs(99)));
+    }
+
+    #[test]
+    fn dnf_formats_as_nan() {
+        let r = RunResult {
+            label: "x".into(),
+            workload: "sort".into(),
+            unavailability: 0.5,
+            job_time: None,
+            job: JobMetrics::default(),
+            profile: ExecutionProfile::default(),
+            fetch_failures: 0,
+            events: 0,
+            seed: 0,
+        };
+        assert!(r.job_secs().is_nan());
+    }
+
+    #[test]
+    fn profile_display() {
+        let p = ExecutionProfile {
+            avg_map_time: 21.25,
+            avg_shuffle_time: 1150.25,
+            avg_reduce_time: 155.25,
+            killed_maps: 1389,
+            killed_reduces: 59,
+        };
+        let s = p.to_string();
+        assert!(s.contains("21.2"));
+        assert!(s.contains("1389m"));
+    }
+}

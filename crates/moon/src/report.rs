@@ -1,0 +1,83 @@
+//! Paper-style table formatting for experiment results.
+
+use crate::metrics::RunResult;
+
+/// Format seconds or "DNF" for jobs that missed the horizon.
+pub fn secs_or_dnf(t: Option<f64>) -> String {
+    match t {
+        Some(s) => format!("{s:.0}"),
+        None => "DNF".into(),
+    }
+}
+
+/// Render a series table: one row per policy label, one column per
+/// unavailability rate — the layout of Figures 4–7.
+pub fn series_table(
+    title: &str,
+    rates: &[f64],
+    rows: &[(String, Vec<Option<f64>>)],
+    unit: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title} ({unit})\n"));
+    out.push_str("policy");
+    for r in rates {
+        out.push_str(&format!("\tp={r}"));
+    }
+    out.push('\n');
+    for (label, values) in rows {
+        out.push_str(label);
+        for v in values {
+            out.push('\t');
+            out.push_str(&secs_or_dnf(*v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table II: execution profiles at one unavailability rate.
+pub fn profile_table(title: &str, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str("policy\tavg_map(s)\tavg_shuffle(s)\tavg_reduce(s)\tkilled_maps\tkilled_reduces\n");
+    for r in results {
+        out.push_str(&format!(
+            "{}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\n",
+            r.label,
+            r.profile.avg_map_time,
+            r.profile.avg_shuffle_time,
+            r.profile.avg_reduce_time,
+            r.profile.killed_maps,
+            r.profile.killed_reduces
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_dnf() {
+        assert_eq!(secs_or_dnf(None), "DNF");
+        assert_eq!(secs_or_dnf(Some(123.4)), "123");
+    }
+
+    #[test]
+    fn series_layout() {
+        let table = series_table(
+            "Figure 4(a): sort",
+            &[0.1, 0.5],
+            &[
+                ("Hadoop1Min".to_string(), vec![Some(700.0), Some(2000.0)]),
+                ("MOON".to_string(), vec![Some(650.0), None]),
+            ],
+            "seconds",
+        );
+        assert!(table.contains("p=0.1"));
+        assert!(table.contains("Hadoop1Min\t700\t2000"));
+        assert!(table.contains("MOON\t650\tDNF"));
+    }
+}

@@ -1,0 +1,1498 @@
+//! The composed simulation world: trace-driven node availability +
+//! MOON file system + MapReduce control plane + flow-level I/O.
+//!
+//! One [`World`] simulates one MapReduce job on one cluster under one
+//! policy bundle, exactly like a single experimental run in the paper:
+//! the input is pre-staged, the job is submitted at t = 1 s, a monitor
+//! suspends/resumes each node according to its availability trace, and
+//! the run ends when the job's output reaches its replication factor
+//! (or the horizon passes — a DNF, which the paper also observed for
+//! plain Hadoop at high volatility).
+
+use crate::config::{ClusterConfig, PolicyConfig};
+use crate::metrics::RunMetrics;
+use availability::{AvailabilityTrace, TraceGenerator, Transition};
+use dfs::{BlockId, FileId, FileKind, NameNode, NodeClass, NodeId};
+use mapred::{
+    AttemptId, JobId, JobSpec, JobStatus, JobTracker, TaskId, TaskKind,
+};
+use netsim::{Changes, FlowId, FlowNet, ResourceId};
+use simkit::{
+    Ctx, EventId, Model, PausableWork, SimDuration, SimTime, StreamId,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use workloads::{ReduceCount, WorkloadSpec};
+
+/// Maximum map outputs bundled into one shuffle connection (Hadoop
+/// fetches several map outputs per host connection).
+const MAX_FETCH_BATCH: usize = 20;
+/// Concurrent shuffle connections per reduce attempt.
+const MAX_PARALLEL_FETCHES: usize = 2;
+/// Delay before retrying a DFS read/write that found no usable replica.
+const PHASE_RETRY_DELAY: SimDuration = SimDuration::from_secs(5);
+
+/// Events of the world model.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// A node's availability trace says it goes down now.
+    NodeDown(NodeId),
+    /// A node's availability trace says it comes back now.
+    NodeUp(NodeId),
+    /// Combined TaskTracker + DataNode heartbeat for a node.
+    Heartbeat(NodeId),
+    /// Periodic JobTracker tracker sweep + NameNode liveness sweep.
+    TrackerCheck,
+    /// Periodic NameNode replication scan (also checks job commit).
+    ReplicationScan,
+    /// The flow network predicts a completion at this instant.
+    NetPoll,
+    /// An attempt's compute phase finishes now (unless it was paused).
+    ComputeDone(AttemptId),
+    /// A stalled flow's patience ran out.
+    FlowStallTimeout(FlowId),
+    /// Periodic shuffle service tick for a reduce attempt: retries
+    /// waiting fetches and reports unreachable map outputs as fetch
+    /// failures (a real reducer's connection attempt fails immediately).
+    ShuffleTick(AttemptId),
+    /// An attempt retries a stalled read/write phase.
+    PhaseRetry(AttemptId),
+    /// Submit the job.
+    Submit,
+}
+
+struct NodeRt {
+    up: bool,
+    disk: ResourceId,
+    nic_up: ResourceId,
+    nic_down: ResourceId,
+    heartbeat_ev: EventId,
+}
+
+#[derive(Debug)]
+enum FlowPurpose {
+    /// Map-input read or intermediate/output write for an attempt.
+    Attempt(AttemptId),
+    /// A shuffle batch: reduce attempt fetching these map indexes.
+    Fetch {
+        attempt: AttemptId,
+        maps: Vec<u32>,
+    },
+    /// NameNode-ordered re-replication.
+    Replication { block: BlockId, target: NodeId },
+}
+
+#[derive(Debug)]
+struct ShuffleState {
+    /// Maps not yet fetched and not in flight (fetch when available).
+    waiting: BTreeSet<u32>,
+    /// In-flight batches: flow → map indexes.
+    inflight: BTreeMap<FlowId, Vec<u32>>,
+    /// Successfully fetched map indexes.
+    fetched: BTreeSet<u32>,
+    /// When the shuffle finished (all maps fetched).
+    done_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Map: reading its input split.
+    MapRead { flow: Option<FlowId> },
+    /// Map or reduce: crunching.
+    Compute {
+        work: PausableWork,
+        ev: EventId,
+    },
+    /// Map: writing intermediate; reduce: writing output.
+    Write {
+        flow: Option<FlowId>,
+        file: FileId,
+        block: BlockId,
+        targets: Vec<NodeId>,
+    },
+    /// Reduce: fetching map outputs.
+    Shuffle(ShuffleState),
+}
+
+struct AttemptRt {
+    node: NodeId,
+    started: SimTime,
+    shuffle_started: Option<SimTime>,
+    shuffle_done: Option<SimTime>,
+    phase: Phase,
+}
+
+/// The full simulation model (implements [`simkit::Model`]).
+pub struct World {
+    cluster: ClusterConfig,
+    policy: PolicyConfig,
+    workload: WorkloadSpec,
+    traces: Vec<AvailabilityTrace>,
+    nodes: Vec<NodeRt>,
+    net: FlowNet,
+    nn: NameNode,
+    jt: JobTracker,
+    job: Option<JobId>,
+    input_blocks: Vec<BlockId>,
+    output_file: Option<FileId>,
+    n_reduces: u32,
+    /// Committed output of each completed map task: map index → block.
+    map_outputs: BTreeMap<u32, (FileId, BlockId)>,
+    attempts: BTreeMap<AttemptId, AttemptRt>,
+    flows: BTreeMap<FlowId, FlowPurpose>,
+    stall_timeouts: BTreeMap<FlowId, EventId>,
+    net_poll_ev: EventId,
+    job_tasks_done: bool,
+    /// Measured results.
+    pub metrics: RunMetrics,
+}
+
+impl World {
+    /// Build a world. Call [`World::init`] on the simulation afterwards.
+    pub fn new(cluster: ClusterConfig, policy: PolicyConfig, workload: WorkloadSpec) -> Self {
+        let nn = NameNode::new(policy.namenode.clone());
+        let jt = JobTracker::new(policy.scheduler.clone(), policy.fetch);
+        World {
+            cluster,
+            policy,
+            workload,
+            traces: Vec::new(),
+            nodes: Vec::new(),
+            net: FlowNet::new(),
+            nn,
+            jt,
+            job: None,
+            input_blocks: Vec::new(),
+            output_file: None,
+            n_reduces: 0,
+            map_outputs: BTreeMap::new(),
+            attempts: BTreeMap::new(),
+            flows: BTreeMap::new(),
+            stall_timeouts: BTreeMap::new(),
+            net_poll_ev: EventId::NONE,
+            job_tasks_done: false,
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Register nodes, stage input, and schedule the boot events.
+    /// `sim` must be a fresh simulation over this world.
+    pub fn init(sim: &mut simkit::Simulation<World>) {
+        let n_nodes = sim.model().cluster.n_nodes();
+        // Resources + traces.
+        for i in 0..n_nodes {
+            let (disk_bw, nic_bw) = {
+                let w = sim.model();
+                (w.cluster.disk_bandwidth, w.cluster.nic_bandwidth)
+            };
+            let trace = {
+                let w = sim.model();
+                if let Some(overrides) = &w.cluster.trace_overrides {
+                    overrides
+                        .get(i as usize)
+                        .cloned()
+                        .unwrap_or_else(|| AvailabilityTrace::always_available(w.cluster.horizon))
+                } else if w.cluster.is_dedicated(i) || w.cluster.unavailability <= 0.0 {
+                    AvailabilityTrace::always_available(w.cluster.horizon)
+                } else {
+                    let cfg = w.cluster.trace.clone();
+                    // Per-node trace stream derived from the sim's root seed.
+                    let seed = simkit::derive_seed(sim_seed(sim), 0x7000 + i as u64);
+                    let mut r = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                    TraceGenerator::poisson_insertion(&cfg, &mut r)
+                }
+            };
+            let w = sim.model_mut();
+            let disk = w.net.add_resource(disk_bw);
+            let nic_up = w.net.add_resource(nic_bw);
+            let nic_down = w.net.add_resource(nic_bw);
+            w.nodes.push(NodeRt {
+                up: true,
+                disk,
+                nic_up,
+                nic_down,
+                heartbeat_ev: EventId::NONE,
+            });
+            w.traces.push(trace);
+        }
+        // Register with NameNode and JobTracker.
+        {
+            let w = sim.model_mut();
+            for i in 0..n_nodes {
+                let node = NodeId(i);
+                let class = if w.cluster.is_dedicated(i) {
+                    NodeClass::Dedicated
+                } else {
+                    NodeClass::Volatile
+                };
+                w.nn.register_node(SimTime::ZERO, node, class);
+                w.jt.register_tracker(
+                    SimTime::ZERO,
+                    node,
+                    w.cluster.map_slots,
+                    w.cluster.reduce_slots,
+                    class == NodeClass::Dedicated,
+                );
+            }
+        }
+        // Schedule trace transitions.
+        for i in 0..n_nodes {
+            let transitions: Vec<(SimTime, Transition)> =
+                sim.model().traces[i as usize].transitions().collect();
+            for (at, tr) in transitions {
+                match tr {
+                    Transition::Down => sim.schedule_at(at, Ev::NodeDown(NodeId(i))),
+                    Transition::Up => sim.schedule_at(at, Ev::NodeUp(NodeId(i))),
+                };
+            }
+        }
+        // Heartbeats, staggered so they do not all land on one instant.
+        for i in 0..n_nodes {
+            let ev = sim.schedule(
+                SimDuration::from_micros(50_000 * i as u64 + 1),
+                Ev::Heartbeat(NodeId(i)),
+            );
+            sim.model_mut().nodes[i as usize].heartbeat_ev = ev;
+        }
+        let tci = sim.model().cluster.tracker_check_interval;
+        sim.schedule(tci, Ev::TrackerCheck);
+        let rsi = sim.model().cluster.replication_scan_interval;
+        sim.schedule(rsi, Ev::ReplicationScan);
+        sim.schedule(SimDuration::from_secs(1), Ev::Submit);
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn node(&self, n: NodeId) -> &NodeRt {
+        &self.nodes[n.0 as usize]
+    }
+
+    fn job_id(&self) -> JobId {
+        self.job.expect("job not submitted yet")
+    }
+
+    /// Resource chain for a transfer src → dst (skipping the network for
+    /// local transfers).
+    fn transfer_path(&self, src: NodeId, dst: NodeId) -> Vec<ResourceId> {
+        if src == dst {
+            vec![self.node(src).disk]
+        } else {
+            vec![
+                self.node(src).disk,
+                self.node(src).nic_up,
+                self.node(dst).nic_down,
+                self.node(dst).disk,
+            ]
+        }
+    }
+
+    /// Resource chain for a replication pipeline client → t1 → t2 → …
+    fn pipeline_path(&self, client: NodeId, targets: &[NodeId]) -> Vec<ResourceId> {
+        let mut path = Vec::with_capacity(targets.len() * 3);
+        let mut prev = client;
+        for &t in targets {
+            if t != prev {
+                path.push(self.node(prev).nic_up);
+                path.push(self.node(t).nic_down);
+            }
+            path.push(self.node(t).disk);
+            prev = t;
+        }
+        if path.is_empty() {
+            path.push(self.node(client).disk);
+        }
+        path
+    }
+
+    /// Reschedule the single flow-completion poll event.
+    fn resched_net_poll(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        ctx.cancel(self.net_poll_ev);
+        self.net_poll_ev = match self.net.next_completion() {
+            Some(at) => ctx.schedule_at(at.max(ctx.now()), Ev::NetPoll),
+            None => EventId::NONE,
+        };
+    }
+
+    /// React to flows crossing zero rate: start/stop stall timers.
+    fn apply_changes(&mut self, ctx: &mut Ctx<'_, Ev>, changes: Changes) {
+        for f in changes.stalled {
+            if self.stall_timeouts.contains_key(&f) {
+                continue;
+            }
+            let timeout = match self.flows.get(&f) {
+                Some(FlowPurpose::Fetch { .. }) => self.cluster.fetch_timeout,
+                Some(_) => self.cluster.io_timeout,
+                None => continue,
+            };
+            let ev = ctx.schedule(timeout, Ev::FlowStallTimeout(f));
+            self.stall_timeouts.insert(f, ev);
+        }
+        for f in changes.resumed {
+            if let Some(ev) = self.stall_timeouts.remove(&f) {
+                ctx.cancel(ev);
+            }
+        }
+    }
+
+    fn drop_flow_records(&mut self, ctx: &mut Ctx<'_, Ev>, flow: FlowId) {
+        self.flows.remove(&flow);
+        if let Some(ev) = self.stall_timeouts.remove(&flow) {
+            ctx.cancel(ev);
+        }
+    }
+
+    /// Abort an attempt's physical activity (flows, compute timers).
+    fn cancel_attempt_physical(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.remove(&id) else { return };
+        let mut flows_to_cancel: Vec<FlowId> = Vec::new();
+        match rt.phase {
+            Phase::MapRead { flow } => {
+                if let Some(f) = flow {
+                    flows_to_cancel.push(f);
+                }
+            }
+            Phase::Compute { ev, .. } => {
+                ctx.cancel(ev);
+            }
+            Phase::Write {
+                flow, file, block, ..
+            } => {
+                if let Some(f) = flow {
+                    flows_to_cancel.push(f);
+                }
+                // The aborted writer's allocation must not hold the file's
+                // replication hostage (a reduce writes into the shared
+                // output file; a map owns its intermediate file).
+                match id.task.kind {
+                    TaskKind::Map => self.nn.delete_file(file),
+                    TaskKind::Reduce => self.nn.remove_block(block),
+                }
+            }
+            Phase::Shuffle(sh) => {
+                flows_to_cancel.extend(sh.inflight.keys().copied());
+            }
+        }
+        let mut all = Changes::default();
+        for f in flows_to_cancel {
+            self.drop_flow_records(ctx, f);
+            if let Some(ch) = self.net.cancel_flow(ctx.now(), f) {
+                all.merge(ch);
+            }
+        }
+        self.apply_changes(ctx, all);
+        self.resched_net_poll(ctx);
+    }
+
+    /// Current progress score of an attempt (Hadoop-style phase weights).
+    fn attempt_progress(&self, id: AttemptId, now: SimTime) -> f64 {
+        let Some(rt) = self.attempts.get(&id) else { return 0.0 };
+        match id.task.kind {
+            TaskKind::Map => match &rt.phase {
+                Phase::MapRead { .. } => 0.02,
+                Phase::Compute { work, .. } => 0.05 + 0.75 * work.progress(now),
+                Phase::Write { .. } => 0.85,
+                Phase::Shuffle(_) => 0.0,
+            },
+            TaskKind::Reduce => match &rt.phase {
+                Phase::Shuffle(sh) => {
+                    let total = self.workload.n_maps.max(1) as f64;
+                    0.33 * (sh.fetched.len() as f64 / total)
+                }
+                Phase::Compute { work, .. } => 0.33 + 0.34 * work.progress(now),
+                Phase::Write { .. } => 0.70,
+                Phase::MapRead { .. } => 0.0,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node availability
+    // ------------------------------------------------------------------
+
+    fn on_node_down(&mut self, ctx: &mut Ctx<'_, Ev>, n: NodeId) {
+        let rt = &mut self.nodes[n.0 as usize];
+        if !rt.up {
+            return;
+        }
+        rt.up = false;
+        ctx.cancel(rt.heartbeat_ev);
+        let (disk, up, down) = (rt.disk, rt.nic_up, rt.nic_down);
+        let mut all = Changes::default();
+        all.merge(self.net.set_capacity(ctx.now(), disk, 0.0));
+        all.merge(self.net.set_capacity(ctx.now(), up, 0.0));
+        all.merge(self.net.set_capacity(ctx.now(), down, 0.0));
+        self.apply_changes(ctx, all);
+        // Pause compute phases running on this node.
+        let paused: Vec<AttemptId> = self
+            .attempts
+            .iter()
+            .filter(|(_, rt)| rt.node == n)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in paused {
+            if let Some(rt) = self.attempts.get_mut(&id) {
+                if let Phase::Compute { work, ev } = &mut rt.phase {
+                    work.pause(ctx.now());
+                    ctx.cancel(*ev);
+                    *ev = EventId::NONE;
+                }
+            }
+        }
+        self.resched_net_poll(ctx);
+    }
+
+    fn on_node_up(&mut self, ctx: &mut Ctx<'_, Ev>, n: NodeId) {
+        let rt = &mut self.nodes[n.0 as usize];
+        if rt.up {
+            return;
+        }
+        rt.up = true;
+        let (disk, up, down) = (rt.disk, rt.nic_up, rt.nic_down);
+        let (disk_bw, nic_bw) = (self.cluster.disk_bandwidth, self.cluster.nic_bandwidth);
+        let mut all = Changes::default();
+        all.merge(self.net.set_capacity(ctx.now(), disk, disk_bw));
+        all.merge(self.net.set_capacity(ctx.now(), up, nic_bw));
+        all.merge(self.net.set_capacity(ctx.now(), down, nic_bw));
+        self.apply_changes(ctx, all);
+        // Resume compute phases.
+        let resumed: Vec<AttemptId> = self
+            .attempts
+            .iter()
+            .filter(|(_, rt)| rt.node == n)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in resumed {
+            if let Some(rt) = self.attempts.get_mut(&id) {
+                if let Phase::Compute { work, ev } = &mut rt.phase {
+                    work.resume(ctx.now());
+                    let eta = work.eta(ctx.now()).expect("just resumed");
+                    *ev = ctx.schedule_at(eta, Ev::ComputeDone(id));
+                }
+            }
+        }
+        // Restart the heartbeat loop promptly.
+        let ev = ctx.schedule(SimDuration::from_millis(500), Ev::Heartbeat(n));
+        self.nodes[n.0 as usize].heartbeat_ev = ev;
+        self.resched_net_poll(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Heartbeats
+    // ------------------------------------------------------------------
+
+    fn on_heartbeat(&mut self, ctx: &mut Ctx<'_, Ev>, n: NodeId) {
+        if !self.node(n).up {
+            return; // went down before the event fired; NodeUp restarts it
+        }
+        // DataNode heartbeat with measured I/O bandwidth (disk
+        // throughput). Real bandwidth measurements jitter; Algorithm 1's
+        // saturation detector depends on that jitter (an exact plateau
+        // triggers neither of its branches), so apply ±5 % Gaussian
+        // measurement noise.
+        let bw = self.net.resource_throughput(self.node(n).disk);
+        let noise: f64 = {
+            use rand::Rng as _;
+            let r = ctx.rng().stream(StreamId::Custom(n.0 as u64));
+            1.0 + 0.05 * r.sample::<f64, _>(rand_distr::StandardNormal)
+        };
+        self.nn.heartbeat(ctx.now(), n, (bw * noise).max(0.0));
+
+        // Progress reports for local attempts.
+        let local: Vec<AttemptId> = self
+            .attempts
+            .iter()
+            .filter(|(_, rt)| rt.node == n)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in local {
+            let p = self.attempt_progress(id, ctx.now());
+            self.jt.report_progress(id, p);
+        }
+
+        // TaskTracker heartbeat: receive kills and assignments.
+        if self.job.is_some() && !self.job_tasks_done {
+            let resp = self.jt.heartbeat(ctx.now(), n);
+            for a in resp.kill {
+                self.cancel_attempt_physical(ctx, a);
+            }
+            for asg in resp.assignments {
+                self.start_attempt(ctx, asg.attempt, asg.node);
+            }
+        }
+
+        let ev = ctx.schedule(self.cluster.heartbeat_interval, Ev::Heartbeat(n));
+        self.nodes[n.0 as usize].heartbeat_ev = ev;
+    }
+
+    fn on_tracker_check(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let sweep = self.jt.check_trackers(ctx.now());
+        for a in sweep.killed {
+            self.cancel_attempt_physical(ctx, a);
+        }
+        self.nn.check_liveness(ctx.now());
+        ctx.schedule(self.cluster.tracker_check_interval, Ev::TrackerCheck);
+    }
+
+    fn on_replication_scan(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let max = self.cluster.max_replication_streams;
+        let cmds = self
+            .nn
+            .replication_scan(ctx.now(), max, ctx.rng().stream(StreamId::Placement));
+        let mut all = Changes::default();
+        for cmd in cmds {
+            let path = self.transfer_path(cmd.source, cmd.target);
+            let (flow, ch) = self.net.start_flow(ctx.now(), path, cmd.size as f64);
+            all.merge(ch);
+            self.flows.insert(
+                flow,
+                FlowPurpose::Replication {
+                    block: cmd.block,
+                    target: cmd.target,
+                },
+            );
+        }
+        self.apply_changes(ctx, all);
+        self.resched_net_poll(ctx);
+
+        // Output-commit check: the job is done once every output block
+        // reached its replication factor (§IV-A).
+        if self.job_tasks_done && self.metrics.job_finished.is_none() {
+            if let Some(out) = self.output_file {
+                if self.nn.is_fully_replicated(out) {
+                    self.metrics.job_finished = Some(ctx.now());
+                    ctx.stop();
+                    return;
+                }
+            }
+        }
+        ctx.schedule(self.cluster.replication_scan_interval, Ev::ReplicationScan);
+    }
+
+    // ------------------------------------------------------------------
+    // Job submission
+    // ------------------------------------------------------------------
+
+    fn on_submit(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        // Stage the input file (the paper stages input before measuring).
+        let input = self
+            .nn
+            .create_file(FileKind::Reliable, self.policy.input_factor);
+        let split = self.workload.split_bytes();
+        for _ in 0..self.workload.n_maps {
+            let b = self.nn.allocate_block(input, split);
+            let plan =
+                self.nn
+                    .choose_write_targets(ctx.now(), b, None, ctx.rng().stream(StreamId::Placement));
+            for t in plan.targets() {
+                self.nn.commit_replica(b, t);
+            }
+            self.input_blocks.push(b);
+        }
+        // Resolve the reduce count against submit-time slots (Table I's
+        // 0.9 × AvailSlots rule). MOON schedules originals on volatile
+        // nodes only, so only their slots count there.
+        let worker_nodes = if self.policy.scheduler.dedicated_runs_originals() {
+            self.cluster.n_nodes()
+        } else {
+            self.cluster.n_volatile
+        };
+        let avail_reduce_slots = worker_nodes * self.cluster.reduce_slots;
+        self.n_reduces = match self.workload.reduces {
+            ReduceCount::Fixed(n) => n,
+            f @ ReduceCount::SlotsFraction(_) => f.resolve(avail_reduce_slots),
+        };
+        let locations: Vec<Vec<NodeId>> = self
+            .input_blocks
+            .iter()
+            .map(|&b| self.nn.live_replicas(b))
+            .collect();
+        let spec = JobSpec::new(self.workload.n_maps, self.n_reduces).with_locations(locations);
+        let job = self.jt.submit_job(ctx.now(), spec);
+        self.job = Some(job);
+        self.metrics.job_submitted = Some(ctx.now());
+        self.metrics.n_reduces = self.n_reduces;
+        // Output file: opportunistic until commit (§IV-A).
+        let out = self
+            .nn
+            .create_file(FileKind::Opportunistic, self.policy.output_factor);
+        self.output_file = Some(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Attempt lifecycle
+    // ------------------------------------------------------------------
+
+    fn start_attempt(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId, node: NodeId) {
+        debug_assert!(!self.attempts.contains_key(&id), "attempt started twice");
+        let rt = AttemptRt {
+            node,
+            started: ctx.now(),
+            shuffle_started: None,
+            shuffle_done: None,
+            phase: match id.task.kind {
+                TaskKind::Map => Phase::MapRead { flow: None },
+                TaskKind::Reduce => Phase::Shuffle(ShuffleState {
+                    waiting: (0..self.workload.n_maps).collect(),
+                    inflight: BTreeMap::new(),
+                    fetched: BTreeSet::new(),
+                    done_at: None,
+                }),
+            },
+        };
+        self.attempts.insert(id, rt);
+        match id.task.kind {
+            TaskKind::Map => self.begin_map_read(ctx, id),
+            TaskKind::Reduce => {
+                self.attempts.get_mut(&id).unwrap().shuffle_started = Some(ctx.now());
+                self.pump_shuffle(ctx, id);
+                ctx.schedule(self.cluster.fetch_retry_delay, Ev::ShuffleTick(id));
+            }
+        }
+    }
+
+    fn begin_map_read(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.get(&id) else { return };
+        let node = rt.node;
+        let block = self.input_blocks[id.task.index as usize];
+        let src = self
+            .nn
+            .choose_read_source(block, Some(node), ctx.rng().stream(StreamId::Placement));
+        match src {
+            Some(src) => {
+                let path = self.transfer_path(src, node);
+                let bytes = self.nn.block_size(block) as f64;
+                let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes);
+                self.flows.insert(flow, FlowPurpose::Attempt(id));
+                if let Some(rt) = self.attempts.get_mut(&id) {
+                    rt.phase = Phase::MapRead { flow: Some(flow) };
+                }
+                self.apply_changes(ctx, ch);
+                self.resched_net_poll(ctx);
+            }
+            None => {
+                // Input temporarily unavailable: stall the task (§IV). If
+                // every replica is gone for good the task fails.
+                if self.nn.live_replicas(block).is_empty() {
+                    self.jt.attempt_failed(ctx.now(), id);
+                    self.attempts.remove(&id);
+                } else {
+                    ctx.schedule(PHASE_RETRY_DELAY, Ev::PhaseRetry(id));
+                }
+            }
+        }
+    }
+
+    fn begin_compute(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let node = self.attempts[&id].node;
+        let cpu = match id.task.kind {
+            TaskKind::Map => self
+                .workload
+                .map_cpu
+                .sample(ctx.rng().stream(StreamId::TaskDuration(node.0 as u64))),
+            TaskKind::Reduce => self
+                .workload
+                .reduce_cpu
+                .sample(ctx.rng().stream(StreamId::TaskDuration(node.0 as u64))),
+        };
+        let mut work = PausableWork::new(cpu);
+        let up = self.node(node).up;
+        let ev = if up {
+            work.resume(ctx.now());
+            ctx.schedule_at(work.eta(ctx.now()).unwrap(), Ev::ComputeDone(id))
+        } else {
+            EventId::NONE
+        };
+        if let Some(rt) = self.attempts.get_mut(&id) {
+            rt.phase = Phase::Compute { work, ev };
+        }
+    }
+
+    fn begin_write(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let (file, block) = match id.task.kind {
+            TaskKind::Map => {
+                let file = self
+                    .nn
+                    .create_file(self.policy.intermediate_kind, self.policy.intermediate_factor);
+                let block = self.nn.allocate_block(file, self.workload.map_output_bytes);
+                (file, block)
+            }
+            TaskKind::Reduce => {
+                let file = self.output_file.expect("output file exists");
+                let block = self
+                    .nn
+                    .allocate_block(file, self.workload.output_bytes_per_reduce(self.n_reduces));
+                (file, block)
+            }
+        };
+        self.start_write_flow(ctx, id, file, block);
+    }
+
+    fn start_write_flow(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        id: AttemptId,
+        file: FileId,
+        block: BlockId,
+    ) {
+        let node = self.attempts[&id].node;
+        let plan = self.nn.choose_write_targets(
+            ctx.now(),
+            block,
+            Some(node),
+            ctx.rng().stream(StreamId::Placement),
+        );
+        let targets: Vec<NodeId> = plan.targets().collect();
+        if targets.is_empty() {
+            // Nowhere to write right now; retry shortly.
+            if let Some(rt) = self.attempts.get_mut(&id) {
+                rt.phase = Phase::Write {
+                    flow: None,
+                    file,
+                    block,
+                    targets: Vec::new(),
+                };
+            }
+            ctx.schedule(PHASE_RETRY_DELAY, Ev::PhaseRetry(id));
+            return;
+        }
+        let bytes = self.nn.block_size(block) as f64;
+        let path = self.pipeline_path(node, &targets);
+        let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes);
+        self.flows.insert(flow, FlowPurpose::Attempt(id));
+        if let Some(rt) = self.attempts.get_mut(&id) {
+            rt.phase = Phase::Write {
+                flow: Some(flow),
+                file,
+                block,
+                targets,
+            };
+        }
+        self.apply_changes(ctx, ch);
+        self.resched_net_poll(ctx);
+    }
+
+    fn on_compute_done(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.get(&id) else { return };
+        match &rt.phase {
+            Phase::Compute { work, .. } if work.is_complete(ctx.now()) => {
+                self.begin_write(ctx, id);
+            }
+            _ => {} // stale event (paused/rescheduled)
+        }
+    }
+
+    fn on_phase_retry(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.get(&id) else { return };
+        match &rt.phase {
+            Phase::MapRead { flow: None } => self.begin_map_read(ctx, id),
+            Phase::Write {
+                flow: None,
+                file,
+                block,
+                ..
+            } => {
+                let (file, block) = (*file, *block);
+                self.start_write_flow(ctx, id, file, block);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shuffle
+    // ------------------------------------------------------------------
+
+    /// Start as many fetch batches as the parallelism budget allows.
+    fn pump_shuffle(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        loop {
+            let Some(rt) = self.attempts.get(&id) else { return };
+            let node = rt.node;
+            let Phase::Shuffle(sh) = &rt.phase else { return };
+            if sh.inflight.len() >= MAX_PARALLEL_FETCHES {
+                return;
+            }
+            // Find the first waiting map whose output is ready.
+            let mut batch: Vec<u32> = Vec::new();
+            let mut source: Option<NodeId> = None;
+            for &m in &sh.waiting {
+                let Some(&(_, block)) = self.map_outputs.get(&m) else { continue };
+                match source {
+                    None => {
+                        let src = self.nn.choose_read_source(
+                            block,
+                            Some(node),
+                            ctx.rng().stream(StreamId::Placement),
+                        );
+                        if let Some(s) = src {
+                            source = Some(s);
+                            batch.push(m);
+                        }
+                    }
+                    Some(s) => {
+                        if batch.len() >= MAX_FETCH_BATCH {
+                            break;
+                        }
+                        if self.nn.active_replicas(block).contains(&s) {
+                            batch.push(m);
+                        }
+                    }
+                }
+            }
+            let Some(src) = source else { return };
+            let bytes: f64 = batch.len() as f64
+                * self.workload.shuffle_bytes_per_pair(self.n_reduces) as f64;
+            let path = self.transfer_path(src, node);
+            let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes.max(1.0));
+            self.flows.insert(
+                flow,
+                FlowPurpose::Fetch {
+                    attempt: id,
+                    maps: batch.clone(),
+                },
+            );
+            if let Some(rt) = self.attempts.get_mut(&id) {
+                if let Phase::Shuffle(sh) = &mut rt.phase {
+                    for m in &batch {
+                        sh.waiting.remove(m);
+                    }
+                    sh.inflight.insert(flow, batch);
+                }
+            }
+            self.apply_changes(ctx, ch);
+            self.resched_net_poll(ctx);
+        }
+    }
+
+    /// A fetch batch completed.
+    fn on_fetch_done(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId, flow: FlowId, maps: Vec<u32>) {
+        let n_maps = self.workload.n_maps;
+        let mut shuffle_complete = false;
+        if let Some(rt) = self.attempts.get_mut(&id) {
+            if let Phase::Shuffle(sh) = &mut rt.phase {
+                sh.inflight.remove(&flow);
+                sh.fetched.extend(maps.iter().copied());
+                if sh.fetched.len() as u32 == n_maps {
+                    sh.done_at = Some(ctx.now());
+                    shuffle_complete = true;
+                }
+            }
+            if shuffle_complete {
+                rt.shuffle_done = Some(ctx.now());
+            }
+        }
+        if shuffle_complete {
+            self.begin_compute(ctx, id);
+        } else {
+            self.pump_shuffle(ctx, id);
+        }
+    }
+
+    /// A stalled fetch batch timed out: report fetch failures and retry.
+    fn on_fetch_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId, flow: FlowId, maps: Vec<u32>) {
+        let ch = self.net.cancel_flow(ctx.now(), flow);
+        self.drop_flow_records(ctx, flow);
+        if let Some(ch) = ch {
+            self.apply_changes(ctx, ch);
+        }
+        self.resched_net_poll(ctx);
+        let job = self.job_id();
+        let reduce_task = id.task;
+        for &m in &maps {
+            let map_task = TaskId {
+                job,
+                kind: TaskKind::Map,
+                index: m,
+            };
+            let output_active = self
+                .map_outputs
+                .get(&m)
+                .map(|&(_, b)| self.nn.is_block_available(b))
+                .unwrap_or(false);
+            let reexec = self
+                .jt
+                .report_fetch_failure(ctx.now(), map_task, reduce_task, output_active);
+            if reexec {
+                self.map_outputs.remove(&m);
+            }
+            self.metrics.fetch_failures += 1;
+        }
+        // Back to waiting (and free the in-flight slot); the shuffle tick
+        // retries them.
+        if let Some(rt) = self.attempts.get_mut(&id) {
+            if let Phase::Shuffle(sh) = &mut rt.phase {
+                sh.inflight.remove(&flow);
+                sh.waiting.extend(maps.iter().copied());
+            }
+        }
+    }
+
+    fn on_shuffle_tick(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.get(&id) else { return };
+        let Phase::Shuffle(sh) = &rt.phase else { return };
+        // Report completed-but-unreachable map outputs as fetch failures:
+        // a real reducer's connection attempt is refused immediately, and
+        // these reports are what drive Hadoop's 50%-of-reduces rule and
+        // MOON's query-the-DFS rule for map re-execution (§VI-B).
+        let unreachable: Vec<u32> = sh
+            .waiting
+            .iter()
+            .copied()
+            .filter(|m| {
+                self.map_outputs
+                    .get(m)
+                    .is_some_and(|&(_, b)| !self.nn.is_block_available(b))
+            })
+            .collect();
+        let job = self.job_id();
+        let reduce_task = id.task;
+        for m in unreachable {
+            let map_task = TaskId {
+                job,
+                kind: TaskKind::Map,
+                index: m,
+            };
+            let reexec = self
+                .jt
+                .report_fetch_failure(ctx.now(), map_task, reduce_task, false);
+            if reexec {
+                self.map_outputs.remove(&m);
+            }
+            self.metrics.fetch_failures += 1;
+        }
+        // Retry whatever is fetchable now.
+        self.pump_shuffle(ctx, id);
+        // Keep ticking while the attempt is still shuffling.
+        if let Some(rt) = self.attempts.get(&id) {
+            if matches!(rt.phase, Phase::Shuffle(_)) {
+                ctx.schedule(self.cluster.fetch_retry_delay, Ev::ShuffleTick(id));
+            }
+        }
+    }
+
+    /// A completed map's output became visible: wake shuffling reduces.
+    fn notify_reduces_of_map(&mut self, ctx: &mut Ctx<'_, Ev>, _map_index: u32) {
+        let reduce_attempts: Vec<AttemptId> = self
+            .attempts
+            .iter()
+            .filter(|(aid, rt)| {
+                aid.task.kind == TaskKind::Reduce && matches!(rt.phase, Phase::Shuffle(_))
+            })
+            .map(|(&aid, _)| aid)
+            .collect();
+        for id in reduce_attempts {
+            self.pump_shuffle(ctx, id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow completion dispatch
+    // ------------------------------------------------------------------
+
+    fn on_net_poll(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let (done, ch) = self.net.poll(ctx.now());
+        self.apply_changes(ctx, ch);
+        for flow in done {
+            let Some(purpose) = self.flows.remove(&flow) else { continue };
+            if let Some(ev) = self.stall_timeouts.remove(&flow) {
+                ctx.cancel(ev);
+            }
+            match purpose {
+                FlowPurpose::Attempt(id) => self.on_attempt_flow_done(ctx, id, flow),
+                FlowPurpose::Fetch { attempt, maps } => {
+                    self.on_fetch_done(ctx, attempt, flow, maps)
+                }
+                FlowPurpose::Replication { block, target } => {
+                    self.nn.commit_replica(block, target);
+                }
+            }
+        }
+        self.resched_net_poll(ctx);
+    }
+
+    fn on_attempt_flow_done(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId, flow: FlowId) {
+        let Some(rt) = self.attempts.get(&id) else { return };
+        match &rt.phase {
+            Phase::MapRead { flow: Some(f) } if *f == flow => {
+                self.begin_compute(ctx, id);
+            }
+            Phase::Write {
+                flow: Some(f),
+                file,
+                block,
+                targets,
+            } if *f == flow => {
+                let (file, block, targets) = (*file, *block, targets.clone());
+                for t in &targets {
+                    self.nn.commit_replica(block, *t);
+                }
+                self.finish_attempt(ctx, id, file, block);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish_attempt(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId, file: FileId, block: BlockId) {
+        let rt = self.attempts.remove(&id).expect("attempt exists");
+        let resp = self.jt.attempt_succeeded(ctx.now(), id);
+        for k in resp.kill {
+            self.cancel_attempt_physical(ctx, k);
+        }
+        match id.task.kind {
+            TaskKind::Map => {
+                self.map_outputs.insert(id.task.index, (file, block));
+                self.metrics
+                    .map_times
+                    .record(ctx.now().since(rt.started).as_secs_f64());
+                self.notify_reduces_of_map(ctx, id.task.index);
+            }
+            TaskKind::Reduce => {
+                let sh_start = rt.shuffle_started.unwrap_or(rt.started);
+                let sh_done = rt.shuffle_done.unwrap_or(ctx.now());
+                self.metrics
+                    .shuffle_times
+                    .record(sh_done.since(sh_start).as_secs_f64());
+                self.metrics
+                    .reduce_times
+                    .record(ctx.now().since(sh_done).as_secs_f64());
+            }
+        }
+        if resp.job_completed {
+            self.job_tasks_done = true;
+            // Output commit: promote to reliable; the replication scanner
+            // finishes the remaining copies and ends the run.
+            if let Some(out) = self.output_file {
+                self.nn.convert_to_reliable(out);
+            }
+        }
+    }
+
+    fn on_flow_stall_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, flow: FlowId) {
+        self.stall_timeouts.remove(&flow);
+        // Only act if the flow still exists and is still stalled.
+        match self.net.rate(flow) {
+            Some(r) if r <= 0.0 => {}
+            _ => return,
+        }
+        let Some(purpose) = self.flows.remove(&flow) else { return };
+        match purpose {
+            FlowPurpose::Fetch { attempt, maps } => {
+                self.on_fetch_timeout(ctx, attempt, flow, maps);
+            }
+            FlowPurpose::Attempt(id) => {
+                let ch = self.net.cancel_flow(ctx.now(), flow);
+                if let Some(ch) = ch {
+                    self.apply_changes(ctx, ch);
+                }
+                self.resched_net_poll(ctx);
+                // Restart the stalled phase with fresh placement.
+                if let Some(rt) = self.attempts.get_mut(&id) {
+                    match &mut rt.phase {
+                        Phase::MapRead { flow: f } => {
+                            *f = None;
+                            self.begin_map_read(ctx, id);
+                        }
+                        Phase::Write {
+                            flow: f,
+                            file,
+                            block,
+                            ..
+                        } => {
+                            *f = None;
+                            let (file, block) = (*file, *block);
+                            self.start_write_flow(ctx, id, file, block);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            FlowPurpose::Replication { block, target } => {
+                let ch = self.net.cancel_flow(ctx.now(), flow);
+                if let Some(ch) = ch {
+                    self.apply_changes(ctx, ch);
+                }
+                self.resched_net_poll(ctx);
+                self.nn.replica_failed(block, target);
+            }
+        }
+    }
+
+    /// Run-completion accessors used by the experiment driver.
+    pub fn job_status(&self) -> Option<JobStatus> {
+        self.job.map(|j| self.jt.job_status(j))
+    }
+
+    /// JobTracker metrics for the run's job.
+    pub fn job_metrics(&self) -> Option<mapred::JobMetrics> {
+        self.job.map(|j| self.jt.job_metrics(j))
+    }
+
+    /// The NameNode (read access for tests and metrics).
+    pub fn namenode(&self) -> &NameNode {
+        &self.nn
+    }
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::NodeDown(n) => self.on_node_down(ctx, n),
+            Ev::NodeUp(n) => self.on_node_up(ctx, n),
+            Ev::Heartbeat(n) => self.on_heartbeat(ctx, n),
+            Ev::TrackerCheck => self.on_tracker_check(ctx),
+            Ev::ReplicationScan => self.on_replication_scan(ctx),
+            Ev::NetPoll => self.on_net_poll(ctx),
+            Ev::ComputeDone(id) => self.on_compute_done(ctx, id),
+            Ev::FlowStallTimeout(f) => self.on_flow_stall_timeout(ctx, f),
+            Ev::ShuffleTick(id) => self.on_shuffle_tick(ctx, id),
+            Ev::PhaseRetry(id) => self.on_phase_retry(ctx, id),
+            Ev::Submit => self.on_submit(ctx),
+        }
+    }
+}
+
+/// The root seed of a simulation (exposed for trace derivation).
+fn sim_seed(sim: &simkit::Simulation<World>) -> u64 {
+    // RngPool is owned by the Simulation; we derive trace seeds from the
+    // same root so runs are reproducible end to end.
+    sim.root_seed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, PolicyConfig};
+    use crate::experiment::Experiment;
+
+    fn quick() -> WorkloadSpec {
+        crate::quick_workload()
+    }
+
+    #[test]
+    fn stable_cluster_completes_job() {
+        let r = Experiment {
+            cluster: ClusterConfig::small(0.0),
+            policy: PolicyConfig::moon_hybrid(),
+            workload: quick(),
+            seed: 1,
+        }
+        .run();
+        assert!(
+            r.job_time.is_some(),
+            "job must finish on a stable cluster: {r:?}"
+        );
+        let t = r.job_time.unwrap().as_secs_f64();
+        assert!(t > 10.0 && t < 600.0, "implausible job time {t}");
+        assert_eq!(r.job.completed_maps, 16);
+        assert_eq!(r.job.completed_reduces, 4);
+    }
+
+    #[test]
+    fn stable_cluster_hadoop_policy_completes_job() {
+        let r = Experiment {
+            cluster: ClusterConfig::small(0.0),
+            policy: PolicyConfig::hadoop(SimDuration::from_mins(10), 3),
+            workload: quick(),
+            seed: 2,
+        }
+        .run();
+        assert!(r.job_time.is_some(), "{r:?}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            Experiment {
+                cluster: ClusterConfig::small(0.3),
+                policy: PolicyConfig::moon_hybrid(),
+                workload: quick(),
+                seed,
+            }
+            .run()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.job_secs().to_bits(), b.job_secs().to_bits());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.job.duplicated_tasks, b.job.duplicated_tasks);
+        let c = run(8);
+        assert!(a.events != c.events || a.job_secs() != c.job_secs());
+    }
+
+    #[test]
+    fn volatile_cluster_moon_completes_job() {
+        let r = Experiment {
+            cluster: ClusterConfig::small(0.3),
+            policy: PolicyConfig::moon_hybrid(),
+            workload: quick(),
+            seed: 11,
+        }
+        .run();
+        assert!(r.job_time.is_some(), "MOON should survive p=0.3: {r:?}");
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use crate::config::{ClusterConfig, PolicyConfig};
+
+    #[test]
+    #[ignore]
+    fn probe_stable_run() {
+        let world = World::new(
+            ClusterConfig::small(0.0),
+            PolicyConfig::moon_hybrid(),
+            crate::quick_workload(),
+        );
+        let mut sim = simkit::Simulation::new(world, 1).with_event_limit(10_000_000);
+        World::init(&mut sim);
+        let outcome = sim.run_until(SimTime::from_secs(1200));
+        let w = sim.model();
+        eprintln!("outcome={outcome:?} events={}", sim.events_handled());
+        eprintln!("job_status={:?}", w.job_status());
+        eprintln!("metrics={:?}", w.job_metrics());
+        eprintln!("tasks_done={} finished={:?}", w.job_tasks_done, w.metrics.job_finished);
+        eprintln!("live attempts={}", w.attempts.len());
+        eprintln!("flows in flight={}", w.net.n_flows());
+        for (id, rt) in &w.attempts {
+            let ph = match &rt.phase {
+                Phase::MapRead { .. } => "read",
+                Phase::Compute { .. } => "compute",
+                Phase::Write { .. } => "write",
+                Phase::Shuffle(s) => {
+                    eprintln!("  {id}: shuffle fetched={} waiting={} inflight={}",
+                        s.fetched.len(), s.waiting.len(), s.inflight.len());
+                    continue;
+                }
+            };
+            eprintln!("  {id}: {ph}");
+        }
+        if let Some(out) = w.output_file {
+            eprintln!("output fully replicated: {}", w.nn.is_fully_replicated(out));
+            eprintln!("replication queue: {}", w.nn.replication_queue_len());
+        }
+    }
+}
+
+impl World {
+    /// Diagnostics: print every incomplete task's JT view and world phase.
+    pub fn debug_dump_incomplete(&self) {
+        let Some(job) = self.job else { return };
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            let n = match kind {
+                TaskKind::Map => self.workload.n_maps,
+                TaskKind::Reduce => self.n_reduces,
+            };
+            for i in 0..n {
+                let tid = TaskId { job, kind, index: i };
+                let t = self.jt.task(tid);
+                if t.completed {
+                    continue;
+                }
+                eprintln!(
+                    "INCOMPLETE {tid}: live={} frozen={} attempts={}",
+                    t.n_live(),
+                    t.is_frozen(),
+                    t.attempts.len()
+                );
+                for a in &t.attempts {
+                    let phase = self.attempts.get(&a.id).map(|rt| match &rt.phase {
+                        Phase::MapRead { .. } => "read".to_string(),
+                        Phase::Compute { work, ev } => format!(
+                            "compute(running={} ev={:?})",
+                            work.is_running(),
+                            *ev != EventId::NONE
+                        ),
+                        Phase::Write { flow, targets, .. } => {
+                            format!("write(flow={:?} targets={targets:?})", flow.is_some())
+                        }
+                        Phase::Shuffle(sh) => {
+                            let mut inflight = String::new();
+                            for (f, maps) in &sh.inflight {
+                                inflight.push_str(&format!(
+                                    "[flow {f:?} rate={:?} rem={:?} timeout={} known={} maps={}]",
+                                    self.net.rate(*f),
+                                    self.net.remaining_bytes(*f).map(|b| b.round()),
+                                    self.stall_timeouts.contains_key(f),
+                                    self.flows.contains_key(f),
+                                    maps.len(),
+                                ));
+                            }
+                            format!(
+                                "shuffle(fetched={} waiting={:?} inflight={inflight})",
+                                sh.fetched.len(),
+                                sh.waiting.iter().take(8).collect::<Vec<_>>(),
+                            )
+                        }
+                    });
+                    eprintln!(
+                        "  {}: jt_state={:?} node={} world_phase={:?} progress={:.2}",
+                        a.id, a.state, a.node, phase, a.progress
+                    );
+                }
+            }
+        }
+        // Waiting map outputs' availability.
+    }
+}
+
+impl World {
+    /// Diagnostics: dedicated-node saturation state.
+    pub fn debug_dedicated(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "ded_open={} p̂={:.2} repl_cmds={} ",
+            self.nn.dedicated_available_for_opportunistic(),
+            self.nn
+                .estimated_unavailability(simkit::SimTime::from_secs(0).max(simkit::SimTime::ZERO)),
+            self.nn.replication_commands,
+        ));
+        for i in self.cluster.n_volatile..self.cluster.n_nodes() {
+            let d = self.node(NodeId(i)).disk;
+            s.push_str(&format!("d{i}={:.0}MB/s ", self.net.resource_throughput(d) / (1 << 20) as f64));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod failure_path_tests {
+    use super::*;
+    use crate::config::{ClusterConfig, PolicyConfig};
+    use crate::experiment::Experiment;
+    use availability::{AvailabilityTrace, Outage};
+
+    /// All holders of volatile-only intermediate data go down mid-job:
+    /// the MOON fetch rule must re-execute maps and the job must still
+    /// finish (the paper's livelock scenario, solved).
+    #[test]
+    fn map_outputs_lost_triggers_reexecution_not_livelock() {
+        let horizon = SimTime::from_secs(8 * 3600);
+        // 10 volatile nodes: 0..5 vanish for a long stretch after maps
+        // complete; intermediate is volatile-only with a single copy.
+        let mut traces = Vec::new();
+        for i in 0..12u32 {
+            if i < 5 {
+                traces.push(AvailabilityTrace::new(
+                    vec![Outage {
+                        start: SimTime::from_secs(25),
+                        end: SimTime::from_secs(5000),
+                    }],
+                    horizon,
+                ));
+            } else {
+                traces.push(AvailabilityTrace::always_available(horizon));
+            }
+        }
+        let mut cluster = ClusterConfig::small(0.3);
+        cluster.n_volatile = 10;
+        cluster.n_dedicated = 2;
+        cluster.trace_overrides = Some(traces);
+        // Three map waves (~45 s) so the t=25 outage strikes while the
+        // reduces still need outputs stored on the vanishing nodes.
+        let workload = workloads::WorkloadSpec {
+            n_maps: 48,
+            input_bytes: 48 * 16 * (1 << 20),
+            ..crate::quick_workload()
+        };
+        let r = Experiment {
+            cluster,
+            policy: PolicyConfig::vo_intermediate(1),
+            workload,
+            seed: 13,
+        }
+        .run();
+        assert!(r.job_time.is_some(), "must not livelock: {r:?}");
+        let t = r.job_time.unwrap().as_secs_f64();
+        assert!(
+            t < 4900.0,
+            "job ({t}s) should finish via re-execution well before the \
+             nodes return at t=5000s"
+        );
+        assert!(
+            r.job.map_output_relaunches > 0,
+            "lost outputs must be regenerated: {r:?}"
+        );
+    }
+
+    /// With a dedicated copy (HA-{1,1}), the same outage needs no map
+    /// re-execution at all.
+    #[test]
+    fn dedicated_intermediate_copy_prevents_reexecution() {
+        let horizon = SimTime::from_secs(8 * 3600);
+        let mut traces = Vec::new();
+        for i in 0..12u32 {
+            if i < 5 {
+                traces.push(AvailabilityTrace::new(
+                    vec![Outage {
+                        start: SimTime::from_secs(25),
+                        end: SimTime::from_secs(5000),
+                    }],
+                    horizon,
+                ));
+            } else {
+                traces.push(AvailabilityTrace::always_available(horizon));
+            }
+        }
+        let mut cluster = ClusterConfig::small(0.3);
+        cluster.n_volatile = 10;
+        cluster.n_dedicated = 2;
+        cluster.trace_overrides = Some(traces);
+        let workload = workloads::WorkloadSpec {
+            n_maps: 48,
+            input_bytes: 48 * 16 * (1 << 20),
+            ..crate::quick_workload()
+        };
+        let r = Experiment {
+            cluster,
+            policy: PolicyConfig::ha_intermediate(1),
+            workload,
+            seed: 13,
+        }
+        .run();
+        assert!(r.job_time.is_some());
+        assert_eq!(
+            r.job.map_output_relaunches, 0,
+            "dedicated copies keep outputs reachable: {r:?}"
+        );
+    }
+
+    /// A short blip (shorter than the suspension interval) must not cost
+    /// MOON any task kills at all.
+    #[test]
+    fn short_blip_is_absorbed_without_kills() {
+        let horizon = SimTime::from_secs(8 * 3600);
+        let mut traces = Vec::new();
+        for i in 0..12u32 {
+            if i < 6 {
+                traces.push(AvailabilityTrace::new(
+                    vec![Outage {
+                        start: SimTime::from_secs(40),
+                        end: SimTime::from_secs(70),
+                    }],
+                    horizon,
+                ));
+            } else {
+                traces.push(AvailabilityTrace::always_available(horizon));
+            }
+        }
+        let mut cluster = ClusterConfig::small(0.0);
+        cluster.n_volatile = 10;
+        cluster.n_dedicated = 2;
+        cluster.trace_overrides = Some(traces);
+        let r = Experiment {
+            cluster,
+            policy: PolicyConfig::moon_hybrid(),
+            workload: crate::quick_workload(),
+            seed: 2,
+        }
+        .run();
+        assert!(r.job_time.is_some());
+        // Homestretch copies are killed benignly when a sibling finishes;
+        // what a 30-second blip must NOT cause is tracker-expiry kills.
+        assert_eq!(r.job.killed_by_tracker_expiry, 0, "{r:?}");
+    }
+}

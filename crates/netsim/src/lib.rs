@@ -1,0 +1,38 @@
+//! # netsim — flow-level bandwidth simulation for NICs and disks
+//!
+//! Models data transfers in the simulated MOON cluster at *flow level*:
+//! instead of packets, each transfer is a fluid flow that receives a
+//! max-min fair share of every resource on its path (source disk, source
+//! NIC, destination NIC, destination disk). This is the standard
+//! abstraction for datacenter-scale simulation — accurate enough to
+//! reproduce contention effects (e.g. dedicated-node saturation in the
+//! MOON paper's Figure 7) at a tiny fraction of packet-level cost.
+//!
+//! Node outages map to setting the node's resource capacities to zero,
+//! which stalls (but does not destroy) in-flight flows — exactly the
+//! paper's suspend/resume emulation semantics. Stall transitions are
+//! reported to the host so it can model fetch timeouts.
+//!
+//! ## Example
+//!
+//! ```
+//! use netsim::FlowNet;
+//! use simkit::SimTime;
+//!
+//! let mut net = FlowNet::new();
+//! let nic_a = net.add_resource(100.0); // 100 B/s
+//! let nic_b = net.add_resource(100.0);
+//! let (flow, _) = net.start_flow(SimTime::ZERO, vec![nic_a, nic_b], 1_000.0);
+//! let eta = net.next_completion().unwrap();
+//! assert_eq!(eta.as_secs_f64().round(), 10.0);
+//! let (done, _) = net.poll(eta);
+//! assert_eq!(done, vec![flow]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod maxmin;
+mod net;
+
+pub use maxmin::maxmin_rates;
+pub use net::{Changes, FlowId, FlowNet, ResourceId};

@@ -1,0 +1,204 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! Given resources with capacities and flows that each traverse a set of
+//! resources, progressive filling raises every flow's rate together until
+//! some resource saturates, freezes the flows through it, and repeats.
+//! The result is the unique max-min fair allocation: no flow's rate can be
+//! raised without lowering a flow with an equal-or-smaller rate.
+
+/// Compute max-min fair rates.
+///
+/// * `capacities[r]` — capacity of resource `r` (units/sec, ≥ 0).
+/// * `flow_resources[f]` — indices of resources flow `f` traverses
+///   (must be non-empty for every flow).
+///
+/// Returns the rate of each flow. Flows through any zero-capacity resource
+/// get rate 0.
+pub fn maxmin_rates(capacities: &[f64], flow_resources: &[Vec<usize>]) -> Vec<f64> {
+    let n_res = capacities.len();
+    let n_flows = flow_resources.len();
+    let mut rates = vec![0.0_f64; n_flows];
+    if n_flows == 0 {
+        return rates;
+    }
+
+    // A resource appearing twice on a path still constrains the flow only
+    // once at flow level (the flow does not consume double bandwidth), so
+    // deduplicate defensively.
+    let deduped: Vec<Vec<usize>> = flow_resources
+        .iter()
+        .map(|path| {
+            let mut p = path.clone();
+            p.sort_unstable();
+            p.dedup();
+            p
+        })
+        .collect();
+    let flow_resources = &deduped;
+
+    // Remaining capacity and number of still-unfrozen flows per resource.
+    let mut rem_cap = capacities.to_vec();
+    let mut unfrozen_count = vec![0_usize; n_res];
+    let mut frozen = vec![false; n_flows];
+
+    for (f, res) in flow_resources.iter().enumerate() {
+        debug_assert!(!res.is_empty(), "flow {f} traverses no resources");
+        for &r in res {
+            unfrozen_count[r] += 1;
+        }
+    }
+
+    // Flows through a dead (zero-capacity) resource are stuck at rate 0.
+    for (f, res) in flow_resources.iter().enumerate() {
+        if res.iter().any(|&r| capacities[r] <= 0.0) {
+            frozen[f] = true;
+            rates[f] = 0.0;
+            for &r in res {
+                unfrozen_count[r] -= 1;
+            }
+        }
+    }
+
+    let mut n_unfrozen = frozen.iter().filter(|&&f| !f).count();
+    while n_unfrozen > 0 {
+        // The bottleneck is the resource offering the smallest equal share.
+        let mut best_share = f64::INFINITY;
+        for r in 0..n_res {
+            if unfrozen_count[r] > 0 {
+                let share = rem_cap[r].max(0.0) / unfrozen_count[r] as f64;
+                if share < best_share {
+                    best_share = share;
+                }
+            }
+        }
+        if !best_share.is_finite() {
+            // No constrained resource left; cannot happen because every
+            // flow traverses at least one resource.
+            break;
+        }
+        // Freeze every unfrozen flow passing through a bottleneck resource.
+        let mut froze_any = false;
+        for f in 0..n_flows {
+            if frozen[f] {
+                continue;
+            }
+            let bottlenecked = flow_resources[f].iter().any(|&r| {
+                unfrozen_count[r] > 0
+                    && (rem_cap[r].max(0.0) / unfrozen_count[r] as f64) <= best_share * (1.0 + 1e-12)
+            });
+            if bottlenecked {
+                frozen[f] = true;
+                rates[f] = best_share;
+                for &r in &flow_resources[f] {
+                    rem_cap[r] -= best_share;
+                    unfrozen_count[r] -= 1;
+                }
+                n_unfrozen -= 1;
+                froze_any = true;
+            }
+        }
+        debug_assert!(froze_any, "progressive filling made no progress");
+        if !froze_any {
+            break;
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let rates = maxmin_rates(&[100.0], &[vec![0]]);
+        assert_close(rates[0], 100.0);
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let rates = maxmin_rates(&[90.0], &[vec![0], vec![0], vec![0]]);
+        for r in rates {
+            assert_close(r, 30.0);
+        }
+    }
+
+    #[test]
+    fn classic_maxmin_example() {
+        // Two links: L0 cap 10, L1 cap 8.
+        // f0: L0 only. f1: L0+L1. f2: L1 only.
+        // Fair: f1 and f2 first constrained by L1 (4 each)? Progressive
+        // filling: shares L0=10/2=5, L1=8/2=4 → bottleneck L1 at 4:
+        // f1=f2=4. Then L0 has 10-4=6 left for f0 → f0=6.
+        let rates = maxmin_rates(&[10.0, 8.0], &[vec![0], vec![0, 1], vec![1]]);
+        assert_close(rates[0], 6.0);
+        assert_close(rates[1], 4.0);
+        assert_close(rates[2], 4.0);
+    }
+
+    #[test]
+    fn zero_capacity_stalls_flows() {
+        let rates = maxmin_rates(&[0.0, 100.0], &[vec![0, 1], vec![1]]);
+        assert_close(rates[0], 0.0);
+        assert_close(rates[1], 100.0);
+    }
+
+    #[test]
+    fn multi_resource_path_takes_min() {
+        // A flow through a fast NIC and a slow disk is disk-bound.
+        let rates = maxmin_rates(&[117e6, 60e6], &[vec![0, 1]]);
+        assert_close(rates[0], 60e6);
+    }
+
+    #[test]
+    fn no_flows() {
+        assert!(maxmin_rates(&[5.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn capacity_conservation_randomised() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n_res = rng.gen_range(1..6);
+            let caps: Vec<f64> = (0..n_res).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let n_flows = rng.gen_range(0..12);
+            let flows: Vec<Vec<usize>> = (0..n_flows)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n_res);
+                    let mut rs: Vec<usize> = (0..n_res).collect();
+                    // random subset of size k
+                    for i in (1..rs.len()).rev() {
+                        let j = rng.gen_range(0..=i);
+                        rs.swap(i, j);
+                    }
+                    rs.truncate(k);
+                    rs
+                })
+                .collect();
+            let rates = maxmin_rates(&caps, &flows);
+            // No resource oversubscribed.
+            for r in 0..n_res {
+                let used: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(f, _)| f.contains(&r))
+                    .map(|(_, &rate)| rate)
+                    .sum();
+                assert!(
+                    used <= caps[r] * (1.0 + 1e-6) + 1e-9,
+                    "resource {r} oversubscribed: {used} > {}",
+                    caps[r]
+                );
+            }
+            // All rates non-negative and finite.
+            for &r in &rates {
+                assert!(r.is_finite() && r >= 0.0);
+            }
+        }
+    }
+}

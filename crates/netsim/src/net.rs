@@ -1,0 +1,383 @@
+//! The flow network engine: resources (NICs, disks) with time-varying
+//! capacity and flows that receive max-min fair rates over them.
+//!
+//! The engine is *host-driven*: a discrete-event model embeds a
+//! [`FlowNet`], asks it for [`FlowNet::next_completion`], schedules an
+//! event at that instant, and calls [`FlowNet::poll`] when the event
+//! fires. Every mutation (new flow, capacity change, cancellation)
+//! re-shares bandwidth and reports flows that stalled (rate became zero —
+//! e.g. a node suspended) or resumed, so the host can run stall timeouts
+//! (fetch failures in MapReduce terms).
+
+use crate::maxmin::maxmin_rates;
+use simkit::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Bytes below which a flow counts as finished (guards f64 rounding).
+const EPS_BYTES: f64 = 1e-3;
+
+/// Handle to a capacity resource (one NIC direction or one disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(u32);
+
+/// Handle to an in-flight transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+#[derive(Debug)]
+struct Resource {
+    capacity: f64,
+}
+
+#[derive(Debug)]
+struct Flow {
+    path: Vec<ResourceId>,
+    remaining: f64,
+    rate: f64,
+}
+
+/// Flows whose rate crossed zero during a mutation.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Changes {
+    /// Flows whose rate dropped to zero (endpoint died or saturated away).
+    pub stalled: Vec<FlowId>,
+    /// Flows whose rate rose from zero.
+    pub resumed: Vec<FlowId>,
+}
+
+impl Changes {
+    /// True if no flow crossed zero.
+    pub fn is_empty(&self) -> bool {
+        self.stalled.is_empty() && self.resumed.is_empty()
+    }
+
+    /// Append another change set.
+    pub fn merge(&mut self, other: Changes) {
+        self.stalled.extend(other.stalled);
+        self.resumed.extend(other.resumed);
+    }
+}
+
+/// A flow-level bandwidth simulator with max-min fair sharing.
+pub struct FlowNet {
+    resources: Vec<Resource>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_flow: u64,
+    last_advance: SimTime,
+}
+
+impl Default for FlowNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowNet {
+    /// An empty network at t = 0.
+    pub fn new() -> Self {
+        FlowNet {
+            resources: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            last_advance: SimTime::ZERO,
+        }
+    }
+
+    /// Register a resource with the given capacity (bytes/sec).
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        assert!(capacity >= 0.0 && capacity.is_finite());
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource { capacity });
+        id
+    }
+
+    /// Current capacity of a resource.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.resources[r.0 as usize].capacity
+    }
+
+    /// Change a resource's capacity (0 pauses all flows through it).
+    /// Returns flows that stalled/resumed as a result.
+    pub fn set_capacity(&mut self, now: SimTime, r: ResourceId, capacity: f64) -> Changes {
+        assert!(capacity >= 0.0 && capacity.is_finite());
+        self.advance(now);
+        self.resources[r.0 as usize].capacity = capacity;
+        self.reshare()
+    }
+
+    /// Start a transfer of `bytes` across `path`. The flow exists until it
+    /// completes (returned by [`poll`](Self::poll)) or is cancelled.
+    ///
+    /// A flow created over a dead resource is *born stalled* and is
+    /// reported in `Changes::stalled` immediately, so the host can start
+    /// its timeout just as for a flow that stalls later.
+    pub fn start_flow(&mut self, now: SimTime, path: Vec<ResourceId>, bytes: f64) -> (FlowId, Changes) {
+        assert!(!path.is_empty(), "flow must traverse at least one resource");
+        assert!(bytes >= 0.0 && bytes.is_finite());
+        self.advance(now);
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                path,
+                remaining: bytes,
+                rate: 0.0,
+            },
+        );
+        let mut changes = self.reshare();
+        let f = &self.flows[&id];
+        if f.rate <= 0.0 && f.remaining > EPS_BYTES && !changes.stalled.contains(&id) {
+            changes.stalled.push(id);
+        }
+        (id, changes)
+    }
+
+    /// Abort a flow, discarding its remaining bytes. Returns `None` if the
+    /// flow no longer exists, else the freed-bandwidth change set.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<Changes> {
+        self.advance(now);
+        self.flows.remove(&id)?;
+        Some(self.reshare())
+    }
+
+    /// Advance to `now` and collect flows that have finished, removing
+    /// them. Also returns stall/resume transitions caused by the departure
+    /// of the finished flows.
+    pub fn poll(&mut self, now: SimTime) -> (Vec<FlowId>, Changes) {
+        self.advance(now);
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= EPS_BYTES)
+            .map(|(&id, _)| id)
+            .collect();
+        if done.is_empty() {
+            return (done, Changes::default());
+        }
+        for id in &done {
+            self.flows.remove(id);
+        }
+        let changes = self.reshare();
+        (done, changes)
+    }
+
+    /// Earliest instant at which some flow completes, assuming no further
+    /// mutations. `None` if no flow can finish (all stalled or no flows).
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for f in self.flows.values() {
+            let eta = if f.remaining <= EPS_BYTES {
+                self.last_advance
+            } else if f.rate > 0.0 {
+                // Round up so that by the event time the flow has
+                // definitely pushed its last byte.
+                let secs = f.remaining / f.rate;
+                let us = (secs * 1e6).ceil() as u64 + 1;
+                self.last_advance + SimDuration::from_micros(us)
+            } else {
+                continue;
+            };
+            best = Some(best.map_or(eta, |b| b.min(eta)));
+        }
+        best
+    }
+
+    /// Current rate of a flow (bytes/sec), if it exists.
+    pub fn rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Bytes left to transfer, if the flow exists.
+    pub fn remaining_bytes(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+
+    /// Number of in-flight flows.
+    pub fn n_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Sum of current flow rates through a resource (bytes/sec).
+    pub fn resource_throughput(&self, r: ResourceId) -> f64 {
+        self.flows
+            .values()
+            .filter(|f| f.path.contains(&r))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Charge progress at current rates up to `now`.
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "FlowNet time went backwards");
+        let dt = now.since(self.last_advance).as_secs_f64();
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                if f.rate > 0.0 {
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                }
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Recompute the max-min allocation; report zero-crossings.
+    fn reshare(&mut self) -> Changes {
+        let caps: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let paths: Vec<Vec<usize>> = ids
+            .iter()
+            .map(|id| {
+                self.flows[id]
+                    .path
+                    .iter()
+                    .map(|r| r.0 as usize)
+                    .collect()
+            })
+            .collect();
+        let rates = maxmin_rates(&caps, &paths);
+        let mut changes = Changes::default();
+        for (id, new_rate) in ids.iter().zip(rates) {
+            let f = self.flows.get_mut(id).expect("flow vanished mid-reshare");
+            let was_stalled = f.rate <= 0.0;
+            let now_stalled = new_rate <= 0.0;
+            if !was_stalled && now_stalled && f.remaining > EPS_BYTES {
+                changes.stalled.push(*id);
+            } else if was_stalled && !now_stalled {
+                changes.resumed.push(*id);
+            }
+            f.rate = new_rate;
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_flow_completes_analytically() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0); // 100 B/s
+        let (id, _) = net.start_flow(t(0), vec![nic], 1000.0);
+        let eta = net.next_completion().unwrap();
+        // 1000 B at 100 B/s = 10 s (+ rounding guard)
+        assert!(eta >= t(10) && eta <= t(10) + SimDuration::from_millis(1));
+        let (done, _) = net.poll(eta);
+        assert_eq!(done, vec![id]);
+        assert_eq!(net.n_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0);
+        let (a, _) = net.start_flow(t(0), vec![nic], 500.0);
+        let (b, _) = net.start_flow(t(0), vec![nic], 1500.0);
+        assert_eq!(net.rate(a), Some(50.0));
+        assert_eq!(net.rate(b), Some(50.0));
+        // a finishes at 10s; b then gets the full 100 B/s.
+        let eta_a = net.next_completion().unwrap();
+        let (done, _) = net.poll(eta_a);
+        assert_eq!(done, vec![a]);
+        assert_eq!(net.rate(b), Some(100.0));
+        // b had 1500-500=1000 left at t≈10, so finishes ≈ t=20.
+        let eta_b = net.next_completion().unwrap();
+        assert!(eta_b >= t(20) && eta_b <= t(20) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn capacity_zero_stalls_and_resume_restores() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0);
+        let (id, _) = net.start_flow(t(0), vec![nic], 1000.0);
+        let ch = net.set_capacity(t(5), nic, 0.0);
+        assert_eq!(ch.stalled, vec![id]);
+        assert!(net.next_completion().is_none(), "stalled flow has no ETA");
+        // 500 B were transferred before the stall.
+        assert!((net.remaining_bytes(id).unwrap() - 500.0).abs() < 1e-6);
+        // No progress while stalled.
+        let (done, _) = net.poll(t(60));
+        assert!(done.is_empty());
+        assert!((net.remaining_bytes(id).unwrap() - 500.0).abs() < 1e-6);
+        let ch = net.set_capacity(t(60), nic, 100.0);
+        assert_eq!(ch.resumed, vec![id]);
+        let eta = net.next_completion().unwrap();
+        assert!(eta >= t(65) && eta <= t(65) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn multi_hop_flow_is_bottlenecked_by_slowest() {
+        let mut net = FlowNet::new();
+        let src_disk = net.add_resource(60.0);
+        let src_nic = net.add_resource(117.0);
+        let dst_nic = net.add_resource(117.0);
+        let (id, _) = net.start_flow(t(0), vec![src_disk, src_nic, dst_nic], 600.0);
+        assert_eq!(net.rate(id), Some(60.0));
+    }
+
+    #[test]
+    fn cancel_frees_bandwidth() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0);
+        let (a, _) = net.start_flow(t(0), vec![nic], 1e9);
+        let (b, _) = net.start_flow(t(0), vec![nic], 1e9);
+        assert_eq!(net.rate(b), Some(50.0));
+        net.cancel_flow(t(1), a).unwrap();
+        assert_eq!(net.rate(b), Some(100.0));
+        assert!(net.cancel_flow(t(1), a).is_none(), "double cancel");
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0);
+        let (id, _) = net.start_flow(t(3), vec![nic], 0.0);
+        assert_eq!(net.next_completion(), Some(t(3)));
+        let (done, _) = net.poll(t(3));
+        assert_eq!(done, vec![id]);
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(90.0);
+        net.start_flow(t(0), vec![nic], 1e9);
+        net.start_flow(t(0), vec![nic], 1e9);
+        net.start_flow(t(0), vec![nic], 1e9);
+        assert!((net.resource_throughput(nic) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_born_on_dead_resource_reports_stalled() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0);
+        net.set_capacity(t(0), nic, 0.0);
+        let (id, ch) = net.start_flow(t(1), vec![nic], 500.0);
+        assert_eq!(ch.stalled, vec![id], "born-stalled flow must be reported");
+        // A zero-byte flow on a dead resource still completes (no stall).
+        let (_z, ch) = net.start_flow(t(1), vec![nic], 0.0);
+        assert!(ch.stalled.is_empty());
+    }
+
+    #[test]
+    fn departure_resumes_starved_flow() {
+        // Two flows through a shared bottleneck; one endpoint dies, its
+        // flow stalls; when the dead flow is cancelled nothing resumes,
+        // but when capacity returns the stall clears.
+        let mut net = FlowNet::new();
+        let shared = net.add_resource(100.0);
+        let leaf = net.add_resource(100.0);
+        let (a, _) = net.start_flow(t(0), vec![shared, leaf], 1e6);
+        let ch = net.set_capacity(t(1), leaf, 0.0);
+        assert_eq!(ch.stalled, vec![a]);
+        let ch = net.set_capacity(t(2), leaf, 50.0);
+        assert_eq!(ch.resumed, vec![a]);
+        assert_eq!(net.rate(a), Some(50.0));
+    }
+}

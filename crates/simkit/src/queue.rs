@@ -1,0 +1,234 @@
+//! Pending-event queue with stable, deterministic ordering and O(log n)
+//! cancellation via lazy deletion.
+//!
+//! Events scheduled for the same instant pop in the order they were
+//! scheduled (FIFO), which makes runs reproducible regardless of heap
+//! internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// A handle that never corresponds to a live event. Useful as a
+    /// placeholder in structs before the first real event is scheduled.
+    pub const NONE: EventId = EventId(u64::MAX);
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs scheduled but not yet popped or cancelled.
+    pending: HashSet<u64>,
+    /// Seqs cancelled while still in the heap (lazy deletion tombstones).
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) events still pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedule `event` to fire at `at`. Returns a handle for cancellation.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event was
+    /// still pending (i.e. the cancellation had an effect). Cancelling an
+    /// already-fired or already-cancelled event is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        true
+    }
+
+    /// True if the event is still scheduled to fire.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.pending.contains(&id.0)
+    }
+
+    /// Time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Remove and return the next live event as `(time, id, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        self.skim();
+        let entry = self.heap.pop()?;
+        self.pending.remove(&entry.seq);
+        Some((entry.at, EventId(entry.seq), entry.event))
+    }
+
+    /// Drop cancelled entries sitting at the top of the heap.
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "c");
+        q.push(t(1), "a");
+        q.push(t(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        let (_, _, e) = q.pop().unwrap();
+        assert_eq!(e, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_none_is_noop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventId::NONE));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        let (_, id, _) = q.pop().unwrap();
+        assert_eq!(id, a);
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1, "cancel-after-pop must not disturb live count");
+    }
+
+    #[test]
+    fn is_pending_reflects_lifecycle() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), ());
+        assert!(q.is_pending(a));
+        q.cancel(a);
+        assert!(!q.is_pending(a));
+        let b = q.push(t(2), ());
+        q.pop();
+        assert!(!q.is_pending(b));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.push(t(i), i)).collect();
+        assert_eq!(q.len(), 10);
+        for id in &ids[..5] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 5);
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+}

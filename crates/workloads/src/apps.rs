@@ -1,0 +1,215 @@
+//! Functional implementations of the paper's applications (plus grep),
+//! runnable on [`mapred::LocalRunner`] for real data.
+
+use bytes::Bytes;
+use mapred::{Emitter, Mapper, Partitioner, Record, Reducer};
+
+/// `word count` map: tokenise on whitespace, emit `(word, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordCountMapper;
+
+impl Mapper for WordCountMapper {
+    fn map(&self, record: &Record, out: &mut Emitter) {
+        let text = String::from_utf8_lossy(&record.value);
+        for word in text.split_whitespace() {
+            out.emit(word.as_bytes().to_vec(), 1u64.to_be_bytes().to_vec());
+        }
+    }
+}
+
+/// `word count` reduce/combine: sum the big-endian u64 counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumReducer;
+
+impl Reducer for SumReducer {
+    fn reduce(&self, key: &[u8], values: &[Bytes], out: &mut Emitter) {
+        let total: u64 = values.iter().map(|v| decode_u64(v)).sum();
+        out.emit(key.to_vec(), total.to_be_bytes().to_vec());
+    }
+}
+
+fn decode_u64(v: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..v.len().min(8)].copy_from_slice(&v[..v.len().min(8)]);
+    u64::from_be_bytes(buf)
+}
+
+/// `sort` map: identity (the shuffle's sort-merge does the work).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityMapper;
+
+impl Mapper for IdentityMapper {
+    fn map(&self, record: &Record, out: &mut Emitter) {
+        out.emit(record.key.to_vec(), record.value.to_vec());
+    }
+}
+
+/// `sort` reduce: identity — emits each (key, value) pair through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityReducer;
+
+impl Reducer for IdentityReducer {
+    fn reduce(&self, key: &[u8], values: &[Bytes], out: &mut Emitter) {
+        for v in values {
+            out.emit(key.to_vec(), v.to_vec());
+        }
+    }
+}
+
+/// Total-order partitioner for `sort`: routes keys to partitions by
+/// comparison against sampled split points, so concatenating partition
+/// outputs in index order yields a globally sorted result (Hadoop's
+/// TotalOrderPartitioner).
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    boundaries: Vec<Bytes>,
+}
+
+impl RangePartitioner {
+    /// Build from explicit split points (must be sorted; n_reduces =
+    /// `boundaries.len() + 1`).
+    pub fn new(boundaries: Vec<Bytes>) -> Self {
+        debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        RangePartitioner { boundaries }
+    }
+
+    /// Sample `n_reduces − 1` evenly spaced split points from a sorted
+    /// sample of keys.
+    pub fn from_sample(mut sample: Vec<Bytes>, n_reduces: usize) -> Self {
+        assert!(n_reduces >= 1);
+        sample.sort();
+        let mut boundaries = Vec::with_capacity(n_reduces.saturating_sub(1));
+        for i in 1..n_reduces {
+            let idx = i * sample.len() / n_reduces;
+            if let Some(b) = sample.get(idx) {
+                boundaries.push(b.clone());
+            }
+        }
+        boundaries.dedup();
+        RangePartitioner { boundaries }
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn partition(&self, key: &[u8], n_reduces: usize) -> usize {
+        let idx = self
+            .boundaries
+            .partition_point(|b| b.as_ref() <= key);
+        idx.min(n_reduces - 1)
+    }
+}
+
+/// `grep` map: emit lines containing the pattern, keyed by the pattern.
+#[derive(Debug, Clone)]
+pub struct GrepMapper {
+    /// Substring to search for.
+    pub pattern: String,
+}
+
+impl Mapper for GrepMapper {
+    fn map(&self, record: &Record, out: &mut Emitter) {
+        let text = String::from_utf8_lossy(&record.value);
+        for line in text.lines() {
+            if line.contains(&self.pattern) {
+                out.emit(self.pattern.as_bytes().to_vec(), line.as_bytes().to_vec());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapred::{FunctionalJob, HashPartitioner, LocalRunner};
+
+    #[test]
+    fn functional_word_count() {
+        let job = FunctionalJob {
+            mapper: &WordCountMapper,
+            reducer: &SumReducer,
+            combiner: Some(&SumReducer),
+            partitioner: &HashPartitioner,
+            n_reduces: 3,
+        };
+        let splits = vec![
+            vec![Record::new(Vec::new(), &b"moon hadoop moon"[..])],
+            vec![Record::new(Vec::new(), &b"hadoop moon"[..])],
+        ];
+        let out = LocalRunner::new(2).run(&job, &splits);
+        let mut moon = 0;
+        let mut hadoop = 0;
+        for part in out {
+            for rec in part {
+                let count = decode_u64(&rec.value);
+                match rec.key.as_ref() {
+                    b"moon" => moon = count,
+                    b"hadoop" => hadoop = count,
+                    other => panic!("unexpected key {other:?}"),
+                }
+            }
+        }
+        assert_eq!(moon, 3);
+        assert_eq!(hadoop, 2);
+    }
+
+    #[test]
+    fn functional_sort_produces_global_order() {
+        let keys: Vec<Vec<u8>> = (0..100u8).rev().map(|i| vec![i]).collect();
+        let splits: Vec<Vec<Record>> = keys
+            .chunks(10)
+            .map(|c| {
+                c.iter()
+                    .map(|k| Record::new(k.clone(), k.clone()))
+                    .collect()
+            })
+            .collect();
+        let sample: Vec<Bytes> = keys.iter().map(|k| Bytes::from(k.clone())).collect();
+        let part = RangePartitioner::from_sample(sample, 4);
+        let job = FunctionalJob {
+            mapper: &IdentityMapper,
+            reducer: &IdentityReducer,
+            combiner: None,
+            partitioner: &part,
+            n_reduces: 4,
+        };
+        let out = LocalRunner::new(3).run(&job, &splits);
+        // Concatenated partitions are globally sorted and complete.
+        let flat: Vec<u8> = out
+            .iter()
+            .flat_map(|p| p.iter().map(|r| r.key[0]))
+            .collect();
+        assert_eq!(flat.len(), 100);
+        let mut sorted = flat.clone();
+        sorted.sort();
+        assert_eq!(flat, sorted, "concatenation must be globally sorted");
+        // And it is not all in one partition.
+        assert!(out.iter().filter(|p| !p.is_empty()).count() >= 3);
+    }
+
+    #[test]
+    fn range_partitioner_boundaries() {
+        let p = RangePartitioner::new(vec![Bytes::from_static(b"m")]);
+        assert_eq!(p.partition(b"a", 2), 0);
+        assert_eq!(p.partition(b"m", 2), 1, "boundary key goes right");
+        assert_eq!(p.partition(b"z", 2), 1);
+    }
+
+    #[test]
+    fn grep_filters_lines() {
+        let job = FunctionalJob {
+            mapper: &GrepMapper {
+                pattern: "error".into(),
+            },
+            reducer: &IdentityReducer,
+            combiner: None,
+            partitioner: &HashPartitioner,
+            n_reduces: 1,
+        };
+        let splits = vec![vec![Record::new(
+            Vec::new(),
+            &b"ok line\nerror: disk\nfine\nanother error here"[..],
+        )]];
+        let out = LocalRunner::new(1).run(&job, &splits);
+        assert_eq!(out[0].len(), 2);
+    }
+}

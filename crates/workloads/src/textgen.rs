@@ -1,0 +1,124 @@
+//! Random input generation — the equivalent of the Hadoop
+//! `randomtextwriter`/`teragen` tools the paper uses ("the input data is
+//! randomly generated using tools distributed with Hadoop").
+
+use mapred::Record;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A small vocabulary with a skewed (Zipf-like) frequency profile, so
+/// word-count outputs have realistic repetition.
+const VOCAB: &[&str] = &[
+    "the", "of", "and", "to", "in", "data", "node", "task", "map", "reduce", "moon", "hadoop",
+    "volatile", "dedicated", "replica", "block", "shuffle", "cluster", "job", "tracker",
+    "opportunistic", "environment", "speculative", "availability", "heartbeat",
+];
+
+/// Generate roughly `n_bytes` of whitespace-separated text with a
+/// Zipf-like word distribution.
+pub fn random_text<R: Rng>(n_bytes: usize, rng: &mut R) -> String {
+    let mut out = String::with_capacity(n_bytes + 16);
+    while out.len() < n_bytes {
+        // Zipf-ish: rank r chosen with probability ∝ 1/(r+1).
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let rank = ((VOCAB.len() as f64).powf(u) - 1.0) as usize;
+        out.push_str(VOCAB[rank.min(VOCAB.len() - 1)]);
+        out.push(' ');
+    }
+    out
+}
+
+/// Generate `n` records with uniformly random fixed-width keys (teragen
+/// style), for sort workloads.
+pub fn random_records<R: Rng>(n: usize, key_len: usize, value_len: usize, rng: &mut R) -> Vec<Record> {
+    (0..n)
+        .map(|_| {
+            let key: Vec<u8> = (0..key_len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+            let value: Vec<u8> = (0..value_len).map(|_| rng.gen::<u8>()).collect();
+            Record::new(key, value)
+        })
+        .collect()
+}
+
+/// Split text into `n_splits` line-aligned chunks, one per map task.
+pub fn split_text(text: &str, n_splits: usize) -> Vec<Vec<Record>> {
+    assert!(n_splits >= 1);
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let chunk = words.len().div_ceil(n_splits);
+    words
+        .chunks(chunk.max(1))
+        .map(|c| vec![Record::new(Vec::new(), c.join(" ").into_bytes())])
+        .collect()
+}
+
+/// Shuffle a record set into `n_splits` splits (for sort inputs).
+pub fn split_records<R: Rng>(mut records: Vec<Record>, n_splits: usize, rng: &mut R) -> Vec<Vec<Record>> {
+    assert!(n_splits >= 1);
+    records.shuffle(rng);
+    let chunk = records.len().div_ceil(n_splits);
+    records
+        .chunks(chunk.max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn text_is_about_the_right_size_and_skewed() {
+        let text = random_text(10_000, &mut rng());
+        assert!(text.len() >= 10_000 && text.len() < 10_100);
+        let the_count = text.split_whitespace().filter(|w| *w == "the").count();
+        let rare_count = text
+            .split_whitespace()
+            .filter(|w| *w == "heartbeat")
+            .count();
+        assert!(
+            the_count > rare_count,
+            "skew expected: the={the_count} heartbeat={rare_count}"
+        );
+    }
+
+    #[test]
+    fn records_have_requested_shape() {
+        let recs = random_records(50, 10, 90, &mut rng());
+        assert_eq!(recs.len(), 50);
+        assert!(recs.iter().all(|r| r.key.len() == 10 && r.value.len() == 90));
+    }
+
+    #[test]
+    fn splits_cover_everything() {
+        let text = random_text(5_000, &mut rng());
+        let n_words = text.split_whitespace().count();
+        let splits = split_text(&text, 7);
+        assert_eq!(splits.len(), 7);
+        let total: usize = splits
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|r| String::from_utf8_lossy(&r.value).split_whitespace().count())
+            .sum();
+        assert_eq!(total, n_words);
+    }
+
+    #[test]
+    fn record_splits_preserve_count() {
+        let recs = random_records(103, 4, 4, &mut rng());
+        let splits = split_records(recs, 10, &mut rng());
+        let total: usize = splits.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 103);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_text(1000, &mut rng());
+        let b = random_text(1000, &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: the two faces of this crate in ~60 lines.
+//!
+//! 1. Run a *real* MapReduce word count on real text with the functional
+//!    engine (the programming model MOON schedules).
+//! 2. Simulate the same application class on a volunteer cluster at 30 %
+//!    node unavailability under MOON and stock Hadoop, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mapred::{FunctionalJob, HashPartitioner, LocalRunner};
+use moon::{ClusterConfig, Experiment, PolicyConfig};
+use rand::SeedableRng;
+use workloads::textgen;
+use workloads::{SumReducer, WordCountMapper};
+
+fn main() {
+    // ---- 1. Functional word count over real bytes --------------------
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let text = textgen::random_text(64 * 1024, &mut rng);
+    let splits = textgen::split_text(&text, 8); // 8 "map tasks"
+    let job = FunctionalJob {
+        mapper: &WordCountMapper,
+        reducer: &SumReducer,
+        combiner: Some(&SumReducer),
+        partitioner: &HashPartitioner,
+        n_reduces: 4,
+    };
+    let output = LocalRunner::new(4).run(&job, &splits);
+    let n_words: usize = output.iter().map(|p| p.len()).sum();
+    let total: u64 = output
+        .iter()
+        .flatten()
+        .map(|r| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&r.value);
+            u64::from_be_bytes(b)
+        })
+        .sum();
+    println!("word count: {n_words} distinct words, {total} occurrences");
+    assert_eq!(total as usize, text.split_whitespace().count());
+
+    // ---- 2. The same workload class on an opportunistic cluster ------
+    println!("\nsimulating a 12+2-node volunteer cluster at p = 0.3 ...");
+    for policy in [
+        PolicyConfig::moon_hybrid(),
+        PolicyConfig::hadoop(simkit::SimDuration::from_mins(1), 3),
+    ] {
+        let result = Experiment {
+            cluster: ClusterConfig::small(0.3),
+            policy,
+            workload: moon::quick_workload(),
+            seed: 42,
+        }
+        .run();
+        println!(
+            "  {:<12} job time: {:>6}s   duplicated tasks: {}",
+            result.label,
+            moon::report::secs_or_dnf(result.job_time.map(|d| d.as_secs_f64())),
+            result.job.duplicated_tasks,
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # moon-repro — umbrella crate for the MOON reproduction
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! reach every layer through one dependency:
+//!
+//! - [`moon`] — the integrated system: cluster/policy configuration,
+//!   experiment driver, results.
+//! - [`workloads`] — Table I workloads (modeled and functional).
+//! - [`mapred`] — the MapReduce engine and functional programming model.
+//! - [`dfs`] — the MOON file system policy engine.
+//! - [`availability`] — outage traces and estimators.
+//! - [`netsim`] — the flow-level bandwidth simulator.
+//! - [`simkit`] — the discrete-event kernel.
+//!
+//! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use availability;
+pub use dfs;
+pub use mapred;
+pub use moon;
+pub use netsim;
+pub use simkit;
+pub use workloads;

