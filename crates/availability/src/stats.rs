@@ -8,10 +8,7 @@ use simkit::{SimDuration, SimTime};
 /// Fraction of the fleet unavailable in each `bucket`-long interval,
 /// averaged over the interval (time-weighted), from t = 0 to the common
 /// horizon. This is exactly the Figure 1 series.
-pub fn fleet_unavailability_series(
-    fleet: &[AvailabilityTrace],
-    bucket: SimDuration,
-) -> Vec<f64> {
+pub fn fleet_unavailability_series(fleet: &[AvailabilityTrace], bucket: SimDuration) -> Vec<f64> {
     assert!(!fleet.is_empty(), "empty fleet");
     assert!(!bucket.is_zero(), "zero bucket");
     let horizon = fleet[0].horizon();
@@ -23,7 +20,8 @@ pub fn fleet_unavailability_series(
     let mut series = Vec::with_capacity(n_buckets);
     for b in 0..n_buckets {
         let from = SimTime::from_micros(b as u64 * bucket.as_micros());
-        let to = SimTime::from_micros(((b + 1) as u64 * bucket.as_micros()).min(horizon.as_micros()));
+        let to =
+            SimTime::from_micros(((b + 1) as u64 * bucket.as_micros()).min(horizon.as_micros()));
         let avg: f64 = fleet
             .iter()
             .map(|t| t.unavailability_in(from, to))

@@ -44,7 +44,11 @@ fn bench_trace_gen(c: &mut Criterion) {
     let cfg = availability::TraceGenConfig::paper(0.4);
     c.bench_function("trace_gen/poisson_8h", |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        b.iter(|| black_box(availability::TraceGenerator::poisson_insertion(&cfg, &mut rng)))
+        b.iter(|| {
+            black_box(availability::TraceGenerator::poisson_insertion(
+                &cfg, &mut rng,
+            ))
+        })
     });
 }
 
@@ -66,7 +70,11 @@ fn bench_namenode(c: &mut Criterion) {
     c.bench_function("namenode/heartbeat_plus_scan_66_nodes", |b| {
         let mut nn = NameNode::new(NameNodeConfig::default());
         for i in 0..66 {
-            let class = if i >= 60 { NodeClass::Dedicated } else { NodeClass::Volatile };
+            let class = if i >= 60 {
+                NodeClass::Dedicated
+            } else {
+                NodeClass::Volatile
+            };
             nn.register_node(SimTime::ZERO, NodeId(i), class);
         }
         let f = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 3));

@@ -48,5 +48,8 @@ fn main() {
         println!();
     }
     let avg = all_means.iter().sum::<f64>() / all_means.len() as f64;
-    println!("# average unavailability over 7 days: {:.2} (paper: ~0.4)", avg);
+    println!(
+        "# average unavailability over 7 days: {:.2} (paper: ~0.4)",
+        avg
+    );
 }

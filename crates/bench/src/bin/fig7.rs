@@ -49,7 +49,10 @@ fn main() {
             .enumerate()
             .map(|(pi, (label, _, _))| {
                 let per_rate = &results[pi * PAPER_RATES.len()..(pi + 1) * PAPER_RATES.len()];
-                (label.clone(), per_rate.iter().map(|r| mean_time(r)).collect())
+                (
+                    label.clone(),
+                    per_rate.iter().map(|r| mean_time(r)).collect(),
+                )
             })
             .collect();
         output.push_str(&moon::report::series_table(

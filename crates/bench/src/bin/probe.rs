@@ -3,7 +3,10 @@ use moon::{ClusterConfig, PolicyConfig, World};
 use simkit::{SimTime, Simulation};
 
 fn main() {
-    let p: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let p: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
     let which = std::env::args().nth(2).unwrap_or_else(|| "hadoopvo".into());
     let policy = match which.as_str() {
         "moon" => PolicyConfig::moon_hybrid(),
@@ -14,7 +17,10 @@ fn main() {
     let mut sim = Simulation::new(world, 42).with_event_limit(50_000_000);
     World::init(&mut sim);
     for k in 1..=28 {
-        let step: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1000);
+        let step: u64 = std::env::args()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1000);
         let horizon = SimTime::from_secs(k * step);
         let outcome = sim.run_until(horizon);
         let w = sim.model();

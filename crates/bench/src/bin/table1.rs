@@ -8,7 +8,10 @@ fn main() {
     for w in [paper::sort(), paper::word_count()] {
         let reduces = match w.reduces {
             ReduceCount::Fixed(n) => n.to_string(),
-            ReduceCount::SlotsFraction(f) => format!("{f} x AvailSlots (= {} on 60x2 slots)", ReduceCount::SlotsFraction(f).resolve(120)),
+            ReduceCount::SlotsFraction(f) => format!(
+                "{f} x AvailSlots (= {} on 60x2 slots)",
+                ReduceCount::SlotsFraction(f).resolve(120)
+            ),
         };
         println!(
             "{}\t{} GB\t{}\t{}",

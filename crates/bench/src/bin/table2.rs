@@ -6,7 +6,7 @@ use bench::{cluster, dump_json, maybe_shrink, run_grid, Point};
 use moon::PolicyConfig;
 
 fn main() {
-    let policies = vec![
+    let policies = [
         PolicyConfig::vo_intermediate(1),
         PolicyConfig::vo_intermediate(3),
         PolicyConfig::vo_intermediate(5),
@@ -26,8 +26,7 @@ fn main() {
             })
             .collect();
         let results = run_grid(points);
-        let firsts: Vec<moon::RunResult> =
-            results.iter().map(|rs| rs[0].clone()).collect();
+        let firsts: Vec<moon::RunResult> = results.iter().map(|rs| rs[0].clone()).collect();
         println!(
             "{}",
             moon::report::profile_table(

@@ -26,7 +26,9 @@ pub fn seeds() -> Vec<u64> {
 /// Quick mode (env `MOON_QUICK=1`): shrink the cluster and workload so a
 /// full figure regenerates in seconds (for CI smoke runs).
 pub fn quick_mode() -> bool {
-    std::env::var("MOON_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MOON_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scale a workload down for quick mode.
@@ -120,48 +122,85 @@ pub fn mean_duplicates(results: &[RunResult]) -> f64 {
         / results.len().max(1) as f64
 }
 
-/// Dump raw results as JSON under `bench_results/<name>.json`.
-pub fn dump_json(name: &str, results: &[Vec<RunResult>]) {
-    #[derive(serde::Serialize)]
-    struct Row {
-        label: String,
-        workload: String,
-        unavailability: f64,
-        seed: u64,
-        job_secs: Option<f64>,
-        duplicated_tasks: u32,
-        killed_maps: u32,
-        killed_reduces: u32,
-        map_output_relaunches: u32,
-        avg_map_time: f64,
-        avg_shuffle_time: f64,
-        avg_reduce_time: f64,
-        fetch_failures: u64,
-        events: u64,
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
-    let rows: Vec<Row> = results
+    out
+}
+
+/// Render a float as a JSON number (`null` for NaN/inf, which JSON
+/// cannot represent).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Dump raw results as JSON under `bench_results/<name>.json`.
+///
+/// The JSON is emitted by hand: the vendored `serde` shim provides no
+/// real serialization (no registry access — see DESIGN.md §vendor), and
+/// the row schema is flat enough that hand-rolling stays readable.
+pub fn dump_json(name: &str, results: &[Vec<RunResult>]) {
+    let rows: Vec<String> = results
         .iter()
         .flatten()
-        .map(|r| Row {
-            label: r.label.clone(),
-            workload: r.workload.clone(),
-            unavailability: r.unavailability,
-            seed: r.seed,
-            job_secs: r.job_time.map(|d| d.as_secs_f64()),
-            duplicated_tasks: r.job.duplicated_tasks,
-            killed_maps: r.job.killed_maps,
-            killed_reduces: r.job.killed_reduces,
-            map_output_relaunches: r.job.map_output_relaunches,
-            avg_map_time: r.profile.avg_map_time,
-            avg_shuffle_time: r.profile.avg_shuffle_time,
-            avg_reduce_time: r.profile.avg_reduce_time,
-            fetch_failures: r.fetch_failures,
-            events: r.events,
+        .map(|r| {
+            format!(
+                concat!(
+                    "  {{\n",
+                    "    \"label\": \"{}\",\n",
+                    "    \"workload\": \"{}\",\n",
+                    "    \"unavailability\": {},\n",
+                    "    \"seed\": {},\n",
+                    "    \"job_secs\": {},\n",
+                    "    \"duplicated_tasks\": {},\n",
+                    "    \"killed_maps\": {},\n",
+                    "    \"killed_reduces\": {},\n",
+                    "    \"map_output_relaunches\": {},\n",
+                    "    \"avg_map_time\": {},\n",
+                    "    \"avg_shuffle_time\": {},\n",
+                    "    \"avg_reduce_time\": {},\n",
+                    "    \"fetch_failures\": {},\n",
+                    "    \"events\": {}\n",
+                    "  }}"
+                ),
+                json_escape(&r.label),
+                json_escape(&r.workload),
+                json_f64(r.unavailability),
+                r.seed,
+                r.job_time
+                    .map(|d| json_f64(d.as_secs_f64()))
+                    .unwrap_or_else(|| "null".into()),
+                r.job.duplicated_tasks,
+                r.job.killed_maps,
+                r.job.killed_reduces,
+                r.job.map_output_relaunches,
+                json_f64(r.profile.avg_map_time),
+                json_f64(r.profile.avg_shuffle_time),
+                json_f64(r.profile.avg_reduce_time),
+                r.fetch_failures,
+                r.events,
+            )
         })
         .collect();
     std::fs::create_dir_all("bench_results").ok();
     let path = format!("bench_results/{name}.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()) {
+    let body = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -39,10 +39,6 @@ mod throttle;
 mod types;
 
 pub use datanode::DataNode;
-pub use namenode::{
-    LivenessReport, NameNode, NameNodeConfig, ReplicationCommand, WritePlan,
-};
+pub use namenode::{LivenessReport, NameNode, NameNodeConfig, ReplicationCommand, WritePlan};
 pub use throttle::{IoThrottle, ThrottleState};
-pub use types::{
-    BlockId, FileId, FileKind, NodeClass, NodeId, NodeLiveness, ReplicationFactor,
-};
+pub use types::{BlockId, FileId, FileKind, NodeClass, NodeId, NodeLiveness, ReplicationFactor};

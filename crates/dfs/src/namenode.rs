@@ -8,13 +8,9 @@
 //! `replica_failed` when they finish. That keeps the entire policy layer
 //! unit-testable without a simulator.
 
-use crate::replication::{
-    adaptive_volatile_degree, ReplicationQueue, ReplicationRequest,
-};
+use crate::replication::{adaptive_volatile_degree, ReplicationQueue, ReplicationRequest};
 use crate::throttle::IoThrottle;
-use crate::types::{
-    BlockId, FileId, FileKind, NodeClass, NodeId, NodeLiveness, ReplicationFactor,
-};
+use crate::types::{BlockId, FileId, FileKind, NodeClass, NodeId, NodeLiveness, ReplicationFactor};
 use availability::{SlidingWindowEstimator, UnavailabilityModel};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -183,8 +179,7 @@ pub struct NameNode {
 impl NameNode {
     /// A NameNode with no registered nodes.
     pub fn new(cfg: NameNodeConfig) -> Self {
-        let estimator =
-            SlidingWindowEstimator::new(cfg.estimator_window, cfg.estimator_prior);
+        let estimator = SlidingWindowEstimator::new(cfg.estimator_window, cfg.estimator_prior);
         NameNode {
             cfg,
             nodes: BTreeMap::new(),
@@ -211,9 +206,8 @@ impl NameNode {
 
     /// Register a DataNode at simulation start.
     pub fn register_node(&mut self, now: SimTime, id: NodeId, class: NodeClass) {
-        let throttle = (self.cfg.hybrid && class == NodeClass::Dedicated).then(|| {
-            IoThrottle::new(self.cfg.throttle_window, self.cfg.throttle_threshold)
-        });
+        let throttle = (self.cfg.hybrid && class == NodeClass::Dedicated)
+            .then(|| IoThrottle::new(self.cfg.throttle_window, self.cfg.throttle_threshold));
         self.nodes.insert(
             id,
             NodeInfo {
@@ -241,7 +235,10 @@ impl NameNode {
     /// Process a heartbeat carrying the node's consumed I/O bandwidth
     /// (bytes/sec, measured by the embedding model).
     pub fn heartbeat(&mut self, now: SimTime, id: NodeId, io_bandwidth: f64) {
-        let node = self.nodes.get_mut(&id).expect("heartbeat from unknown node");
+        let node = self
+            .nodes
+            .get_mut(&id)
+            .expect("heartbeat from unknown node");
         node.last_heartbeat = now;
         if let Some(t) = node.throttle.as_mut() {
             t.update(io_bandwidth);
@@ -306,7 +303,9 @@ impl NameNode {
         // opportunistic blocks that lack a dedicated replica.
         let held: Vec<BlockId> = node.blocks.iter().copied().collect();
         for b in held {
-            let Some(meta) = self.blocks.get(&b) else { continue };
+            let Some(meta) = self.blocks.get(&b) else {
+                continue;
+            };
             let kind = self.files[&meta.file].kind;
             if kind == FileKind::Opportunistic && !self.has_dedicated_replica(b) {
                 let live = self.live_replicas(b).len() as u32;
@@ -396,13 +395,19 @@ impl NameNode {
                 replicas: BTreeSet::new(),
             },
         );
-        self.files.get_mut(&file).expect("unknown file").blocks.push(id);
+        self.files
+            .get_mut(&file)
+            .expect("unknown file")
+            .blocks
+            .push(id);
         id
     }
 
     /// Delete a file and all its blocks.
     pub fn delete_file(&mut self, file: FileId) {
-        let Some(meta) = self.files.remove(&file) else { return };
+        let Some(meta) = self.files.remove(&file) else {
+            return;
+        };
         for b in meta.blocks {
             if let Some(bm) = self.blocks.remove(&b) {
                 for n in bm.replicas {
@@ -605,9 +610,7 @@ impl NameNode {
         } else {
             match kind {
                 // Reliable writes are always satisfied on dedicated nodes.
-                FileKind::Reliable => {
-                    self.pick_dedicated(factor.dedicated as usize, &exclude, rng)
-                }
+                FileKind::Reliable => self.pick_dedicated(factor.dedicated as usize, &exclude, rng),
                 FileKind::Opportunistic => {
                     if self.dedicated_available_for_opportunistic() {
                         self.pick_dedicated(factor.dedicated as usize, &exclude, rng)
@@ -676,16 +679,19 @@ impl NameNode {
         let client_is_volatile = client
             .map(|c| self.nodes[&c].class == NodeClass::Volatile)
             .unwrap_or(true);
-        let (preferred, fallback): (Vec<NodeId>, Vec<NodeId>) = if self.cfg.hybrid
-            && client_is_volatile
-        {
-            active
-                .iter()
-                .partition(|n| self.nodes[n].class == NodeClass::Volatile)
+        let (preferred, fallback): (Vec<NodeId>, Vec<NodeId>) =
+            if self.cfg.hybrid && client_is_volatile {
+                active
+                    .iter()
+                    .partition(|n| self.nodes[n].class == NodeClass::Volatile)
+            } else {
+                (active.clone(), Vec::new())
+            };
+        let pool = if preferred.is_empty() {
+            &fallback
         } else {
-            (active.clone(), Vec::new())
+            &preferred
         };
-        let pool = if preferred.is_empty() { &fallback } else { &preferred };
         pool.choose(rng).copied()
     }
 
@@ -695,9 +701,15 @@ impl NameNode {
 
     /// Record that a replica of `block` now exists on `node`.
     pub fn commit_replica(&mut self, block: BlockId, node: NodeId) {
-        let Some(meta) = self.blocks.get_mut(&block) else { return };
+        let Some(meta) = self.blocks.get_mut(&block) else {
+            return;
+        };
         meta.replicas.insert(node);
-        self.nodes.get_mut(&node).expect("unknown node").blocks.insert(block);
+        self.nodes
+            .get_mut(&node)
+            .expect("unknown node")
+            .blocks
+            .insert(block);
         if self.has_dedicated_replica(block) {
             self.wants_dedicated.remove(&block);
         }
@@ -756,10 +768,11 @@ impl NameNode {
     /// thrash; opportunistic blocks without dedicated copies count only
     /// Active replicas.
     fn deficit(&self, block: BlockId) -> (u32, u32) {
-        let Some(meta) = self.blocks.get(&block) else { return (0, 0) };
+        let Some(meta) = self.blocks.get(&block) else {
+            return (0, 0);
+        };
         let file = &self.files[&meta.file];
-        let lenient =
-            file.kind == FileKind::Reliable || self.has_dedicated_replica(block);
+        let lenient = file.kind == FileKind::Reliable || self.has_dedicated_replica(block);
         let count = |class: NodeClass| -> u32 {
             meta.replicas
                 .iter()
@@ -838,8 +851,7 @@ impl NameNode {
                 continue;
             };
             let size = self.blocks[&block].size;
-            let exclude: BTreeSet<NodeId> =
-                self.blocks[&block].replicas.iter().copied().collect();
+            let exclude: BTreeSet<NodeId> = self.blocks[&block].replicas.iter().copied().collect();
             let mut placed_any = false;
             if self.cfg.hybrid {
                 for target in self.pick_dedicated(d_deficit as usize, &exclude, rng) {
@@ -907,7 +919,9 @@ impl NameNode {
                     continue;
                 }
                 let sources = self.active_replicas(block);
-                let Some(&source) = sources.first() else { continue };
+                let Some(&source) = sources.first() else {
+                    continue;
+                };
                 let exclude: BTreeSet<NodeId> =
                     self.blocks[&block].replicas.iter().copied().collect();
                 if let Some(&target) = self.pick_dedicated(1, &exclude, rng).first() {
@@ -984,7 +998,11 @@ mod tests {
         assert_eq!(plan.dedicated.len(), 1);
         assert_eq!(plan.volatile.len(), 2);
         assert!(!plan.dedicated_declined);
-        assert_eq!(plan.volatile[0], NodeId(3), "first volatile replica is local");
+        assert_eq!(
+            plan.volatile[0],
+            NodeId(3),
+            "first volatile replica is local"
+        );
         assert!(plan.dedicated.iter().all(|n| n.0 < 2));
     }
 

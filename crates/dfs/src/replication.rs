@@ -132,11 +132,7 @@ impl ReplicationQueue {
         }
         // Lazy deletion: rebuild without the block (queue sizes here are
         // small; simplicity over cleverness).
-        self.heap = self
-            .heap
-            .drain()
-            .filter(|r| r.block != block)
-            .collect();
+        self.heap = self.heap.drain().filter(|r| r.block != block).collect();
         true
     }
 }

@@ -6,9 +6,7 @@ use std::fmt;
 
 /// A machine in the cluster. Node ids are dense (0..n) and stable for the
 /// lifetime of a simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -27,9 +25,7 @@ pub enum NodeClass {
 }
 
 /// A fixed-size chunk of a file (HDFS block equivalent).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BlockId(pub u64);
 
 impl fmt::Display for BlockId {
@@ -39,9 +35,7 @@ impl fmt::Display for BlockId {
 }
 
 /// A file in the MOON file system namespace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FileId(pub u64);
 
 impl fmt::Display for FileId {

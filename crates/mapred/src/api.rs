@@ -129,8 +129,7 @@ impl LocalRunner {
         // ---- Map wave -------------------------------------------------
         // Each map task produces one Vec per partition; a combiner (if
         // any) folds values per key within the task before the shuffle.
-        let map_outputs: Mutex<Vec<Vec<Vec<Record>>>> =
-            Mutex::new(vec![Vec::new(); splits.len()]);
+        let map_outputs: Mutex<Vec<Vec<Vec<Record>>>> = Mutex::new(vec![Vec::new(); splits.len()]);
         let next_split = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.parallelism.min(splits.len().max(1)) {

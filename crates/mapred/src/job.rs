@@ -129,9 +129,7 @@ impl TaskState {
 
     /// Best progress over live attempts (0 if none).
     pub fn best_progress(&self) -> f64 {
-        self.live_attempts()
-            .map(|a| a.progress)
-            .fold(0.0, f64::max)
+        self.live_attempts().map(|a| a.progress).fold(0.0, f64::max)
     }
 
     /// Has the task been scheduled at least once and not finished?
@@ -210,8 +208,12 @@ mod tests {
     #[test]
     fn frozen_detection() {
         let mut t = TaskState::new(tid());
-        t.attempts
-            .push(attempt(0, AttemptState::Inactive, 0.6, LaunchReason::Original));
+        t.attempts.push(attempt(
+            0,
+            AttemptState::Inactive,
+            0.6,
+            LaunchReason::Original,
+        ));
         assert!(t.is_frozen(), "all copies inactive → frozen");
         t.attempts.push(attempt(
             1,
@@ -228,8 +230,12 @@ mod tests {
     #[test]
     fn killed_attempts_do_not_count() {
         let mut t = TaskState::new(tid());
-        t.attempts
-            .push(attempt(0, AttemptState::Killed, 0.9, LaunchReason::Original));
+        t.attempts.push(attempt(
+            0,
+            AttemptState::Killed,
+            0.9,
+            LaunchReason::Original,
+        ));
         assert!(t.needs_launch());
         assert!(!t.is_frozen());
         assert_eq!(t.best_progress(), 0.0);

@@ -29,8 +29,7 @@ mod policy;
 mod types;
 
 pub use api::{
-    Emitter, FunctionalJob, HashPartitioner, LocalRunner, Mapper, Partitioner, Record,
-    Reducer,
+    Emitter, FunctionalJob, HashPartitioner, LocalRunner, Mapper, Partitioner, Record, Reducer,
 };
 pub use job::{AttemptInfo, JobSpec, JobStatus, TaskState};
 pub use jobtracker::{
@@ -39,6 +38,4 @@ pub use jobtracker::{
 pub use policy::{
     FetchFailurePolicy, HadoopPolicy, LatePolicy, MoonPolicy, SchedulerPolicy, StragglerRule,
 };
-pub use types::{
-    AttemptId, AttemptState, JobId, LaunchReason, TaskAssignment, TaskId, TaskKind,
-};
+pub use types::{AttemptId, AttemptState, JobId, LaunchReason, TaskAssignment, TaskId, TaskKind};

@@ -221,8 +221,7 @@ mod tests {
         assert_eq!(moon.suspension_interval(), SimDuration::from_mins(1));
         let moon_nh = SchedulerPolicy::Moon(MoonPolicy::without_hybrid());
         assert!(!moon_nh.hybrid());
-        let hadoop =
-            SchedulerPolicy::Hadoop(HadoopPolicy::with_expiry(SimDuration::from_mins(1)));
+        let hadoop = SchedulerPolicy::Hadoop(HadoopPolicy::with_expiry(SimDuration::from_mins(1)));
         assert!(!hadoop.hybrid());
         assert!(hadoop.dedicated_runs_originals());
         assert_eq!(hadoop.suspension_interval(), hadoop.tracker_expiry());

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A submitted MapReduce job.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u32);
 
 impl fmt::Display for JobId {
@@ -17,9 +15,7 @@ impl fmt::Display for JobId {
 }
 
 /// Map or Reduce.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum TaskKind {
     /// A map task (consumes an input split).
     Map,
@@ -37,9 +33,7 @@ impl fmt::Display for TaskKind {
 }
 
 /// One logical task of a job.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId {
     /// Owning job.
     pub job: JobId,
@@ -56,9 +50,7 @@ impl fmt::Display for TaskId {
 }
 
 /// One execution attempt of a task. Attempt numbers are dense per task.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AttemptId {
     /// The logical task.
     pub task: TaskId,
@@ -144,7 +136,10 @@ mod tests {
             index: 17,
         };
         assert_eq!(t.to_string(), "job3/m17");
-        let a = AttemptId { task: t, attempt: 2 };
+        let a = AttemptId {
+            task: t,
+            attempt: 2,
+        };
         assert_eq!(a.to_string(), "job3/m17_2");
     }
 

@@ -30,8 +30,7 @@ impl Experiment {
         let seed = self.seed;
 
         let world = World::new(self.cluster, self.policy, self.workload);
-        let mut sim = Simulation::new(world, seed)
-            .with_event_limit(200_000_000);
+        let mut sim = Simulation::new(world, seed).with_event_limit(200_000_000);
         World::init(&mut sim);
         let outcome = sim.run_until(horizon);
         debug_assert!(
@@ -55,7 +54,11 @@ impl Experiment {
             label,
             workload: workload_name,
             unavailability,
-            job_time: if finished { world.metrics.job_time() } else { None },
+            job_time: if finished {
+                world.metrics.job_time()
+            } else {
+                None
+            },
             job,
             profile,
             fetch_failures: world.metrics.fetch_failures,

@@ -40,7 +40,9 @@ pub fn series_table(
 pub fn profile_table(title: &str, results: &[RunResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
-    out.push_str("policy\tavg_map(s)\tavg_shuffle(s)\tavg_reduce(s)\tkilled_maps\tkilled_reduces\n");
+    out.push_str(
+        "policy\tavg_map(s)\tavg_shuffle(s)\tavg_reduce(s)\tkilled_maps\tkilled_reduces\n",
+    );
     for r in results {
         out.push_str(&format!(
             "{}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\n",

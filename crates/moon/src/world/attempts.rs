@@ -1,0 +1,465 @@
+//! Phase I/O driver subsystem: the per-attempt state machine.
+//!
+//! Handles `ComputeDone`, `PhaseRetry`, `NetPoll`, and
+//! `FlowStallTimeout`. Each live attempt walks a phase machine — map:
+//! read → compute → write; reduce: shuffle → compute → write — where
+//! read/write phases are flows in the network and compute phases are
+//! [`PausableWork`] timers (paused by node outages, resumed on return).
+//! `NetPoll` is the single flow-completion driver for the whole world:
+//! it dispatches finished flows back to their purpose (attempt phase,
+//! shuffle fetch, or replication).
+
+use super::shuffle::ShuffleState;
+use super::{Ev, FlowPurpose, World};
+use dfs::{BlockId, FileId, NodeId};
+use mapred::{AttemptId, TaskKind};
+use netsim::{Changes, FlowId};
+use simkit::{Ctx, EventId, PausableWork, SimDuration, SimTime, StreamId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Delay before retrying a DFS read/write that found no usable replica.
+const PHASE_RETRY_DELAY: SimDuration = SimDuration::from_secs(5);
+
+/// What an attempt is physically doing right now.
+#[derive(Debug)]
+pub(super) enum Phase {
+    /// Map: reading its input split.
+    MapRead {
+        /// The read flow (`None` while waiting for a usable replica).
+        flow: Option<FlowId>,
+    },
+    /// Map or reduce: crunching.
+    Compute {
+        /// Remaining CPU work, pausable across outages.
+        work: PausableWork,
+        /// The pending `ComputeDone` event (`NONE` while paused).
+        ev: EventId,
+    },
+    /// Map: writing intermediate; reduce: writing output.
+    Write {
+        /// The write flow (`None` while waiting for placement targets).
+        flow: Option<FlowId>,
+        /// Destination file.
+        file: FileId,
+        /// Destination block.
+        block: BlockId,
+        /// Pipeline targets of the in-flight write.
+        targets: Vec<NodeId>,
+    },
+    /// Reduce: fetching map outputs.
+    Shuffle(ShuffleState),
+}
+
+/// Runtime state of one live attempt.
+pub(super) struct AttemptRt {
+    pub(super) node: NodeId,
+    pub(super) started: SimTime,
+    pub(super) shuffle_started: Option<SimTime>,
+    pub(super) shuffle_done: Option<SimTime>,
+    pub(super) phase: Phase,
+}
+
+impl World {
+    // ------------------------------------------------------------------
+    // Attempt lifecycle
+    // ------------------------------------------------------------------
+
+    pub(super) fn start_attempt(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId, node: NodeId) {
+        debug_assert!(!self.attempts.contains_key(&id), "attempt started twice");
+        let rt = AttemptRt {
+            node,
+            started: ctx.now(),
+            shuffle_started: None,
+            shuffle_done: None,
+            phase: match id.task.kind {
+                TaskKind::Map => Phase::MapRead { flow: None },
+                TaskKind::Reduce => Phase::Shuffle(ShuffleState {
+                    waiting: (0..self.workload.n_maps).collect(),
+                    inflight: BTreeMap::new(),
+                    fetched: BTreeSet::new(),
+                    done_at: None,
+                }),
+            },
+        };
+        self.attempts.insert(id, rt);
+        match id.task.kind {
+            TaskKind::Map => self.begin_map_read(ctx, id),
+            TaskKind::Reduce => {
+                self.attempts.get_mut(&id).unwrap().shuffle_started = Some(ctx.now());
+                self.pump_shuffle(ctx, id);
+                ctx.schedule(self.cluster.fetch_retry_delay, Ev::ShuffleTick(id));
+            }
+        }
+    }
+
+    pub(super) fn begin_map_read(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.get(&id) else {
+            return;
+        };
+        let node = rt.node;
+        let block = self.input_blocks[id.task.index as usize];
+        let src =
+            self.nn
+                .choose_read_source(block, Some(node), ctx.rng().stream(StreamId::Placement));
+        match src {
+            Some(src) => {
+                let path = self.transfer_path(src, node);
+                let bytes = self.nn.block_size(block) as f64;
+                let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes);
+                self.flows.insert(flow, FlowPurpose::Attempt(id));
+                if let Some(rt) = self.attempts.get_mut(&id) {
+                    rt.phase = Phase::MapRead { flow: Some(flow) };
+                }
+                self.apply_changes(ctx, ch);
+                self.resched_net_poll(ctx);
+            }
+            None => {
+                // Input temporarily unavailable: stall the task (§IV). If
+                // every replica is gone for good the task fails.
+                if self.nn.live_replicas(block).is_empty() {
+                    self.jt.attempt_failed(ctx.now(), id);
+                    self.attempts.remove(&id);
+                } else {
+                    ctx.schedule(PHASE_RETRY_DELAY, Ev::PhaseRetry(id));
+                }
+            }
+        }
+    }
+
+    pub(super) fn begin_compute(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let node = self.attempts[&id].node;
+        let cpu = match id.task.kind {
+            TaskKind::Map => self
+                .workload
+                .map_cpu
+                .sample(ctx.rng().stream(StreamId::TaskDuration(node.0 as u64))),
+            TaskKind::Reduce => self
+                .workload
+                .reduce_cpu
+                .sample(ctx.rng().stream(StreamId::TaskDuration(node.0 as u64))),
+        };
+        let mut work = PausableWork::new(cpu);
+        let up = self.node(node).up;
+        let ev = if up {
+            work.resume(ctx.now());
+            ctx.schedule_at(work.eta(ctx.now()).unwrap(), Ev::ComputeDone(id))
+        } else {
+            EventId::NONE
+        };
+        if let Some(rt) = self.attempts.get_mut(&id) {
+            rt.phase = Phase::Compute { work, ev };
+        }
+    }
+
+    fn begin_write(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let (file, block) = match id.task.kind {
+            TaskKind::Map => {
+                let file = self.nn.create_file(
+                    self.policy.intermediate_kind,
+                    self.policy.intermediate_factor,
+                );
+                let block = self.nn.allocate_block(file, self.workload.map_output_bytes);
+                (file, block)
+            }
+            TaskKind::Reduce => {
+                let file = self.output_file.expect("output file exists");
+                let block = self
+                    .nn
+                    .allocate_block(file, self.workload.output_bytes_per_reduce(self.n_reduces));
+                (file, block)
+            }
+        };
+        self.start_write_flow(ctx, id, file, block);
+    }
+
+    fn start_write_flow(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        id: AttemptId,
+        file: FileId,
+        block: BlockId,
+    ) {
+        let node = self.attempts[&id].node;
+        let plan = self.nn.choose_write_targets(
+            ctx.now(),
+            block,
+            Some(node),
+            ctx.rng().stream(StreamId::Placement),
+        );
+        let targets: Vec<NodeId> = plan.targets().collect();
+        if targets.is_empty() {
+            // Nowhere to write right now; retry shortly.
+            if let Some(rt) = self.attempts.get_mut(&id) {
+                rt.phase = Phase::Write {
+                    flow: None,
+                    file,
+                    block,
+                    targets: Vec::new(),
+                };
+            }
+            ctx.schedule(PHASE_RETRY_DELAY, Ev::PhaseRetry(id));
+            return;
+        }
+        let bytes = self.nn.block_size(block) as f64;
+        let path = self.pipeline_path(node, &targets);
+        let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes);
+        self.flows.insert(flow, FlowPurpose::Attempt(id));
+        if let Some(rt) = self.attempts.get_mut(&id) {
+            rt.phase = Phase::Write {
+                flow: Some(flow),
+                file,
+                block,
+                targets,
+            };
+        }
+        self.apply_changes(ctx, ch);
+        self.resched_net_poll(ctx);
+    }
+
+    /// Abort an attempt's physical activity (flows, compute timers).
+    pub(super) fn cancel_attempt_physical(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.remove(&id) else {
+            return;
+        };
+        let mut flows_to_cancel: Vec<FlowId> = Vec::new();
+        match rt.phase {
+            Phase::MapRead { flow } => {
+                if let Some(f) = flow {
+                    flows_to_cancel.push(f);
+                }
+            }
+            Phase::Compute { ev, .. } => {
+                ctx.cancel(ev);
+            }
+            Phase::Write {
+                flow, file, block, ..
+            } => {
+                if let Some(f) = flow {
+                    flows_to_cancel.push(f);
+                }
+                // The aborted writer's allocation must not hold the file's
+                // replication hostage (a reduce writes into the shared
+                // output file; a map owns its intermediate file).
+                match id.task.kind {
+                    TaskKind::Map => self.nn.delete_file(file),
+                    TaskKind::Reduce => self.nn.remove_block(block),
+                }
+            }
+            Phase::Shuffle(sh) => {
+                flows_to_cancel.extend(sh.inflight.keys().copied());
+            }
+        }
+        let mut all = Changes::default();
+        for f in flows_to_cancel {
+            self.drop_flow_records(ctx, f);
+            if let Some(ch) = self.net.cancel_flow(ctx.now(), f) {
+                all.merge(ch);
+            }
+        }
+        self.apply_changes(ctx, all);
+        self.resched_net_poll(ctx);
+    }
+
+    /// Current progress score of an attempt (Hadoop-style phase weights).
+    pub(super) fn attempt_progress(&self, id: AttemptId, now: SimTime) -> f64 {
+        let Some(rt) = self.attempts.get(&id) else {
+            return 0.0;
+        };
+        match id.task.kind {
+            TaskKind::Map => match &rt.phase {
+                Phase::MapRead { .. } => 0.02,
+                Phase::Compute { work, .. } => 0.05 + 0.75 * work.progress(now),
+                Phase::Write { .. } => 0.85,
+                Phase::Shuffle(_) => 0.0,
+            },
+            TaskKind::Reduce => match &rt.phase {
+                Phase::Shuffle(sh) => {
+                    let total = self.workload.n_maps.max(1) as f64;
+                    0.33 * (sh.fetched.len() as f64 / total)
+                }
+                Phase::Compute { work, .. } => 0.33 + 0.34 * work.progress(now),
+                Phase::Write { .. } => 0.70,
+                Phase::MapRead { .. } => 0.0,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    pub(super) fn on_compute_done(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.get(&id) else {
+            return;
+        };
+        match &rt.phase {
+            Phase::Compute { work, .. } if work.is_complete(ctx.now()) => {
+                self.begin_write(ctx, id);
+            }
+            _ => {} // stale event (paused/rescheduled)
+        }
+    }
+
+    pub(super) fn on_phase_retry(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.get(&id) else {
+            return;
+        };
+        match &rt.phase {
+            Phase::MapRead { flow: None } => self.begin_map_read(ctx, id),
+            Phase::Write {
+                flow: None,
+                file,
+                block,
+                ..
+            } => {
+                let (file, block) = (*file, *block);
+                self.start_write_flow(ctx, id, file, block);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow completion dispatch
+    // ------------------------------------------------------------------
+
+    pub(super) fn on_net_poll(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let (done, ch) = self.net.poll(ctx.now());
+        self.apply_changes(ctx, ch);
+        for flow in done {
+            let Some(purpose) = self.flows.remove(&flow) else {
+                continue;
+            };
+            if let Some(ev) = self.stall_timeouts.remove(&flow) {
+                ctx.cancel(ev);
+            }
+            match purpose {
+                FlowPurpose::Attempt(id) => self.on_attempt_flow_done(ctx, id, flow),
+                FlowPurpose::Fetch { attempt, maps } => {
+                    self.on_fetch_done(ctx, attempt, flow, maps)
+                }
+                FlowPurpose::Replication { block, target } => {
+                    self.nn.commit_replica(block, target);
+                }
+            }
+        }
+        self.resched_net_poll(ctx);
+    }
+
+    fn on_attempt_flow_done(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId, flow: FlowId) {
+        let Some(rt) = self.attempts.get(&id) else {
+            return;
+        };
+        match &rt.phase {
+            Phase::MapRead { flow: Some(f) } if *f == flow => {
+                self.begin_compute(ctx, id);
+            }
+            Phase::Write {
+                flow: Some(f),
+                file,
+                block,
+                targets,
+            } if *f == flow => {
+                let (file, block, targets) = (*file, *block, targets.clone());
+                for t in &targets {
+                    self.nn.commit_replica(block, *t);
+                }
+                self.finish_attempt(ctx, id, file, block);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish_attempt(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        id: AttemptId,
+        file: FileId,
+        block: BlockId,
+    ) {
+        let rt = self.attempts.remove(&id).expect("attempt exists");
+        let resp = self.jt.attempt_succeeded(ctx.now(), id);
+        for k in resp.kill {
+            self.cancel_attempt_physical(ctx, k);
+        }
+        match id.task.kind {
+            TaskKind::Map => {
+                self.map_outputs.insert(id.task.index, (file, block));
+                self.metrics
+                    .map_times
+                    .record(ctx.now().since(rt.started).as_secs_f64());
+                self.notify_reduces_of_map(ctx, id.task.index);
+            }
+            TaskKind::Reduce => {
+                let sh_start = rt.shuffle_started.unwrap_or(rt.started);
+                let sh_done = rt.shuffle_done.unwrap_or(ctx.now());
+                self.metrics
+                    .shuffle_times
+                    .record(sh_done.since(sh_start).as_secs_f64());
+                self.metrics
+                    .reduce_times
+                    .record(ctx.now().since(sh_done).as_secs_f64());
+            }
+        }
+        if resp.job_completed {
+            self.job_tasks_done = true;
+            // Output commit: promote to reliable; the replication scanner
+            // finishes the remaining copies and ends the run.
+            if let Some(out) = self.output_file {
+                self.nn.convert_to_reliable(out);
+            }
+        }
+    }
+
+    pub(super) fn on_flow_stall_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, flow: FlowId) {
+        self.stall_timeouts.remove(&flow);
+        // Only act if the flow still exists and is still stalled.
+        match self.net.rate(flow) {
+            Some(r) if r <= 0.0 => {}
+            _ => return,
+        }
+        let Some(purpose) = self.flows.remove(&flow) else {
+            return;
+        };
+        match purpose {
+            FlowPurpose::Fetch { attempt, maps } => {
+                self.on_fetch_timeout(ctx, attempt, flow, maps);
+            }
+            FlowPurpose::Attempt(id) => {
+                let ch = self.net.cancel_flow(ctx.now(), flow);
+                if let Some(ch) = ch {
+                    self.apply_changes(ctx, ch);
+                }
+                self.resched_net_poll(ctx);
+                // Restart the stalled phase with fresh placement.
+                if let Some(rt) = self.attempts.get_mut(&id) {
+                    match &mut rt.phase {
+                        Phase::MapRead { flow: f } => {
+                            *f = None;
+                            self.begin_map_read(ctx, id);
+                        }
+                        Phase::Write {
+                            flow: f,
+                            file,
+                            block,
+                            ..
+                        } => {
+                            *f = None;
+                            let (file, block) = (*file, *block);
+                            self.start_write_flow(ctx, id, file, block);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            FlowPurpose::Replication { block, target } => {
+                let ch = self.net.cancel_flow(ctx.now(), flow);
+                if let Some(ch) = ch {
+                    self.apply_changes(ctx, ch);
+                }
+                self.resched_net_poll(ctx);
+                self.nn.replica_failed(block, target);
+            }
+        }
+    }
+}

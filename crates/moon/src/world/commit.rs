@@ -1,0 +1,111 @@
+//! Commit/replication subsystem: job submission, liveness sweeps, and
+//! the NameNode replication scanner that also decides job completion.
+//!
+//! Handles `Submit`, `TrackerCheck`, and `ReplicationScan`. Submission
+//! stages the input file and opens the opportunistic output file
+//! (§IV-A); the replication scan issues re-replication flows and, once
+//! every task finished and the output file reached its replication
+//! factor, stamps `job_finished` and stops the run — the paper's
+//! definition of job completion.
+
+use super::{Ev, FlowPurpose, World};
+use dfs::{FileKind, NodeId};
+use mapred::JobSpec;
+use netsim::Changes;
+use simkit::{Ctx, StreamId};
+use workloads::ReduceCount;
+
+impl World {
+    pub(super) fn on_submit(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        // Stage the input file (the paper stages input before measuring).
+        let input = self
+            .nn
+            .create_file(FileKind::Reliable, self.policy.input_factor);
+        let split = self.workload.split_bytes();
+        for _ in 0..self.workload.n_maps {
+            let b = self.nn.allocate_block(input, split);
+            let plan = self.nn.choose_write_targets(
+                ctx.now(),
+                b,
+                None,
+                ctx.rng().stream(StreamId::Placement),
+            );
+            for t in plan.targets() {
+                self.nn.commit_replica(b, t);
+            }
+            self.input_blocks.push(b);
+        }
+        // Resolve the reduce count against submit-time slots (Table I's
+        // 0.9 × AvailSlots rule). MOON schedules originals on volatile
+        // nodes only, so only their slots count there.
+        let worker_nodes = if self.policy.scheduler.dedicated_runs_originals() {
+            self.cluster.n_nodes()
+        } else {
+            self.cluster.n_volatile
+        };
+        let avail_reduce_slots = worker_nodes * self.cluster.reduce_slots;
+        self.n_reduces = match self.workload.reduces {
+            ReduceCount::Fixed(n) => n,
+            f @ ReduceCount::SlotsFraction(_) => f.resolve(avail_reduce_slots),
+        };
+        let locations: Vec<Vec<NodeId>> = self
+            .input_blocks
+            .iter()
+            .map(|&b| self.nn.live_replicas(b))
+            .collect();
+        let spec = JobSpec::new(self.workload.n_maps, self.n_reduces).with_locations(locations);
+        let job = self.jt.submit_job(ctx.now(), spec);
+        self.job = Some(job);
+        self.metrics.job_submitted = Some(ctx.now());
+        self.metrics.n_reduces = self.n_reduces;
+        // Output file: opportunistic until commit (§IV-A).
+        let out = self
+            .nn
+            .create_file(FileKind::Opportunistic, self.policy.output_factor);
+        self.output_file = Some(out);
+    }
+
+    pub(super) fn on_tracker_check(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let sweep = self.jt.check_trackers(ctx.now());
+        for a in sweep.killed {
+            self.cancel_attempt_physical(ctx, a);
+        }
+        self.nn.check_liveness(ctx.now());
+        ctx.schedule(self.cluster.tracker_check_interval, Ev::TrackerCheck);
+    }
+
+    pub(super) fn on_replication_scan(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let max = self.cluster.max_replication_streams;
+        let cmds = self
+            .nn
+            .replication_scan(ctx.now(), max, ctx.rng().stream(StreamId::Placement));
+        let mut all = Changes::default();
+        for cmd in cmds {
+            let path = self.transfer_path(cmd.source, cmd.target);
+            let (flow, ch) = self.net.start_flow(ctx.now(), path, cmd.size as f64);
+            all.merge(ch);
+            self.flows.insert(
+                flow,
+                FlowPurpose::Replication {
+                    block: cmd.block,
+                    target: cmd.target,
+                },
+            );
+        }
+        self.apply_changes(ctx, all);
+        self.resched_net_poll(ctx);
+
+        // Output-commit check: the job is done once every output block
+        // reached its replication factor (§IV-A).
+        if self.job_tasks_done && self.metrics.job_finished.is_none() {
+            if let Some(out) = self.output_file {
+                if self.nn.is_fully_replicated(out) {
+                    self.metrics.job_finished = Some(ctx.now());
+                    ctx.stop();
+                    return;
+                }
+            }
+        }
+        ctx.schedule(self.cluster.replication_scan_interval, Ev::ReplicationScan);
+    }
+}

@@ -1,0 +1,388 @@
+//! The composed simulation world: trace-driven node availability +
+//! MOON file system + MapReduce control plane + flow-level I/O.
+//!
+//! One [`World`] simulates one MapReduce job on one cluster under one
+//! policy bundle, exactly like a single experimental run in the paper:
+//! the input is pre-staged, the job is submitted at t = 1 s, a monitor
+//! suspends/resumes each node according to its availability trace, and
+//! the run ends when the job's output reaches its replication factor
+//! (or the horizon passes — a DNF, which the paper also observed for
+//! plain Hadoop at high volatility).
+//!
+//! ## Structure
+//!
+//! The world is decomposed into event-dispatched subsystems, one file
+//! per subsystem, all operating on the shared [`World`] context:
+//!
+//! | module       | events handled                                       |
+//! |--------------|------------------------------------------------------|
+//! | [`nodes`]    | `NodeDown`, `NodeUp`, `Heartbeat`                    |
+//! | [`attempts`] | `ComputeDone`, `PhaseRetry`, `NetPoll`, `FlowStallTimeout` |
+//! | [`shuffle`]  | `ShuffleTick` (plus fetch completion/timeout from `attempts`) |
+//! | [`commit`]   | `Submit`, `TrackerCheck`, `ReplicationScan`          |
+//!
+//! [`Model::handle`] below is a pure dispatcher: it routes each event
+//! to its subsystem and holds no logic of its own. Cross-subsystem
+//! interactions (a finished map waking shuffling reduces, a heartbeat
+//! starting attempts) go through `pub(super)` methods on [`World`], so
+//! the seams are explicit and a future PR can shard or parallelize a
+//! subsystem without touching the others.
+
+mod attempts;
+mod commit;
+mod diag;
+mod nodes;
+mod shuffle;
+#[cfg(test)]
+mod tests;
+
+use crate::config::{ClusterConfig, PolicyConfig};
+use crate::metrics::RunMetrics;
+use attempts::AttemptRt;
+use availability::{AvailabilityTrace, TraceGenerator, Transition};
+use dfs::{BlockId, FileId, NameNode, NodeClass, NodeId};
+use mapred::{AttemptId, JobId, JobStatus, JobTracker};
+use netsim::{Changes, FlowId, FlowNet, ResourceId};
+use simkit::{Ctx, EventId, Model, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use workloads::WorkloadSpec;
+
+/// Events of the world model.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// A node's availability trace says it goes down now.
+    NodeDown(NodeId),
+    /// A node's availability trace says it comes back now.
+    NodeUp(NodeId),
+    /// Combined TaskTracker + DataNode heartbeat for a node.
+    Heartbeat(NodeId),
+    /// Periodic JobTracker tracker sweep + NameNode liveness sweep.
+    TrackerCheck,
+    /// Periodic NameNode replication scan (also checks job commit).
+    ReplicationScan,
+    /// The flow network predicts a completion at this instant.
+    NetPoll,
+    /// An attempt's compute phase finishes now (unless it was paused).
+    ComputeDone(AttemptId),
+    /// A stalled flow's patience ran out.
+    FlowStallTimeout(FlowId),
+    /// Periodic shuffle service tick for a reduce attempt: retries
+    /// waiting fetches and reports unreachable map outputs as fetch
+    /// failures (a real reducer's connection attempt fails immediately).
+    ShuffleTick(AttemptId),
+    /// An attempt retries a stalled read/write phase.
+    PhaseRetry(AttemptId),
+    /// Submit the job.
+    Submit,
+}
+
+/// Per-node runtime state: liveness plus the node's physical resources
+/// in the flow network.
+struct NodeRt {
+    up: bool,
+    disk: ResourceId,
+    nic_up: ResourceId,
+    nic_down: ResourceId,
+    heartbeat_ev: EventId,
+}
+
+/// What a flow in the network is doing, keyed by [`FlowId`] in
+/// [`World::flows`]. Subsystems attach a purpose when they start a flow;
+/// the `NetPoll` driver dispatches completions back by purpose.
+#[derive(Debug)]
+pub(super) enum FlowPurpose {
+    /// Map-input read or intermediate/output write for an attempt.
+    Attempt(AttemptId),
+    /// A shuffle batch: reduce attempt fetching these map indexes.
+    Fetch {
+        /// The fetching reduce attempt.
+        attempt: AttemptId,
+        /// Map indexes bundled in this batch.
+        maps: Vec<u32>,
+    },
+    /// NameNode-ordered re-replication.
+    Replication {
+        /// Block being re-replicated.
+        block: BlockId,
+        /// Destination node.
+        target: NodeId,
+    },
+}
+
+/// The full simulation model (implements [`simkit::Model`]).
+///
+/// `World` is the shared context every subsystem operates on: the
+/// subsystem modules ([`nodes`], [`attempts`], [`shuffle`], [`commit`])
+/// extend it with `pub(super)` handler methods, and this module owns
+/// construction, the shared helpers, and the event dispatcher.
+pub struct World {
+    cluster: ClusterConfig,
+    policy: PolicyConfig,
+    workload: WorkloadSpec,
+    traces: Vec<AvailabilityTrace>,
+    nodes: Vec<NodeRt>,
+    net: FlowNet,
+    nn: NameNode,
+    jt: JobTracker,
+    job: Option<JobId>,
+    input_blocks: Vec<BlockId>,
+    output_file: Option<FileId>,
+    n_reduces: u32,
+    /// Committed output of each completed map task: map index → block.
+    map_outputs: BTreeMap<u32, (FileId, BlockId)>,
+    attempts: BTreeMap<AttemptId, AttemptRt>,
+    flows: BTreeMap<FlowId, FlowPurpose>,
+    stall_timeouts: BTreeMap<FlowId, EventId>,
+    net_poll_ev: EventId,
+    job_tasks_done: bool,
+    /// Measured results.
+    pub metrics: RunMetrics,
+}
+
+impl World {
+    /// Build a world. Call [`World::init`] on the simulation afterwards.
+    pub fn new(cluster: ClusterConfig, policy: PolicyConfig, workload: WorkloadSpec) -> Self {
+        let nn = NameNode::new(policy.namenode.clone());
+        let jt = JobTracker::new(policy.scheduler.clone(), policy.fetch);
+        World {
+            cluster,
+            policy,
+            workload,
+            traces: Vec::new(),
+            nodes: Vec::new(),
+            net: FlowNet::new(),
+            nn,
+            jt,
+            job: None,
+            input_blocks: Vec::new(),
+            output_file: None,
+            n_reduces: 0,
+            map_outputs: BTreeMap::new(),
+            attempts: BTreeMap::new(),
+            flows: BTreeMap::new(),
+            stall_timeouts: BTreeMap::new(),
+            net_poll_ev: EventId::NONE,
+            job_tasks_done: false,
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    /// Register nodes, stage input, and schedule the boot events.
+    /// `sim` must be a fresh simulation over this world.
+    pub fn init(sim: &mut simkit::Simulation<World>) {
+        let n_nodes = sim.model().cluster.n_nodes();
+        // Resources + traces.
+        for i in 0..n_nodes {
+            let (disk_bw, nic_bw) = {
+                let w = sim.model();
+                (w.cluster.disk_bandwidth, w.cluster.nic_bandwidth)
+            };
+            let trace = {
+                let w = sim.model();
+                if let Some(overrides) = &w.cluster.trace_overrides {
+                    overrides
+                        .get(i as usize)
+                        .cloned()
+                        .unwrap_or_else(|| AvailabilityTrace::always_available(w.cluster.horizon))
+                } else if w.cluster.is_dedicated(i) || w.cluster.unavailability <= 0.0 {
+                    AvailabilityTrace::always_available(w.cluster.horizon)
+                } else {
+                    let cfg = w.cluster.trace.clone();
+                    // Per-node trace stream derived from the sim's root seed.
+                    let seed = simkit::derive_seed(sim_seed(sim), 0x7000 + i as u64);
+                    let mut r = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                    TraceGenerator::poisson_insertion(&cfg, &mut r)
+                }
+            };
+            let w = sim.model_mut();
+            let disk = w.net.add_resource(disk_bw);
+            let nic_up = w.net.add_resource(nic_bw);
+            let nic_down = w.net.add_resource(nic_bw);
+            w.nodes.push(NodeRt {
+                up: true,
+                disk,
+                nic_up,
+                nic_down,
+                heartbeat_ev: EventId::NONE,
+            });
+            w.traces.push(trace);
+        }
+        // Register with NameNode and JobTracker.
+        {
+            let w = sim.model_mut();
+            for i in 0..n_nodes {
+                let node = NodeId(i);
+                let class = if w.cluster.is_dedicated(i) {
+                    NodeClass::Dedicated
+                } else {
+                    NodeClass::Volatile
+                };
+                w.nn.register_node(SimTime::ZERO, node, class);
+                w.jt.register_tracker(
+                    SimTime::ZERO,
+                    node,
+                    w.cluster.map_slots,
+                    w.cluster.reduce_slots,
+                    class == NodeClass::Dedicated,
+                );
+            }
+        }
+        // Schedule trace transitions.
+        for i in 0..n_nodes {
+            let transitions: Vec<(SimTime, Transition)> =
+                sim.model().traces[i as usize].transitions().collect();
+            for (at, tr) in transitions {
+                match tr {
+                    Transition::Down => sim.schedule_at(at, Ev::NodeDown(NodeId(i))),
+                    Transition::Up => sim.schedule_at(at, Ev::NodeUp(NodeId(i))),
+                };
+            }
+        }
+        // Heartbeats, staggered so they do not all land on one instant.
+        for i in 0..n_nodes {
+            let ev = sim.schedule(
+                SimDuration::from_micros(50_000 * i as u64 + 1),
+                Ev::Heartbeat(NodeId(i)),
+            );
+            sim.model_mut().nodes[i as usize].heartbeat_ev = ev;
+        }
+        let tci = sim.model().cluster.tracker_check_interval;
+        sim.schedule(tci, Ev::TrackerCheck);
+        let rsi = sim.model().cluster.replication_scan_interval;
+        sim.schedule(rsi, Ev::ReplicationScan);
+        sim.schedule(SimDuration::from_secs(1), Ev::Submit);
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers, used by every subsystem module
+    // ------------------------------------------------------------------
+
+    fn node(&self, n: NodeId) -> &NodeRt {
+        &self.nodes[n.0 as usize]
+    }
+
+    fn job_id(&self) -> JobId {
+        self.job.expect("job not submitted yet")
+    }
+
+    /// Resource chain for a transfer src → dst (skipping the network for
+    /// local transfers).
+    fn transfer_path(&self, src: NodeId, dst: NodeId) -> Vec<ResourceId> {
+        if src == dst {
+            vec![self.node(src).disk]
+        } else {
+            vec![
+                self.node(src).disk,
+                self.node(src).nic_up,
+                self.node(dst).nic_down,
+                self.node(dst).disk,
+            ]
+        }
+    }
+
+    /// Resource chain for a replication pipeline client → t1 → t2 → …
+    fn pipeline_path(&self, client: NodeId, targets: &[NodeId]) -> Vec<ResourceId> {
+        let mut path = Vec::with_capacity(targets.len() * 3);
+        let mut prev = client;
+        for &t in targets {
+            if t != prev {
+                path.push(self.node(prev).nic_up);
+                path.push(self.node(t).nic_down);
+            }
+            path.push(self.node(t).disk);
+            prev = t;
+        }
+        if path.is_empty() {
+            path.push(self.node(client).disk);
+        }
+        path
+    }
+
+    /// Reschedule the single flow-completion poll event.
+    fn resched_net_poll(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        ctx.cancel(self.net_poll_ev);
+        self.net_poll_ev = match self.net.next_completion() {
+            Some(at) => ctx.schedule_at(at.max(ctx.now()), Ev::NetPoll),
+            None => EventId::NONE,
+        };
+    }
+
+    /// React to flows crossing zero rate: start/stop stall timers.
+    fn apply_changes(&mut self, ctx: &mut Ctx<'_, Ev>, changes: Changes) {
+        for f in changes.stalled {
+            if self.stall_timeouts.contains_key(&f) {
+                continue;
+            }
+            let timeout = match self.flows.get(&f) {
+                Some(FlowPurpose::Fetch { .. }) => self.cluster.fetch_timeout,
+                Some(_) => self.cluster.io_timeout,
+                None => continue,
+            };
+            let ev = ctx.schedule(timeout, Ev::FlowStallTimeout(f));
+            self.stall_timeouts.insert(f, ev);
+        }
+        for f in changes.resumed {
+            if let Some(ev) = self.stall_timeouts.remove(&f) {
+                ctx.cancel(ev);
+            }
+        }
+    }
+
+    fn drop_flow_records(&mut self, ctx: &mut Ctx<'_, Ev>, flow: FlowId) {
+        self.flows.remove(&flow);
+        if let Some(ev) = self.stall_timeouts.remove(&flow) {
+            ctx.cancel(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Run-completion accessors used by the experiment driver
+    // ------------------------------------------------------------------
+
+    /// Status of the run's job, if submitted.
+    pub fn job_status(&self) -> Option<JobStatus> {
+        self.job.map(|j| self.jt.job_status(j))
+    }
+
+    /// JobTracker metrics for the run's job.
+    pub fn job_metrics(&self) -> Option<mapred::JobMetrics> {
+        self.job.map(|j| self.jt.job_metrics(j))
+    }
+
+    /// The NameNode (read access for tests and metrics).
+    pub fn namenode(&self) -> &NameNode {
+        &self.nn
+    }
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    /// Thin dispatcher: route each event to its subsystem module.
+    fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        match ev {
+            // nodes: availability transitions and heartbeats
+            Ev::NodeDown(n) => self.on_node_down(ctx, n),
+            Ev::NodeUp(n) => self.on_node_up(ctx, n),
+            Ev::Heartbeat(n) => self.on_heartbeat(ctx, n),
+            // attempts: phase I/O drivers
+            Ev::NetPoll => self.on_net_poll(ctx),
+            Ev::ComputeDone(id) => self.on_compute_done(ctx, id),
+            Ev::FlowStallTimeout(f) => self.on_flow_stall_timeout(ctx, f),
+            Ev::PhaseRetry(id) => self.on_phase_retry(ctx, id),
+            // shuffle: fetch service
+            Ev::ShuffleTick(id) => self.on_shuffle_tick(ctx, id),
+            // commit: job submission, liveness sweeps, replication
+            Ev::Submit => self.on_submit(ctx),
+            Ev::TrackerCheck => self.on_tracker_check(ctx),
+            Ev::ReplicationScan => self.on_replication_scan(ctx),
+        }
+    }
+}
+
+/// The root seed of a simulation (exposed for trace derivation).
+fn sim_seed(sim: &simkit::Simulation<World>) -> u64 {
+    // RngPool is owned by the Simulation; we derive trace seeds from the
+    // same root so runs are reproducible end to end.
+    sim.root_seed()
+}

@@ -1,0 +1,244 @@
+//! Shuffle service subsystem: reduce-side fetching of map outputs.
+//!
+//! Handles `ShuffleTick`, plus the fetch-completion and fetch-timeout
+//! paths that the `NetPoll` / `FlowStallTimeout` drivers route here.
+//! A shuffling reduce keeps up to [`MAX_PARALLEL_FETCHES`] batched
+//! connections in flight, each bundling up to [`MAX_FETCH_BATCH`] map
+//! outputs from one source node (Hadoop fetches several map outputs per
+//! host connection). Unreachable map outputs are reported to the
+//! JobTracker as fetch failures — the signal behind Hadoop's
+//! 50 %-of-reduces rule and MOON's query-the-DFS rule for map
+//! re-execution (§VI-B).
+
+use super::attempts::Phase;
+use super::{Ev, FlowPurpose, World};
+use dfs::NodeId;
+use mapred::{AttemptId, TaskId, TaskKind};
+use netsim::FlowId;
+use simkit::{Ctx, SimTime, StreamId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum map outputs bundled into one shuffle connection (Hadoop
+/// fetches several map outputs per host connection).
+const MAX_FETCH_BATCH: usize = 20;
+/// Concurrent shuffle connections per reduce attempt.
+const MAX_PARALLEL_FETCHES: usize = 2;
+
+/// Progress of one reduce attempt's shuffle phase.
+#[derive(Debug)]
+pub(super) struct ShuffleState {
+    /// Maps not yet fetched and not in flight (fetch when available).
+    pub(super) waiting: BTreeSet<u32>,
+    /// In-flight batches: flow → map indexes.
+    pub(super) inflight: BTreeMap<FlowId, Vec<u32>>,
+    /// Successfully fetched map indexes.
+    pub(super) fetched: BTreeSet<u32>,
+    /// When the shuffle finished (all maps fetched).
+    pub(super) done_at: Option<SimTime>,
+}
+
+impl World {
+    /// Start as many fetch batches as the parallelism budget allows.
+    pub(super) fn pump_shuffle(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        loop {
+            let Some(rt) = self.attempts.get(&id) else {
+                return;
+            };
+            let node = rt.node;
+            let Phase::Shuffle(sh) = &rt.phase else {
+                return;
+            };
+            if sh.inflight.len() >= MAX_PARALLEL_FETCHES {
+                return;
+            }
+            // Find the first waiting map whose output is ready.
+            let mut batch: Vec<u32> = Vec::new();
+            let mut source: Option<NodeId> = None;
+            for &m in &sh.waiting {
+                let Some(&(_, block)) = self.map_outputs.get(&m) else {
+                    continue;
+                };
+                match source {
+                    None => {
+                        let src = self.nn.choose_read_source(
+                            block,
+                            Some(node),
+                            ctx.rng().stream(StreamId::Placement),
+                        );
+                        if let Some(s) = src {
+                            source = Some(s);
+                            batch.push(m);
+                        }
+                    }
+                    Some(s) => {
+                        if batch.len() >= MAX_FETCH_BATCH {
+                            break;
+                        }
+                        if self.nn.active_replicas(block).contains(&s) {
+                            batch.push(m);
+                        }
+                    }
+                }
+            }
+            let Some(src) = source else { return };
+            let bytes: f64 =
+                batch.len() as f64 * self.workload.shuffle_bytes_per_pair(self.n_reduces) as f64;
+            let path = self.transfer_path(src, node);
+            let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes.max(1.0));
+            self.flows.insert(
+                flow,
+                FlowPurpose::Fetch {
+                    attempt: id,
+                    maps: batch.clone(),
+                },
+            );
+            if let Some(rt) = self.attempts.get_mut(&id) {
+                if let Phase::Shuffle(sh) = &mut rt.phase {
+                    for m in &batch {
+                        sh.waiting.remove(m);
+                    }
+                    sh.inflight.insert(flow, batch);
+                }
+            }
+            self.apply_changes(ctx, ch);
+            self.resched_net_poll(ctx);
+        }
+    }
+
+    /// A fetch batch completed.
+    pub(super) fn on_fetch_done(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        id: AttemptId,
+        flow: FlowId,
+        maps: Vec<u32>,
+    ) {
+        let n_maps = self.workload.n_maps;
+        let mut shuffle_complete = false;
+        if let Some(rt) = self.attempts.get_mut(&id) {
+            if let Phase::Shuffle(sh) = &mut rt.phase {
+                sh.inflight.remove(&flow);
+                sh.fetched.extend(maps.iter().copied());
+                if sh.fetched.len() as u32 == n_maps {
+                    sh.done_at = Some(ctx.now());
+                    shuffle_complete = true;
+                }
+            }
+            if shuffle_complete {
+                rt.shuffle_done = Some(ctx.now());
+            }
+        }
+        if shuffle_complete {
+            self.begin_compute(ctx, id);
+        } else {
+            self.pump_shuffle(ctx, id);
+        }
+    }
+
+    /// A stalled fetch batch timed out: report fetch failures and retry.
+    pub(super) fn on_fetch_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        id: AttemptId,
+        flow: FlowId,
+        maps: Vec<u32>,
+    ) {
+        let ch = self.net.cancel_flow(ctx.now(), flow);
+        self.drop_flow_records(ctx, flow);
+        if let Some(ch) = ch {
+            self.apply_changes(ctx, ch);
+        }
+        self.resched_net_poll(ctx);
+        let job = self.job_id();
+        let reduce_task = id.task;
+        for &m in &maps {
+            let map_task = TaskId {
+                job,
+                kind: TaskKind::Map,
+                index: m,
+            };
+            let output_active = self
+                .map_outputs
+                .get(&m)
+                .map(|&(_, b)| self.nn.is_block_available(b))
+                .unwrap_or(false);
+            let reexec =
+                self.jt
+                    .report_fetch_failure(ctx.now(), map_task, reduce_task, output_active);
+            if reexec {
+                self.map_outputs.remove(&m);
+            }
+            self.metrics.fetch_failures += 1;
+        }
+        // Back to waiting (and free the in-flight slot); the shuffle tick
+        // retries them.
+        if let Some(rt) = self.attempts.get_mut(&id) {
+            if let Phase::Shuffle(sh) = &mut rt.phase {
+                sh.inflight.remove(&flow);
+                sh.waiting.extend(maps.iter().copied());
+            }
+        }
+    }
+
+    pub(super) fn on_shuffle_tick(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
+        let Some(rt) = self.attempts.get(&id) else {
+            return;
+        };
+        let Phase::Shuffle(sh) = &rt.phase else {
+            return;
+        };
+        // Report completed-but-unreachable map outputs as fetch failures:
+        // a real reducer's connection attempt is refused immediately, and
+        // these reports are what drive Hadoop's 50%-of-reduces rule and
+        // MOON's query-the-DFS rule for map re-execution (§VI-B).
+        let unreachable: Vec<u32> = sh
+            .waiting
+            .iter()
+            .copied()
+            .filter(|m| {
+                self.map_outputs
+                    .get(m)
+                    .is_some_and(|&(_, b)| !self.nn.is_block_available(b))
+            })
+            .collect();
+        let job = self.job_id();
+        let reduce_task = id.task;
+        for m in unreachable {
+            let map_task = TaskId {
+                job,
+                kind: TaskKind::Map,
+                index: m,
+            };
+            let reexec = self
+                .jt
+                .report_fetch_failure(ctx.now(), map_task, reduce_task, false);
+            if reexec {
+                self.map_outputs.remove(&m);
+            }
+            self.metrics.fetch_failures += 1;
+        }
+        // Retry whatever is fetchable now.
+        self.pump_shuffle(ctx, id);
+        // Keep ticking while the attempt is still shuffling.
+        if let Some(rt) = self.attempts.get(&id) {
+            if matches!(rt.phase, Phase::Shuffle(_)) {
+                ctx.schedule(self.cluster.fetch_retry_delay, Ev::ShuffleTick(id));
+            }
+        }
+    }
+
+    /// A completed map's output became visible: wake shuffling reduces.
+    pub(super) fn notify_reduces_of_map(&mut self, ctx: &mut Ctx<'_, Ev>, _map_index: u32) {
+        let reduce_attempts: Vec<AttemptId> = self
+            .attempts
+            .iter()
+            .filter(|(aid, rt)| {
+                aid.task.kind == TaskKind::Reduce && matches!(rt.phase, Phase::Shuffle(_))
+            })
+            .map(|(&aid, _)| aid)
+            .collect();
+        for id in reduce_attempts {
+            self.pump_shuffle(ctx, id);
+        }
+    }
+}

@@ -84,7 +84,8 @@ pub fn maxmin_rates(capacities: &[f64], flow_resources: &[Vec<usize>]) -> Vec<f6
             }
             let bottlenecked = flow_resources[f].iter().any(|&r| {
                 unfrozen_count[r] > 0
-                    && (rem_cap[r].max(0.0) / unfrozen_count[r] as f64) <= best_share * (1.0 + 1e-12)
+                    && (rem_cap[r].max(0.0) / unfrozen_count[r] as f64)
+                        <= best_share * (1.0 + 1e-12)
             });
             if bottlenecked {
                 frozen[f] = true;
@@ -182,7 +183,7 @@ mod tests {
                 .collect();
             let rates = maxmin_rates(&caps, &flows);
             // No resource oversubscribed.
-            for r in 0..n_res {
+            for (r, &cap) in caps.iter().enumerate() {
                 let used: f64 = flows
                     .iter()
                     .zip(&rates)
@@ -190,9 +191,8 @@ mod tests {
                     .map(|(_, &rate)| rate)
                     .sum();
                 assert!(
-                    used <= caps[r] * (1.0 + 1e-6) + 1e-9,
-                    "resource {r} oversubscribed: {used} > {}",
-                    caps[r]
+                    used <= cap * (1.0 + 1e-6) + 1e-9,
+                    "resource {r} oversubscribed: {used} > {cap}"
                 );
             }
             // All rates non-negative and finite.

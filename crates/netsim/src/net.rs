@@ -111,7 +111,12 @@ impl FlowNet {
     /// A flow created over a dead resource is *born stalled* and is
     /// reported in `Changes::stalled` immediately, so the host can start
     /// its timeout just as for a flow that stalls later.
-    pub fn start_flow(&mut self, now: SimTime, path: Vec<ResourceId>, bytes: f64) -> (FlowId, Changes) {
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        path: Vec<ResourceId>,
+        bytes: f64,
+    ) -> (FlowId, Changes) {
         assert!(!path.is_empty(), "flow must traverse at least one resource");
         assert!(bytes >= 0.0 && bytes.is_finite());
         self.advance(now);
@@ -227,13 +232,7 @@ impl FlowNet {
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
         let paths: Vec<Vec<usize>> = ids
             .iter()
-            .map(|id| {
-                self.flows[id]
-                    .path
-                    .iter()
-                    .map(|r| r.0 as usize)
-                    .collect()
-            })
+            .map(|id| self.flows[id].path.iter().map(|r| r.0 as usize).collect())
             .collect();
         let rates = maxmin_rates(&caps, &paths);
         let mut changes = Changes::default();

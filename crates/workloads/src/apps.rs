@@ -92,9 +92,7 @@ impl RangePartitioner {
 
 impl Partitioner for RangePartitioner {
     fn partition(&self, key: &[u8], n_reduces: usize) -> usize {
-        let idx = self
-            .boundaries
-            .partition_point(|b| b.as_ref() <= key);
+        let idx = self.boundaries.partition_point(|b| b.as_ref() <= key);
         idx.min(n_reduces - 1)
     }
 }

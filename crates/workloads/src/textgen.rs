@@ -9,9 +9,31 @@ use rand::Rng;
 /// A small vocabulary with a skewed (Zipf-like) frequency profile, so
 /// word-count outputs have realistic repetition.
 const VOCAB: &[&str] = &[
-    "the", "of", "and", "to", "in", "data", "node", "task", "map", "reduce", "moon", "hadoop",
-    "volatile", "dedicated", "replica", "block", "shuffle", "cluster", "job", "tracker",
-    "opportunistic", "environment", "speculative", "availability", "heartbeat",
+    "the",
+    "of",
+    "and",
+    "to",
+    "in",
+    "data",
+    "node",
+    "task",
+    "map",
+    "reduce",
+    "moon",
+    "hadoop",
+    "volatile",
+    "dedicated",
+    "replica",
+    "block",
+    "shuffle",
+    "cluster",
+    "job",
+    "tracker",
+    "opportunistic",
+    "environment",
+    "speculative",
+    "availability",
+    "heartbeat",
 ];
 
 /// Generate roughly `n_bytes` of whitespace-separated text with a
@@ -30,7 +52,12 @@ pub fn random_text<R: Rng>(n_bytes: usize, rng: &mut R) -> String {
 
 /// Generate `n` records with uniformly random fixed-width keys (teragen
 /// style), for sort workloads.
-pub fn random_records<R: Rng>(n: usize, key_len: usize, value_len: usize, rng: &mut R) -> Vec<Record> {
+pub fn random_records<R: Rng>(
+    n: usize,
+    key_len: usize,
+    value_len: usize,
+    rng: &mut R,
+) -> Vec<Record> {
     (0..n)
         .map(|_| {
             let key: Vec<u8> = (0..key_len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
@@ -52,14 +79,15 @@ pub fn split_text(text: &str, n_splits: usize) -> Vec<Vec<Record>> {
 }
 
 /// Shuffle a record set into `n_splits` splits (for sort inputs).
-pub fn split_records<R: Rng>(mut records: Vec<Record>, n_splits: usize, rng: &mut R) -> Vec<Vec<Record>> {
+pub fn split_records<R: Rng>(
+    mut records: Vec<Record>,
+    n_splits: usize,
+    rng: &mut R,
+) -> Vec<Vec<Record>> {
     assert!(n_splits >= 1);
     records.shuffle(rng);
     let chunk = records.len().div_ceil(n_splits);
-    records
-        .chunks(chunk.max(1))
-        .map(|c| c.to_vec())
-        .collect()
+    records.chunks(chunk.max(1)).map(|c| c.to_vec()).collect()
 }
 
 #[cfg(test)]
@@ -90,7 +118,9 @@ mod tests {
     fn records_have_requested_shape() {
         let recs = random_records(50, 10, 90, &mut rng());
         assert_eq!(recs.len(), 50);
-        assert!(recs.iter().all(|r| r.key.len() == 10 && r.value.len() == 90));
+        assert!(recs
+            .iter()
+            .all(|r| r.key.len() == 10 && r.value.len() == 90));
     }
 
     #[test]

@@ -36,7 +36,10 @@ fn main() {
     let input = nn.create_file(FileKind::Reliable, ReplicationFactor::new(1, 3));
     let b = nn.allocate_block(input, 64 << 20);
     let plan = nn.choose_write_targets(t(1), b, Some(NodeId(4)), &mut rng);
-    println!("reliable {{1,3}} write plan: dedicated={:?} volatile={:?}", plan.dedicated, plan.volatile);
+    println!(
+        "reliable {{1,3}} write plan: dedicated={:?} volatile={:?}",
+        plan.dedicated, plan.volatile
+    );
 
     // Saturate the dedicated tier: heartbeats report a bandwidth plateau,
     // Algorithm 1 flips both nodes to throttled.
@@ -55,7 +58,7 @@ fn main() {
         nn.heartbeat(t(65), NodeId(i), 0.0);
     }
     nn.check_liveness(t(70)); // 6..10 silent > hibernate interval
-    // (estimator now sees 50% of the volatile fleet down)
+                              // (estimator now sees 50% of the volatile fleet down)
 
     // An opportunistic write is declined dedicated service and adapts v:
     let inter = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(1, 1));

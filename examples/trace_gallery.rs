@@ -7,12 +7,9 @@
 //! ```
 
 use availability::stats::{
-    fleet_mean_outage, fleet_mean_unavailability, fleet_unavailability_series,
-    peak_unavailability,
+    fleet_mean_outage, fleet_mean_unavailability, fleet_unavailability_series, peak_unavailability,
 };
-use availability::{
-    generate_fleet, CorrelatedConfig, TraceGenConfig, TraceGenerator,
-};
+use availability::{generate_fleet, CorrelatedConfig, TraceGenConfig, TraceGenerator};
 use rand::SeedableRng;
 use simkit::SimDuration;
 

@@ -30,7 +30,10 @@ fn all_policies_complete_on_stable_cluster() {
             seed: i as u64,
         }
         .run();
-        assert!(r.job_time.is_some(), "{label} must finish on stable cluster");
+        assert!(
+            r.job_time.is_some(),
+            "{label} must finish on stable cluster"
+        );
         assert_eq!(r.job.completed_maps, 16, "{label}");
         assert_eq!(r.job.completed_reduces, 4, "{label}");
         // No volatility → no tracker expiry → no duplicated tasks beyond
@@ -144,11 +147,8 @@ fn trace_overrides_are_respected() {
 #[test]
 fn sleep_workload_moves_negligible_data() {
     let base = workloads::paper::sort();
-    let sleep = workloads::paper::sleep(
-        &base,
-        SimDuration::from_secs(5),
-        SimDuration::from_secs(5),
-    );
+    let sleep =
+        workloads::paper::sleep(&base, SimDuration::from_secs(5), SimDuration::from_secs(5));
     let mut cluster = ClusterConfig::small(0.0);
     cluster.horizon = simkit::SimTime::from_secs(4 * 3600);
     let r = Experiment {
@@ -174,10 +174,12 @@ fn sleep_workload_moves_negligible_data() {
 fn dedicated_nodes_matter_at_high_volatility() {
     // More dedicated nodes must not make things worse at p=0.5 (paper
     // Figure 7: D3 ≤ D4 ≤ D6 in performance).
+    // Six seeds: at this cluster size single runs vary by several×, and
+    // a three-seed sample can invert the ordering by luck of the draw.
     let run = |n_ded: u32| {
         let mut cluster = ClusterConfig::small(0.5);
         cluster.n_dedicated = n_ded;
-        let totals: f64 = [21u64, 22, 23]
+        let totals: f64 = [21u64, 22, 23, 24, 25, 26]
             .iter()
             .map(|&seed| {
                 Experiment {

@@ -63,11 +63,7 @@ fn distributed_sort_is_a_permutation_and_sorted() {
         n_reduces: 8,
     };
     let out = LocalRunner::new(4).run(&job, &splits);
-    let got: Vec<Vec<u8>> = out
-        .iter()
-        .flatten()
-        .map(|r| r.key.to_vec())
-        .collect();
+    let got: Vec<Vec<u8>> = out.iter().flatten().map(|r| r.key.to_vec()).collect();
     assert_eq!(got.len(), expected.len());
     assert_eq!(got, expected, "concatenated output must be the sorted keys");
 }

@@ -1,49 +1,68 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! The build environment has no crate registry, so instead of proptest
+//! these properties run over a deterministic, seeded case generator
+//! (the vendored `rand` shim): each test draws a few hundred random
+//! inputs and asserts the invariant on every one. No shrinking, but
+//! every failure reports the case index and is exactly reproducible.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use simkit::{EventQueue, PausableWork, SimDuration, SimTime};
+
+/// Number of random cases per property.
+const CASES: usize = 200;
+
+fn rng_for(test: &str, case: usize) -> StdRng {
+    // Stable per-(test, case) seed so any failure names its case.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h.wrapping_add(case as u64))
+}
 
 // ---------------------------------------------------------------------
 // netsim: max-min fairness invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn maxmin_never_oversubscribes_and_is_work_conserving(
-        caps in prop::collection::vec(0.0f64..1000.0, 1..8),
-        flow_seeds in prop::collection::vec(
-            (0usize..1000, 1usize..4), 0..20
-        ),
-    ) {
-        let n_res = caps.len();
-        let flows: Vec<Vec<usize>> = flow_seeds
-            .iter()
-            .map(|&(seed, k)| {
+#[test]
+fn maxmin_never_oversubscribes_and_is_work_conserving() {
+    for case in 0..CASES {
+        let mut rng = rng_for("maxmin", case);
+        let n_res = rng.gen_range(1usize..8);
+        let caps: Vec<f64> = (0..n_res).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        let n_flows = rng.gen_range(0usize..20);
+        let flows: Vec<Vec<usize>> = (0..n_flows)
+            .map(|_| {
+                let seed = rng.gen_range(0usize..1000);
+                let k = rng.gen_range(1usize..4);
                 (0..k.min(n_res)).map(|j| (seed + j * 7) % n_res).collect()
             })
             .collect();
         let rates = netsim::maxmin_rates(&caps, &flows);
-        prop_assert_eq!(rates.len(), flows.len());
+        assert_eq!(rates.len(), flows.len(), "case {case}");
         // 1. No resource oversubscribed.
-        for r in 0..n_res {
+        for (r, &cap) in caps.iter().enumerate() {
             let used: f64 = flows
                 .iter()
                 .zip(&rates)
                 .filter(|(f, _)| f.contains(&r))
                 .map(|(_, &x)| x)
                 .sum();
-            prop_assert!(used <= caps[r] * (1.0 + 1e-6) + 1e-9);
+            assert!(used <= cap * (1.0 + 1e-6) + 1e-9, "case {case}");
         }
         // 2. All rates finite and non-negative.
         for &x in &rates {
-            prop_assert!(x.is_finite() && x >= 0.0);
+            assert!(x.is_finite() && x >= 0.0, "case {case}");
         }
         // 3. Work conservation / max-min property: every flow is either
         //    stalled by a dead resource or bottlenecked by some resource
         //    that is (nearly) fully used.
         for (f, &rate) in flows.iter().zip(&rates) {
             if f.iter().any(|&r| caps[r] <= 0.0) {
-                prop_assert_eq!(rate, 0.0);
+                assert_eq!(rate, 0.0, "case {case}");
                 continue;
             }
             let has_tight_resource = f.iter().any(|&r| {
@@ -55,9 +74,9 @@ proptest! {
                     .sum();
                 used >= caps[r] * (1.0 - 1e-6) - 1e-9
             });
-            prop_assert!(
+            assert!(
                 has_tight_resource,
-                "flow with rate {rate} has slack on every resource"
+                "case {case}: flow with rate {rate} has slack on every resource"
             );
         }
     }
@@ -67,43 +86,47 @@ proptest! {
 // simkit: event queue ordering, pausable work conservation
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn event_queue_pops_sorted_and_complete(
-        times in prop::collection::vec(0u64..1_000_000, 0..200),
-        cancel_mask in prop::collection::vec(any::<bool>(), 0..200),
-    ) {
+#[test]
+fn event_queue_pops_sorted_and_complete() {
+    for case in 0..CASES {
+        let mut rng = rng_for("event_queue", case);
+        let n = rng.gen_range(0usize..200);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
             .map(|&t| q.push(SimTime::from_micros(t), t))
             .collect();
         let mut cancelled = 0;
-        for (id, &c) in ids.iter().zip(cancel_mask.iter()) {
-            if c && q.cancel(*id) {
+        for id in &ids {
+            if rng.gen_bool(0.5) && q.cancel(*id) {
                 cancelled += 1;
             }
         }
         let mut popped = Vec::new();
         while let Some((at, _, v)) = q.pop() {
-            prop_assert_eq!(at.as_micros(), v);
+            assert_eq!(at.as_micros(), v, "case {case}");
             popped.push(v);
         }
-        prop_assert_eq!(popped.len() + cancelled, times.len());
+        assert_eq!(popped.len() + cancelled, times.len(), "case {case}");
         let mut sorted = popped.clone();
         sorted.sort();
-        prop_assert_eq!(popped, sorted);
+        assert_eq!(popped, sorted, "case {case}");
     }
+}
 
-    #[test]
-    fn pausable_work_conserves_active_time(
-        total_s in 1u64..10_000,
-        intervals in prop::collection::vec((0u64..100, 1u64..100), 1..40),
-    ) {
+#[test]
+fn pausable_work_conserves_active_time() {
+    for case in 0..CASES {
+        let mut rng = rng_for("pausable_work", case);
+        let total_s = rng.gen_range(1u64..10_000);
+        let n_intervals = rng.gen_range(1usize..40);
         let mut w = PausableWork::new(SimDuration::from_secs(total_s));
         let mut now = 0u64;
         let mut active = 0u64;
-        for &(gap, run) in &intervals {
+        for _ in 0..n_intervals {
+            let gap = rng.gen_range(0u64..100);
+            let run = rng.gen_range(1u64..100);
             now += gap;
             w.resume(SimTime::from_secs(now));
             now += run;
@@ -112,10 +135,11 @@ proptest! {
         }
         let done = w.done(SimTime::from_secs(now)).as_micros();
         let expected = active.min(total_s) * 1_000_000;
-        prop_assert_eq!(done, expected);
-        prop_assert_eq!(
+        assert_eq!(done, expected, "case {case}");
+        assert_eq!(
             w.is_complete(SimTime::from_secs(now)),
-            active >= total_s
+            active >= total_s,
+            "case {case}"
         );
     }
 }
@@ -124,24 +148,22 @@ proptest! {
 // availability: generator invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn generated_traces_are_wellformed_and_on_target(
-        p in 0.05f64..0.6,
-        seed in any::<u64>(),
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn generated_traces_are_wellformed_and_on_target() {
+    for case in 0..64 {
+        let mut rng = rng_for("trace_gen", case);
+        let p = rng.gen_range(0.05f64..0.6);
+        let seed: u64 = rng.gen();
         let cfg = availability::TraceGenConfig::paper(p);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         let tr = availability::TraceGenerator::poisson_insertion(&cfg, &mut rng);
         // Outages sorted, disjoint, within horizon (the constructor
         // asserts this; verify the exported view too).
         let mut prev_end = SimTime::ZERO;
         for o in tr.outages() {
-            prop_assert!(o.start >= prev_end);
-            prop_assert!(o.end > o.start);
-            prop_assert!(o.end <= tr.horizon());
+            assert!(o.start >= prev_end, "case {case}");
+            assert!(o.end > o.start, "case {case}");
+            assert!(o.end <= tr.horizon(), "case {case}");
             prev_end = o.end;
         }
         // Rate within tolerance of the target. A low-rate trace can
@@ -149,24 +171,40 @@ proptest! {
         // itself random); the exact-rate rescale only applies when there
         // is something to rescale.
         if tr.n_outages() > 0 {
-            prop_assert!((tr.unavailability() - p).abs() < 0.05,
-                "target {p}, got {}", tr.unavailability());
+            assert!(
+                (tr.unavailability() - p).abs() < 0.05,
+                "case {case}: target {p}, got {}",
+                tr.unavailability()
+            );
         }
     }
+}
 
-    #[test]
-    fn estimator_always_in_unit_interval(
-        observations in prop::collection::vec((0u64..10_000, 0usize..50, 1usize..50), 1..50),
-    ) {
-        use availability::{SlidingWindowEstimator, UnavailabilityModel};
-        let mut est = SlidingWindowEstimator::new(SimDuration::from_secs(600), 0.3);
-        let mut obs = observations.clone();
+#[test]
+fn estimator_always_in_unit_interval() {
+    use availability::{SlidingWindowEstimator, UnavailabilityModel};
+    for case in 0..CASES {
+        let mut rng = rng_for("estimator", case);
+        let n_obs = rng.gen_range(1usize..50);
+        let mut obs: Vec<(u64, usize, usize)> = (0..n_obs)
+            .map(|_| {
+                (
+                    rng.gen_range(0u64..10_000),
+                    rng.gen_range(0usize..50),
+                    rng.gen_range(1usize..50),
+                )
+            })
+            .collect();
         obs.sort_by_key(|&(t, _, _)| t);
+        let mut est = SlidingWindowEstimator::new(SimDuration::from_secs(600), 0.3);
         for &(t, down, total) in &obs {
             let down = down.min(total);
             est.observe(SimTime::from_secs(t), down, total);
             let e = est.estimate(SimTime::from_secs(t + 1));
-            prop_assert!((0.0..=1.0).contains(&e), "estimate {e} out of range");
+            assert!(
+                (0.0..=1.0).contains(&e),
+                "case {case}: estimate {e} out of range"
+            );
         }
     }
 }
@@ -175,37 +213,39 @@ proptest! {
 // dfs: adaptive replication math
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn adaptive_degree_is_minimal_and_sufficient(
-        p in 0.01f64..0.95,
-        goal in 0.5f64..0.999,
-    ) {
+#[test]
+fn adaptive_degree_is_minimal_and_sufficient() {
+    for case in 0..CASES {
+        let mut rng = rng_for("adaptive_degree", case);
+        let p = rng.gen_range(0.01f64..0.95);
+        let goal = rng.gen_range(0.5f64..0.999);
         let v = dfs::replication::adaptive_volatile_degree(p, goal, 100);
-        prop_assert!(v >= 1);
+        assert!(v >= 1, "case {case}");
         if v < 100 {
-            prop_assert!(
+            assert!(
                 dfs::replication::volatile_availability(p, v) >= goal - 1e-9,
-                "v={v} misses goal {goal} at p={p}"
+                "case {case}: v={v} misses goal {goal} at p={p}"
             );
         }
         if v > 1 {
-            prop_assert!(
+            assert!(
                 dfs::replication::volatile_availability(p, v - 1) < goal + 1e-9,
-                "v−1 already meets the goal; v={v} not minimal at p={p}"
+                "case {case}: v−1 already meets the goal; v={v} not minimal at p={p}"
             );
         }
     }
+}
 
-    #[test]
-    fn throttle_state_machine_never_panics_and_hysteresis_holds(
-        bws in prop::collection::vec(0.0f64..1000.0, 1..200),
-        window in 1usize..10,
-        tb in 0.01f64..0.5,
-    ) {
+#[test]
+fn throttle_state_machine_never_panics_and_hysteresis_holds() {
+    for case in 0..CASES {
+        let mut rng = rng_for("throttle", case);
+        let n_bws = rng.gen_range(1usize..200);
+        let window = rng.gen_range(1usize..10);
+        let tb = rng.gen_range(0.01f64..0.5);
         let mut t = dfs::IoThrottle::new(window, tb);
-        for &bw in &bws {
-            t.update(bw);
+        for _ in 0..n_bws {
+            t.update(rng.gen_range(0.0f64..1000.0));
         }
         // Hysteresis: once the window is entirely a constant plateau,
         // further identical measurements must not change the state
@@ -215,7 +255,7 @@ proptest! {
         }
         let s1 = t.state();
         let s2 = t.update(500.0);
-        prop_assert_eq!(s1, s2);
+        assert_eq!(s1, s2, "case {case}");
     }
 }
 
@@ -223,16 +263,24 @@ proptest! {
 // mapred: functional engine vs reference model
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn functional_word_count_matches_reference(
-        words in prop::collection::vec("[a-d]{1,3}", 0..200),
-        n_splits in 1usize..8,
-        n_reduces in 1usize..6,
-    ) {
-        use mapred::{FunctionalJob, HashPartitioner, LocalRunner, Record};
-        use std::collections::BTreeMap;
+#[test]
+fn functional_word_count_matches_reference() {
+    use mapred::{FunctionalJob, HashPartitioner, LocalRunner, Record};
+    use std::collections::BTreeMap;
+    const ALPHABET: [&str; 4] = ["a", "b", "c", "d"];
+    for case in 0..32 {
+        let mut rng = rng_for("word_count", case);
+        let n_words = rng.gen_range(0usize..200);
+        let words: Vec<String> = (0..n_words)
+            .map(|_| {
+                let len = rng.gen_range(1usize..=3);
+                (0..len)
+                    .map(|_| *ALPHABET.choose(&mut rng).unwrap())
+                    .collect()
+            })
+            .collect();
+        let n_splits = rng.gen_range(1usize..8);
+        let n_reduces = rng.gen_range(1usize..6);
         let text = words.join(" ");
         let mut reference: BTreeMap<String, u64> = BTreeMap::new();
         for w in &words {
@@ -256,8 +304,11 @@ proptest! {
         for rec in out.iter().flatten() {
             let mut b = [0u8; 8];
             b.copy_from_slice(&rec.value);
-            got.insert(String::from_utf8(rec.key.to_vec()).unwrap(), u64::from_be_bytes(b));
+            got.insert(
+                String::from_utf8(rec.key.to_vec()).unwrap(),
+                u64::from_be_bytes(b),
+            );
         }
-        prop_assert_eq!(got, reference);
+        assert_eq!(got, reference, "case {case}");
     }
 }

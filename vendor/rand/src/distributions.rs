@@ -1,0 +1,167 @@
+//! Distribution traits and uniform range sampling (the `rand 0.8`
+//! `distributions` module surface this workspace uses).
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// A sampling distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types that support uniform sampling from a bounded range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)` (`high` is exclusive).
+    fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[low, high]` (`high` is inclusive).
+    fn sample_uniform_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "empty gen_range");
+                let span = (high as i128 - low as i128) as u128;
+                let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + r) as $t
+            }
+            fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "empty gen_range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + r) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "empty gen_range");
+                let u: $t = Standard.sample(&mut *rng);
+                low + u * (high - low)
+            }
+            fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // A degenerate range `a..=a` is valid and returns `a`
+                // (matching real rand). For `low < high` the exclusive
+                // sampler is reused: the upper endpoint of a float range
+                // has measure zero, so the distinction is immaterial.
+                assert!(low <= high, "empty gen_range");
+                if low == high {
+                    return low;
+                }
+                Self::sample_uniform(low, high, rng)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_uniform_inclusive(start, end, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let x = crate::Rng::gen_range(&mut r, 5u64..17);
+            assert!((5..17).contains(&x));
+            let y: u8 = crate::Rng::gen_range(&mut r, b'a'..=b'z');
+            assert!(y.is_ascii_lowercase());
+            let z = crate::Rng::gen_range(&mut r, -3i64..4);
+            assert!((-3..4).contains(&z));
+            let f = crate::Rng::gen_range(&mut r, 0.5f64..1.5);
+            assert!((0.5..1.5).contains(&f));
+            let g = crate::Rng::gen_range(&mut r, 0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&g));
+        }
+        // Degenerate inclusive float range is valid and returns its bound.
+        assert_eq!(crate::Rng::gen_range(&mut r, 2.5f64..=2.5), 2.5);
+    }
+
+    #[test]
+    fn range_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| crate::Rng::gen_range(&mut r, 0.0f64..10.0))
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+}

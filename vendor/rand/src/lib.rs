@@ -1,0 +1,82 @@
+//! Offline vendored shim for the subset of the `rand` 0.8 API used by
+//! this workspace.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace vendors minimal, API-compatible stand-ins for its external
+//! dependencies (see `DESIGN.md` §vendor). This crate mirrors the call
+//! surface the simulator uses — [`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`], [`seq::SliceRandom`], and
+//! [`distributions::Distribution`] — over a xoshiro256++ generator
+//! seeded through SplitMix64.
+//!
+//! The bit streams differ from the real `rand` crate, which is fine:
+//! nothing in the workspace asserts golden random values, only
+//! run-to-run determinism and statistical properties.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// A random number generator core: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value whose type has a [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}

@@ -1,0 +1,66 @@
+//! Slice helpers (`rand::seq::SliceRandom` subset).
+
+use crate::Rng;
+
+/// Shuffling and random element selection for slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = StdRng::seed_from_u64(10);
+        let v = [1u8, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = v.choose(&mut r).unwrap();
+            seen[x as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

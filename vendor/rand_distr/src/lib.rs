@@ -1,0 +1,179 @@
+//! Offline vendored shim for the subset of `rand_distr` 0.4 used by
+//! this workspace: [`StandardNormal`], [`Normal`], [`Exp`], and
+//! [`Poisson`], plus the re-exported [`Distribution`] trait.
+//!
+//! Sampling algorithms are textbook (Box–Muller, inverse CDF, Knuth
+//! multiplication with a Normal approximation for large rates). The
+//! workspace only asserts statistical properties and run-to-run
+//! determinism, never golden values, so differing from the real crate's
+//! ziggurat streams is acceptable.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+use std::fmt;
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The standard Normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller. Draw u1 from (0, 1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Normal distribution N(mean, std²).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Construct from mean and standard deviation (must be finite, ≥ 0).
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Construct from the rate parameter (must be finite and > 0).
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF over u in (0, 1].
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with the given mean rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Construct from the rate parameter (must be finite and > 0).
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error);
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth multiplication.
+            let limit = (-self.lambda).exp();
+            let mut p = 1.0;
+            let mut k = 0u64;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= limit {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation, adequate for large rates.
+            let x = self.lambda + self.lambda.sqrt() * StandardNormal.sample(rng);
+            x.round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = StdRng::seed_from_u64(11);
+        let d = Normal::new(100.0, 15.0).unwrap();
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 15.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let mut r = StdRng::seed_from_u64(12);
+        let d = Exp::new(0.25).unwrap();
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, _) = moments(&xs);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = StdRng::seed_from_u64(13);
+        for lambda in [0.5, 4.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+            let (mean, _) = moments(&xs);
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "λ={lambda}, mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline vendored shim for the `rayon` API surface this workspace
+//! uses, executing sequentially.
+//!
+//! `into_par_iter()` simply returns the standard iterator, so the
+//! downstream adapter chain (`enumerate`, `map`, `collect`, …) compiles
+//! and runs unchanged — single-threaded. When a registry is available,
+//! swapping in the real crate restores parallelism with no call-site
+//! changes.
+
+pub mod prelude {
+    /// Conversion into a "parallel" iterator (sequential here).
+    pub trait IntoParallelIterator {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Convert into the iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing conversion (`par_iter()`), sequential here.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item: 'data;
+        /// Iterate by reference.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        type Item = <&'data I as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: u64 = v.par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline vendored shim for `serde`: marker traits plus the no-op
+//! derive macros from the sibling `serde_derive` shim.
+//!
+//! Types across the workspace annotate themselves with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` so that swapping
+//! in the real serde later is a manifest-only change. Here the derives
+//! expand to nothing and the traits carry no methods — the annotations
+//! compile, and nothing in the tree relies on generated serialization
+//! (the bench JSON dump is hand-rolled; see `DESIGN.md` §vendor).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,25 @@
+//! Offline vendored shim: no-op `Serialize` / `Deserialize` derive
+//! macros.
+//!
+//! The build environment has no crate registry, so the workspace keeps
+//! its `#[derive(serde::Serialize, serde::Deserialize)]` annotations
+//! (and `#[serde(...)]` attributes) compiling via these macros, which
+//! expand to nothing. No serialization code is generated; the two call
+//! sites that actually serialized (the bench JSON dump and one
+//! round-trip test) were rewritten against hand-rolled JSON. Replacing
+//! this crate with the real serde_derive restores full functionality
+//! without touching the annotated types.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
