@@ -3,9 +3,13 @@
 //! Every binary in `src/bin/` regenerates one table or figure of the MOON
 //! paper (see DESIGN.md §3 for the index). They share the sweep runner
 //! here: a grid of (policy × unavailability × workload) points, each run
-//! `MOON_SEEDS` times (default 1), executed in parallel with rayon, with
-//! paper-style text tables on stdout and machine-readable JSON dumped to
+//! `MOON_SEEDS` times (default 1), with every (point, seed) task executed
+//! in parallel on rayon's work-stealing pool (`MOON_THREADS` /
+//! `RAYON_NUM_THREADS` override the worker count), paper-style text
+//! tables on stdout, and machine-readable JSON dumped to
 //! `bench_results/`.
+
+#![warn(missing_docs)]
 
 use moon::{ClusterConfig, Experiment, PolicyConfig, RunResult};
 use rayon::prelude::*;
@@ -70,37 +74,61 @@ pub struct Point {
 
 /// Run the whole grid (each point × all seeds) in parallel; results come
 /// back in grid order, seeds averaged by the caller via [`mean_time`].
+///
+/// The grid is flattened to one task per (point, seed) pair so seeds
+/// parallelize too — every task is an independent, fully-seeded
+/// [`Experiment`], and the pool's order-preserving collect puts results
+/// back in grid order regardless of which worker finished first.
+/// Worker count comes from `MOON_THREADS` / `RAYON_NUM_THREADS`
+/// (default: all hardware threads).
 pub fn run_grid(points: Vec<Point>) -> Vec<Vec<RunResult>> {
-    let seeds = seeds();
-    let total = points.len();
-    points
+    run_grid_with_seeds(points, &seeds())
+}
+
+/// [`run_grid`] with an explicit seed list instead of the `MOON_SEEDS`
+/// env default — the parameterized core, used directly by tests that
+/// must not mutate process environment.
+pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResult>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let n_seeds = seeds.len();
+    let tasks: Vec<Experiment> = points
+        .iter()
+        .flat_map(|pt| {
+            seeds.iter().map(|&seed| Experiment {
+                cluster: pt.cluster.clone(),
+                policy: pt.policy.clone(),
+                workload: pt.workload.clone(),
+                seed,
+            })
+        })
+        .collect();
+    let total = tasks.len();
+    // Progress lines carry a monotone completion counter; each line is
+    // one `eprintln!` (a single stderr lock), so concurrent workers
+    // never interleave mid-line.
+    let done = AtomicUsize::new(0);
+    let flat: Vec<RunResult> = tasks
         .into_par_iter()
-        .enumerate()
-        .map(|(i, pt)| {
-            let results: Vec<RunResult> = seeds
-                .iter()
-                .map(|&seed| {
-                    Experiment {
-                        cluster: pt.cluster.clone(),
-                        policy: pt.policy.clone(),
-                        workload: pt.workload.clone(),
-                        seed,
-                    }
-                    .run()
-                })
-                .collect();
-            let r = &results[0];
+        .map(|exp| {
+            let r = exp.run();
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
             eprintln!(
-                "[{}/{}] {} {} p={}: {}s",
-                i + 1,
+                "[{}/{}] {} {} p={} seed={}: {}s",
+                k,
                 total,
                 r.label,
                 r.workload,
                 r.unavailability,
+                r.seed,
                 moon::report::secs_or_dnf(r.job_time.map(|d| d.as_secs_f64()))
             );
-            results
+            r
         })
+        .collect();
+    let mut flat = flat.into_iter();
+    (0..points.len())
+        .map(|_| flat.by_ref().take(n_seeds).collect())
         .collect()
 }
 
@@ -217,9 +245,12 @@ pub fn measured_sleep(base: &WorkloadSpec) -> WorkloadSpec {
     }
     .run();
     let map_mean = simkit::SimDuration::from_secs_f64(r.profile.avg_map_time.max(1.0));
-    let reduce_mean = simkit::SimDuration::from_secs_f64(
-        (r.profile.avg_shuffle_time * 0.0 + r.profile.avg_reduce_time).max(1.0),
-    );
+    // Shuffle time is deliberately excluded from the reduce sleep: the
+    // sleep workload replays *compute* time only, and the shuffle is
+    // re-simulated by the network layer when the sleep job runs —
+    // folding the measured shuffle mean into the reduce mean would
+    // count the transfer twice.
+    let reduce_mean = simkit::SimDuration::from_secs_f64(r.profile.avg_reduce_time.max(1.0));
     workloads::paper::sleep(base, map_mean, reduce_mean)
 }
 

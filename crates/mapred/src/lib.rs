@@ -10,7 +10,7 @@
 //!   `TrackerExpiryInterval` kills), MOON §V (frozen/slow task lists,
 //!   `SuspensionInterval`, 20 % global speculative cap, two-phase
 //!   homestretch with `H`/`R`, hybrid-aware placement on dedicated
-//!   nodes), and LATE [16] as an additional baseline.
+//!   nodes), and LATE (the paper's ref. 16) as an additional baseline.
 //! - [`FetchFailurePolicy`] — Hadoop's 50 %-of-reduces rule vs MOON's
 //!   3-failures-then-query-the-file-system rule (§VI-B).
 //! - [`api`] — the programming model ([`Mapper`], [`Reducer`],

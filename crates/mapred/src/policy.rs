@@ -123,7 +123,7 @@ impl MoonPolicy {
     }
 }
 
-/// LATE — Longest Approximate Time to End [16]. Speculates the task whose
+/// LATE — Longest Approximate Time to End (the paper's ref. 16). Speculates the task whose
 /// estimated remaining time is largest, capped, and only for tasks whose
 /// progress *rate* is below a slow-task threshold.
 #[derive(Debug, Clone)]

@@ -20,6 +20,19 @@ pub struct Experiment {
     pub seed: u64,
 }
 
+// Sweeps fan experiments out across pool workers (`bench::run_grid`),
+// so the whole experiment bundle must stay thread-safe by construction.
+// These assertions fail the build if anyone adds interior state (Rc,
+// RefCell, raw pointers) that would silently force sweeps sequential.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Experiment>();
+    assert_send_sync::<ClusterConfig>();
+    assert_send_sync::<PolicyConfig>();
+    assert_send_sync::<workloads::WorkloadSpec>();
+    assert_send_sync::<RunResult>();
+};
+
 impl Experiment {
     /// Run to completion (job output committed) or the horizon.
     pub fn run(self) -> RunResult {

@@ -6,19 +6,19 @@
 //! data management ([`dfs`]) and volatility-aware scheduling
 //! ([`mapred`]).
 //!
-//! ## Quick start
+//! ## Quickstart
+//!
+//! The two faces of this reproduction in one snippet — a *real*
+//! MapReduce word count on real bytes (the programming model MOON
+//! schedules), then the same application class simulated on a volunteer
+//! cluster at 30 % node unavailability under MOON and stock Hadoop.
+//! The block below *is* `examples/quickstart.rs`, included verbatim
+//! (single source — `cargo run --release --example quickstart` runs
+//! exactly this code) and compiled + executed as a doctest on every
+//! `cargo test`, so the documented entry point can never drift:
 //!
 //! ```
-//! use moon::{ClusterConfig, Experiment, PolicyConfig};
-//!
-//! let result = Experiment {
-//!     cluster: ClusterConfig::small(0.3),
-//!     policy: PolicyConfig::moon_hybrid(),
-//!     workload: moon::quick_workload(),
-//!     seed: 42,
-//! }
-//! .run();
-//! assert!(result.job_time.is_some(), "job finished");
+#![doc = include_str!("../../../examples/quickstart.rs")]
 //! ```
 //!
 //! One [`Experiment`] reproduces one measurement of the paper: the input

@@ -16,10 +16,10 @@
 //!
 //! | module       | events handled                                       |
 //! |--------------|------------------------------------------------------|
-//! | [`nodes`]    | `NodeDown`, `NodeUp`, `Heartbeat`                    |
-//! | [`attempts`] | `ComputeDone`, `PhaseRetry`, `NetPoll`, `FlowStallTimeout` |
-//! | [`shuffle`]  | `ShuffleTick` (plus fetch completion/timeout from `attempts`) |
-//! | [`commit`]   | `Submit`, `TrackerCheck`, `ReplicationScan`          |
+//! | `nodes`    | `NodeDown`, `NodeUp`, `Heartbeat`                    |
+//! | `attempts` | `ComputeDone`, `PhaseRetry`, `NetPoll`, `FlowStallTimeout` |
+//! | `shuffle`  | `ShuffleTick` (plus fetch completion/timeout from `attempts`) |
+//! | `commit`   | `Submit`, `TrackerCheck`, `ReplicationScan`          |
 //!
 //! [`Model::handle`] below is a pure dispatcher: it routes each event
 //! to its subsystem and holds no logic of its own. Cross-subsystem
@@ -112,7 +112,7 @@ pub(super) enum FlowPurpose {
 /// The full simulation model (implements [`simkit::Model`]).
 ///
 /// `World` is the shared context every subsystem operates on: the
-/// subsystem modules ([`nodes`], [`attempts`], [`shuffle`], [`commit`])
+/// subsystem modules (`nodes`, `attempts`, `shuffle`, `commit`)
 /// extend it with `pub(super)` handler methods, and this module owns
 /// construction, the shared helpers, and the event dispatcher.
 pub struct World {

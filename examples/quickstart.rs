@@ -5,6 +5,11 @@
 //! 2. Simulate the same application class on a volunteer cluster at 30 %
 //!    node unavailability under MOON and stock Hadoop, and compare.
 //!
+//! This file is included verbatim into the crate-level rustdoc of
+//! `moon` (`crates/moon/src/lib.rs`) and runs there as a doctest on
+//! every `cargo test` — it is the single source for the documented
+//! quickstart.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
@@ -54,6 +59,11 @@ fn main() {
             seed: 42,
         }
         .run();
+        assert!(
+            result.job_time.is_some(),
+            "{} job did not finish",
+            result.label
+        );
         println!(
             "  {:<12} job time: {:>6}s   duplicated tasks: {}",
             result.label,

@@ -12,8 +12,11 @@
 //! - [`netsim`] — the flow-level bandwidth simulator.
 //! - [`simkit`] — the discrete-event kernel.
 //!
-//! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! Start with the doc-tested quickstart in [`moon`]'s crate-level docs
+//! (mirrored by `examples/quickstart.rs`), then `README.md` for the
+//! repository tour and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
 
 pub use availability;
 pub use dfs;

@@ -65,6 +65,79 @@ fn quickstart_workload_is_deterministic_per_seed() {
     }
 }
 
+/// Thread-count independence: an N-thread `bench::run_grid` sweep must
+/// produce per-seed results bit-identical to the same sweep executed
+/// serially on one thread, in grid order. Each task is an independent
+/// fully-seeded experiment, so the pool may only affect *where* a run
+/// executes, never *what* it computes — this pins that invariant
+/// against future shared-state creep (caches, memo tables, global RNG).
+#[test]
+fn parallel_sweep_matches_single_thread_sweep() {
+    // Force a real multi-worker pool even on a 1-core runner. First
+    // configuration wins process-wide; this binary's other tests don't
+    // touch the pool, so this cannot race.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global();
+
+    // Multiple seeds per point, so the (point, seed) flattening and the
+    // grid-order regrouping in run_grid are exercised for real — with
+    // one seed they degenerate to the old per-point loop. Passed
+    // explicitly (not via MOON_SEEDS) so no test thread mutates process
+    // environment.
+    let seeds: Vec<u64> = vec![42, 1042, 2042];
+    let mut points = Vec::new();
+    for policy in [
+        PolicyConfig::moon_hybrid(),
+        PolicyConfig::hadoop(simkit::SimDuration::from_mins(1), 3),
+    ] {
+        for rate in [0.0, 0.3, 0.5] {
+            points.push(bench::Point {
+                policy: policy.clone(),
+                cluster: ClusterConfig::small(rate),
+                workload: moon::quick_workload(),
+            });
+        }
+    }
+
+    // Serial reference: the exact sweep run_grid performs, one task at
+    // a time on this thread, in grid order.
+    let serial: Vec<Vec<RunResult>> = points
+        .iter()
+        .map(|pt| {
+            seeds
+                .iter()
+                .map(|&seed| {
+                    Experiment {
+                        cluster: pt.cluster.clone(),
+                        policy: pt.policy.clone(),
+                        workload: pt.workload.clone(),
+                        seed,
+                    }
+                    .run()
+                })
+                .collect()
+        })
+        .collect();
+
+    let parallel = bench::run_grid_with_seeds(points, &seeds);
+
+    assert_eq!(parallel.len(), serial.len(), "grid shape diverged");
+    for (pi, (par_point, ser_point)) in parallel.iter().zip(&serial).enumerate() {
+        assert_eq!(par_point.len(), ser_point.len(), "seed count diverged");
+        for (si, (p, s)) in par_point.iter().zip(ser_point).enumerate() {
+            assert_eq!(p.seed, s.seed, "seed order diverged at point {pi}");
+            assert_eq!(p.label, s.label, "grid order diverged at point {pi}");
+            assert_eq!(
+                p.unavailability, s.unavailability,
+                "grid order diverged at point {pi}"
+            );
+            eprintln!("point {pi} seed {si}: parallel == serial check");
+            assert_identical(p, s);
+        }
+    }
+}
+
 #[test]
 fn different_seeds_actually_differ() {
     // Guard against the degenerate "deterministic because the seed is

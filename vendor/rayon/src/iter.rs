@@ -1,0 +1,194 @@
+//! Parallel-iterator adapters over the pool.
+//!
+//! The execution model is deliberately simpler than real rayon's
+//! splitter/reducer plumbing: a chain is driven to a materialized
+//! `Vec`, and each `map`/`filter`/`for_each` stage fans its closure out
+//! over the pool via [`pool::execute`], which preserves input order by
+//! construction. For this workspace — coarse-grained simulation runs
+//! where one closure call costs seconds — the per-item boxing is noise,
+//! and the call surface (`into_par_iter().map(..).collect()`) matches
+//! the real crate so it can be swapped back in with no call-site
+//! changes.
+
+use crate::pool;
+
+/// A parallel iterator: a chain that can be driven to an ordered `Vec`.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Drive the chain to completion, returning items in input order.
+    ///
+    /// Shim detail (not part of real rayon's surface): adapters call
+    /// this on their base, then run their own stage on the pool.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Map every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair every item with its index (indices reflect input order).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Keep only items matching `pred`, evaluated in parallel.
+    fn filter<P>(self, pred: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Run `f` on every item in parallel (no result).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).drive();
+    }
+
+    /// Collect into any `FromIterator` collection, in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sum the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+
+    /// Number of items the chain yields.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// Base parallel iterator over an owned, materialized batch of items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// `map` adapter: the parallel workhorse.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        pool::execute(self.base.drive(), &self.f)
+    }
+}
+
+/// `enumerate` adapter (index bookkeeping is sequential and cheap).
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn drive(self) -> Vec<(usize, I::Item)> {
+        self.base.drive().into_iter().enumerate().collect()
+    }
+}
+
+/// `filter` adapter: the predicate runs in parallel.
+pub struct Filter<I, P> {
+    base: I,
+    pred: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+
+    fn drive(self) -> Vec<I::Item> {
+        let pred = self.pred;
+        let keep = |item: I::Item| pred(&item).then_some(item);
+        pool::execute(self.base.drive(), &keep)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Conversion into a parallel iterator (consuming).
+pub trait IntoParallelIterator {
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert into the parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Iter = VecParIter<I::Item>;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> VecParIter<I::Item> {
+        VecParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Borrowing conversion (`par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a borrow of the collection's elements).
+    type Item: Send + 'data;
+    /// Iterate by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+    <&'data I as IntoIterator>::Item: Send,
+{
+    type Iter = VecParIter<<&'data I as IntoIterator>::Item>;
+    type Item = <&'data I as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        VecParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}

@@ -1,63 +1,180 @@
 //! Offline vendored shim for the `rayon` API surface this workspace
-//! uses, executing sequentially.
+//! uses, backed by a real work-stealing thread pool.
 //!
-//! `into_par_iter()` simply returns the standard iterator, so the
-//! downstream adapter chain (`enumerate`, `map`, `collect`, …) compiles
-//! and runs unchanged — single-threaded. When a registry is available,
-//! swapping in the real crate restores parallelism with no call-site
-//! changes.
+//! `into_par_iter()` / `par_iter()` return a
+//! [`ParallelIterator`](prelude::ParallelIterator) whose `map` /
+//! `filter` / `for_each` stages fan out over a global pool of
+//! `std::thread` workers (per-worker deques + a global injector — see
+//! `src/pool.rs`'s module docs), while `collect` returns
+//! results in input order regardless of scheduling. The downstream
+//! adapter chain (`enumerate`, `map`, `collect`, …) compiles and runs
+//! unchanged against real rayon, so when a crate registry is available
+//! the shim can be swapped out with no call-site changes.
+//!
+//! Pool size: [`ThreadPoolBuilder::build_global`] if called before
+//! first use, else `MOON_THREADS`, else `RAYON_NUM_THREADS`, else the
+//! hardware thread count. With one thread, everything runs inline on
+//! the caller.
+//!
+//! Differences from real rayon worth knowing about:
+//!
+//! - Chains are driven stage-by-stage through materialized `Vec`s and
+//!   each item is a boxed task — fine for this workspace's
+//!   coarse-grained jobs (whole simulation runs), wasteful for
+//!   element-wise numeric kernels.
+//! - Terminal reductions (`sum`, `count`) fold sequentially after the
+//!   parallel stages.
+//! - Nested parallel calls from inside a pool task run inline instead
+//!   of cooperatively yielding.
+
+#![warn(missing_docs)]
+
+mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, ThreadPoolBuildError, ThreadPoolBuilder};
 
 pub mod prelude {
-    /// Conversion into a "parallel" iterator (sequential here).
-    pub trait IntoParallelIterator {
-        /// The iterator produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Item type.
-        type Item;
-        /// Convert into the iterator.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> I::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    /// Borrowing conversion (`par_iter()`), sequential here.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Item type.
-        type Item: 'data;
-        /// Iterate by reference.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-    {
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        type Item = <&'data I as IntoIterator>::Item;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
+    //! Traits that make `.into_par_iter()` / `.par_iter()` available.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    /// Every test shares the process-global pool; pin it to 4 workers
+    /// so the pool paths are exercised even on a 1-core runner. All
+    /// callers request the same count, so ordering doesn't matter and
+    /// "already configured" is fine.
+    fn pool4() {
+        let _ = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global();
+    }
 
     #[test]
     fn par_iter_behaves_like_iter() {
+        pool4();
         let v = vec![1u64, 2, 3, 4];
         let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
         let sum: u64 = v.par_iter().sum();
         assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        pool4();
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![41u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![42]);
+        assert_eq!(Vec::<u32>::new().into_par_iter().count(), 0);
+    }
+
+    #[test]
+    fn collect_preserves_order_under_contention() {
+        pool4();
+        // Skewed task durations force stealing and out-of-order
+        // completion; collect must still return input order.
+        let n = 200usize;
+        let out: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                if i % 17 == 0 {
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_match_input_order() {
+        pool4();
+        let labels = ["a", "b", "c", "d", "e"];
+        let out: Vec<(usize, String)> = labels
+            .par_iter()
+            .map(|s| s.to_string())
+            .enumerate()
+            .map(|(i, s)| (i, format!("{i}:{s}")))
+            .collect();
+        for (i, (j, s)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+            assert_eq!(*s, format!("{i}:{}", labels[i]));
+        }
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_caller() {
+        pool4();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _: Vec<u32> = (0u32..64)
+                .into_par_iter()
+                .map(|x| if x == 33 { panic!("boom at {x}") } else { x })
+                .collect();
+        }));
+        let payload = result.expect_err("task panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload: {msg:?}");
+    }
+
+    #[test]
+    fn panic_still_drains_the_whole_batch() {
+        pool4();
+        // Every non-panicking task must still run (the latch waits for
+        // all of them), even when an early task panics.
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            (0u32..50).into_par_iter().for_each(|x| {
+                if x == 0 {
+                    panic!("early");
+                }
+                RAN.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(RAN.load(Ordering::Relaxed), 49);
+    }
+
+    #[test]
+    fn filter_and_for_each_work() {
+        pool4();
+        let kept: Vec<u32> = (0u32..100).into_par_iter().filter(|x| x % 3 == 0).collect();
+        assert_eq!(kept, (0u32..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+
+        static SUM: AtomicUsize = AtomicUsize::new(0);
+        (1usize..=10).into_par_iter().for_each(|x| {
+            SUM.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(SUM.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn tasks_actually_run_on_pool_threads() {
+        pool4();
+        // With 4 workers and staggered tasks, at least two distinct
+        // worker threads should participate.
+        let names: Vec<String> = (0..32)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(Duration::from_millis(1));
+                std::thread::current().name().unwrap_or("?").to_string()
+            })
+            .collect();
+        assert!(
+            names.iter().all(|n| n.starts_with("moon-pool-")),
+            "work ran outside the pool: {names:?}"
+        );
+        let distinct: std::collections::HashSet<&String> = names.iter().collect();
+        assert!(distinct.len() >= 2, "no parallelism observed: {distinct:?}");
     }
 }

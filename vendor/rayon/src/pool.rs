@@ -1,0 +1,350 @@
+//! The global work-stealing thread pool.
+//!
+//! Layout is the classic injector/deque scheme:
+//!
+//! - **Global injector** — a FIFO queue where batches are submitted.
+//! - **Per-worker deques** — each worker drains its own deque LIFO (hot
+//!   caches), pulls chunks from the injector when its deque runs dry,
+//!   and *steals* FIFO from a sibling's deque when both are empty.
+//!
+//! The pool is created lazily on first use, sized by (in priority
+//! order) [`ThreadPoolBuilder::build_global`], `MOON_THREADS`,
+//! `RAYON_NUM_THREADS`, then [`std::thread::available_parallelism`].
+//! Worker threads are detached and live for the rest of the process;
+//! they sleep on a condvar while no work is queued.
+//!
+//! [`execute`] is the only entry point the iterator layer needs: it
+//! fans a batch of independent tasks out to the pool, writes each
+//! result into its caller-indexed slot (so output order never depends
+//! on scheduling), counts completions down on a latch, and re-raises
+//! the first task panic on the calling thread after the whole batch has
+//! drained — a task panic can therefore never leave a borrow dangling
+//! or a sibling task orphaned.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of pool work: a boxed, type-erased task.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Configures the global thread pool, mirroring rayon's builder API.
+///
+/// Only the pieces this workspace uses are implemented: thread count
+/// selection and [`build_global`](Self::build_global). The builder must
+/// run before the pool's first use; afterwards the pool is immutable.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error returned when the global pool was already configured or built.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start building with default settings (automatic thread count).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request an explicit worker count (`0` = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install this configuration as the global pool's.
+    ///
+    /// Fails if the global pool was already configured (by an earlier
+    /// `build_global` or by any parallel-iterator use, which snapshots
+    /// the environment-derived default).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        CONFIGURED_THREADS.set(n).map_err(|_| ThreadPoolBuildError)
+    }
+}
+
+/// Resolved thread count for the global pool (set exactly once).
+static CONFIGURED_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The lazily-built global pool (`None` when single-threaded).
+static POOL: OnceLock<Option<Pool>> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads; nested parallel calls run inline.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Thread count from the environment: `MOON_THREADS` wins over
+/// `RAYON_NUM_THREADS`, which wins over the hardware count.
+fn default_threads() -> usize {
+    for var in ["MOON_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of worker threads the global pool has (or will have).
+pub fn current_num_threads() -> usize {
+    *CONFIGURED_THREADS.get_or_init(default_threads)
+}
+
+/// State shared between the submitting thread and all workers.
+struct Shared {
+    /// Global FIFO injector; batches land here.
+    injector: Mutex<VecDeque<Job>>,
+    /// Workers sleep here when every queue is empty.
+    wake: Condvar,
+    /// One deque per worker: owner pops the back, thieves pop the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs submitted but not yet dequeued by any worker (injector +
+    /// all deques). Incremented under the injector lock before the
+    /// submit notify; decremented on every successful pop. A worker
+    /// only blocks when this reads 0 under the injector lock, so a
+    /// submit can never slip between a failed steal scan and the wait —
+    /// idle workers park indefinitely (no timed backstop wakeups).
+    queued: AtomicUsize,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+}
+
+impl Pool {
+    fn new(n_threads: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            deques: (0..n_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            queued: AtomicUsize::new(0),
+        });
+        for id in 0..n_threads {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("moon-pool-{id}"))
+                .spawn(move || worker_loop(id, &shared))
+                .expect("spawning pool worker");
+        }
+        Pool { shared }
+    }
+
+    /// Enqueue a batch on the injector and wake every sleeping worker.
+    fn submit(&self, jobs: Vec<Job>) {
+        let mut inj = self.shared.injector.lock().unwrap();
+        self.shared.queued.fetch_add(jobs.len(), Ordering::SeqCst);
+        inj.extend(jobs);
+        self.shared.wake.notify_all();
+    }
+}
+
+/// Get the global pool, building it on first use. `None` means the pool
+/// is single-threaded and callers should run inline.
+fn global() -> Option<&'static Pool> {
+    POOL.get_or_init(|| {
+        let n = current_num_threads();
+        (n > 1).then(|| Pool::new(n))
+    })
+    .as_ref()
+}
+
+/// Run one job, containing any panic (the job's own wrapper reports it).
+fn run_job(job: Job) {
+    let _ = catch_unwind(AssertUnwindSafe(job));
+}
+
+/// Steal the oldest job from a sibling deque, scanning from `id + 1`.
+/// `try_lock` keeps thieves from convoying behind a busy owner.
+fn steal(id: usize, shared: &Shared) -> Option<Job> {
+    let k = shared.deques.len();
+    for off in 1..k {
+        if let Ok(mut d) = shared.deques[(id + off) % k].try_lock() {
+            if let Some(job) = d.pop_front() {
+                return Some(job);
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(id: usize, shared: &Shared) {
+    IS_WORKER.with(|f| f.set(true));
+    loop {
+        // 1. Own deque, newest first (the owner end).
+        let own = shared.deques[id].lock().unwrap().pop_back();
+        if let Some(job) = own {
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            run_job(job);
+            continue;
+        }
+        // 2. Steal from a sibling, oldest first (the thief end).
+        if let Some(job) = steal(id, shared) {
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            run_job(job);
+            continue;
+        }
+        // 3. Pull a chunk from the injector into the own deque, so
+        //    later iterations (and thieves) find local work. The jobs
+        //    moved to the deque stay counted in `queued` (they are
+        //    still dequeue-able); only `first`, taken to run, is not.
+        let mut inj = shared.injector.lock().unwrap();
+        if !inj.is_empty() {
+            let chunk = (inj.len() / (2 * shared.deques.len())).max(1);
+            let first = inj.pop_front().expect("non-empty injector");
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            if chunk > 1 {
+                let mut own = shared.deques[id].lock().unwrap();
+                for _ in 1..chunk {
+                    match inj.pop_front() {
+                        Some(job) => own.push_back(job),
+                        None => break,
+                    }
+                }
+                drop(own);
+                // Siblings may be asleep; what we just queued is stealable.
+                shared.wake.notify_all();
+            }
+            drop(inj);
+            run_job(first);
+            continue;
+        }
+        // 4. Injector empty. If jobs are still queued they sit in a
+        //    sibling's deque (possibly one our `try_lock` steal scan
+        //    skipped) — retry the scan rather than sleep. Otherwise
+        //    park until a submit notifies: `queued` is incremented
+        //    under this same injector lock before the notify, so a
+        //    submit can never slip past this check unseen.
+        if shared.queued.load(Ordering::SeqCst) > 0 {
+            drop(inj);
+            std::thread::yield_now();
+            continue;
+        }
+        let _unused = shared.wake.wait(inj).unwrap();
+    }
+}
+
+/// Countdown latch: the submitter waits until every job has finished.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+/// Apply `f` to every item on the global pool, returning results in
+/// input order. Runs inline when the batch is trivial, the pool is
+/// single-threaded, or the caller is itself a pool worker (nested
+/// parallelism would deadlock the latch against a finite worker set).
+///
+/// If any task panics, the batch still drains fully (the latch counts
+/// every task) and the first captured panic is re-raised here.
+pub(crate) fn execute<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let inline = n <= 1 || IS_WORKER.with(Cell::get);
+    let pool = if inline { None } else { global() };
+    let Some(pool) = pool else {
+        return items.into_iter().map(f).collect();
+    };
+
+    // `Mutex<Option<R>>` rather than `OnceLock<R>`: sharing a slot
+    // across threads must only require `R: Send`, not `R: Sync`.
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let latch = Latch::new(n);
+    let panic_box: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    let jobs: Vec<Job> = items
+        .into_iter()
+        .zip(&slots)
+        .map(|(item, slot)| {
+            let latch = &latch;
+            let panic_box = &panic_box;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => {
+                        *slot.lock().unwrap() = Some(r);
+                    }
+                    Err(payload) => {
+                        let mut first = panic_box.lock().unwrap();
+                        first.get_or_insert(payload);
+                    }
+                }
+                latch.count_down();
+            });
+            // SAFETY: the job borrows `f`, `slots`, `latch`, and
+            // `panic_box`, all of which outlive it: `latch.wait()`
+            // below does not return until every job has run to
+            // completion (panics are caught inside the job, and the
+            // count-down happens after the catch), so no borrow
+            // escapes this stack frame.
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+        })
+        .collect();
+
+    pool.submit(jobs);
+    latch.wait();
+
+    if let Some(payload) = panic_box.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock never poisoned")
+                .expect("every task completed")
+        })
+        .collect()
+}
