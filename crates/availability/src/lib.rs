@@ -5,9 +5,10 @@
 //! generators (Normal outages, mean 409 s, Poisson insertion —
 //! [`TraceGenerator`]), a correlated/diurnal fleet generator reproducing
 //! the shape of the paper's Figure 1 ([`correlated`]), fleet statistics
-//! ([`stats`]), and the NameNode's sliding-window unavailability
-//! estimator ([`SlidingWindowEstimator`]) that drives MOON's adaptive
-//! replication.
+//! ([`stats`]), a text trace-file format for saving/replaying recorded
+//! fleets ([`tracefile`]), and the NameNode's sliding-window
+//! unavailability estimator ([`SlidingWindowEstimator`]) that drives
+//! MOON's adaptive replication.
 
 #![warn(missing_docs)]
 
@@ -16,8 +17,10 @@ mod estimator;
 mod gen;
 pub mod stats;
 mod trace;
+pub mod tracefile;
 
 pub use correlated::{generate_fleet, CorrelatedConfig};
 pub use estimator::{FixedRate, SlidingWindowEstimator, UnavailabilityModel};
 pub use gen::{TraceGenConfig, TraceGenerator};
 pub use trace::{AvailabilityTrace, Outage, Transition};
+pub use tracefile::{load_fleet, read_fleet, save_fleet, write_fleet, TraceFileError};

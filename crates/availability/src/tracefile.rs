@@ -1,0 +1,335 @@
+//! On-disk text format for per-node availability traces.
+//!
+//! MOON's own evaluation is trace-driven — the paper replays a
+//! student-lab availability trace, suspending and resuming the
+//! Hadoop/MOON processes on each node. This module gives the
+//! reproduction the same capability: a fleet of [`AvailabilityTrace`]s
+//! can be saved to (and replayed from) a plain text file, so recorded
+//! traces from real machines drop straight into a simulation via
+//! `ClusterConfig::trace_overrides`.
+//!
+//! ## Format (`v1`)
+//!
+//! One outage per line, `node,start_us,end_us` (node index, then the
+//! half-open outage interval in integer microseconds):
+//!
+//! ```text
+//! # moon-trace v1
+//! # nodes=3
+//! # horizon_us=28800000000
+//! 0,1000000,4000000
+//! 0,9000000,12000000
+//! 2,500000,2500000
+//! ```
+//!
+//! `#` starts a comment; the two directive comments `# nodes=` and
+//! `# horizon_us=` carry the fleet shape that outage rows alone cannot
+//! (a node with no outages, a horizon past the last outage). Rows may
+//! appear in any node/time order; per-node intervals must be disjoint.
+//! Every parse error names its 1-based line number.
+
+use crate::trace::{AvailabilityTrace, Outage};
+use simkit::SimTime;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// A parse/validation error, carrying the 1-based line it came from
+/// (line 0 = a file-level problem, e.g. a missing directive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileError {
+    /// 1-based line number; 0 for file-level errors.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TraceFileError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        TraceFileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace file: {}", self.message)
+        } else {
+            write!(f, "trace file line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+/// Serialize a fleet to the v1 text format.
+pub fn write_fleet<W: Write>(mut w: W, fleet: &[AvailabilityTrace]) -> std::io::Result<()> {
+    let horizon = fleet
+        .iter()
+        .map(|t| t.horizon().as_micros())
+        .max()
+        .unwrap_or(0);
+    writeln!(w, "# moon-trace v1")?;
+    writeln!(w, "# nodes={}", fleet.len())?;
+    writeln!(w, "# horizon_us={horizon}")?;
+    for (node, trace) in fleet.iter().enumerate() {
+        for o in trace.outages() {
+            writeln!(w, "{node},{},{}", o.start.as_micros(), o.end.as_micros())?;
+        }
+    }
+    Ok(())
+}
+
+/// Save a fleet to `path` in the v1 text format.
+pub fn save_fleet<P: AsRef<Path>>(path: P, fleet: &[AvailabilityTrace]) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_fleet(std::io::BufWriter::new(f), fleet)
+}
+
+fn parse_u64(line_no: usize, field: &str, what: &str) -> Result<u64, TraceFileError> {
+    field.trim().parse::<u64>().map_err(|_| {
+        TraceFileError::at(
+            line_no,
+            format!("{what} must be an unsigned integer, got `{}`", field.trim()),
+        )
+    })
+}
+
+/// Parse the v1 text format from a reader.
+///
+/// Returns one trace per node (length = the `# nodes=` directive, which
+/// must cover every node index that appears in an outage row). All
+/// traces share the `# horizon_us=` horizon. Rows may be unordered;
+/// per-node intervals must be disjoint and within the horizon.
+pub fn read_fleet<R: BufRead>(r: R) -> Result<Vec<AvailabilityTrace>, TraceFileError> {
+    let mut n_nodes: Option<usize> = None;
+    let mut horizon_us: Option<u64> = None;
+    let mut rows: Vec<(usize, usize, Outage)> = Vec::new(); // (line, node, outage)
+
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line =
+            line.map_err(|e| TraceFileError::at(line_no, format!("unreadable line: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some(v) = comment.strip_prefix("nodes=") {
+                n_nodes = Some(parse_u64(line_no, v, "`# nodes=` directive")? as usize);
+            } else if let Some(v) = comment.strip_prefix("horizon_us=") {
+                horizon_us = Some(parse_u64(line_no, v, "`# horizon_us=` directive")?);
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(TraceFileError::at(
+                line_no,
+                format!(
+                    "expected 3 comma-separated fields `node,start_us,end_us`, got {}",
+                    fields.len()
+                ),
+            ));
+        }
+        let node = parse_u64(line_no, fields[0], "node index")? as usize;
+        let start = parse_u64(line_no, fields[1], "start_us")?;
+        let end = parse_u64(line_no, fields[2], "end_us")?;
+        if end <= start {
+            return Err(TraceFileError::at(
+                line_no,
+                format!("outage interval is empty or inverted ({start} >= {end})"),
+            ));
+        }
+        rows.push((
+            line_no,
+            node,
+            Outage {
+                start: SimTime::from_micros(start),
+                end: SimTime::from_micros(end),
+            },
+        ));
+    }
+
+    let n_nodes = n_nodes
+        .ok_or_else(|| TraceFileError::at(0, "missing `# nodes=<count>` directive".to_string()))?;
+    let horizon_us = horizon_us.ok_or_else(|| {
+        TraceFileError::at(0, "missing `# horizon_us=<us>` directive".to_string())
+    })?;
+    let horizon = SimTime::from_micros(horizon_us);
+
+    let mut per_node: Vec<Vec<(usize, Outage)>> = vec![Vec::new(); n_nodes];
+    for (line_no, node, outage) in rows {
+        if node >= n_nodes {
+            return Err(TraceFileError::at(
+                line_no,
+                format!("node index {node} out of range (file declares nodes={n_nodes})"),
+            ));
+        }
+        if outage.end > horizon {
+            return Err(TraceFileError::at(
+                line_no,
+                format!(
+                    "outage ends at {} us, beyond the declared horizon ({horizon_us} us)",
+                    outage.end.as_micros()
+                ),
+            ));
+        }
+        per_node[node].push((line_no, outage));
+    }
+
+    per_node
+        .into_iter()
+        .map(|mut outages| {
+            outages.sort_by_key(|(_, o)| o.start);
+            // Validate disjointness here (with line numbers) rather than
+            // letting AvailabilityTrace::new panic.
+            for pair in outages.windows(2) {
+                let (_, a) = pair[0];
+                let (line_no, b) = pair[1];
+                if b.start < a.end {
+                    return Err(TraceFileError::at(
+                        line_no,
+                        format!(
+                            "outage starting at {} us overlaps the previous one ending at {} us",
+                            b.start.as_micros(),
+                            a.end.as_micros()
+                        ),
+                    ));
+                }
+            }
+            Ok(AvailabilityTrace::new(
+                outages.into_iter().map(|(_, o)| o).collect(),
+                horizon,
+            ))
+        })
+        .collect()
+}
+
+/// Load a fleet from `path`.
+pub fn load_fleet<P: AsRef<Path>>(path: P) -> Result<Vec<AvailabilityTrace>, TraceFileError> {
+    let f = std::fs::File::open(&path).map_err(|e| {
+        TraceFileError::at(0, format!("cannot open {}: {e}", path.as_ref().display()))
+    })?;
+    read_fleet(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn fleet() -> Vec<AvailabilityTrace> {
+        vec![
+            AvailabilityTrace::new(
+                vec![
+                    Outage {
+                        start: t(10),
+                        end: t(20),
+                    },
+                    Outage {
+                        start: t(50),
+                        end: t(80),
+                    },
+                ],
+                t(100),
+            ),
+            AvailabilityTrace::always_available(t(100)),
+            AvailabilityTrace::new(
+                vec![Outage {
+                    start: t(0),
+                    end: t(100),
+                }],
+                t(100),
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let fleet = fleet();
+        let mut buf = Vec::new();
+        write_fleet(&mut buf, &fleet).unwrap();
+        let back = read_fleet(buf.as_slice()).unwrap();
+        assert_eq!(fleet, back);
+    }
+
+    #[test]
+    fn preserves_outage_free_nodes_and_horizon() {
+        let fleet = fleet();
+        let mut buf = Vec::new();
+        write_fleet(&mut buf, &fleet).unwrap();
+        let back = read_fleet(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[1].n_outages(), 0);
+        assert_eq!(back[1].horizon(), t(100));
+    }
+
+    #[test]
+    fn accepts_unordered_rows_and_blank_lines() {
+        let text = "\n# nodes=2\n# horizon_us=100000000\n1,5000000,6000000\n0,50000000,80000000\n0,10000000,20000000\n";
+        let fleet = read_fleet(text.as_bytes()).unwrap();
+        assert_eq!(fleet[0].n_outages(), 2);
+        assert_eq!(fleet[0].outages()[0].start, t(10));
+        assert_eq!(fleet[1].n_outages(), 1);
+    }
+
+    #[test]
+    fn errors_name_their_line() {
+        let bad_fields = "# nodes=1\n# horizon_us=100\n0,5\n";
+        let e = read_fleet(bad_fields.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"), "{e}");
+        assert!(e.to_string().contains("3 comma-separated fields"), "{e}");
+
+        let bad_number = "# nodes=1\n# horizon_us=100\n0,x,50\n";
+        let e = read_fleet(bad_number.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("unsigned integer"), "{e}");
+
+        let inverted = "# nodes=1\n# horizon_us=100\n0,50,50\n";
+        let e = read_fleet(inverted.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("empty or inverted"), "{e}");
+
+        let out_of_range = "# nodes=1\n# horizon_us=100\n4,10,50\n";
+        let e = read_fleet(out_of_range.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("out of range"), "{e}");
+
+        let beyond = "# nodes=1\n# horizon_us=100\n0,10,2000\n";
+        let e = read_fleet(beyond.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("beyond the declared horizon"), "{e}");
+
+        let overlap = "# nodes=1\n# horizon_us=100\n0,10,50\n0,40,60\n";
+        let e = read_fleet(overlap.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.to_string().contains("overlaps"), "{e}");
+    }
+
+    #[test]
+    fn missing_directives_are_file_level_errors() {
+        let e = read_fleet("0,10,50\n".as_bytes()).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("nodes="), "{e}");
+        let e = read_fleet("# nodes=1\n0,10,50\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("horizon_us="), "{e}");
+    }
+
+    #[test]
+    fn empty_fleet_round_trips() {
+        let mut buf = Vec::new();
+        write_fleet(&mut buf, &[]).unwrap();
+        let back = read_fleet(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -3,87 +3,12 @@
 //! the global speculative cap, and the fetch-failure rule.
 //! Each row disables/sweeps one mechanism with everything else at the
 //! MOON-Hybrid default, on the sort workload at p = 0.5.
-
-use bench::{cluster, dump_json, maybe_shrink, mean_time, run_grid, Point};
-use mapred::{FetchFailurePolicy, MoonPolicy, SchedulerPolicy};
-use moon::PolicyConfig;
+//!
+//! Thin wrapper over the `ablations` registry scenario — the variants
+//! live in the policy catalog (`no-hibernate`, `no-adaptive-v`,
+//! `spec-cap-10`, …), so scenario files can reuse them by name.
+//! Equivalent: `moon-cli run ablations`.
 
 fn main() {
-    let base = PolicyConfig::ha_intermediate(1); // MOON-Hybrid, HA {1,1}
-    let mut variants: Vec<PolicyConfig> = vec![PolicyConfig {
-        label: "MOON-Hybrid (full)".into(),
-        ..base.clone()
-    }];
-
-    // 1. No hibernate state: nodes jump straight to dead at expiry.
-    let mut v = base.clone();
-    v.namenode.hibernate_interval = v.namenode.expiry_interval;
-    v.label = "no-hibernate".into();
-    variants.push(v);
-
-    // 2. No adaptive replication (static v when dedicated declined).
-    let mut v = base.clone();
-    v.namenode.adaptive_replication = false;
-    v.label = "no-adaptive-v'".into();
-    variants.push(v);
-
-    // 3. No homestretch phase.
-    let mut v = base.clone();
-    v.scheduler = SchedulerPolicy::Moon(MoonPolicy {
-        homestretch_h_percent: 0.0,
-        ..MoonPolicy::default()
-    });
-    v.label = "no-homestretch".into();
-    variants.push(v);
-
-    // 4. Speculative-cap sweep.
-    for cap in [0.1, 0.4] {
-        let mut v = base.clone();
-        v.scheduler = SchedulerPolicy::Moon(MoonPolicy {
-            speculative_slot_fraction: cap,
-            ..MoonPolicy::default()
-        });
-        v.label = format!("spec-cap-{}%", (cap * 100.0) as u32);
-        variants.push(v);
-    }
-
-    // 5. Hadoop's 50%-majority fetch rule instead of MOON's FS query.
-    let mut v = base.clone();
-    v.fetch = FetchFailurePolicy::HadoopMajority;
-    v.label = "hadoop-fetch-rule".into();
-    variants.push(v);
-
-    // 6. Homestretch R sweep.
-    for r in [1u32, 3] {
-        let mut v = base.clone();
-        v.scheduler = SchedulerPolicy::Moon(MoonPolicy {
-            homestretch_r: r,
-            ..MoonPolicy::default()
-        });
-        v.label = format!("homestretch-R{r}");
-        variants.push(v);
-    }
-
-    let points: Vec<Point> = variants
-        .iter()
-        .map(|policy| Point {
-            policy: policy.clone(),
-            cluster: cluster(0.5, 6),
-            workload: maybe_shrink(workloads::paper::sort()),
-        })
-        .collect();
-    let results = run_grid(points);
-    println!("# Ablations — sort, p=0.5 (job time / duplicated tasks / killed maps)");
-    println!("variant\tjob(s)\tdup\tkilled_maps\tkilled_reduces");
-    for (v, rs) in variants.iter().zip(&results) {
-        println!(
-            "{}\t{}\t{}\t{}\t{}",
-            v.label,
-            moon::report::secs_or_dnf(mean_time(rs)),
-            rs[0].job.duplicated_tasks,
-            rs[0].job.killed_maps,
-            rs[0].job.killed_reduces,
-        );
-    }
-    dump_json("ablations", &results);
+    bench::scenario_main("ablations");
 }

@@ -5,13 +5,41 @@
 //! The production SDSC/Entropia trace is not public; this regenerates a
 //! statistically equivalent fleet with the correlated/diurnal generator
 //! (mean outage 409 s, lab-session correlation, diurnal intensity).
+//!
+//! `--save-trace <path>` additionally writes day 1's fleet in the
+//! `moon-trace v1` text format (`availability::tracefile`), which is
+//! how the committed `data/traces/lab-day.trace` replayed by the
+//! `trace-replay` scenario was produced.
 
 use availability::stats::{fleet_mean_unavailability, fleet_unavailability_series};
 use availability::{generate_fleet, CorrelatedConfig, TraceGenConfig};
 use rand::SeedableRng;
 use simkit::SimDuration;
 
+fn day_config() -> CorrelatedConfig {
+    CorrelatedConfig {
+        n_nodes: 60,
+        background: TraceGenConfig {
+            unavailability: 0.25,
+            exact_rate: false,
+            ..Default::default()
+        },
+        sessions_per_hour: 1.2,
+        session_fraction_mean: 0.35,
+        ..Default::default()
+    }
+}
+
 fn main() {
+    let save_trace = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--save-trace").map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--save-trace needs a file path");
+                std::process::exit(2);
+            })
+        })
+    };
     println!("# Figure 1 — % unavailable resources, 7 days x 8h, 10-min buckets");
     let bucket = SimDuration::from_mins(10);
     let mut all_means = Vec::new();
@@ -22,19 +50,17 @@ fn main() {
     println!();
     let mut series_per_day = Vec::new();
     for day in 0..7u64 {
-        let cfg = CorrelatedConfig {
-            n_nodes: 60,
-            background: TraceGenConfig {
-                unavailability: 0.25,
-                exact_rate: false,
-                ..Default::default()
-            },
-            sessions_per_hour: 1.2,
-            session_fraction_mean: 0.35,
-            ..Default::default()
-        };
+        let cfg = day_config();
         let mut rng = rand::rngs::StdRng::seed_from_u64(100 + day);
         let fleet = generate_fleet(&cfg, &mut rng);
+        if day == 0 {
+            if let Some(path) = &save_trace {
+                match availability::save_fleet(path, &fleet) {
+                    Ok(()) => eprintln!("wrote {path} ({} nodes)", fleet.len()),
+                    Err(e) => eprintln!("could not write {path}: {e}"),
+                }
+            }
+        }
         all_means.push(fleet_mean_unavailability(&fleet));
         series_per_day.push(fleet_unavailability_series(&fleet, bucket));
     }

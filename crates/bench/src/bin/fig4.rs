@@ -1,9 +1,10 @@
 //! Figure 4: job execution time under Hadoop (10/5/1-minute tracker
 //! expiry) vs MOON vs MOON-Hybrid scheduling, using the `sleep`
 //! workload to isolate scheduling from data management.
+//!
+//! Thin wrapper over the `fig4` registry scenario (whose sweep also
+//! renders Figure 5). Equivalent: `moon-cli run fig4`.
 
 fn main() {
-    let (fig4, fig5) = bench::fig45();
-    println!("{fig4}");
-    println!("# (the same sweep also produces Figure 5)\n{fig5}");
+    bench::scenario_main("fig4");
 }

@@ -1,7 +1,9 @@
 //! Figure 5: number of duplicated tasks issued by each scheduling policy
 //! (same sweep as Figure 4).
+//!
+//! Thin wrapper over the `fig5` registry scenario. Equivalent:
+//! `moon-cli run fig5`.
 
 fn main() {
-    let (_fig4, fig5) = bench::fig45();
-    println!("{fig5}");
+    bench::scenario_main("fig5");
 }

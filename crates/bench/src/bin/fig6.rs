@@ -1,52 +1,10 @@
 //! Figure 6: impact of intermediate-data replication policies on job
 //! execution time — volatile-only VO-V1..V5 vs hybrid-aware HA-V1..V3,
 //! with input/output fixed at {1,3} and MOON-Hybrid scheduling.
-
-use bench::{cluster, dump_json, maybe_shrink, mean_time, run_grid, Point, PAPER_RATES};
-use moon::PolicyConfig;
+//!
+//! Thin wrapper over the `fig6` registry scenario. Equivalent:
+//! `moon-cli run fig6`.
 
 fn main() {
-    let policies: Vec<PolicyConfig> = (1..=5)
-        .map(PolicyConfig::vo_intermediate)
-        .chain((1..=3).map(PolicyConfig::ha_intermediate))
-        .collect();
-    let mut output = String::new();
-    let mut all = Vec::new();
-    for (panel, base) in [
-        ("(a) sort", workloads::paper::sort()),
-        ("(b) word count", workloads::paper::word_count()),
-    ] {
-        let mut points = Vec::new();
-        for policy in &policies {
-            for &rate in &PAPER_RATES {
-                points.push(Point {
-                    policy: policy.clone(),
-                    cluster: cluster(rate, 6),
-                    workload: maybe_shrink(base.clone()),
-                });
-            }
-        }
-        let results = run_grid(points);
-        let rows: Vec<(String, Vec<Option<f64>>)> = policies
-            .iter()
-            .enumerate()
-            .map(|(pi, policy)| {
-                let per_rate = &results[pi * PAPER_RATES.len()..(pi + 1) * PAPER_RATES.len()];
-                (
-                    policy.label.clone(),
-                    per_rate.iter().map(|r| mean_time(r)).collect(),
-                )
-            })
-            .collect();
-        output.push_str(&moon::report::series_table(
-            &format!("Figure 6{panel}: execution time by intermediate replication policy"),
-            &PAPER_RATES,
-            &rows,
-            "seconds",
-        ));
-        output.push('\n');
-        all.extend(results);
-    }
-    dump_json("fig6", &all);
-    println!("{output}");
+    bench::scenario_main("fig6");
 }

@@ -2,68 +2,10 @@
 //! 6 uniform replicas for input/output plus the best volatile-only
 //! intermediate configuration; MOON uses {1,3} input/output, HA-{1,1}
 //! intermediate, and 3/4/6 dedicated nodes (20:1, 15:1, 10:1 V-to-D).
-
-use bench::{cluster, dump_json, maybe_shrink, mean_time, run_grid, Point, PAPER_RATES};
-use moon::PolicyConfig;
-use simkit::SimDuration;
+//!
+//! Thin wrapper over the `fig7` registry scenario. Equivalent:
+//! `moon-cli run fig7`.
 
 fn main() {
-    let mut output = String::new();
-    let mut all = Vec::new();
-    for (panel, base) in [
-        ("(a) sort", workloads::paper::sort()),
-        ("(b) word count", workloads::paper::word_count()),
-    ] {
-        // (label, n_dedicated, policy)
-        let mut configs: Vec<(String, u32, PolicyConfig)> = vec![(
-            "Hadoop-VO".into(),
-            6,
-            PolicyConfig {
-                label: "Hadoop-VO".into(),
-                ..PolicyConfig::hadoop_vo(SimDuration::from_mins(1), 6, 3)
-            },
-        )];
-        for d in [3u32, 4, 6] {
-            configs.push((
-                format!("MOON-HybridD{d}"),
-                d,
-                PolicyConfig {
-                    label: format!("MOON-HybridD{d}"),
-                    ..PolicyConfig::ha_intermediate(1)
-                },
-            ));
-        }
-        let mut points = Vec::new();
-        for (_, d, policy) in &configs {
-            for &rate in &PAPER_RATES {
-                points.push(Point {
-                    policy: policy.clone(),
-                    cluster: cluster(rate, *d),
-                    workload: maybe_shrink(base.clone()),
-                });
-            }
-        }
-        let results = run_grid(points);
-        let rows: Vec<(String, Vec<Option<f64>>)> = configs
-            .iter()
-            .enumerate()
-            .map(|(pi, (label, _, _))| {
-                let per_rate = &results[pi * PAPER_RATES.len()..(pi + 1) * PAPER_RATES.len()];
-                (
-                    label.clone(),
-                    per_rate.iter().map(|r| mean_time(r)).collect(),
-                )
-            })
-            .collect();
-        output.push_str(&moon::report::series_table(
-            &format!("Figure 7{panel}: MOON vs Hadoop-VO"),
-            &PAPER_RATES,
-            &rows,
-            "seconds",
-        ));
-        output.push('\n');
-        all.extend(results);
-    }
-    dump_json("fig7", &all);
-    println!("{output}");
+    bench::scenario_main("fig7");
 }

@@ -1,0 +1,143 @@
+//! `moon-cli` — the scenario runner.
+//!
+//! ```text
+//! moon-cli list                                  # catalog of built-in scenarios
+//! moon-cli describe <name|file.toml>             # spec as TOML + derived grid info
+//! moon-cli run <name|file.toml> [--seeds N] [--out FILE]
+//! ```
+//!
+//! `run` prints the scenario's paper-style tables to stdout and writes
+//! a machine-readable JSON report (default `bench_results/<name>.json`,
+//! or `--out FILE`). A `.toml` argument (or any path to an existing
+//! file) is parsed as a scenario file instead of a registry name, so
+//! new workloads and volatility regimes need no Rust at all. Env knobs
+//! (`MOON_SEEDS`, `MOON_QUICK`, `MOON_THREADS`) apply as everywhere.
+
+use scenarios::{codec, registry, ScenarioError, ScenarioSpec};
+use std::path::Path;
+
+const USAGE: &str = "usage:
+  moon-cli list
+  moon-cli describe <name|file.toml>
+  moon-cli run <name|file.toml> [--seeds N] [--out FILE]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// A registry name, or a path to a scenario TOML file.
+fn resolve_spec(arg: &str) -> Result<ScenarioSpec, ScenarioError> {
+    if arg.ends_with(".toml") || Path::new(arg).is_file() {
+        return codec::load_file(Path::new(arg));
+    }
+    registry::find(arg).ok_or_else(|| {
+        ScenarioError::msg(format!(
+            "unknown scenario `{arg}` (known: {}; or pass a .toml file)",
+            registry::names().join(", ")
+        ))
+    })
+}
+
+fn cmd_list() {
+    println!("# built-in scenarios (run with: moon-cli run <name>)");
+    println!("name\truns/seed\ttitle");
+    for spec in registry::all() {
+        println!("{}\t{}\t{}", spec.name, spec.runs_per_seed(), spec.title);
+    }
+}
+
+fn cmd_describe(arg: &str) {
+    let spec = match resolve_spec(arg) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("describe {arg}: {e}")),
+    };
+    println!("# scenario `{}` — {}", spec.name, spec.title);
+    println!(
+        "# {} panel(s) x {} policies x {} column(s) = {} runs/seed{}",
+        spec.n_panels(),
+        spec.policies.len(),
+        spec.n_cols(),
+        spec.runs_per_seed(),
+        if scenarios::quick_mode() {
+            " (MOON_QUICK=1: shrunken cluster/workload)"
+        } else {
+            ""
+        }
+    );
+    match &spec.seeds {
+        Some(s) => println!("# seeds: {s:?} (from the spec)"),
+        None => println!(
+            "# seeds: MOON_SEEDS env (currently {:?})",
+            scenarios::seeds()
+        ),
+    }
+    println!();
+    print!("{}", codec::to_string(&spec));
+}
+
+fn cmd_run(arg: &str, seeds_override: Option<Vec<u64>>, out: Option<String>) {
+    let spec = match resolve_spec(arg) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("run {arg}: {e}")),
+    };
+    let run = match bench::run_spec(&spec, seeds_override) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scenario `{}` failed: {e}", spec.name);
+            std::process::exit(1);
+        }
+    };
+    print!("{}", run.tables);
+    if !run.results.is_empty() {
+        eprintln!(
+            "outcomes: {}",
+            moon::report::outcome_summary(run.results.iter().flatten())
+        );
+    }
+    let out_path = out.unwrap_or_else(|| format!("bench_results/{}.json", spec.name));
+    bench::write_report(Path::new(&out_path), &run.report_json);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("describe") => match args.get(1) {
+            Some(name) => cmd_describe(name),
+            None => fail(USAGE),
+        },
+        Some("run") => {
+            let name = match args.get(1) {
+                Some(n) if !n.starts_with("--") => n.clone(),
+                _ => fail(USAGE),
+            };
+            let mut seeds_override = None;
+            let mut out = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seeds" => {
+                        let n: u64 = args
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| fail("--seeds needs a positive integer"));
+                        seeds_override = Some(scenarios::seed_list(n));
+                        i += 2;
+                    }
+                    "--out" => {
+                        out = Some(
+                            args.get(i + 1)
+                                .unwrap_or_else(|| fail("--out needs a file path"))
+                                .clone(),
+                        );
+                        i += 2;
+                    }
+                    other => fail(&format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            cmd_run(&name, seeds_override, out);
+        }
+        _ => fail(USAGE),
+    }
+}

@@ -1,5 +1,15 @@
 //! Timeline probe: run one experiment, printing progress every interval.
-use moon::{ClusterConfig, PolicyConfig, World};
+//!
+//! ```text
+//! probe [p] [policy-id] [step-secs]
+//! ```
+//!
+//! The policy argument takes any id from the scenario policy catalog
+//! (`moon-hybrid`, `hadoop-1min`, `vo-v1`, `no-hibernate`, … — see
+//! `scenarios::policy`), plus the legacy aliases `moon`, `vo1` and
+//! `hadoopvo`.
+
+use moon::{ClusterConfig, World};
 use simkit::{SimTime, Simulation};
 
 fn main() {
@@ -8,11 +18,22 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.3);
     let which = std::env::args().nth(2).unwrap_or_else(|| "hadoopvo".into());
-    let policy = match which.as_str() {
-        "moon" => PolicyConfig::moon_hybrid(),
-        "vo1" => PolicyConfig::vo_intermediate(1),
-        _ => PolicyConfig::hadoop_vo(simkit::SimDuration::from_mins(1), 6, 3),
+    // Legacy aliases kept for muscle memory; everything else goes
+    // through the catalog.
+    let id = match which.as_str() {
+        "moon" => "moon-hybrid",
+        "vo1" => "vo-v1",
+        "hadoopvo" => "hadoop-vo-v3",
+        other => other,
     };
+    let policy = match scenarios::policy::resolve(id) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!("# probe: {} at p={p}", policy.label);
     let world = World::new(ClusterConfig::paper(p), policy, workloads::paper::sort());
     let mut sim = Simulation::new(world, 42).with_event_limit(50_000_000);
     World::init(&mut sim);

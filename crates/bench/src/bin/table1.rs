@@ -1,25 +1,8 @@
 //! Table I: application configurations.
-
-use workloads::{paper, ReduceCount};
+//!
+//! Thin wrapper over the `table1` registry scenario (a static catalog
+//! — zero simulation runs). Equivalent: `moon-cli run table1`.
 
 fn main() {
-    println!("# Table I — application configurations");
-    println!("application\tinput size\t# maps\t# reduces");
-    for w in [paper::sort(), paper::word_count()] {
-        let reduces = match w.reduces {
-            ReduceCount::Fixed(n) => n.to_string(),
-            ReduceCount::SlotsFraction(f) => format!(
-                "{f} x AvailSlots (= {} on 60x2 slots)",
-                ReduceCount::SlotsFraction(f).resolve(120)
-            ),
-        };
-        println!(
-            "{}\t{} GB\t{}\t{}",
-            w.name,
-            w.input_bytes >> 30,
-            w.n_maps,
-            reduces
-        );
-    }
-    println!("# (by default, Hadoop runs 2 reduce tasks per node)");
+    bench::scenario_main("table1");
 }

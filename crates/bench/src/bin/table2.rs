@@ -1,40 +1,10 @@
 //! Table II: execution profile of different intermediate replication
 //! policies at the 0.5 unavailability rate (avg map/shuffle/reduce time,
 //! killed maps/reduces) for VO-V1, VO-V3, VO-V5, HA-V1.
-
-use bench::{cluster, dump_json, maybe_shrink, run_grid, Point};
-use moon::PolicyConfig;
+//!
+//! Thin wrapper over the `table2` registry scenario. Equivalent:
+//! `moon-cli run table2`.
 
 fn main() {
-    let policies = [
-        PolicyConfig::vo_intermediate(1),
-        PolicyConfig::vo_intermediate(3),
-        PolicyConfig::vo_intermediate(5),
-        PolicyConfig::ha_intermediate(1),
-    ];
-    let mut all = Vec::new();
-    for (panel, base) in [
-        ("sort", workloads::paper::sort()),
-        ("word count", workloads::paper::word_count()),
-    ] {
-        let points: Vec<Point> = policies
-            .iter()
-            .map(|policy| Point {
-                policy: policy.clone(),
-                cluster: cluster(0.5, 6),
-                workload: maybe_shrink(base.clone()),
-            })
-            .collect();
-        let results = run_grid(points);
-        let firsts: Vec<moon::RunResult> = results.iter().map(|rs| rs[0].clone()).collect();
-        println!(
-            "{}",
-            moon::report::profile_table(
-                &format!("Table II ({panel}) — execution profile at p=0.5"),
-                &firsts
-            )
-        );
-        all.extend(results);
-    }
-    dump_json("table2", &all);
+    bench::scenario_main("table2");
 }

@@ -1,76 +1,33 @@
-//! Shared harness for the figure/table reproduction binaries.
+//! Shared harness for the figure/table reproduction binaries and the
+//! `moon-cli` scenario runner.
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the MOON
-//! paper (see DESIGN.md §3 for the index). They share the sweep runner
-//! here: a grid of (policy × unavailability × workload) points, each run
-//! `MOON_SEEDS` times (default 1), with every (point, seed) task executed
-//! in parallel on rayon's work-stealing pool (`MOON_THREADS` /
-//! `RAYON_NUM_THREADS` override the worker count), paper-style text
-//! tables on stdout, and machine-readable JSON dumped to
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! MOON paper (see DESIGN.md §3 for the index) by running a *scenario*
+//! from the [`scenarios`] registry — this crate adds the execution
+//! layer: a sweep runner fanning every (point, seed) task out across
+//! rayon's work-stealing pool (`MOON_THREADS` / `RAYON_NUM_THREADS`
+//! override the worker count), progress lines with run outcomes,
+//! paper-style text tables on stdout, and machine-readable JSON under
 //! `bench_results/`.
+//!
+//! The grid-construction helpers the binaries used to get from here
+//! (`Point`, `PAPER_RATES`, `quick_mode`, `maybe_shrink`, `cluster`,
+//! `seeds`, `measured_sleep`, `mean_time`, `mean_duplicates`) moved
+//! down into the `scenarios` crate and are re-exported unchanged.
 
 #![warn(missing_docs)]
 
-use moon::{ClusterConfig, Experiment, PolicyConfig, RunResult};
+use moon::{Experiment, RunResult};
 use rayon::prelude::*;
-use workloads::WorkloadSpec;
 
-/// The unavailability rates every figure sweeps.
-pub const PAPER_RATES: [f64; 3] = [0.1, 0.3, 0.5];
+mod scenario;
 
-/// Seeds to run per grid point (env `MOON_SEEDS`, default 1).
-pub fn seeds() -> Vec<u64> {
-    let n: u64 = std::env::var("MOON_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    (0..n.max(1)).map(|k| 42 + k * 1000).collect()
-}
-
-/// Quick mode (env `MOON_QUICK=1`): shrink the cluster and workload so a
-/// full figure regenerates in seconds (for CI smoke runs).
-pub fn quick_mode() -> bool {
-    std::env::var("MOON_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-}
-
-/// Scale a workload down for quick mode.
-pub fn maybe_shrink(w: WorkloadSpec) -> WorkloadSpec {
-    if !quick_mode() {
-        return w;
-    }
-    WorkloadSpec {
-        n_maps: (w.n_maps / 8).max(8),
-        input_bytes: w.input_bytes / 8,
-        output_bytes: w.output_bytes / 8,
-        ..w
-    }
-}
-
-/// Cluster for a given rate (shrunk in quick mode).
-pub fn cluster(rate: f64, n_dedicated: u32) -> ClusterConfig {
-    let mut c = if quick_mode() {
-        ClusterConfig::small(rate)
-    } else {
-        ClusterConfig::paper(rate)
-    };
-    if !quick_mode() {
-        c.n_dedicated = n_dedicated;
-    }
-    c
-}
-
-/// One grid point of a sweep.
-#[derive(Clone)]
-pub struct Point {
-    /// Policy bundle.
-    pub policy: PolicyConfig,
-    /// Cluster (embeds the unavailability rate).
-    pub cluster: ClusterConfig,
-    /// Workload.
-    pub workload: WorkloadSpec,
-}
+pub use scenario::{run_spec, scenario_main, write_report, ScenarioRun};
+pub use scenarios::workload::measured_sleep;
+pub use scenarios::{
+    cluster, maybe_shrink, mean_duplicates, mean_time, quick_mode, seed_list, seeds, Point,
+    PAPER_RATES,
+};
 
 /// Run the whole grid (each point × all seeds) in parallel; results come
 /// back in grid order, seeds averaged by the caller via [`mean_time`].
@@ -113,15 +70,18 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
         .map(|exp| {
             let r = exp.run();
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let shown = match r.outcome {
+                moon::Outcome::Completed => {
+                    moon::report::secs_or_dnf(r.job_time.map(|d| d.as_secs_f64()))
+                }
+                // Distinguish a legitimate horizon DNF from an
+                // event-limit livelock right in the progress stream.
+                moon::Outcome::Horizon => "DNF(horizon)".into(),
+                moon::Outcome::EventLimit => "DNF(EVENT-LIMIT — livelock!)".into(),
+            };
             eprintln!(
                 "[{}/{}] {} {} p={} seed={}: {}s",
-                k,
-                total,
-                r.label,
-                r.workload,
-                r.unavailability,
-                r.seed,
-                moon::report::secs_or_dnf(r.job_time.map(|d| d.as_secs_f64()))
+                k, total, r.label, r.workload, r.unavailability, r.seed, shown
             );
             r
         })
@@ -132,198 +92,15 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
         .collect()
 }
 
-/// Mean job time over finished seeds (`None` if every seed DNF'd).
-pub fn mean_time(results: &[RunResult]) -> Option<f64> {
-    let done: Vec<f64> = results
-        .iter()
-        .filter_map(|r| r.job_time.map(|d| d.as_secs_f64()))
-        .collect();
-    (!done.is_empty()).then(|| done.iter().sum::<f64>() / done.len() as f64)
-}
-
-/// Mean duplicated-task count across seeds.
-pub fn mean_duplicates(results: &[RunResult]) -> f64 {
-    results
-        .iter()
-        .map(|r| r.job.duplicated_tasks as f64)
-        .sum::<f64>()
-        / results.len().max(1) as f64
-}
-
-/// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Render a float as a JSON number (`null` for NaN/inf, which JSON
-/// cannot represent).
-fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".into()
-    }
-}
-
-/// Dump raw results as JSON under `bench_results/<name>.json`.
-///
-/// The JSON is emitted by hand: the vendored `serde` shim provides no
-/// real serialization (no registry access — see DESIGN.md §vendor), and
-/// the row schema is flat enough that hand-rolling stays readable.
+/// Dump raw per-run rows as JSON under `bench_results/<name>.json`
+/// (row schema shared with the scenario reports via
+/// [`moon::report::json`]).
 pub fn dump_json(name: &str, results: &[Vec<RunResult>]) {
-    let rows: Vec<String> = results
-        .iter()
-        .flatten()
-        .map(|r| {
-            format!(
-                concat!(
-                    "  {{\n",
-                    "    \"label\": \"{}\",\n",
-                    "    \"workload\": \"{}\",\n",
-                    "    \"unavailability\": {},\n",
-                    "    \"seed\": {},\n",
-                    "    \"job_secs\": {},\n",
-                    "    \"duplicated_tasks\": {},\n",
-                    "    \"killed_maps\": {},\n",
-                    "    \"killed_reduces\": {},\n",
-                    "    \"map_output_relaunches\": {},\n",
-                    "    \"avg_map_time\": {},\n",
-                    "    \"avg_shuffle_time\": {},\n",
-                    "    \"avg_reduce_time\": {},\n",
-                    "    \"fetch_failures\": {},\n",
-                    "    \"events\": {}\n",
-                    "  }}"
-                ),
-                json_escape(&r.label),
-                json_escape(&r.workload),
-                json_f64(r.unavailability),
-                r.seed,
-                r.job_time
-                    .map(|d| json_f64(d.as_secs_f64()))
-                    .unwrap_or_else(|| "null".into()),
-                r.job.duplicated_tasks,
-                r.job.killed_maps,
-                r.job.killed_reduces,
-                r.job.map_output_relaunches,
-                json_f64(r.profile.avg_map_time),
-                json_f64(r.profile.avg_shuffle_time),
-                json_f64(r.profile.avg_reduce_time),
-                r.fetch_failures,
-                r.events,
-            )
-        })
-        .collect();
+    let body = moon::report::json::results_array(results.iter().flatten());
     std::fs::create_dir_all("bench_results").ok();
     let path = format!("bench_results/{name}.json");
-    let body = format!("[\n{}\n]\n", rows.join(",\n"));
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
-}
-
-/// Measure sort/word-count task-time means on an idle cluster, for the
-/// `sleep` workload (the paper feeds measured means into sleep, §VI-A).
-pub fn measured_sleep(base: &WorkloadSpec) -> WorkloadSpec {
-    let r = Experiment {
-        cluster: cluster(0.0, 6),
-        policy: PolicyConfig::moon_hybrid(),
-        workload: maybe_shrink(base.clone()),
-        seed: 7,
-    }
-    .run();
-    let map_mean = simkit::SimDuration::from_secs_f64(r.profile.avg_map_time.max(1.0));
-    // Shuffle time is deliberately excluded from the reduce sleep: the
-    // sleep workload replays *compute* time only, and the shuffle is
-    // re-simulated by the network layer when the sleep job runs —
-    // folding the measured shuffle mean into the reduce mean would
-    // count the transfer twice.
-    let reduce_mean = simkit::SimDuration::from_secs_f64(r.profile.avg_reduce_time.max(1.0));
-    workloads::paper::sleep(base, map_mean, reduce_mean)
-}
-
-/// The Figure 4 / Figure 5 sweep: `sleep` workloads replaying sort and
-/// word-count task times under five scheduling policies, with
-/// intermediate data forced reliable `{1,1}` to isolate scheduling
-/// (§VI-A). Returns (figure-4 tables, figure-5 tables) as printable text.
-pub fn fig45() -> (String, String) {
-    use simkit::SimDuration;
-    let mut fig4 = String::new();
-    let mut fig5 = String::new();
-    let mut all: Vec<Vec<RunResult>> = Vec::new();
-    for (panel, base) in [
-        ("(a) sort", workloads::paper::sort()),
-        ("(b) word count", workloads::paper::word_count()),
-    ] {
-        let sleep = measured_sleep(&base);
-        let policies: Vec<PolicyConfig> = vec![
-            PolicyConfig::hadoop(SimDuration::from_mins(10), 6).with_reliable_intermediate(),
-            PolicyConfig::hadoop(SimDuration::from_mins(5), 6).with_reliable_intermediate(),
-            PolicyConfig::hadoop(SimDuration::from_mins(1), 6).with_reliable_intermediate(),
-            PolicyConfig {
-                label: "MOON".into(),
-                ..PolicyConfig::moon().with_reliable_intermediate()
-            },
-            PolicyConfig {
-                label: "MOON-Hybrid".into(),
-                ..PolicyConfig::moon_hybrid().with_reliable_intermediate()
-            },
-        ];
-        let mut points = Vec::new();
-        for policy in &policies {
-            for &rate in &PAPER_RATES {
-                points.push(Point {
-                    policy: policy.clone(),
-                    cluster: cluster(rate, 6),
-                    workload: maybe_shrink(sleep.clone()),
-                });
-            }
-        }
-        let results = run_grid(points);
-        let mut time_rows = Vec::new();
-        let mut dup_rows = Vec::new();
-        for (pi, policy) in policies.iter().enumerate() {
-            let per_rate = &results[pi * PAPER_RATES.len()..(pi + 1) * PAPER_RATES.len()];
-            time_rows.push((
-                policy.label.clone(),
-                per_rate.iter().map(|r| mean_time(r)).collect::<Vec<_>>(),
-            ));
-            dup_rows.push((
-                policy.label.clone(),
-                per_rate
-                    .iter()
-                    .map(|r| Some(mean_duplicates(r)))
-                    .collect::<Vec<_>>(),
-            ));
-        }
-        fig4.push_str(&moon::report::series_table(
-            &format!("Figure 4{panel}: execution time, sleep({})", base.name),
-            &PAPER_RATES,
-            &time_rows,
-            "seconds",
-        ));
-        fig4.push('\n');
-        fig5.push_str(&moon::report::series_table(
-            &format!("Figure 5{panel}: duplicated tasks, sleep({})", base.name),
-            &PAPER_RATES,
-            &dup_rows,
-            "count",
-        ));
-        fig5.push('\n');
-        all.extend(results);
-    }
-    dump_json("fig4_fig5", &all);
-    (fig4, fig5)
 }

@@ -2,7 +2,7 @@
 //! the horizon), and extract a [`RunResult`].
 
 use crate::config::{ClusterConfig, PolicyConfig};
-use crate::metrics::{ExecutionProfile, RunResult};
+use crate::metrics::{ExecutionProfile, Outcome, RunResult};
 use crate::world::World;
 use mapred::JobStatus;
 use simkit::{RunOutcome, Simulation};
@@ -45,17 +45,24 @@ impl Experiment {
         let world = World::new(self.cluster, self.policy, self.workload);
         let mut sim = Simulation::new(world, seed).with_event_limit(200_000_000);
         World::init(&mut sim);
-        let outcome = sim.run_until(horizon);
-        debug_assert!(
-            outcome != RunOutcome::EventLimit,
-            "event limit hit — livelock in the world model"
-        );
+        let sim_outcome = sim.run_until(horizon);
         let events = sim.events_handled();
         let world = sim.into_model();
 
         let job = world.job_metrics().unwrap_or_default();
         let finished = world.metrics.job_finished.is_some()
             && world.job_status() == Some(JobStatus::Succeeded);
+        // Classify the ending. An event-limit hit is a simulator
+        // livelock, not a legitimate DNF — it used to be only a
+        // `debug_assert!`, so release sweeps averaged livelocked runs
+        // into the DNF column; now reports can tell them apart.
+        let outcome = if finished {
+            Outcome::Completed
+        } else if sim_outcome == RunOutcome::EventLimit {
+            Outcome::EventLimit
+        } else {
+            Outcome::Horizon
+        };
         let profile = ExecutionProfile {
             avg_map_time: world.metrics.map_times.mean(),
             avg_shuffle_time: world.metrics.shuffle_times.mean(),
@@ -72,6 +79,7 @@ impl Experiment {
             } else {
                 None
             },
+            outcome,
             job,
             profile,
             fetch_failures: world.metrics.fetch_failures,

@@ -38,7 +38,7 @@ mod world;
 
 pub use config::{ClusterConfig, PolicyConfig};
 pub use experiment::{run_seeds, summarize_job_times, Experiment};
-pub use metrics::{ExecutionProfile, RunMetrics, RunResult};
+pub use metrics::{ExecutionProfile, Outcome, RunMetrics, RunResult};
 pub use world::{Ev, World};
 
 /// A small workload for doctests and smoke tests: 16 maps over 256 MB,

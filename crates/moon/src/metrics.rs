@@ -31,6 +31,40 @@ impl RunMetrics {
     }
 }
 
+/// How a run ended. The paper's figures only distinguish finished
+/// from "unable to finish", but a sweep must also distinguish a job
+/// that legitimately ran out of horizon from a simulator livelock
+/// (event-limit hit) — previously only a `debug_assert!`, so release
+/// sweeps silently reported livelocked runs as ordinary DNFs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The job's output committed within the horizon.
+    Completed,
+    /// The horizon passed first (the paper's "unable to finish").
+    Horizon,
+    /// The event-count safety limit was hit — a livelock in the world
+    /// model, not a legitimate DNF. Investigate, don't average.
+    EventLimit,
+}
+
+impl Outcome {
+    /// Stable machine-readable name (`completed` / `horizon` /
+    /// `event_limit`), used by the JSON report writer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::Horizon => "horizon",
+            Outcome::EventLimit => "event_limit",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Final, flattened result of one run (what the bench harness prints).
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -43,6 +77,8 @@ pub struct RunResult {
     /// Job response time; `None` = did not finish within the horizon
     /// (the paper's "unable to finish" outcome).
     pub job_time: Option<SimDuration>,
+    /// How the run ended (completed / horizon / event-limit livelock).
+    pub outcome: Outcome,
     /// Counters from the JobTracker.
     pub job: JobMetrics,
     /// Table II row: averages per task.
@@ -112,6 +148,7 @@ mod tests {
             workload: "sort".into(),
             unavailability: 0.5,
             job_time: None,
+            outcome: Outcome::Horizon,
             job: JobMetrics::default(),
             profile: ExecutionProfile::default(),
             fetch_failures: 0,
@@ -119,6 +156,13 @@ mod tests {
             seed: 0,
         };
         assert!(r.job_secs().is_nan());
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(Outcome::Completed.as_str(), "completed");
+        assert_eq!(Outcome::Horizon.as_str(), "horizon");
+        assert_eq!(Outcome::EventLimit.to_string(), "event_limit");
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Paper-style table formatting for experiment results.
+//! Paper-style table formatting for experiment results, plus the
+//! machine-readable JSON writer ([`json`]) shared by the bench dumps
+//! and `moon-cli --out`.
 
-use crate::metrics::RunResult;
+use crate::metrics::{Outcome, RunResult};
 
 /// Format seconds or "DNF" for jobs that missed the horizon.
 pub fn secs_or_dnf(t: Option<f64>) -> String {
@@ -8,6 +10,31 @@ pub fn secs_or_dnf(t: Option<f64>) -> String {
         Some(s) => format!("{s:.0}"),
         None => "DNF".into(),
     }
+}
+
+/// One-line outcome tally for a batch of runs, e.g.
+/// `"5 completed, 1 horizon DNF"` — with livelocked (event-limit) runs
+/// called out loudly when present, since those are simulator bugs
+/// rather than legitimate paper-style DNFs.
+pub fn outcome_summary<'a>(results: impl IntoIterator<Item = &'a RunResult>) -> String {
+    let (mut done, mut horizon, mut livelock) = (0usize, 0usize, 0usize);
+    for r in results {
+        match r.outcome {
+            Outcome::Completed => done += 1,
+            Outcome::Horizon => horizon += 1,
+            Outcome::EventLimit => livelock += 1,
+        }
+    }
+    let mut s = format!("{done} completed");
+    if horizon > 0 {
+        s.push_str(&format!(", {horizon} horizon DNF"));
+    }
+    if livelock > 0 {
+        s.push_str(&format!(
+            ", {livelock} EVENT-LIMIT (livelock — investigate, not a real DNF)"
+        ));
+    }
+    s
 }
 
 /// Render a series table: one row per policy label, one column per
@@ -18,11 +45,23 @@ pub fn series_table(
     rows: &[(String, Vec<Option<f64>>)],
     unit: &str,
 ) -> String {
+    let cols: Vec<String> = rates.iter().map(|r| format!("p={r}")).collect();
+    series_table_cols(title, &cols, rows, unit)
+}
+
+/// [`series_table`] with explicit column labels, for axes that are not
+/// unavailability rates (correlated-session intensity, trace replays).
+pub fn series_table_cols(
+    title: &str,
+    cols: &[String],
+    rows: &[(String, Vec<Option<f64>>)],
+    unit: &str,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title} ({unit})\n"));
     out.push_str("policy");
-    for r in rates {
-        out.push_str(&format!("\tp={r}"));
+    for c in cols {
+        out.push_str(&format!("\t{c}"));
     }
     out.push('\n');
     for (label, values) in rows {
@@ -57,6 +96,95 @@ pub fn profile_table(title: &str, results: &[RunResult]) -> String {
     out
 }
 
+/// Hand-rolled JSON emission for run results.
+///
+/// The vendored `serde` shim provides no real serialization (no
+/// registry access — see DESIGN.md §4), and the row schema is flat
+/// enough that hand-rolling stays readable. This is the single source
+/// for the per-run JSON row: `bench::dump_json` and the `moon-cli`
+/// scenario reports both emit these rows, so the two never drift.
+pub mod json {
+    use crate::metrics::RunResult;
+
+    /// Escape a string for inclusion in a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Render a float as a JSON number (`null` for NaN/inf, which JSON
+    /// cannot represent).
+    pub fn number(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".into()
+        }
+    }
+
+    /// `number` lifted over `Option` (`None` → `null`).
+    pub fn opt_number(x: Option<f64>) -> String {
+        x.map(number).unwrap_or_else(|| "null".into())
+    }
+
+    /// One run as a two-space-indented JSON object (no trailing comma).
+    pub fn result_row(r: &RunResult) -> String {
+        format!(
+            concat!(
+                "  {{\n",
+                "    \"label\": \"{}\",\n",
+                "    \"workload\": \"{}\",\n",
+                "    \"unavailability\": {},\n",
+                "    \"seed\": {},\n",
+                "    \"job_secs\": {},\n",
+                "    \"outcome\": \"{}\",\n",
+                "    \"duplicated_tasks\": {},\n",
+                "    \"killed_maps\": {},\n",
+                "    \"killed_reduces\": {},\n",
+                "    \"map_output_relaunches\": {},\n",
+                "    \"avg_map_time\": {},\n",
+                "    \"avg_shuffle_time\": {},\n",
+                "    \"avg_reduce_time\": {},\n",
+                "    \"fetch_failures\": {},\n",
+                "    \"events\": {}\n",
+                "  }}"
+            ),
+            escape(&r.label),
+            escape(&r.workload),
+            number(r.unavailability),
+            r.seed,
+            opt_number(r.job_time.map(|d| d.as_secs_f64())),
+            r.outcome.as_str(),
+            r.job.duplicated_tasks,
+            r.job.killed_maps,
+            r.job.killed_reduces,
+            r.job.map_output_relaunches,
+            number(r.profile.avg_map_time),
+            number(r.profile.avg_shuffle_time),
+            number(r.profile.avg_reduce_time),
+            r.fetch_failures,
+            r.events,
+        )
+    }
+
+    /// A flat array of [`result_row`]s, newline-terminated.
+    pub fn results_array<'a>(results: impl IntoIterator<Item = &'a RunResult>) -> String {
+        let rows: Vec<String> = results.into_iter().map(result_row).collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +209,55 @@ mod tests {
         assert!(table.contains("p=0.1"));
         assert!(table.contains("Hadoop1Min\t700\t2000"));
         assert!(table.contains("MOON\t650\tDNF"));
+    }
+
+    fn dummy_result(outcome: crate::Outcome) -> RunResult {
+        RunResult {
+            label: "a\"b".into(),
+            workload: "sort".into(),
+            unavailability: 0.3,
+            job_time: None,
+            outcome,
+            job: Default::default(),
+            profile: Default::default(),
+            fetch_failures: 0,
+            events: 17,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn json_rows_escape_and_carry_outcome() {
+        let r = dummy_result(crate::Outcome::EventLimit);
+        let row = json::result_row(&r);
+        assert!(row.contains("\"label\": \"a\\\"b\""), "{row}");
+        assert!(row.contains("\"outcome\": \"event_limit\""), "{row}");
+        assert!(row.contains("\"job_secs\": null"), "{row}");
+        let arr = json::results_array([&r, &r].map(|x| x as &RunResult));
+        assert!(arr.starts_with("[\n"), "{arr}");
+        assert_eq!(arr.matches("\"seed\": 42").count(), 2);
+    }
+
+    #[test]
+    fn json_number_handles_non_finite() {
+        assert_eq!(json::number(1.5), "1.5");
+        assert_eq!(json::number(f64::NAN), "null");
+        assert_eq!(json::opt_number(None), "null");
+    }
+
+    #[test]
+    fn outcome_summary_flags_livelocks() {
+        use crate::Outcome;
+        let rs = vec![
+            dummy_result(Outcome::Completed),
+            dummy_result(Outcome::Horizon),
+            dummy_result(Outcome::EventLimit),
+        ];
+        let s = outcome_summary(&rs);
+        assert!(s.contains("1 completed"), "{s}");
+        assert!(s.contains("1 horizon DNF"), "{s}");
+        assert!(s.contains("EVENT-LIMIT"), "{s}");
+        let s = outcome_summary(&rs[..1]);
+        assert_eq!(s, "1 completed");
     }
 }

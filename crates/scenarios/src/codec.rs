@@ -1,0 +1,485 @@
+//! `ScenarioSpec` ⇄ TOML mapping.
+//!
+//! The on-disk shape (everything but `name`, `title`, `workloads`,
+//! and `[axis]` is optional):
+//!
+//! ```toml
+//! name = "high-churn"
+//! title = "MOON vs Hadoop under extreme churn"
+//! workloads = ["sort"]
+//! panels = [""]
+//! policies = ["moon-hybrid", { id = "ha-v1", label = "HA", dedicated = 3 }]
+//! dedicated = 6
+//! seeds = [42, 1042]        # optional; default = MOON_SEEDS env
+//! horizon_secs = 28800      # optional; default = 8h (or trace horizon)
+//! tables = [{ kind = "time", title = "High churn{panel}: execution time" }]
+//!
+//! [axis]
+//! kind = "rates"            # or "correlated" / "trace-file"
+//! points = [0.3, 0.5, 0.7]
+//! ```
+//!
+//! Parse errors from the TOML layer carry line numbers; mapping errors
+//! name the offending key.
+
+use crate::spec::{
+    Axis, CorrelatedAxis, CorrelatedKnob, PolicyRef, ScenarioError, ScenarioSpec, TableKind,
+    TableSpec,
+};
+use crate::toml::{self, Table, Value};
+
+fn err(message: impl Into<String>) -> ScenarioError {
+    ScenarioError::msg(message)
+}
+
+fn want_str(v: &Value, key: &str) -> Result<String, ScenarioError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| err(format!("`{key}` must be a string, got {}", v.type_name())))
+}
+
+fn want_f64(v: &Value, key: &str) -> Result<f64, ScenarioError> {
+    v.as_f64()
+        .ok_or_else(|| err(format!("`{key}` must be a number, got {}", v.type_name())))
+}
+
+fn want_u64(v: &Value, key: &str) -> Result<u64, ScenarioError> {
+    match *v {
+        Value::Int(i) if i >= 0 => Ok(i as u64),
+        _ => Err(err(format!(
+            "`{key}` must be a non-negative integer, got {}",
+            v.type_name()
+        ))),
+    }
+}
+
+fn want_bool(v: &Value, key: &str) -> Result<bool, ScenarioError> {
+    match *v {
+        Value::Bool(b) => Ok(b),
+        _ => Err(err(format!(
+            "`{key}` must be a boolean, got {}",
+            v.type_name()
+        ))),
+    }
+}
+
+fn want_array<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], ScenarioError> {
+    match v {
+        Value::Array(a) => Ok(a),
+        _ => Err(err(format!(
+            "`{key}` must be an array, got {}",
+            v.type_name()
+        ))),
+    }
+}
+
+fn str_array(t: &Table, key: &str) -> Result<Option<Vec<String>>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => want_array(v, key)?
+            .iter()
+            .map(|item| want_str(item, key))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+    }
+}
+
+fn f64_array(v: &Value, key: &str) -> Result<Vec<f64>, ScenarioError> {
+    want_array(v, key)?
+        .iter()
+        .map(|x| want_f64(x, key))
+        .collect()
+}
+
+fn parse_policy(v: &Value) -> Result<PolicyRef, ScenarioError> {
+    match v {
+        Value::Str(id) => Ok(PolicyRef::new(id.clone())),
+        Value::Table(t) => {
+            let id = t
+                .get("id")
+                .ok_or_else(|| err("policy entry is missing `id`"))?;
+            let mut p = PolicyRef::new(want_str(id, "policies[].id")?);
+            if let Some(l) = t.get("label") {
+                p.label = Some(want_str(l, "policies[].label")?);
+            }
+            if let Some(d) = t.get("dedicated") {
+                p.dedicated = Some(want_u64(d, "policies[].dedicated")? as u32);
+            }
+            for (k, _) in t.iter() {
+                if !matches!(k, "id" | "label" | "dedicated") {
+                    return Err(err(format!("unknown policy entry key `{k}`")));
+                }
+            }
+            Ok(p)
+        }
+        other => Err(err(format!(
+            "`policies` entries must be strings or inline tables, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn parse_table_spec(v: &Value) -> Result<TableSpec, ScenarioError> {
+    let t = match v {
+        Value::Table(t) => t,
+        other => {
+            return Err(err(format!(
+                "`tables` entries must be inline tables, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    let kind = match t.get("kind") {
+        Some(v) => want_str(v, "tables[].kind")?,
+        None => return Err(err("table entry is missing `kind`")),
+    };
+    let kind = match kind.as_str() {
+        "time" => TableKind::Time,
+        "duplicates" => TableKind::Duplicates,
+        "profile" => TableKind::Profile,
+        "detail" => TableKind::Detail,
+        "catalog" => TableKind::Catalog,
+        other => {
+            return Err(err(format!(
+                "unknown table kind `{other}` (time / duplicates / profile / detail / catalog)"
+            )))
+        }
+    };
+    let title = match t.get("title") {
+        Some(v) => want_str(v, "tables[].title")?,
+        None => return Err(err("table entry is missing `title`")),
+    };
+    Ok(TableSpec { kind, title })
+}
+
+fn parse_axis(t: &Table) -> Result<Axis, ScenarioError> {
+    let kind = match t.get("kind") {
+        Some(v) => want_str(v, "axis.kind")?,
+        None => return Err(err("`[axis]` is missing `kind`")),
+    };
+    match kind.as_str() {
+        "rates" => {
+            let points = t
+                .get("points")
+                .ok_or_else(|| err("rates axis is missing `points`"))?;
+            Ok(Axis::Rates(f64_array(points, "axis.points")?))
+        }
+        "correlated" => {
+            let points = t
+                .get("points")
+                .ok_or_else(|| err("correlated axis is missing `points`"))?;
+            let knob = match t.get("knob") {
+                Some(v) => match want_str(v, "axis.knob")?.as_str() {
+                    "sessions_per_hour" => CorrelatedKnob::SessionsPerHour,
+                    "session_fraction" => CorrelatedKnob::SessionFraction,
+                    other => {
+                        return Err(err(format!(
+                            "unknown correlated knob `{other}` \
+                             (sessions_per_hour / session_fraction)"
+                        )))
+                    }
+                },
+                None => CorrelatedKnob::SessionsPerHour,
+            };
+            let get_f = |key: &str, default: f64| -> Result<f64, ScenarioError> {
+                t.get(key).map_or(Ok(default), |v| want_f64(v, key))
+            };
+            Ok(Axis::Correlated(CorrelatedAxis {
+                points: f64_array(points, "axis.points")?,
+                knob,
+                sessions_per_hour: get_f("sessions_per_hour", 1.0)?,
+                session_fraction: get_f("session_fraction", 0.3)?,
+                background: get_f("background", 0.2)?,
+                diurnal: t
+                    .get("diurnal")
+                    .map_or(Ok(true), |v| want_bool(v, "axis.diurnal"))?,
+            }))
+        }
+        "trace-file" => {
+            let path = t
+                .get("path")
+                .ok_or_else(|| err("trace-file axis is missing `path`"))?;
+            Ok(Axis::TraceFile {
+                path: want_str(path, "axis.path")?,
+            })
+        }
+        other => Err(err(format!(
+            "unknown axis kind `{other}` (rates / correlated / trace-file)"
+        ))),
+    }
+}
+
+/// Map a parsed TOML root table to a spec.
+pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
+    let name = match root.get("name") {
+        Some(v) => want_str(v, "name")?,
+        None => return Err(err("scenario is missing `name`")),
+    };
+    let title = match root.get("title") {
+        Some(v) => want_str(v, "title")?,
+        None => return Err(err("scenario is missing `title`")),
+    };
+    let workloads =
+        str_array(root, "workloads")?.ok_or_else(|| err("scenario is missing `workloads`"))?;
+    if workloads.is_empty() {
+        return Err(err("`workloads` must not be empty"));
+    }
+    let panels = match str_array(root, "panels")? {
+        Some(p) => {
+            if p.len() != workloads.len() {
+                return Err(err(format!(
+                    "`panels` has {} entries but `workloads` has {}",
+                    p.len(),
+                    workloads.len()
+                )));
+            }
+            p
+        }
+        None => vec![String::new(); workloads.len()],
+    };
+    let policies = match root.get("policies") {
+        None => Vec::new(),
+        Some(v) => want_array(v, "policies")?
+            .iter()
+            .map(parse_policy)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let axis = match root.get("axis") {
+        Some(Value::Table(t)) => parse_axis(t)?,
+        Some(other) => {
+            return Err(err(format!(
+                "`axis` must be a `[axis]` table, got {}",
+                other.type_name()
+            )))
+        }
+        None => return Err(err("scenario is missing the `[axis]` table")),
+    };
+    let dedicated = root
+        .get("dedicated")
+        .map_or(Ok(6), |v| want_u64(v, "dedicated"))? as u32;
+    let seeds = match root.get("seeds") {
+        None => None,
+        Some(v) => {
+            let list = want_array(v, "seeds")?
+                .iter()
+                .map(|x| want_u64(x, "seeds"))
+                .collect::<Result<Vec<_>, _>>()?;
+            if list.is_empty() {
+                return Err(err(
+                    "`seeds` must not be empty (omit it to use the MOON_SEEDS default)",
+                ));
+            }
+            Some(list)
+        }
+    };
+    let horizon_secs = root
+        .get("horizon_secs")
+        .map(|v| want_u64(v, "horizon_secs"))
+        .transpose()?;
+    let tables = match root.get("tables") {
+        None => vec![TableSpec {
+            kind: TableKind::Time,
+            title: format!("{title}{{panel}}"),
+        }],
+        Some(v) => want_array(v, "tables")?
+            .iter()
+            .map(parse_table_spec)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    for (k, _) in root.iter() {
+        if !matches!(
+            k,
+            "name"
+                | "title"
+                | "workloads"
+                | "panels"
+                | "policies"
+                | "axis"
+                | "dedicated"
+                | "seeds"
+                | "horizon_secs"
+                | "tables"
+        ) {
+            return Err(err(format!("unknown scenario key `{k}`")));
+        }
+    }
+    Ok(ScenarioSpec {
+        name,
+        title,
+        workloads,
+        panels,
+        policies,
+        axis,
+        dedicated,
+        seeds,
+        horizon_secs,
+        tables,
+    })
+}
+
+/// Parse a scenario from TOML text (line-numbered syntax errors,
+/// key-named mapping errors).
+pub fn from_str(text: &str) -> Result<ScenarioSpec, ScenarioError> {
+    let root = toml::parse(text)?;
+    from_toml(&root)
+}
+
+/// Load a scenario from a `.toml` file.
+pub fn load_file(path: &std::path::Path) -> Result<ScenarioSpec, ScenarioError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+    from_str(&text)
+}
+
+fn policy_to_toml(p: &PolicyRef) -> Value {
+    if p.label.is_none() && p.dedicated.is_none() {
+        return Value::Str(p.id.clone());
+    }
+    let mut t = Table::new();
+    t.set("id", Value::Str(p.id.clone()));
+    if let Some(l) = &p.label {
+        t.set("label", Value::Str(l.clone()));
+    }
+    if let Some(d) = p.dedicated {
+        t.set("dedicated", Value::Int(d as i64));
+    }
+    Value::Table(t)
+}
+
+/// Map a spec to a TOML root table (the inverse of [`from_toml`]).
+pub fn to_toml(spec: &ScenarioSpec) -> Table {
+    let mut root = Table::new();
+    root.set("name", Value::Str(spec.name.clone()));
+    root.set("title", Value::Str(spec.title.clone()));
+    root.set(
+        "workloads",
+        Value::Array(spec.workloads.iter().cloned().map(Value::Str).collect()),
+    );
+    root.set(
+        "panels",
+        Value::Array(spec.panels.iter().cloned().map(Value::Str).collect()),
+    );
+    root.set(
+        "policies",
+        Value::Array(spec.policies.iter().map(policy_to_toml).collect()),
+    );
+    root.set("dedicated", Value::Int(spec.dedicated as i64));
+    if let Some(seeds) = &spec.seeds {
+        root.set(
+            "seeds",
+            Value::Array(seeds.iter().map(|&s| Value::Int(s as i64)).collect()),
+        );
+    }
+    if let Some(h) = spec.horizon_secs {
+        root.set("horizon_secs", Value::Int(h as i64));
+    }
+    root.set(
+        "tables",
+        Value::Array(
+            spec.tables
+                .iter()
+                .map(|t| {
+                    let mut e = Table::new();
+                    e.set("kind", Value::Str(t.kind.as_str().into()));
+                    e.set("title", Value::Str(t.title.clone()));
+                    Value::Table(e)
+                })
+                .collect(),
+        ),
+    );
+    let mut axis = Table::new();
+    match &spec.axis {
+        Axis::Rates(points) => {
+            axis.set("kind", Value::Str("rates".into()));
+            axis.set(
+                "points",
+                Value::Array(points.iter().map(|&p| Value::Float(p)).collect()),
+            );
+        }
+        Axis::Correlated(c) => {
+            axis.set("kind", Value::Str("correlated".into()));
+            axis.set(
+                "points",
+                Value::Array(c.points.iter().map(|&p| Value::Float(p)).collect()),
+            );
+            axis.set("knob", Value::Str(c.knob.as_str().into()));
+            axis.set("sessions_per_hour", Value::Float(c.sessions_per_hour));
+            axis.set("session_fraction", Value::Float(c.session_fraction));
+            axis.set("background", Value::Float(c.background));
+            axis.set("diurnal", Value::Bool(c.diurnal));
+        }
+        Axis::TraceFile { path } => {
+            axis.set("kind", Value::Str("trace-file".into()));
+            axis.set("path", Value::Str(path.clone()));
+        }
+    }
+    root.set("axis", Value::Table(axis));
+    root
+}
+
+/// Serialize a spec to TOML text. `from_str(&to_string(s)) == s`.
+pub fn to_string(spec: &ScenarioSpec) -> String {
+    toml::serialize(&to_toml(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn every_builtin_round_trips() {
+        for spec in registry::all() {
+            let text = to_string(&spec);
+            let back =
+                from_str(&text).unwrap_or_else(|e| panic!("{}: {e}\n---\n{text}", spec.name));
+            assert_eq!(back, spec, "round-trip drift for `{}`", spec.name);
+        }
+    }
+
+    #[test]
+    fn minimal_spec_gets_defaults() {
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    [axis]\nkind = \"rates\"\npoints = [0.3]\n";
+        let s = from_str(text).unwrap();
+        assert_eq!(s.dedicated, 6);
+        assert_eq!(s.panels, vec![String::new()]);
+        assert!(s.policies.is_empty());
+        assert!(s.seeds.is_none());
+        assert_eq!(s.tables.len(), 1);
+        assert_eq!(s.tables[0].kind, TableKind::Time);
+    }
+
+    #[test]
+    fn mapping_errors_name_their_key() {
+        let e = from_str("name = \"x\"\n").unwrap_err();
+        assert!(e.message.contains("missing `title`"), "{e}");
+
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    panels = [\"a\", \"b\"]\n[axis]\nkind = \"rates\"\npoints = [0.3]\n";
+        let e = from_str(text).unwrap_err();
+        assert!(e.message.contains("`panels` has 2"), "{e}");
+
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    mystery = 1\n[axis]\nkind = \"rates\"\npoints = [0.3]\n";
+        let e = from_str(text).unwrap_err();
+        assert!(e.message.contains("unknown scenario key `mystery`"), "{e}");
+
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    [axis]\nkind = \"sideways\"\n";
+        let e = from_str(text).unwrap_err();
+        assert!(e.message.contains("unknown axis kind `sideways`"), "{e}");
+
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    seeds = []\n[axis]\nkind = \"rates\"\npoints = [0.3]\n";
+        let e = from_str(text).unwrap_err();
+        assert!(e.message.contains("`seeds` must not be empty"), "{e}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = from_str("name = \"x\"\ntitle = @\n").unwrap_err();
+        assert_eq!(e.line, Some(2), "{e}");
+        assert!(e.to_string().starts_with("line 2:"), "{e}");
+    }
+}

@@ -1,0 +1,208 @@
+//! The named policy catalog: every policy bundle the scenarios sweep,
+//! addressable by a stable string id so specs (and `moon-cli` users)
+//! never construct `PolicyConfig`s in code.
+//!
+//! | id pattern | bundle |
+//! |---|---|
+//! | `moon-hybrid` | MOON with hybrid-aware scheduling (the paper's best) |
+//! | `moon` | MOON without hybrid awareness |
+//! | `hadoop-<n>min` | stock Hadoop, `<n>`-minute tracker expiry, 6-way I/O replication |
+//! | `hadoop-vo-v<k>` | augmented Hadoop-VO (1-min expiry, k-way volatile intermediate) |
+//! | `vo-v<k>` | volatile-only intermediate `{0,k}` on the MOON stack (Figure 6) |
+//! | `ha-v<k>` | hybrid-aware intermediate `{1,k}` (Figure 6) |
+//! | `no-hibernate`, `no-adaptive-v`, `no-homestretch`, `spec-cap-<pct>`, `hadoop-fetch-rule`, `homestretch-r<r>` | single-mechanism ablations of MOON-Hybrid HA-{1,1} |
+//!
+//! Any id may carry a `+reliable` suffix, applying the Figure 4
+//! isolation setup (intermediate data as reliable `{1,1}` files).
+
+use crate::spec::ScenarioError;
+use mapred::{FetchFailurePolicy, MoonPolicy, SchedulerPolicy};
+use moon::PolicyConfig;
+use simkit::SimDuration;
+
+/// Default tracker expiry for the `hadoop-vo-v<k>` family (the paper's
+/// augmented baseline runs with the 1-minute expiry).
+const HADOOP_VO_EXPIRY_MINS: u64 = 1;
+/// Uniform input/output replication for the Hadoop baselines.
+const HADOOP_REPLICAS: u32 = 6;
+
+fn unknown(id: &str) -> ScenarioError {
+    ScenarioError::msg(format!(
+        "unknown policy id `{id}` (try: moon-hybrid, moon, hadoop-1min, \
+         hadoop-vo-v3, vo-v3, ha-v1, no-hibernate, no-adaptive-v, \
+         no-homestretch, spec-cap-10, hadoop-fetch-rule, homestretch-r1; \
+         any id may end with +reliable)"
+    ))
+}
+
+fn parse_suffix_u32(id: &str, prefix: &str) -> Option<u32> {
+    id.strip_prefix(prefix)?.parse().ok()
+}
+
+/// The MOON-Hybrid HA-{1,1} bundle every ablation perturbs.
+fn ablation_base() -> PolicyConfig {
+    PolicyConfig::ha_intermediate(1)
+}
+
+fn resolve_base(id: &str) -> Result<PolicyConfig, ScenarioError> {
+    // Fixed ids first.
+    match id {
+        "moon-hybrid" => return Ok(PolicyConfig::moon_hybrid()),
+        "moon" => return Ok(PolicyConfig::moon()),
+        "no-hibernate" => {
+            let mut v = ablation_base();
+            v.namenode.hibernate_interval = v.namenode.expiry_interval;
+            v.label = "no-hibernate".into();
+            return Ok(v);
+        }
+        "no-adaptive-v" => {
+            let mut v = ablation_base();
+            v.namenode.adaptive_replication = false;
+            v.label = "no-adaptive-v'".into();
+            return Ok(v);
+        }
+        "no-homestretch" => {
+            let mut v = ablation_base();
+            v.scheduler = SchedulerPolicy::Moon(MoonPolicy {
+                homestretch_h_percent: 0.0,
+                ..MoonPolicy::default()
+            });
+            v.label = "no-homestretch".into();
+            return Ok(v);
+        }
+        "hadoop-fetch-rule" => {
+            let mut v = ablation_base();
+            v.fetch = FetchFailurePolicy::HadoopMajority;
+            v.label = "hadoop-fetch-rule".into();
+            return Ok(v);
+        }
+        _ => {}
+    }
+    // Parameterized families.
+    if let Some(rest) = id.strip_prefix("hadoop-vo-v") {
+        let k: u32 = rest.parse().map_err(|_| unknown(id))?;
+        return Ok(PolicyConfig::hadoop_vo(
+            SimDuration::from_mins(HADOOP_VO_EXPIRY_MINS),
+            HADOOP_REPLICAS,
+            k,
+        ));
+    }
+    if let Some(rest) = id.strip_prefix("hadoop-") {
+        if let Some(mins) = rest.strip_suffix("min") {
+            let m: u64 = mins.parse().map_err(|_| unknown(id))?;
+            return Ok(PolicyConfig::hadoop(
+                SimDuration::from_mins(m),
+                HADOOP_REPLICAS,
+            ));
+        }
+    }
+    if let Some(k) = parse_suffix_u32(id, "vo-v") {
+        return Ok(PolicyConfig::vo_intermediate(k));
+    }
+    if let Some(k) = parse_suffix_u32(id, "ha-v") {
+        return Ok(PolicyConfig::ha_intermediate(k));
+    }
+    if let Some(pct) = parse_suffix_u32(id, "spec-cap-") {
+        let mut v = ablation_base();
+        v.scheduler = SchedulerPolicy::Moon(MoonPolicy {
+            speculative_slot_fraction: pct as f64 / 100.0,
+            ..MoonPolicy::default()
+        });
+        v.label = format!("spec-cap-{pct}%");
+        return Ok(v);
+    }
+    if let Some(r) = parse_suffix_u32(id, "homestretch-r") {
+        let mut v = ablation_base();
+        v.scheduler = SchedulerPolicy::Moon(MoonPolicy {
+            homestretch_r: r,
+            ..MoonPolicy::default()
+        });
+        v.label = format!("homestretch-R{r}");
+        return Ok(v);
+    }
+    Err(unknown(id))
+}
+
+/// Resolve a catalog id (with optional `+reliable` suffix) to its
+/// policy bundle.
+pub fn resolve(id: &str) -> Result<PolicyConfig, ScenarioError> {
+    let (base_id, reliable) = match id.strip_suffix("+reliable") {
+        Some(base) => (base, true),
+        None => (id, false),
+    };
+    let p = resolve_base(base_id)?;
+    Ok(if reliable {
+        p.with_reliable_intermediate()
+    } else {
+        p
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_with_expected_labels() {
+        assert_eq!(resolve("moon-hybrid").unwrap().label, "MOON-Hybrid");
+        assert_eq!(resolve("moon").unwrap().label, "MOON");
+        assert_eq!(resolve("hadoop-10min").unwrap().label, "Hadoop10Min");
+        assert_eq!(resolve("hadoop-1min").unwrap().label, "Hadoop1Min");
+        assert_eq!(resolve("hadoop-vo-v3").unwrap().label, "Hadoop-VO-V3");
+        assert_eq!(resolve("vo-v5").unwrap().label, "VO-V5");
+        assert_eq!(resolve("ha-v1").unwrap().label, "HA-V1");
+    }
+
+    #[test]
+    fn reliable_suffix_applies_isolation_setup() {
+        let p = resolve("moon-hybrid+reliable").unwrap();
+        assert_eq!(p.intermediate_kind, dfs::FileKind::Reliable);
+        assert_eq!(p.label, "MOON-Hybrid");
+        let h = resolve("hadoop-5min+reliable").unwrap();
+        assert_eq!(h.intermediate_kind, dfs::FileKind::Reliable);
+        assert_eq!(h.label, "Hadoop5Min");
+    }
+
+    #[test]
+    fn ablation_variants_match_their_hand_built_originals() {
+        let v = resolve("no-hibernate").unwrap();
+        assert_eq!(v.namenode.hibernate_interval, v.namenode.expiry_interval);
+
+        let v = resolve("no-adaptive-v").unwrap();
+        assert!(!v.namenode.adaptive_replication);
+        assert_eq!(v.label, "no-adaptive-v'");
+
+        let v = resolve("no-homestretch").unwrap();
+        match &v.scheduler {
+            SchedulerPolicy::Moon(m) => assert_eq!(m.homestretch_h_percent, 0.0),
+            other => panic!("{other:?}"),
+        }
+
+        let v = resolve("spec-cap-40").unwrap();
+        assert_eq!(v.label, "spec-cap-40%");
+        match &v.scheduler {
+            SchedulerPolicy::Moon(m) => {
+                assert!((m.speculative_slot_fraction - 0.4).abs() < 1e-12)
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let v = resolve("hadoop-fetch-rule").unwrap();
+        assert_eq!(v.fetch, mapred::FetchFailurePolicy::HadoopMajority);
+
+        let v = resolve("homestretch-r3").unwrap();
+        assert_eq!(v.label, "homestretch-R3");
+        match &v.scheduler {
+            SchedulerPolicy::Moon(m) => assert_eq!(m.homestretch_r, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_ids_error_helpfully() {
+        let e = resolve("mystery").unwrap_err();
+        assert!(e.message.contains("unknown policy id `mystery`"), "{e}");
+        assert!(resolve("hadoop-xmin").is_err());
+        assert!(resolve("vo-v").is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! The built-in scenario registry: every paper reproduction the fig/
+//! table binaries used to hard-code, plus stress scenarios exercising
+//! knobs the paper's evaluation never swept. `moon-cli list` prints
+//! this catalog; each entry is an ordinary [`ScenarioSpec`] that could
+//! equally have been loaded from a TOML file (`codec::to_string` of a
+//! registry entry is a valid scenario file).
+
+use crate::knobs::PAPER_RATES;
+use crate::spec::{
+    Axis, CorrelatedAxis, CorrelatedKnob, PolicyRef, ScenarioSpec, TableKind, TableSpec,
+};
+
+fn table(kind: TableKind, title: &str) -> TableSpec {
+    TableSpec {
+        kind,
+        title: title.into(),
+    }
+}
+
+fn refs(ids: &[&str]) -> Vec<PolicyRef> {
+    ids.iter().map(|id| PolicyRef::new(*id)).collect()
+}
+
+fn paper_panels() -> (Vec<String>, Vec<String>) {
+    (
+        vec!["sort".into(), "word count".into()],
+        vec!["(a) sort".into(), "(b) word count".into()],
+    )
+}
+
+fn fig45_base(name: &str, title: &str, tables: Vec<TableSpec>) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        title: title.into(),
+        workloads: vec!["sleep(sort)".into(), "sleep(word count)".into()],
+        panels: vec!["(a) sort".into(), "(b) word count".into()],
+        policies: refs(&[
+            "hadoop-10min+reliable",
+            "hadoop-5min+reliable",
+            "hadoop-1min+reliable",
+            "moon+reliable",
+            "moon-hybrid+reliable",
+        ]),
+        axis: Axis::Rates(PAPER_RATES.to_vec()),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables,
+    }
+}
+
+fn fig4() -> ScenarioSpec {
+    fig45_base(
+        "fig4",
+        "Figure 4 — execution time under scheduling policies (sleep replay; same sweep as fig5)",
+        vec![
+            table(
+                TableKind::Time,
+                "Figure 4{panel}: execution time, {workload}",
+            ),
+            table(
+                TableKind::Duplicates,
+                "Figure 5{panel}: duplicated tasks, {workload}",
+            ),
+        ],
+    )
+}
+
+fn fig5() -> ScenarioSpec {
+    fig45_base(
+        "fig5",
+        "Figure 5 — duplicated tasks under scheduling policies (same sweep as fig4)",
+        vec![table(
+            TableKind::Duplicates,
+            "Figure 5{panel}: duplicated tasks, {workload}",
+        )],
+    )
+}
+
+fn fig6() -> ScenarioSpec {
+    let (workloads, panels) = paper_panels();
+    ScenarioSpec {
+        name: "fig6".into(),
+        title: "Figure 6 — intermediate-data replication policies (VO-Vk vs HA-Vk)".into(),
+        workloads,
+        panels,
+        policies: refs(&[
+            "vo-v1", "vo-v2", "vo-v3", "vo-v4", "vo-v5", "ha-v1", "ha-v2", "ha-v3",
+        ]),
+        axis: Axis::Rates(PAPER_RATES.to_vec()),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![table(
+            TableKind::Time,
+            "Figure 6{panel}: execution time by intermediate replication policy",
+        )],
+    }
+}
+
+fn fig7() -> ScenarioSpec {
+    let (workloads, panels) = paper_panels();
+    let mut policies = vec![PolicyRef {
+        id: "hadoop-vo-v3".into(),
+        label: Some("Hadoop-VO".into()),
+        dedicated: Some(6),
+    }];
+    for d in [3u32, 4, 6] {
+        policies.push(PolicyRef {
+            id: "ha-v1".into(),
+            label: Some(format!("MOON-HybridD{d}")),
+            dedicated: Some(d),
+        });
+    }
+    ScenarioSpec {
+        name: "fig7".into(),
+        title: "Figure 7 — MOON vs augmented Hadoop-VO across dedicated-node counts".into(),
+        workloads,
+        panels,
+        policies,
+        axis: Axis::Rates(PAPER_RATES.to_vec()),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![table(TableKind::Time, "Figure 7{panel}: MOON vs Hadoop-VO")],
+    }
+}
+
+fn table1() -> ScenarioSpec {
+    let (workloads, _) = paper_panels();
+    ScenarioSpec {
+        name: "table1".into(),
+        title: "Table I — application configurations (static, no simulation)".into(),
+        panels: vec![String::new(); workloads.len()],
+        workloads,
+        policies: Vec::new(),
+        axis: Axis::Rates(Vec::new()),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![table(
+            TableKind::Catalog,
+            "# Table I — application configurations",
+        )],
+    }
+}
+
+fn table2() -> ScenarioSpec {
+    let (workloads, _) = paper_panels();
+    ScenarioSpec {
+        name: "table2".into(),
+        title: "Table II — execution profile of intermediate replication policies at p=0.5".into(),
+        panels: vec!["sort".into(), "word count".into()],
+        workloads,
+        policies: refs(&["vo-v1", "vo-v3", "vo-v5", "ha-v1"]),
+        axis: Axis::Rates(vec![0.5]),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![table(
+            TableKind::Profile,
+            "Table II ({panel}) — execution profile at p=0.5",
+        )],
+    }
+}
+
+fn ablations() -> ScenarioSpec {
+    let mut policies = vec![PolicyRef::labeled("ha-v1", "MOON-Hybrid (full)")];
+    policies.extend(refs(&[
+        "no-hibernate",
+        "no-adaptive-v",
+        "no-homestretch",
+        "spec-cap-10",
+        "spec-cap-40",
+        "hadoop-fetch-rule",
+        "homestretch-r1",
+        "homestretch-r3",
+    ]));
+    ScenarioSpec {
+        name: "ablations".into(),
+        title: "Single-mechanism ablations of MOON-Hybrid (sort, p=0.5)".into(),
+        workloads: vec!["sort".into()],
+        panels: vec![String::new()],
+        policies,
+        axis: Axis::Rates(vec![0.5]),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![table(
+            TableKind::Detail,
+            "# Ablations — sort, p=0.5 (job time / duplicated tasks / killed maps)",
+        )],
+    }
+}
+
+fn diurnal_lab() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "diurnal-lab".into(),
+        title: "Correlated diurnal lab-session fleets at rising session intensity".into(),
+        workloads: vec!["sort".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "hadoop-1min"]),
+        axis: Axis::Correlated(CorrelatedAxis {
+            points: vec![0.5, 1.0, 2.0],
+            knob: CorrelatedKnob::SessionsPerHour,
+            sessions_per_hour: 1.0,
+            session_fraction: 0.35,
+            background: 0.15,
+            diurnal: true,
+        }),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![table(
+            TableKind::Time,
+            "Diurnal lab{panel}: execution time vs lab-session intensity (sessions/hour)",
+        )],
+    }
+}
+
+fn blackout() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "blackout".into(),
+        title: "Correlated mass outages capturing half to nearly all of the fleet at once".into(),
+        workloads: vec!["sort".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "ha-v3", "hadoop-vo-v3"]),
+        axis: Axis::Correlated(CorrelatedAxis {
+            points: vec![0.5, 0.75, 0.95],
+            knob: CorrelatedKnob::SessionFraction,
+            sessions_per_hour: 0.25,
+            session_fraction: 0.3,
+            background: 0.05,
+            diurnal: false,
+        }),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![table(
+            TableKind::Time,
+            "Blackout{panel}: execution time vs mass-outage fleet fraction",
+        )],
+    }
+}
+
+fn trace_replay() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "trace-replay".into(),
+        title: "Replay the committed lab-day availability trace file".into(),
+        workloads: vec!["sort".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "hadoop-1min"]),
+        axis: Axis::TraceFile {
+            path: "data/traces/lab-day.trace".into(),
+        },
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![table(
+            TableKind::Time,
+            "Trace replay{panel}: execution time on the recorded lab trace",
+        )],
+    }
+}
+
+fn high_churn() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "high-churn".into(),
+        title: "Scheduling policies under extreme churn, up to p=0.7".into(),
+        workloads: vec!["sort".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "moon", "hadoop-1min", "hadoop-vo-v3"]),
+        axis: Axis::Rates(vec![0.3, 0.5, 0.7]),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        tables: vec![
+            table(TableKind::Time, "High churn{panel}: execution time"),
+            table(TableKind::Duplicates, "High churn{panel}: duplicated tasks"),
+        ],
+    }
+}
+
+/// Every built-in scenario, in catalog order (paper reproductions
+/// first, then the stress scenarios).
+pub fn all() -> Vec<ScenarioSpec> {
+    vec![
+        fig4(),
+        fig5(),
+        fig6(),
+        fig7(),
+        table1(),
+        table2(),
+        ablations(),
+        diurnal_lab(),
+        blackout(),
+        trace_replay(),
+        high_churn(),
+    ]
+}
+
+/// Look up a built-in scenario by name.
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// The catalog's names, for error messages and `moon-cli list`.
+pub fn names() -> Vec<String> {
+    all().into_iter().map(|s| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_paper_and_stress_scenarios() {
+        let names = names();
+        for required in [
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "table1",
+            "table2",
+            "diurnal-lab",
+            "blackout",
+            "trace-replay",
+            "high-churn",
+        ] {
+            assert!(names.contains(&required.to_string()), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = names();
+        names.sort();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(n, names.len());
+    }
+
+    #[test]
+    fn find_works() {
+        assert_eq!(find("fig4").unwrap().name, "fig4");
+        assert!(find("fig9").is_none());
+    }
+
+    #[test]
+    fn every_policy_id_in_the_catalog_resolves() {
+        for spec in all() {
+            for p in &spec.policies {
+                crate::policy::resolve(&p.id).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_rows_carry_dedicated_overrides() {
+        let f7 = find("fig7").unwrap();
+        assert_eq!(f7.policies[0].label.as_deref(), Some("Hadoop-VO"));
+        assert_eq!(f7.policies[1].dedicated, Some(3));
+        assert_eq!(f7.policies[3].dedicated, Some(6));
+    }
+}

@@ -1,0 +1,323 @@
+//! Folding grid results back into the spec's tables and the
+//! machine-readable scenario report.
+//!
+//! The table output is byte-compatible with what the hand-written fig/
+//! table binaries printed (same `moon::report` formatting, same title
+//! strings via the spec's templates), which is what lets those
+//! binaries become thin wrappers without changing their tables.
+
+use crate::expand::Plan;
+use crate::spec::{TableKind, TableSpec};
+use moon::{report, RunResult};
+use workloads::ReduceCount;
+
+/// Mean job time over finished seeds (`None` if every seed DNF'd).
+/// (Formerly `bench::mean_time`; `bench` re-exports it.)
+pub fn mean_time(results: &[RunResult]) -> Option<f64> {
+    let done: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.job_time.map(|d| d.as_secs_f64()))
+        .collect();
+    (!done.is_empty()).then(|| done.iter().sum::<f64>() / done.len() as f64)
+}
+
+/// Mean duplicated-task count across seeds.
+/// (Formerly `bench::mean_duplicates`; `bench` re-exports it.)
+pub fn mean_duplicates(results: &[RunResult]) -> f64 {
+    results
+        .iter()
+        .map(|r| r.job.duplicated_tasks as f64)
+        .sum::<f64>()
+        / results.len().max(1) as f64
+}
+
+fn title_for(table: &TableSpec, plan: &Plan, panel: usize) -> String {
+    table
+        .title
+        .replace("{panel}", &plan.spec.panels[panel])
+        .replace("{workload}", &plan.workload_names[panel])
+}
+
+/// One row of per-column means for a panel.
+fn series_rows(
+    plan: &Plan,
+    results: &[Vec<RunResult>],
+    panel: usize,
+    value: impl Fn(&[RunResult]) -> Option<f64>,
+) -> Vec<(String, Vec<Option<f64>>)> {
+    plan.row_labels
+        .iter()
+        .enumerate()
+        .map(|(row, label)| {
+            let values = (0..plan.col_labels.len())
+                .map(|col| value(&results[plan.point_index(panel, row, col)]))
+                .collect();
+            (label.clone(), values)
+        })
+        .collect()
+}
+
+/// The Table I catalog — rendered from resolved workload specs, no
+/// simulation involved (byte-compatible with the old `table1` binary).
+fn catalog_table(title: &str, plan: &Plan) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str("application\tinput size\t# maps\t# reduces\n");
+    for name in &plan.spec.workloads {
+        // Catalog rows show the *unshrunk* paper shape.
+        let w = match crate::workload::resolve(name) {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let reduces = match w.reduces {
+            ReduceCount::Fixed(n) => n.to_string(),
+            ReduceCount::SlotsFraction(f) => format!(
+                "{f} x AvailSlots (= {} on 60x2 slots)",
+                ReduceCount::SlotsFraction(f).resolve(120)
+            ),
+        };
+        out.push_str(&format!(
+            "{}\t{} GB\t{}\t{}\n",
+            w.name,
+            w.input_bytes >> 30,
+            w.n_maps,
+            reduces
+        ));
+    }
+    out.push_str("# (by default, Hadoop runs 2 reduce tasks per node)\n");
+    out
+}
+
+/// The compact ablation-style detail table (time / dup / kills).
+fn detail_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str("variant\tjob(s)\tdup\tkilled_maps\tkilled_reduces\n");
+    for (row, label) in plan.row_labels.iter().enumerate() {
+        // Detail tables are single-column sweeps; show the first column.
+        let rs = &results[plan.point_index(panel, row, 0)];
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            label,
+            report::secs_or_dnf(mean_time(rs)),
+            rs[0].job.duplicated_tasks,
+            rs[0].job.killed_maps,
+            rs[0].job.killed_reduces,
+        ));
+    }
+    out
+}
+
+/// Render every table in the spec, panel by panel, separated by blank
+/// lines — the text the fig binaries print.
+pub fn render_tables(plan: &Plan, results: &[Vec<RunResult>]) -> String {
+    let mut out = String::new();
+    for table in &plan.spec.tables {
+        if table.kind == TableKind::Catalog {
+            // The catalog lists every workload in one table.
+            out.push_str(&catalog_table(&title_for(table, plan, 0), plan));
+            out.push('\n');
+            continue;
+        }
+        for panel in 0..plan.spec.n_panels() {
+            let title = title_for(table, plan, panel);
+            let text = match table.kind {
+                TableKind::Time => report::series_table_cols(
+                    &title,
+                    &plan.col_labels,
+                    &series_rows(plan, results, panel, mean_time),
+                    "seconds",
+                ),
+                TableKind::Duplicates => report::series_table_cols(
+                    &title,
+                    &plan.col_labels,
+                    &series_rows(plan, results, panel, |rs| Some(mean_duplicates(rs))),
+                    "count",
+                ),
+                TableKind::Profile => {
+                    let firsts: Vec<RunResult> = (0..plan.row_labels.len())
+                        .map(|row| results[plan.point_index(panel, row, 0)][0].clone())
+                        .collect();
+                    report::profile_table(&title, &firsts)
+                }
+                TableKind::Detail => detail_table(&title, plan, results, panel),
+                TableKind::Catalog => unreachable!("handled above"),
+            };
+            out.push_str(&text);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn axis_kind_name(plan: &Plan) -> &'static str {
+    match plan.spec.axis {
+        crate::spec::Axis::Rates(_) => "rates",
+        crate::spec::Axis::Correlated(_) => "correlated",
+        crate::spec::Axis::TraceFile { .. } => "trace-file",
+    }
+}
+
+/// The machine-readable scenario report: spec identity, axis, per-row
+/// mean series, an outcome tally, and every raw run (the rows shared
+/// with `bench::dump_json` via `moon::report::json`).
+pub fn report_json(plan: &Plan, results: &[Vec<RunResult>], seeds: &[u64]) -> String {
+    use moon::report::json;
+    let mut series = Vec::new();
+    for panel in 0..plan.spec.n_panels() {
+        for (row, label) in plan.row_labels.iter().enumerate() {
+            let means: Vec<String> = (0..plan.col_labels.len())
+                .map(|col| json::opt_number(mean_time(&results[plan.point_index(panel, row, col)])))
+                .collect();
+            series.push(format!(
+                "    {{ \"panel\": \"{}\", \"workload\": \"{}\", \"policy\": \"{}\", \"mean_secs\": [{}] }}",
+                json::escape(&plan.spec.panels[panel]),
+                json::escape(&plan.workload_names[panel]),
+                json::escape(label),
+                means.join(", ")
+            ));
+        }
+    }
+    let flat: Vec<&RunResult> = results.iter().flatten().collect();
+    let seeds_str: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+    let cols: Vec<String> = plan
+        .col_labels
+        .iter()
+        .map(|c| format!("\"{}\"", json::escape(c)))
+        .collect();
+    let values: Vec<String> = plan.axis_values.iter().map(|&v| json::number(v)).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": \"{}\",\n",
+            "  \"title\": \"{}\",\n",
+            "  \"quick_mode\": {},\n",
+            "  \"seeds\": [{}],\n",
+            "  \"axis\": {{ \"kind\": \"{}\", \"columns\": [{}], \"values\": [{}] }},\n",
+            "  \"outcomes\": \"{}\",\n",
+            "  \"series\": [\n{}\n  ],\n",
+            "  \"runs\": {}",
+            "}}\n"
+        ),
+        json::escape(&plan.spec.name),
+        json::escape(&plan.spec.title),
+        crate::knobs::quick_mode(),
+        seeds_str.join(", "),
+        axis_kind_name(plan),
+        cols.join(", "),
+        values.join(", "),
+        json::escape(&moon::report::outcome_summary(flat.iter().copied())),
+        series.join(",\n"),
+        json::results_array(flat),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{expand, registry};
+    use moon::Outcome;
+
+    fn fake_result(label: &str, secs: Option<f64>, seed: u64) -> RunResult {
+        RunResult {
+            label: label.into(),
+            workload: "w".into(),
+            unavailability: 0.3,
+            job_time: secs.map(simkit::SimDuration::from_secs_f64),
+            outcome: if secs.is_some() {
+                Outcome::Completed
+            } else {
+                Outcome::Horizon
+            },
+            job: Default::default(),
+            profile: Default::default(),
+            fetch_failures: 0,
+            events: 1,
+            seed,
+        }
+    }
+
+    fn fake_results(plan: &Plan) -> Vec<Vec<RunResult>> {
+        (0..plan.n_points())
+            .map(|i| {
+                vec![fake_result(
+                    "x",
+                    (i % 3 != 0).then_some(100.0 + i as f64),
+                    42,
+                )]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mean_helpers() {
+        let rs = vec![
+            fake_result("a", Some(100.0), 1),
+            fake_result("a", None, 2),
+            fake_result("a", Some(200.0), 3),
+        ];
+        assert_eq!(mean_time(&rs), Some(150.0));
+        assert_eq!(mean_time(&rs[1..2]), None);
+        assert_eq!(mean_duplicates(&rs), 0.0);
+    }
+
+    #[test]
+    fn tables_render_with_substituted_titles() {
+        let plan = expand::expand(&registry::find("high-churn").unwrap()).unwrap();
+        let results = fake_results(&plan);
+        let text = render_tables(&plan, &results);
+        assert!(
+            text.contains("## High churn: execution time (seconds)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("## High churn: duplicated tasks (count)"),
+            "{text}"
+        );
+        assert!(text.contains("p=0.7"), "{text}");
+        assert!(text.contains("MOON-Hybrid\t"), "{text}");
+        assert!(text.contains("DNF"), "{text}");
+    }
+
+    #[test]
+    fn catalog_matches_table1_binary_output() {
+        let plan = expand::expand(&registry::find("table1").unwrap()).unwrap();
+        let text = render_tables(&plan, &[]);
+        assert!(
+            text.starts_with("# Table I — application configurations\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("application\tinput size\t# maps\t# reduces\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sort\t24 GB\t384\t0.9 x AvailSlots (= 108 on 60x2 slots)"),
+            "{text}"
+        );
+        assert!(text.contains("word count\t20 GB\t320\t20"), "{text}");
+        assert!(
+            text.contains("# (by default, Hadoop runs 2 reduce tasks per node)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn report_json_carries_axis_series_and_runs() {
+        let plan = expand::expand(&registry::find("high-churn").unwrap()).unwrap();
+        let results = fake_results(&plan);
+        let json = report_json(&plan, &results, &[42]);
+        assert!(json.contains("\"scenario\": \"high-churn\""), "{json}");
+        assert!(json.contains("\"kind\": \"rates\""), "{json}");
+        assert!(json.contains("\"values\": [0.3, 0.5, 0.7]"), "{json}");
+        assert!(json.contains("\"policy\": \"MOON-Hybrid\""), "{json}");
+        assert!(json.contains("\"outcome\": \"completed\""), "{json}");
+        assert!(json.contains("\"outcomes\": \""), "{json}");
+        // Structural sanity: braces balance.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close, "{json}");
+    }
+}

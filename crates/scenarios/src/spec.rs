@@ -1,0 +1,292 @@
+//! The declarative scenario model.
+//!
+//! A [`ScenarioSpec`] is *data*: it names workloads, policies, an
+//! unavailability axis, seeds and output tables, and the engine turns
+//! it into a grid of fully-configured experiments
+//! ([`expand`](crate::expand::expand)). Everything a `bench` binary used to
+//! hard-code in Rust lives here instead, so new workloads and
+//! volatility regimes are a TOML file away — the evaluation style of
+//! the paper itself (trace-driven suspend/resume) and of the
+//! multi-scenario scheduler studies in PAPERS.md.
+
+use std::fmt;
+
+/// A named scenario: one sweep (or static catalog) with its rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Registry / file name ("fig4", "trace-replay", …).
+    pub name: String,
+    /// One-line description shown by `moon-cli list`.
+    pub title: String,
+    /// Workloads, one per *panel* (a paper figure's (a)/(b) panels).
+    /// Named: `sort`, `word count`, `quick`, or `sleep(<base>)` —
+    /// the latter triggers a calibration run (§VI-A) at expansion.
+    pub workloads: Vec<String>,
+    /// Panel label substituted for `{panel}` in table titles; same
+    /// length as `workloads` (empty string = single unlabeled panel).
+    pub panels: Vec<String>,
+    /// Policy bundles (table rows), by catalog id with optional
+    /// overrides.
+    pub policies: Vec<PolicyRef>,
+    /// The swept unavailability axis (table columns).
+    pub axis: Axis,
+    /// Dedicated-node count (overridable per policy; ignored in quick
+    /// mode, which pins the small-cluster shape).
+    pub dedicated: u32,
+    /// Explicit seeds; `None` = the `MOON_SEEDS` env default.
+    pub seeds: Option<Vec<u64>>,
+    /// Horizon override in seconds; `None` = the 8-hour paper default
+    /// (or the trace file's own horizon for trace axes).
+    pub horizon_secs: Option<u64>,
+    /// Output tables, rendered per panel in order.
+    pub tables: Vec<TableSpec>,
+}
+
+/// A policy catalog reference with optional per-row overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRef {
+    /// Catalog id (see [`crate::policy::resolve`]): `moon-hybrid`,
+    /// `hadoop-1min`, `vo-v3`, `ha-v1`, `hadoop-vo-v3`, ablation
+    /// variants, with an optional `+reliable` suffix.
+    pub id: String,
+    /// Report label override (default: the catalog label).
+    pub label: Option<String>,
+    /// Dedicated-node count override for this row (Figure 7's D3/D4/D6).
+    pub dedicated: Option<u32>,
+}
+
+impl PolicyRef {
+    /// A bare catalog reference.
+    pub fn new(id: impl Into<String>) -> Self {
+        PolicyRef {
+            id: id.into(),
+            label: None,
+            dedicated: None,
+        }
+    }
+
+    /// With a report-label override.
+    pub fn labeled(id: impl Into<String>, label: impl Into<String>) -> Self {
+        PolicyRef {
+            id: id.into(),
+            label: Some(label.into()),
+            dedicated: None,
+        }
+    }
+}
+
+/// The unavailability axis: what varies across table columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// Independent synthetic outages (the paper's Poisson-insertion
+    /// generator) at each target rate `p`. Columns are labeled `p=…`.
+    Rates(Vec<f64>),
+    /// Correlated lab-session fleets from
+    /// [`availability::generate_fleet`], sweeping one knob.
+    Correlated(CorrelatedAxis),
+    /// Replay a recorded fleet from an on-disk trace file (one column).
+    TraceFile {
+        /// Path to a `moon-trace v1` file, resolved against the
+        /// current directory and then the repository root.
+        path: String,
+    },
+}
+
+/// Which [`CorrelatedAxis`] knob the axis points sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelatedKnob {
+    /// Session arrival intensity (sessions/hour at peak).
+    SessionsPerHour,
+    /// Fraction of the fleet captured by one session.
+    SessionFraction,
+}
+
+impl CorrelatedKnob {
+    /// Stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CorrelatedKnob::SessionsPerHour => "sessions_per_hour",
+            CorrelatedKnob::SessionFraction => "session_fraction",
+        }
+    }
+
+    /// Short column-label prefix ("s/h" / "frac").
+    pub fn col_prefix(self) -> &'static str {
+        match self {
+            CorrelatedKnob::SessionsPerHour => "s/h",
+            CorrelatedKnob::SessionFraction => "frac",
+        }
+    }
+}
+
+/// A correlated-fleet sweep: `points` are values of `knob`; the other
+/// parameters stay fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedAxis {
+    /// Values taken by the swept knob (table columns).
+    pub points: Vec<f64>,
+    /// Which knob `points` drives.
+    pub knob: CorrelatedKnob,
+    /// Base session intensity (sessions/hour at peak).
+    pub sessions_per_hour: f64,
+    /// Base fraction of the fleet captured per session.
+    pub session_fraction: f64,
+    /// Independent per-node background unavailability under the
+    /// sessions.
+    pub background: f64,
+    /// Modulate session intensity with the mid-day diurnal profile.
+    pub diurnal: bool,
+}
+
+/// One output table: a kind plus a per-panel title template.
+/// `{panel}` and `{workload}` in the title are substituted at render
+/// time with the panel label and resolved workload name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// What the table shows.
+    pub kind: TableKind,
+    /// Title template (`{panel}`, `{workload}` placeholders).
+    pub title: String,
+}
+
+/// The table kinds the renderer knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Mean job execution time per (policy, axis point) — Figures 4/6/7.
+    Time,
+    /// Mean duplicated-task count — Figure 5.
+    Duplicates,
+    /// Per-task execution profile of the first seed — Table II.
+    Profile,
+    /// Compact per-policy detail row (time, duplicates, kills) — the
+    /// ablation report.
+    Detail,
+    /// The workload catalog (Table I) — rendered from the resolved
+    /// workload specs, no simulation runs.
+    Catalog,
+}
+
+impl TableKind {
+    /// Stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TableKind::Time => "time",
+            TableKind::Duplicates => "duplicates",
+            TableKind::Profile => "profile",
+            TableKind::Detail => "detail",
+            TableKind::Catalog => "catalog",
+        }
+    }
+}
+
+/// Any scenario-layer error (parse, unknown name, expansion failure),
+/// with an optional source line when it came from a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line number when the error has a file location.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ScenarioError {
+    /// A location-free error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        ScenarioError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<crate::toml::TomlError> for ScenarioError {
+    fn from(e: crate::toml::TomlError) -> Self {
+        ScenarioError {
+            line: Some(e.line),
+            message: e.message,
+        }
+    }
+}
+
+impl From<availability::TraceFileError> for ScenarioError {
+    fn from(e: availability::TraceFileError) -> Self {
+        ScenarioError {
+            line: (e.line > 0).then_some(e.line),
+            message: e.message,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Number of panels (= workloads).
+    pub fn n_panels(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Number of axis points (table columns); 1 for a trace replay.
+    pub fn n_cols(&self) -> usize {
+        match &self.axis {
+            Axis::Rates(r) => r.len(),
+            Axis::Correlated(c) => c.points.len(),
+            Axis::TraceFile { .. } => 1,
+        }
+    }
+
+    /// Simulation runs per seed (panels × policies × columns).
+    pub fn runs_per_seed(&self) -> usize {
+        self.n_panels() * self.policies.len() * self.n_cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_counting() {
+        let spec = ScenarioSpec {
+            name: "x".into(),
+            title: "t".into(),
+            workloads: vec!["sort".into(), "word count".into()],
+            panels: vec!["(a)".into(), "(b)".into()],
+            policies: vec![PolicyRef::new("moon-hybrid"), PolicyRef::new("moon")],
+            axis: Axis::Rates(vec![0.1, 0.3, 0.5]),
+            dedicated: 6,
+            seeds: None,
+            horizon_secs: None,
+            tables: vec![],
+        };
+        assert_eq!(spec.n_panels(), 2);
+        assert_eq!(spec.n_cols(), 3);
+        assert_eq!(spec.runs_per_seed(), 12);
+        let spec = ScenarioSpec {
+            axis: Axis::TraceFile {
+                path: "x.trace".into(),
+            },
+            ..spec
+        };
+        assert_eq!(spec.n_cols(), 1);
+    }
+
+    #[test]
+    fn error_display_with_and_without_line() {
+        let e = ScenarioError::msg("boom");
+        assert_eq!(e.to_string(), "boom");
+        let e = ScenarioError {
+            line: Some(7),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "line 7: boom");
+    }
+}

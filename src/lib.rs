@@ -9,6 +9,7 @@
 //! - [`mapred`] — the MapReduce engine and functional programming model.
 //! - [`dfs`] — the MOON file system policy engine.
 //! - [`availability`] — outage traces and estimators.
+//! - [`scenarios`] — the declarative scenario engine behind `moon-cli`.
 //! - [`netsim`] — the flow-level bandwidth simulator.
 //! - [`simkit`] — the discrete-event kernel.
 //!
@@ -23,5 +24,6 @@ pub use dfs;
 pub use mapred;
 pub use moon;
 pub use netsim;
+pub use scenarios;
 pub use simkit;
 pub use workloads;

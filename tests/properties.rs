@@ -210,6 +210,203 @@ fn estimator_always_in_unit_interval() {
 }
 
 // ---------------------------------------------------------------------
+// availability: trace-file format round-trips
+// ---------------------------------------------------------------------
+
+/// Build a random well-formed fleet: each node gets sorted, disjoint
+/// outages within a shared horizon; some nodes have none.
+fn random_fleet<R: Rng>(rng: &mut R) -> Vec<availability::AvailabilityTrace> {
+    let horizon_us = rng.gen_range(1_000_000u64..50_000_000_000);
+    let n_nodes = rng.gen_range(0usize..12);
+    (0..n_nodes)
+        .map(|_| {
+            let mut outages = Vec::new();
+            let mut t = 0u64;
+            loop {
+                let gap = rng.gen_range(1u64..horizon_us / 4 + 2);
+                let dur = rng.gen_range(1u64..horizon_us / 4 + 2);
+                let start = t + gap;
+                let end = start.saturating_add(dur).min(horizon_us);
+                if start >= horizon_us || end <= start {
+                    break;
+                }
+                outages.push(availability::Outage {
+                    start: SimTime::from_micros(start),
+                    end: SimTime::from_micros(end),
+                });
+                t = end;
+                if rng.gen_bool(0.3) {
+                    break;
+                }
+            }
+            availability::AvailabilityTrace::new(outages, SimTime::from_micros(horizon_us))
+        })
+        .collect()
+}
+
+#[test]
+fn trace_file_round_trips_any_wellformed_fleet() {
+    for case in 0..CASES {
+        let mut rng = rng_for("trace_file_roundtrip", case);
+        let fleet = random_fleet(&mut rng);
+        let mut buf = Vec::new();
+        availability::write_fleet(&mut buf, &fleet).expect("in-memory write");
+        let back =
+            availability::read_fleet(buf.as_slice()).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // Horizon normalizes to the fleet-wide max on save; empty
+        // fleets aside, ours share one horizon, so equality is exact.
+        assert_eq!(fleet, back, "case {case}");
+    }
+}
+
+#[test]
+fn trace_file_errors_name_lines_on_corrupted_input() {
+    for case in 0..64 {
+        let mut rng = rng_for("trace_file_errors", case);
+        let fleet = loop {
+            let f = random_fleet(&mut rng);
+            if f.iter().map(|t| t.n_outages()).sum::<usize>() > 0 {
+                break f;
+            }
+        };
+        let mut buf = Vec::new();
+        availability::write_fleet(&mut buf, &fleet).expect("in-memory write");
+        let text = String::from_utf8(buf).unwrap();
+        // Corrupt one random data line (drop a field, or scramble a
+        // number) and check the error points at exactly that line.
+        let lines: Vec<&str> = text.lines().collect();
+        let data_lines: Vec<usize> = (0..lines.len())
+            .filter(|&i| !lines[i].starts_with('#') && !lines[i].is_empty())
+            .collect();
+        let victim = data_lines[rng.gen_range(0..data_lines.len())];
+        let mut corrupted: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        corrupted[victim] = if rng.gen_bool(0.5) {
+            // Two fields instead of three.
+            let parts: Vec<&str> = lines[victim].split(',').collect();
+            format!("{},{}", parts[0], parts[1])
+        } else {
+            format!("{},junk", lines[victim])
+        };
+        let e = availability::read_fleet(corrupted.join("\n").as_bytes())
+            .expect_err("corruption must be detected");
+        assert_eq!(e.line, victim + 1, "case {case}: {e}");
+        assert!(
+            e.to_string().contains(&format!("line {}", victim + 1)),
+            "case {case}: {e}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// scenarios: spec codec round-trips
+// ---------------------------------------------------------------------
+
+/// Draw a random (syntactically arbitrary, semantically unchecked)
+/// scenario spec — parse/serialize must round-trip it regardless of
+/// whether the names would resolve.
+fn random_spec<R: Rng>(rng: &mut R) -> scenarios::ScenarioSpec {
+    const WORDS: [&str; 6] = ["sort", "word count", "quick", "sleep(sort)", "x y", "a\"b"];
+    let word = |rng: &mut R| WORDS[rng.gen_range(0..WORDS.len())].to_string();
+    let n_panels = rng.gen_range(1usize..4);
+    let axis = match rng.gen_range(0u8..3) {
+        0 => scenarios::Axis::Rates(
+            (0..rng.gen_range(0usize..5))
+                .map(|i| i as f64 / 7.0)
+                .collect(),
+        ),
+        1 => scenarios::Axis::Correlated(scenarios::CorrelatedAxis {
+            points: (0..rng.gen_range(1usize..4))
+                .map(|i| 0.25 * (i + 1) as f64)
+                .collect(),
+            knob: if rng.gen_bool(0.5) {
+                scenarios::CorrelatedKnob::SessionsPerHour
+            } else {
+                scenarios::CorrelatedKnob::SessionFraction
+            },
+            sessions_per_hour: rng.gen_range(0.1..3.0),
+            session_fraction: rng.gen_range(0.05..0.9),
+            background: rng.gen_range(0.0..0.5),
+            diurnal: rng.gen_bool(0.5),
+        }),
+        _ => scenarios::Axis::TraceFile {
+            path: format!("data/traces/{}.trace", rng.gen_range(0..100)),
+        },
+    };
+    let tables = (0..rng.gen_range(1usize..3))
+        .map(|i| scenarios::TableSpec {
+            kind: [
+                scenarios::TableKind::Time,
+                scenarios::TableKind::Duplicates,
+                scenarios::TableKind::Profile,
+                scenarios::TableKind::Detail,
+                scenarios::TableKind::Catalog,
+            ][rng.gen_range(0..5)],
+            title: format!("T{i} {{panel}} of {}", word(rng)),
+        })
+        .collect();
+    scenarios::ScenarioSpec {
+        name: format!("spec-{}", rng.gen_range(0..1000)),
+        title: word(rng),
+        workloads: (0..n_panels).map(|_| word(rng)).collect(),
+        panels: (0..n_panels).map(|i| format!("({i})")).collect(),
+        policies: (0..rng.gen_range(0usize..5))
+            .map(|i| scenarios::PolicyRef {
+                id: format!("policy-{i}"),
+                label: rng.gen_bool(0.5).then(|| word(rng)),
+                dedicated: rng.gen_bool(0.3).then(|| rng.gen_range(1u32..8)),
+            })
+            .collect(),
+        axis,
+        dedicated: rng.gen_range(1u32..8),
+        seeds: rng.gen_bool(0.5).then(|| {
+            (0..rng.gen_range(1usize..4))
+                .map(|i| 42 + i as u64)
+                .collect()
+        }),
+        horizon_secs: rng.gen_bool(0.3).then(|| rng.gen_range(600u64..30_000)),
+        tables,
+    }
+}
+
+#[test]
+fn scenario_spec_serialize_parse_round_trips() {
+    for case in 0..CASES {
+        let mut rng = rng_for("spec_roundtrip", case);
+        let spec = random_spec(&mut rng);
+        let text = scenarios::codec::to_string(&spec);
+        let back = scenarios::codec::from_str(&text)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n---\n{text}"));
+        assert_eq!(back, spec, "case {case}\n---\n{text}");
+    }
+}
+
+#[test]
+fn scenario_parse_errors_carry_line_numbers() {
+    // Corrupt a known-good spec at a random line; the reported line
+    // must be at or after the corruption point (later keys can only
+    // fail once the parser reaches them), and parseable prefixes must
+    // fail with a key-level message instead.
+    for case in 0..64 {
+        let mut rng = rng_for("spec_errors", case);
+        let spec = random_spec(&mut rng);
+        let text = scenarios::codec::to_string(&spec);
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let candidates: Vec<usize> = (0..lines.len())
+            .filter(|&i| lines[i].contains('='))
+            .collect();
+        let victim = candidates[rng.gen_range(0..candidates.len())];
+        let eq = lines[victim].find('=').unwrap();
+        lines[victim].truncate(eq + 1); // "key =" with no value
+        let e = scenarios::codec::from_str(&lines.join("\n"))
+            .expect_err("truncated value must not parse");
+        let line = e
+            .line
+            .unwrap_or_else(|| panic!("case {case}: no line in `{e}`"));
+        assert_eq!(line, victim + 1, "case {case}: {e}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // dfs: adaptive replication math
 // ---------------------------------------------------------------------
 
