@@ -1,6 +1,7 @@
 //! Component microbenchmarks: the hot paths of the simulator substrate.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{FlowNet, ResourceId};
 use rand::SeedableRng;
 use simkit::{EventQueue, PausableWork, SimDuration, SimTime};
 
@@ -12,6 +13,28 @@ fn bench_event_queue(c: &mut Criterion) {
                 let mut q = EventQueue::new();
                 for i in 0..n {
                     q.push(SimTime::from_micros((i * 7919) % 1_000_000), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, _, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            })
+        });
+        // The stall-timeout pattern: most scheduled events are cancelled
+        // before firing, stressing tombstone skimming and the dense
+        // state window.
+        g.bench_with_input(BenchmarkId::new("push_cancel_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut ids = Vec::with_capacity(n as usize);
+                for i in 0..n {
+                    ids.push(q.push(SimTime::from_micros((i * 7919) % 1_000_000), i));
+                }
+                for (k, id) in ids.iter().enumerate() {
+                    if k % 4 != 0 {
+                        q.cancel(*id);
+                    }
                 }
                 let mut sum = 0u64;
                 while let Some((_, _, v)) = q.pop() {
@@ -37,6 +60,83 @@ fn bench_maxmin(c: &mut Criterion) {
             |b, (caps, flows)| b.iter(|| black_box(netsim::maxmin_rates(caps, flows))),
         );
     }
+    g.finish();
+}
+
+/// A MOON-shaped cluster: 3 resources per node (disk, NIC up, NIC down).
+fn cluster_net(nodes: usize, cap: f64) -> (FlowNet, Vec<ResourceId>) {
+    let mut net = FlowNet::new();
+    let res: Vec<ResourceId> = (0..nodes * 3).map(|_| net.add_resource(cap)).collect();
+    (net, res)
+}
+
+fn bench_flownet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flownet");
+    // Steady-state reshare cost: F flows across a 66-node cluster, then
+    // capacity toggles (the node suspend/resume hot path). Components
+    // stay small, so cost tracks the dirty slice, not the fleet.
+    for n_flows in [64usize, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("reshare_capacity_toggle", n_flows),
+            &n_flows,
+            |b, &n_flows| {
+                let (mut net, res) = cluster_net(66, 100.0);
+                let t = SimTime::ZERO;
+                for f in 0..n_flows {
+                    let src = (f * 7) % 66;
+                    let dst = (f * 13 + 1) % 66;
+                    let path = [
+                        res[src * 3],
+                        res[src * 3 + 1],
+                        res[dst * 3 + 2],
+                        res[dst * 3],
+                    ];
+                    net.start_flow(t, &path, 1e12);
+                }
+                let mut k = 0usize;
+                b.iter(|| {
+                    let node = (k * 31 + 7) % 66;
+                    k += 1;
+                    let down = net.set_capacity(t, res[node * 3], 0.0);
+                    let up = net.set_capacity(t, res[node * 3], 100.0);
+                    black_box((down, up))
+                })
+            },
+        );
+    }
+    // Full lifecycle churn: start, progress, complete, with the event
+    // queue-style next_completion scan in the loop.
+    g.bench_function("start_poll_cancel_churn", |b| {
+        b.iter(|| {
+            let (mut net, res) = cluster_net(16, 100.0);
+            let mut now = SimTime::ZERO;
+            let mut open = Vec::new();
+            for f in 0..200usize {
+                let src = (f * 5) % 16;
+                let dst = (f * 11 + 1) % 16;
+                let path = [
+                    res[src * 3],
+                    res[src * 3 + 1],
+                    res[dst * 3 + 2],
+                    res[dst * 3],
+                ];
+                let (id, _) = net.start_flow(now, &path, 1_000.0 + f as f64);
+                open.push(id);
+                if f % 3 == 0 {
+                    if let Some(eta) = net.next_completion() {
+                        now = eta.max(now);
+                        let (done, _) = net.poll(now);
+                        open.retain(|o| !done.contains(o));
+                    }
+                }
+                if f % 7 == 0 && !open.is_empty() {
+                    let id = open.swap_remove(f % open.len());
+                    net.cancel_flow(now, id);
+                }
+            }
+            black_box(net.n_flows())
+        })
+    });
     g.finish();
 }
 
@@ -102,6 +202,7 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_maxmin,
+    bench_flownet,
     bench_trace_gen,
     bench_pausable_work,
     bench_namenode

@@ -15,7 +15,7 @@ use availability::{SlidingWindowEstimator, UnavailabilityModel};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use simkit::{SimDuration, SimTime};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// NameNode tunables. Defaults follow the paper's experimental setup.
 #[derive(Debug, Clone)]
@@ -159,9 +159,12 @@ pub struct LivenessReport {
 /// The MOON NameNode.
 pub struct NameNode {
     cfg: NameNodeConfig,
-    nodes: BTreeMap<NodeId, NodeInfo>,
-    files: BTreeMap<FileId, FileMeta>,
-    blocks: BTreeMap<BlockId, BlockMeta>,
+    /// Node table indexed by `NodeId` (dense; nodes are never removed).
+    nodes: Vec<Option<NodeInfo>>,
+    /// File table indexed by `FileId` (dense ids; deletion leaves a hole).
+    files: Vec<Option<FileMeta>>,
+    /// Block table indexed by `BlockId` (dense ids; deletion leaves a hole).
+    blocks: Vec<Option<BlockMeta>>,
     queue: ReplicationQueue,
     /// Opportunistic blocks that were declined a dedicated copy and still
     /// want one (§IV-A "MOON will attempt to have dedicated replicas for
@@ -182,9 +185,9 @@ impl NameNode {
         let estimator = SlidingWindowEstimator::new(cfg.estimator_window, cfg.estimator_prior);
         NameNode {
             cfg,
-            nodes: BTreeMap::new(),
-            files: BTreeMap::new(),
-            blocks: BTreeMap::new(),
+            nodes: Vec::new(),
+            files: Vec::new(),
+            blocks: Vec::new(),
             queue: ReplicationQueue::new(),
             wants_dedicated: BTreeSet::new(),
             estimator,
@@ -204,41 +207,76 @@ impl NameNode {
     // Node management
     // ------------------------------------------------------------------
 
+    #[inline]
+    fn node_ref(&self, id: NodeId) -> &NodeInfo {
+        self.nodes[id.0 as usize].as_ref().expect("unknown node")
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeInfo {
+        self.nodes[id.0 as usize].as_mut().expect("unknown node")
+    }
+
+    #[inline]
+    fn block_ref(&self, b: BlockId) -> Option<&BlockMeta> {
+        self.blocks.get(b.0 as usize)?.as_ref()
+    }
+
+    #[inline]
+    fn block_mut(&mut self, b: BlockId) -> Option<&mut BlockMeta> {
+        self.blocks.get_mut(b.0 as usize)?.as_mut()
+    }
+
+    #[inline]
+    fn file_ref(&self, f: FileId) -> Option<&FileMeta> {
+        self.files.get(f.0 as usize)?.as_ref()
+    }
+
+    #[inline]
+    fn file_mut(&mut self, f: FileId) -> Option<&mut FileMeta> {
+        self.files.get_mut(f.0 as usize)?.as_mut()
+    }
+
+    /// Registered nodes in id order, as (id, info).
+    fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &NodeInfo)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+
     /// Register a DataNode at simulation start.
     pub fn register_node(&mut self, now: SimTime, id: NodeId, class: NodeClass) {
         let throttle = (self.cfg.hybrid && class == NodeClass::Dedicated)
             .then(|| IoThrottle::new(self.cfg.throttle_window, self.cfg.throttle_threshold));
-        self.nodes.insert(
-            id,
-            NodeInfo {
-                class,
-                liveness: NodeLiveness::Active,
-                last_heartbeat: now,
-                throttle,
-                blocks: BTreeSet::new(),
-            },
-        );
+        if self.nodes.len() <= id.0 as usize {
+            self.nodes.resize_with(id.0 as usize + 1, || None);
+        }
+        self.nodes[id.0 as usize] = Some(NodeInfo {
+            class,
+            liveness: NodeLiveness::Active,
+            last_heartbeat: now,
+            throttle,
+            blocks: BTreeSet::new(),
+        });
         self.observe_estimator(now);
     }
 
     /// Node class as registered (volatile in non-hybrid mode semantics are
     /// preserved for bookkeeping, but placement ignores the class).
     pub fn node_class(&self, id: NodeId) -> NodeClass {
-        self.nodes[&id].class
+        self.node_ref(id).class
     }
 
     /// Current liveness of a node.
     pub fn node_liveness(&self, id: NodeId) -> NodeLiveness {
-        self.nodes[&id].liveness
+        self.node_ref(id).liveness
     }
 
     /// Process a heartbeat carrying the node's consumed I/O bandwidth
     /// (bytes/sec, measured by the embedding model).
     pub fn heartbeat(&mut self, now: SimTime, id: NodeId, io_bandwidth: f64) {
-        let node = self
-            .nodes
-            .get_mut(&id)
-            .expect("heartbeat from unknown node");
+        let node = self.node_mut(id);
         node.last_heartbeat = now;
         if let Some(t) = node.throttle.as_mut() {
             t.update(io_bandwidth);
@@ -250,11 +288,14 @@ impl NameNode {
                 // Block report: the returning node still has its data.
                 let held: Vec<BlockId> = node.blocks.iter().copied().collect();
                 for b in held {
-                    if let Some(meta) = self.blocks.get_mut(&b) {
-                        meta.replicas.insert(id);
-                    } else {
-                        // Block was deleted while the node was away.
-                        self.nodes.get_mut(&id).unwrap().blocks.remove(&b);
+                    match self.block_mut(b) {
+                        Some(meta) => {
+                            meta.replicas.insert(id);
+                        }
+                        None => {
+                            // Block was deleted while the node was away.
+                            self.node_mut(id).blocks.remove(&b);
+                        }
                     }
                 }
             }
@@ -267,9 +308,9 @@ impl NameNode {
     /// paper calls for.
     pub fn check_liveness(&mut self, now: SimTime) -> LivenessReport {
         let mut report = LivenessReport::default();
-        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let ids: Vec<NodeId> = self.nodes_iter().map(|(id, _)| id).collect();
         for id in ids {
-            let node = &self.nodes[&id];
+            let node = self.node_ref(id);
             let silent = now.since(node.last_heartbeat);
             match node.liveness {
                 NodeLiveness::Active => {
@@ -297,16 +338,16 @@ impl NameNode {
     }
 
     fn hibernate_node(&mut self, id: NodeId) {
-        let node = self.nodes.get_mut(&id).unwrap();
+        let node = self.node_mut(id);
         node.liveness = NodeLiveness::Hibernated;
         // §IV-C: on (transient) unavailability, re-replicate only
         // opportunistic blocks that lack a dedicated replica.
         let held: Vec<BlockId> = node.blocks.iter().copied().collect();
         for b in held {
-            let Some(meta) = self.blocks.get(&b) else {
+            let Some(meta) = self.block_ref(b) else {
                 continue;
             };
-            let kind = self.files[&meta.file].kind;
+            let kind = self.file_ref(meta.file).expect("block has a file").kind;
             if kind == FileKind::Opportunistic && !self.has_dedicated_replica(b) {
                 let live = self.live_replicas(b).len() as u32;
                 self.queue.enqueue(ReplicationRequest {
@@ -319,11 +360,11 @@ impl NameNode {
     }
 
     fn expire_node(&mut self, id: NodeId) {
-        let node = self.nodes.get_mut(&id).unwrap();
+        let node = self.node_mut(id);
         node.liveness = NodeLiveness::Dead;
         let held: Vec<BlockId> = node.blocks.iter().copied().collect();
         for b in held {
-            if let Some(meta) = self.blocks.get_mut(&b) {
+            if let Some(meta) = self.block_mut(b) {
                 meta.replicas.remove(&id);
             }
             self.enqueue_if_under_replicated(b);
@@ -338,7 +379,7 @@ impl NameNode {
     fn volatile_down_count(&self) -> (usize, usize) {
         let mut down = 0;
         let mut total = 0;
-        for n in self.nodes.values() {
+        for n in self.nodes.iter().flatten() {
             if n.class == NodeClass::Volatile {
                 total += 1;
                 if n.liveness != NodeLiveness::Active {
@@ -357,7 +398,7 @@ impl NameNode {
 
     /// True if at least one dedicated node is Active and unthrottled.
     pub fn dedicated_available_for_opportunistic(&self) -> bool {
-        self.nodes.values().any(|n| {
+        self.nodes.iter().flatten().any(|n| {
             n.class == NodeClass::Dedicated
                 && n.liveness == NodeLiveness::Active
                 && n.throttle.as_ref().is_none_or(|t| !t.is_throttled())
@@ -372,14 +413,12 @@ impl NameNode {
     pub fn create_file(&mut self, kind: FileKind, factor: ReplicationFactor) -> FileId {
         let id = FileId(self.next_file);
         self.next_file += 1;
-        self.files.insert(
-            id,
-            FileMeta {
-                kind,
-                factor,
-                blocks: Vec::new(),
-            },
-        );
+        debug_assert_eq!(id.0 as usize, self.files.len(), "file ids are dense");
+        self.files.push(Some(FileMeta {
+            kind,
+            factor,
+            blocks: Vec::new(),
+        }));
         id
     }
 
@@ -387,33 +426,25 @@ impl NameNode {
     pub fn allocate_block(&mut self, file: FileId, size: u64) -> BlockId {
         let id = BlockId(self.next_block);
         self.next_block += 1;
-        self.blocks.insert(
-            id,
-            BlockMeta {
-                file,
-                size,
-                replicas: BTreeSet::new(),
-            },
-        );
-        self.files
-            .get_mut(&file)
-            .expect("unknown file")
-            .blocks
-            .push(id);
+        debug_assert_eq!(id.0 as usize, self.blocks.len(), "block ids are dense");
+        self.blocks.push(Some(BlockMeta {
+            file,
+            size,
+            replicas: BTreeSet::new(),
+        }));
+        self.file_mut(file).expect("unknown file").blocks.push(id);
         id
     }
 
     /// Delete a file and all its blocks.
     pub fn delete_file(&mut self, file: FileId) {
-        let Some(meta) = self.files.remove(&file) else {
+        let Some(meta) = self.files.get_mut(file.0 as usize).and_then(Option::take) else {
             return;
         };
         for b in meta.blocks {
-            if let Some(bm) = self.blocks.remove(&b) {
+            if let Some(bm) = self.blocks.get_mut(b.0 as usize).and_then(Option::take) {
                 for n in bm.replicas {
-                    if let Some(node) = self.nodes.get_mut(&n) {
-                        node.blocks.remove(&b);
-                    }
+                    self.node_mut(n).blocks.remove(&b);
                 }
             }
             self.queue.remove(b);
@@ -424,12 +455,12 @@ impl NameNode {
     /// Remove a single block from its file (e.g. an aborted writer's
     /// allocation that never received replicas).
     pub fn remove_block(&mut self, block: BlockId) {
-        if let Some(bm) = self.blocks.remove(&block) {
-            if let Some(fm) = self.files.get_mut(&bm.file) {
+        if let Some(bm) = self.blocks.get_mut(block.0 as usize).and_then(Option::take) {
+            if let Some(fm) = self.file_mut(bm.file) {
                 fm.blocks.retain(|&b| b != block);
             }
         }
-        for node in self.nodes.values_mut() {
+        for node in self.nodes.iter_mut().flatten() {
             node.blocks.remove(&block);
         }
         self.queue.remove(block);
@@ -438,33 +469,33 @@ impl NameNode {
 
     /// The blocks of a file, in append order.
     pub fn file_blocks(&self, file: FileId) -> &[BlockId] {
-        &self.files[&file].blocks
+        &self.file_ref(file).expect("unknown file").blocks
     }
 
     /// A file's kind.
     pub fn file_kind(&self, file: FileId) -> FileKind {
-        self.files[&file].kind
+        self.file_ref(file).expect("unknown file").kind
     }
 
     /// A file's replication factor.
     pub fn file_factor(&self, file: FileId) -> ReplicationFactor {
-        self.files[&file].factor
+        self.file_ref(file).expect("unknown file").factor
     }
 
     /// A block's size in bytes.
     pub fn block_size(&self, block: BlockId) -> u64 {
-        self.blocks[&block].size
+        self.block_ref(block).expect("unknown block").size
     }
 
     /// The file owning a block.
     pub fn block_file(&self, block: BlockId) -> FileId {
-        self.blocks[&block].file
+        self.block_ref(block).expect("unknown block").file
     }
 
     /// Promote an opportunistic file to reliable (output commit, §IV-A)
     /// and queue dedicated replication for blocks that lack it.
     pub fn convert_to_reliable(&mut self, file: FileId) {
-        let meta = self.files.get_mut(&file).expect("unknown file");
+        let meta = self.file_mut(file).expect("unknown file");
         if meta.kind == FileKind::Reliable {
             return;
         }
@@ -481,11 +512,10 @@ impl NameNode {
     // ------------------------------------------------------------------
 
     fn active_nodes(&self, class: Option<NodeClass>) -> Vec<NodeId> {
-        self.nodes
-            .iter()
+        self.nodes_iter()
             .filter(|(_, n)| n.liveness == NodeLiveness::Active)
             .filter(|(_, n)| class.is_none_or(|c| n.class == c))
-            .map(|(&id, _)| id)
+            .map(|(id, _)| id)
             .collect()
     }
 
@@ -505,7 +535,8 @@ impl NameNode {
             if exclude.contains(&id) {
                 continue;
             }
-            let throttled = self.nodes[&id]
+            let throttled = self
+                .node_ref(id)
                 .throttle
                 .as_ref()
                 .is_some_and(|t| t.is_throttled());
@@ -539,7 +570,7 @@ impl NameNode {
         }
         if let Some(c) = client {
             if !excluded.contains(&c) {
-                if let Some(n) = self.nodes.get(&c) {
+                if let Some(n) = self.nodes.get(c.0 as usize).and_then(Option::as_ref) {
                     if n.liveness == NodeLiveness::Active && n.class == NodeClass::Volatile {
                         chosen.push(c);
                         excluded.insert(c);
@@ -571,8 +602,8 @@ impl NameNode {
         client: Option<NodeId>,
         rng: &mut R,
     ) -> WritePlan {
-        let meta = &self.blocks[&block];
-        let file = &self.files[&meta.file];
+        let meta = self.block_ref(block).expect("unknown block");
+        let file = self.file_ref(meta.file).expect("block has a file");
         let factor = file.factor;
         let kind = file.kind;
         let exclude: BTreeSet<NodeId> = meta.replicas.clone();
@@ -581,10 +612,9 @@ impl NameNode {
             // Stock HDFS: a single pool, uniform random placement.
             let total = factor.total() as usize;
             let mut cands: Vec<NodeId> = self
-                .nodes
-                .iter()
+                .nodes_iter()
                 .filter(|(_, n)| n.liveness == NodeLiveness::Active)
-                .map(|(&id, _)| id)
+                .map(|(id, _)| id)
                 .filter(|id| !exclude.contains(id))
                 .collect();
             let mut chosen = Vec::with_capacity(total);
@@ -661,12 +691,12 @@ impl NameNode {
         client: Option<NodeId>,
         rng: &mut R,
     ) -> Option<NodeId> {
-        let meta = self.blocks.get(&block)?;
+        let meta = self.block_ref(block)?;
         let active: Vec<NodeId> = meta
             .replicas
             .iter()
             .copied()
-            .filter(|n| self.nodes[n].liveness == NodeLiveness::Active)
+            .filter(|&n| self.node_ref(n).liveness == NodeLiveness::Active)
             .collect();
         if active.is_empty() {
             return None;
@@ -677,13 +707,13 @@ impl NameNode {
             }
         }
         let client_is_volatile = client
-            .map(|c| self.nodes[&c].class == NodeClass::Volatile)
+            .map(|c| self.node_ref(c).class == NodeClass::Volatile)
             .unwrap_or(true);
         let (preferred, fallback): (Vec<NodeId>, Vec<NodeId>) =
             if self.cfg.hybrid && client_is_volatile {
                 active
                     .iter()
-                    .partition(|n| self.nodes[n].class == NodeClass::Volatile)
+                    .partition(|&&n| self.node_ref(n).class == NodeClass::Volatile)
             } else {
                 (active.clone(), Vec::new())
             };
@@ -701,15 +731,11 @@ impl NameNode {
 
     /// Record that a replica of `block` now exists on `node`.
     pub fn commit_replica(&mut self, block: BlockId, node: NodeId) {
-        let Some(meta) = self.blocks.get_mut(&block) else {
+        let Some(meta) = self.block_mut(block) else {
             return;
         };
         meta.replicas.insert(node);
-        self.nodes
-            .get_mut(&node)
-            .expect("unknown node")
-            .blocks
-            .insert(block);
+        self.node_mut(node).blocks.insert(block);
         if self.has_dedicated_replica(block) {
             self.wants_dedicated.remove(&block);
         }
@@ -725,21 +751,19 @@ impl NameNode {
 
     /// Replicas on non-dead nodes.
     pub fn live_replicas(&self, block: BlockId) -> Vec<NodeId> {
-        self.blocks
-            .get(&block)
+        self.block_ref(block)
             .map(|m| m.replicas.iter().copied().collect())
             .unwrap_or_default()
     }
 
     /// Replicas on Active nodes (servable right now).
     pub fn active_replicas(&self, block: BlockId) -> Vec<NodeId> {
-        self.blocks
-            .get(&block)
+        self.block_ref(block)
             .map(|m| {
                 m.replicas
                     .iter()
                     .copied()
-                    .filter(|n| self.nodes[n].liveness == NodeLiveness::Active)
+                    .filter(|&n| self.node_ref(n).liveness == NodeLiveness::Active)
                     .collect()
             })
             .unwrap_or_default()
@@ -747,19 +771,31 @@ impl NameNode {
 
     /// Does the block have a replica on a non-dead dedicated node?
     pub fn has_dedicated_replica(&self, block: BlockId) -> bool {
-        self.blocks
-            .get(&block)
+        self.block_ref(block)
             .map(|m| {
                 m.replicas
                     .iter()
-                    .any(|n| self.nodes[n].class == NodeClass::Dedicated)
+                    .any(|&n| self.node_ref(n).class == NodeClass::Dedicated)
             })
             .unwrap_or(false)
     }
 
     /// Is any replica of the block reachable right now (Active node)?
     pub fn is_block_available(&self, block: BlockId) -> bool {
-        !self.active_replicas(block).is_empty()
+        self.block_ref(block).is_some_and(|m| {
+            m.replicas
+                .iter()
+                .any(|&n| self.node_ref(n).liveness == NodeLiveness::Active)
+        })
+    }
+
+    /// Does `node` hold a replica of `block` and currently serve it?
+    /// (Allocation-free equivalent of `active_replicas(..).contains(..)`,
+    /// for the shuffle hot path.)
+    pub fn is_replica_active(&self, block: BlockId, node: NodeId) -> bool {
+        self.block_ref(block).is_some_and(|m| {
+            m.replicas.contains(&node) && self.node_ref(node).liveness == NodeLiveness::Active
+        })
     }
 
     /// Replication deficit per the class-dependent counting rules:
@@ -768,16 +804,16 @@ impl NameNode {
     /// thrash; opportunistic blocks without dedicated copies count only
     /// Active replicas.
     fn deficit(&self, block: BlockId) -> (u32, u32) {
-        let Some(meta) = self.blocks.get(&block) else {
+        let Some(meta) = self.block_ref(block) else {
             return (0, 0);
         };
-        let file = &self.files[&meta.file];
+        let file = self.file_ref(meta.file).expect("block has a file");
         let lenient = file.kind == FileKind::Reliable || self.has_dedicated_replica(block);
         let count = |class: NodeClass| -> u32 {
             meta.replicas
                 .iter()
-                .filter(|n| {
-                    let info = &self.nodes[n];
+                .filter(|&&n| {
+                    let info = self.node_ref(n);
                     info.class == class
                         && (info.liveness == NodeLiveness::Active
                             || (lenient && info.liveness == NodeLiveness::Hibernated))
@@ -808,11 +844,11 @@ impl NameNode {
     }
 
     fn enqueue_if_under_replicated(&mut self, block: BlockId) {
-        if !self.blocks.contains_key(&block) {
+        let Some(file) = self.block_ref(block).map(|m| m.file) else {
             return;
-        }
+        };
         if self.is_under_replicated(block) {
-            let kind = self.files[&self.blocks[&block].file].kind;
+            let kind = self.file_ref(file).expect("block has a file").kind;
             let live = self.live_replicas(block).len() as u32;
             self.queue.enqueue(ReplicationRequest {
                 block,
@@ -837,7 +873,7 @@ impl NameNode {
         while commands.len() < max_commands {
             let Some(req) = self.queue.pop() else { break };
             let block = req.block;
-            if !self.blocks.contains_key(&block) {
+            if self.block_ref(block).is_none() {
                 continue;
             }
             let (d_deficit, v_deficit) = self.deficit(block);
@@ -850,8 +886,9 @@ impl NameNode {
                 requeue.push(req);
                 continue;
             };
-            let size = self.blocks[&block].size;
-            let exclude: BTreeSet<NodeId> = self.blocks[&block].replicas.iter().copied().collect();
+            let bm = self.block_ref(block).expect("checked above");
+            let size = bm.size;
+            let exclude: BTreeSet<NodeId> = bm.replicas.iter().copied().collect();
             let mut placed_any = false;
             if self.cfg.hybrid {
                 for target in self.pick_dedicated(d_deficit as usize, &exclude, rng) {
@@ -875,10 +912,9 @@ impl NameNode {
             } else {
                 let want = v_deficit as usize;
                 let mut cands: Vec<NodeId> = self
-                    .nodes
-                    .iter()
+                    .nodes_iter()
                     .filter(|(_, n)| n.liveness == NodeLiveness::Active)
-                    .map(|(&id, _)| id)
+                    .map(|(id, _)| id)
                     .filter(|id| !exclude.contains(id))
                     .collect();
                 cands.shuffle(rng);
@@ -910,7 +946,7 @@ impl NameNode {
                 if commands.len() >= max_commands {
                     break;
                 }
-                if !self.blocks.contains_key(&block) {
+                if self.block_ref(block).is_none() {
                     self.wants_dedicated.remove(&block);
                     continue;
                 }
@@ -922,14 +958,19 @@ impl NameNode {
                 let Some(&source) = sources.first() else {
                     continue;
                 };
-                let exclude: BTreeSet<NodeId> =
-                    self.blocks[&block].replicas.iter().copied().collect();
+                let exclude: BTreeSet<NodeId> = self
+                    .block_ref(block)
+                    .expect("checked above")
+                    .replicas
+                    .iter()
+                    .copied()
+                    .collect();
                 if let Some(&target) = self.pick_dedicated(1, &exclude, rng).first() {
                     commands.push(ReplicationCommand {
                         block,
                         source,
                         target,
-                        size: self.blocks[&block].size,
+                        size: self.block_ref(block).expect("checked above").size,
                     });
                 }
             }
@@ -945,7 +986,8 @@ impl NameNode {
     /// output file have reached its replication factor will the job be
     /// marked as complete" (§IV-A).
     pub fn is_fully_replicated(&self, file: FileId) -> bool {
-        self.files[&file]
+        self.file_ref(file)
+            .expect("unknown file")
             .blocks
             .iter()
             .all(|&b| !self.is_under_replicated(b))

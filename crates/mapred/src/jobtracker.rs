@@ -39,6 +39,47 @@ struct Tracker {
     running: BTreeSet<AttemptId>,
 }
 
+/// Windowed fetch-failure reports for one map task. Reports arrive in
+/// nondecreasing sim-time order, so expiring the window is a prefix
+/// drop, and the distinct-reporter count is maintained incrementally
+/// instead of re-sorting the report list on every report.
+#[derive(Debug, Default)]
+struct FetchReports {
+    /// (reporting reduce, report time), time-ascending.
+    reports: std::collections::VecDeque<(TaskId, SimTime)>,
+    /// Reports-in-window per distinct reporting reduce.
+    reporter_counts: BTreeMap<TaskId, u32>,
+}
+
+impl FetchReports {
+    fn push(&mut self, reduce: TaskId, now: SimTime) {
+        debug_assert!(
+            self.reports.back().is_none_or(|&(_, t)| t <= now),
+            "fetch-failure reports arrived out of order"
+        );
+        self.reports.push_back((reduce, now));
+        *self.reporter_counts.entry(reduce).or_insert(0) += 1;
+    }
+
+    /// Drop reports before `cutoff` (a prefix, since times ascend).
+    fn expire(&mut self, cutoff: SimTime) {
+        while let Some(&(r, t)) = self.reports.front() {
+            if t >= cutoff {
+                break;
+            }
+            self.reports.pop_front();
+            let c = self
+                .reporter_counts
+                .get_mut(&r)
+                .expect("count tracks reports");
+            *c -= 1;
+            if *c == 0 {
+                self.reporter_counts.remove(&r);
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Job {
     spec: JobSpec,
@@ -54,7 +95,7 @@ struct Job {
     /// map task → fetch-failure reports as (reporting reduce, time).
     /// Reports expire so that disjoint outage episodes do not accumulate
     /// into a spurious re-execution.
-    fetch_failures: BTreeMap<TaskId, Vec<(TaskId, SimTime)>>,
+    fetch_failures: BTreeMap<TaskId, FetchReports>,
     /// Metrics.
     duplicated_launches: u32,
     killed_map_attempts: u32,
@@ -568,6 +609,20 @@ impl JobTracker {
         })
     }
 
+    /// Range covering every task of `kind` in `job` (TaskId orders by
+    /// (job, kind, index), so one kind is a contiguous key range).
+    fn kind_range(jid: JobId, kind: TaskKind) -> std::ops::RangeInclusive<TaskId> {
+        TaskId {
+            job: jid,
+            kind,
+            index: 0,
+        }..=TaskId {
+            job: jid,
+            kind,
+            index: u32::MAX,
+        }
+    }
+
     /// Slots of `kind` across Alive trackers (the paper's "currently
     /// available execution slots").
     fn available_slots(&self, kind: Option<TaskKind>) -> u32 {
@@ -591,13 +646,10 @@ impl JobTracker {
 
     /// Mean best-progress over scheduled tasks of `kind` (completed
     /// count as 1.0) — the baseline for the Hadoop straggler rule.
-    fn avg_progress(&self, job: &Job, kind: TaskKind) -> f64 {
+    fn avg_progress(&self, jid: JobId, job: &Job, kind: TaskKind) -> f64 {
         let mut sum = 0.0;
         let mut n = 0u32;
-        for t in job.tasks.values() {
-            if t.kind() != kind {
-                continue;
-            }
+        for (_, t) in job.tasks.range(Self::kind_range(jid, kind)) {
             if t.completed {
                 sum += 1.0;
                 n += 1;
@@ -642,14 +694,14 @@ impl JobTracker {
         kind: TaskKind,
         p: &crate::policy::HadoopPolicy,
     ) -> Option<(TaskId, LaunchReason)> {
-        for (_, job) in self.jobs.iter() {
+        for (&jid, job) in self.jobs.iter() {
             if job.status != JobStatus::Running {
                 continue;
             }
-            let avg = self.avg_progress(job, kind);
+            let avg = self.avg_progress(jid, job, kind);
             let mut candidates: Vec<(bool, u32, TaskId)> = Vec::new(); // (non_local, seq, id)
-            for (tid, task) in &job.tasks {
-                if tid.kind != kind || task.completed || task.n_live() == 0 {
+            for (tid, task) in job.tasks.range(Self::kind_range(jid, kind)) {
+                if task.completed || task.n_live() == 0 {
                     continue;
                 }
                 if task.n_live_speculative() as u32 >= p.max_speculative_per_task {
@@ -697,7 +749,7 @@ impl JobTracker {
             .filter(|(_, t)| t.dedicated)
             .map(|(&n, _)| n)
             .collect();
-        for (_, job) in self.jobs.iter() {
+        for (&jid, job) in self.jobs.iter() {
             if job.status != JobStatus::Running {
                 continue;
             }
@@ -707,7 +759,7 @@ impl JobTracker {
             if self.live_speculative(job) >= cap.max(1) {
                 continue;
             }
-            let avg = self.avg_progress(job, kind);
+            let avg = self.avg_progress(jid, job, kind);
             let has_dedicated_copy =
                 |task: &TaskState| task.has_live_attempt_on(|n| dedicated_nodes.contains(&n));
 
@@ -719,15 +771,15 @@ impl JobTracker {
             // 3. Homestretch: remaining tasks short of R active copies.
             let remaining: u32 = job
                 .tasks
-                .values()
-                .filter(|t| t.kind() == kind && !t.completed)
+                .range(Self::kind_range(jid, kind))
+                .filter(|(_, t)| !t.completed)
                 .count() as u32;
             let homestretch_on = (remaining as f64)
                 < (p.homestretch_h_percent / 100.0) * self.available_slots(Some(kind)) as f64;
             let mut homestretch: Vec<(u32, u64, TaskId)> = Vec::new();
 
-            for (tid, task) in &job.tasks {
-                if tid.kind != kind || task.completed || task.n_live() == 0 {
+            for (tid, task) in job.tasks.range(Self::kind_range(jid, kind)) {
+                if task.completed || task.n_live() == 0 {
                     continue;
                 }
                 if task.has_live_attempt_on(|n| n == node) {
@@ -780,7 +832,7 @@ impl JobTracker {
         kind: TaskKind,
         p: &crate::policy::LatePolicy,
     ) -> Option<(TaskId, LaunchReason)> {
-        for (_, job) in self.jobs.iter() {
+        for (&jid, job) in self.jobs.iter() {
             if job.status != JobStatus::Running {
                 continue;
             }
@@ -792,8 +844,8 @@ impl JobTracker {
             }
             // Progress rates of running tasks of this kind.
             let mut rates: Vec<f64> = Vec::new();
-            for t in job.tasks.values() {
-                if t.kind() != kind || t.completed || t.n_running() == 0 {
+            for (_, t) in job.tasks.range(Self::kind_range(jid, kind)) {
+                if t.completed || t.n_running() == 0 {
                     continue;
                 }
                 if let Some(a) = t
@@ -814,8 +866,8 @@ impl JobTracker {
             let threshold = rates[idx.min(rates.len() - 1)];
 
             let mut best: Option<(f64, TaskId)> = None;
-            for (tid, t) in &job.tasks {
-                if tid.kind != kind || t.completed || t.n_running() == 0 {
+            for (tid, t) in job.tasks.range(Self::kind_range(jid, kind)) {
+                if t.completed || t.n_running() == 0 {
                     continue;
                 }
                 if t.n_live_speculative() > 0 {
@@ -949,28 +1001,31 @@ impl JobTracker {
         if !job.tasks[&map].completed {
             return false; // already being re-executed
         }
-        let reports = job.fetch_failures.entry(map).or_default();
-        reports.push((reduce, now));
         let cutoff = now
             .since(SimTime::ZERO)
             .saturating_sub(Self::FETCH_REPORT_WINDOW);
         let cutoff = SimTime::ZERO + cutoff;
-        reports.retain(|&(_, t)| t >= cutoff);
+        let (reporters, in_window) = {
+            let reports = job.fetch_failures.entry(map).or_default();
+            reports.push(reduce, now);
+            reports.expire(cutoff);
+            (reports.reporter_counts.len(), reports.reports.len())
+        };
         let reexec = match self.fetch_policy {
             FetchFailurePolicy::HadoopMajority => {
                 // "More than 50% of the running Reduce tasks report
                 // fetching failures for the Map task" — distinct reduces.
-                let reporters = {
-                    let mut rs: Vec<TaskId> =
-                        job.fetch_failures[&map].iter().map(|&(r, _)| r).collect();
-                    rs.sort_unstable();
-                    rs.dedup();
-                    rs.len()
+                // Reduce TaskIds sort after map TaskIds within a job, so
+                // scan only that range instead of every task.
+                let reduce_start = TaskId {
+                    job: map.job,
+                    kind: TaskKind::Reduce,
+                    index: 0,
                 };
                 let running_reduces = job
                     .tasks
-                    .values()
-                    .filter(|t| t.kind() == TaskKind::Reduce && !t.completed && t.n_live() > 0)
+                    .range(reduce_start..)
+                    .filter(|(_, t)| !t.completed && t.n_live() > 0)
                     .count();
                 reporters * 2 > running_reduces.max(1)
             }
@@ -978,7 +1033,7 @@ impl JobTracker {
                 // "Once it observes three fetch failures from this task,
                 // it immediately reissues a new copy" — cumulative
                 // failures, so even a single starving reduce escalates.
-                job.fetch_failures[&map].len() >= 3 && !output_active
+                in_window >= 3 && !output_active
             }
         };
         if !reexec {

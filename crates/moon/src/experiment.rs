@@ -33,6 +33,17 @@ const _: () = {
     assert_send_sync::<RunResult>();
 };
 
+/// True when `MOON_PERF_LOG=1`: every run prints a perf line on stderr
+/// (events/sec plus the flow-network re-share counters) for bench triage.
+fn perf_log_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("MOON_PERF_LOG")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
 impl Experiment {
     /// Run to completion (job output committed) or the horizon.
     pub fn run(self) -> RunResult {
@@ -42,12 +53,30 @@ impl Experiment {
         let horizon = self.cluster.horizon;
         let seed = self.seed;
 
+        let wall_start = perf_log_enabled().then(std::time::Instant::now);
         let world = World::new(self.cluster, self.policy, self.workload);
         let mut sim = Simulation::new(world, seed).with_event_limit(200_000_000);
         World::init(&mut sim);
         let sim_outcome = sim.run_until(horizon);
         let events = sim.events_handled();
         let world = sim.into_model();
+        if let Some(t0) = wall_start {
+            let wall = t0.elapsed().as_secs_f64();
+            let net = world.net_stats();
+            let mean_component = if net.reshares > 0 {
+                net.reshare_flow_visits as f64 / net.reshares as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "MOON_PERF {label} w={workload_name} p={unavailability} seed={seed}: \
+                 {events} events in {wall:.3}s ({:.0} ev/s), {} reshares \
+                 (mean component {mean_component:.1} flows, peak {} live)",
+                events as f64 / wall.max(1e-9),
+                net.reshares,
+                net.peak_live_flows,
+            );
+        }
 
         let job = world.job_metrics().unwrap_or_default();
         let finished = world.metrics.job_finished.is_some()

@@ -82,6 +82,7 @@ impl World {
             },
         };
         self.attempts.insert(id, rt);
+        self.nodes[node.0 as usize].local_attempts.insert(id);
         match id.task.kind {
             TaskKind::Map => self.begin_map_read(ctx, id),
             TaskKind::Reduce => {
@@ -105,7 +106,7 @@ impl World {
             Some(src) => {
                 let path = self.transfer_path(src, node);
                 let bytes = self.nn.block_size(block) as f64;
-                let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes);
+                let (flow, ch) = self.net.start_flow(ctx.now(), &path, bytes);
                 self.flows.insert(flow, FlowPurpose::Attempt(id));
                 if let Some(rt) = self.attempts.get_mut(&id) {
                     rt.phase = Phase::MapRead { flow: Some(flow) };
@@ -119,6 +120,7 @@ impl World {
                 if self.nn.live_replicas(block).is_empty() {
                     self.jt.attempt_failed(ctx.now(), id);
                     self.attempts.remove(&id);
+                    self.nodes[node.0 as usize].local_attempts.remove(&id);
                 } else {
                     ctx.schedule(PHASE_RETRY_DELAY, Ev::PhaseRetry(id));
                 }
@@ -202,7 +204,7 @@ impl World {
         }
         let bytes = self.nn.block_size(block) as f64;
         let path = self.pipeline_path(node, &targets);
-        let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes);
+        let (flow, ch) = self.net.start_flow(ctx.now(), &path, bytes);
         self.flows.insert(flow, FlowPurpose::Attempt(id));
         if let Some(rt) = self.attempts.get_mut(&id) {
             rt.phase = Phase::Write {
@@ -221,6 +223,7 @@ impl World {
         let Some(rt) = self.attempts.remove(&id) else {
             return;
         };
+        self.nodes[rt.node.0 as usize].local_attempts.remove(&id);
         let mut flows_to_cancel: Vec<FlowId> = Vec::new();
         match rt.phase {
             Phase::MapRead { flow } => {
@@ -378,13 +381,14 @@ impl World {
         block: BlockId,
     ) {
         let rt = self.attempts.remove(&id).expect("attempt exists");
+        self.nodes[rt.node.0 as usize].local_attempts.remove(&id);
         let resp = self.jt.attempt_succeeded(ctx.now(), id);
         for k in resp.kill {
             self.cancel_attempt_physical(ctx, k);
         }
         match id.task.kind {
             TaskKind::Map => {
-                self.map_outputs.insert(id.task.index, (file, block));
+                self.map_outputs[id.task.index as usize] = Some((file, block));
                 self.metrics
                     .map_times
                     .record(ctx.now().since(rt.started).as_secs_f64());

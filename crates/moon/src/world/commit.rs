@@ -82,7 +82,7 @@ impl World {
         let mut all = Changes::default();
         for cmd in cmds {
             let path = self.transfer_path(cmd.source, cmd.target);
-            let (flow, ch) = self.net.start_flow(ctx.now(), path, cmd.size as f64);
+            let (flow, ch) = self.net.start_flow(ctx.now(), &path, cmd.size as f64);
             all.merge(ch);
             self.flows.insert(
                 flow,

@@ -44,7 +44,7 @@ use dfs::{BlockId, FileId, NameNode, NodeClass, NodeId};
 use mapred::{AttemptId, JobId, JobStatus, JobTracker};
 use netsim::{Changes, FlowId, FlowNet, ResourceId};
 use simkit::{Ctx, EventId, Model, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use workloads::WorkloadSpec;
 
 /// Events of the world model.
@@ -84,6 +84,11 @@ struct NodeRt {
     nic_up: ResourceId,
     nic_down: ResourceId,
     heartbeat_ev: EventId,
+    /// Live attempts running on this node (mirror of `World::attempts`
+    /// filtered by node, so per-node sweeps — heartbeats, suspends,
+    /// resumes — do not scan every attempt in the world). Ordered, so
+    /// iteration matches a filtered scan of the attempts map.
+    local_attempts: BTreeSet<AttemptId>,
 }
 
 /// What a flow in the network is doing, keyed by [`FlowId`] in
@@ -128,11 +133,13 @@ pub struct World {
     input_blocks: Vec<BlockId>,
     output_file: Option<FileId>,
     n_reduces: u32,
-    /// Committed output of each completed map task: map index → block.
-    map_outputs: BTreeMap<u32, (FileId, BlockId)>,
+    /// Committed output of each completed map task, indexed by map index.
+    map_outputs: Vec<Option<(FileId, BlockId)>>,
     attempts: BTreeMap<AttemptId, AttemptRt>,
-    flows: BTreeMap<FlowId, FlowPurpose>,
-    stall_timeouts: BTreeMap<FlowId, EventId>,
+    /// Purpose of every open flow. Never iterated (order-free), so a
+    /// hash map keeps the per-flow bookkeeping O(1).
+    flows: HashMap<FlowId, FlowPurpose>,
+    stall_timeouts: HashMap<FlowId, EventId>,
     net_poll_ev: EventId,
     job_tasks_done: bool,
     /// Measured results.
@@ -144,6 +151,7 @@ impl World {
     pub fn new(cluster: ClusterConfig, policy: PolicyConfig, workload: WorkloadSpec) -> Self {
         let nn = NameNode::new(policy.namenode.clone());
         let jt = JobTracker::new(policy.scheduler.clone(), policy.fetch);
+        let n_maps = workload.n_maps as usize;
         World {
             cluster,
             policy,
@@ -157,10 +165,10 @@ impl World {
             input_blocks: Vec::new(),
             output_file: None,
             n_reduces: 0,
-            map_outputs: BTreeMap::new(),
+            map_outputs: vec![None; n_maps],
             attempts: BTreeMap::new(),
-            flows: BTreeMap::new(),
-            stall_timeouts: BTreeMap::new(),
+            flows: HashMap::new(),
+            stall_timeouts: HashMap::new(),
             net_poll_ev: EventId::NONE,
             job_tasks_done: false,
             metrics: RunMetrics::default(),
@@ -204,6 +212,7 @@ impl World {
                 nic_up,
                 nic_down,
                 heartbeat_ev: EventId::NONE,
+                local_attempts: BTreeSet::new(),
             });
             w.traces.push(trace);
         }
@@ -352,6 +361,11 @@ impl World {
     /// The NameNode (read access for tests and metrics).
     pub fn namenode(&self) -> &NameNode {
         &self.nn
+    }
+
+    /// Flow-network re-sharing counters (behind `MOON_PERF_LOG=1`).
+    pub fn net_stats(&self) -> netsim::NetStats {
+        self.net.stats()
     }
 }
 

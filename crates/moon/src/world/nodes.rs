@@ -30,11 +30,10 @@ impl World {
         all.merge(self.net.set_capacity(ctx.now(), down, 0.0));
         self.apply_changes(ctx, all);
         // Pause compute phases running on this node.
-        let paused: Vec<AttemptId> = self
-            .attempts
+        let paused: Vec<AttemptId> = self.nodes[n.0 as usize]
+            .local_attempts
             .iter()
-            .filter(|(_, rt)| rt.node == n)
-            .map(|(&id, _)| id)
+            .copied()
             .collect();
         for id in paused {
             if let Some(rt) = self.attempts.get_mut(&id) {
@@ -62,11 +61,10 @@ impl World {
         all.merge(self.net.set_capacity(ctx.now(), down, nic_bw));
         self.apply_changes(ctx, all);
         // Resume compute phases.
-        let resumed: Vec<AttemptId> = self
-            .attempts
+        let resumed: Vec<AttemptId> = self.nodes[n.0 as usize]
+            .local_attempts
             .iter()
-            .filter(|(_, rt)| rt.node == n)
-            .map(|(&id, _)| id)
+            .copied()
             .collect();
         for id in resumed {
             if let Some(rt) = self.attempts.get_mut(&id) {
@@ -101,11 +99,10 @@ impl World {
         self.nn.heartbeat(ctx.now(), n, (bw * noise).max(0.0));
 
         // Progress reports for local attempts.
-        let local: Vec<AttemptId> = self
-            .attempts
+        let local: Vec<AttemptId> = self.nodes[n.0 as usize]
+            .local_attempts
             .iter()
-            .filter(|(_, rt)| rt.node == n)
-            .map(|(&id, _)| id)
+            .copied()
             .collect();
         for id in local {
             let p = self.attempt_progress(id, ctx.now());

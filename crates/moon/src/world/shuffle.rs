@@ -55,7 +55,7 @@ impl World {
             let mut batch: Vec<u32> = Vec::new();
             let mut source: Option<NodeId> = None;
             for &m in &sh.waiting {
-                let Some(&(_, block)) = self.map_outputs.get(&m) else {
+                let Some((_, block)) = self.map_outputs[m as usize] else {
                     continue;
                 };
                 match source {
@@ -74,7 +74,7 @@ impl World {
                         if batch.len() >= MAX_FETCH_BATCH {
                             break;
                         }
-                        if self.nn.active_replicas(block).contains(&s) {
+                        if self.nn.is_replica_active(block, s) {
                             batch.push(m);
                         }
                     }
@@ -84,7 +84,7 @@ impl World {
             let bytes: f64 =
                 batch.len() as f64 * self.workload.shuffle_bytes_per_pair(self.n_reduces) as f64;
             let path = self.transfer_path(src, node);
-            let (flow, ch) = self.net.start_flow(ctx.now(), path, bytes.max(1.0));
+            let (flow, ch) = self.net.start_flow(ctx.now(), &path, bytes.max(1.0));
             self.flows.insert(
                 flow,
                 FlowPurpose::Fetch {
@@ -157,16 +157,14 @@ impl World {
                 kind: TaskKind::Map,
                 index: m,
             };
-            let output_active = self
-                .map_outputs
-                .get(&m)
-                .map(|&(_, b)| self.nn.is_block_available(b))
+            let output_active = self.map_outputs[m as usize]
+                .map(|(_, b)| self.nn.is_block_available(b))
                 .unwrap_or(false);
             let reexec =
                 self.jt
                     .report_fetch_failure(ctx.now(), map_task, reduce_task, output_active);
             if reexec {
-                self.map_outputs.remove(&m);
+                self.map_outputs[m as usize] = None;
             }
             self.metrics.fetch_failures += 1;
         }
@@ -195,10 +193,8 @@ impl World {
             .waiting
             .iter()
             .copied()
-            .filter(|m| {
-                self.map_outputs
-                    .get(m)
-                    .is_some_and(|&(_, b)| !self.nn.is_block_available(b))
+            .filter(|&m| {
+                self.map_outputs[m as usize].is_some_and(|(_, b)| !self.nn.is_block_available(b))
             })
             .collect();
         let job = self.job_id();
@@ -213,7 +209,7 @@ impl World {
                 .jt
                 .report_fetch_failure(ctx.now(), map_task, reduce_task, false);
             if reexec {
-                self.map_outputs.remove(&m);
+                self.map_outputs[m as usize] = None;
             }
             self.metrics.fetch_failures += 1;
         }

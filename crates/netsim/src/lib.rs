@@ -13,6 +13,13 @@
 //! paper's suspend/resume emulation semantics. Stall transitions are
 //! reported to the host so it can model fetch timeouts.
 //!
+//! Re-sharing is *incremental*: flows live in a slab, and each mutation
+//! re-solves only the connected component of the flow↔resource graph it
+//! touches, through the reusable scratch-buffer [`Solver`] — zero
+//! steady-state allocation, bit-identical to a from-scratch
+//! [`maxmin_rates`] solve (see `DESIGN.md` §5). [`FlowNet::stats`]
+//! exposes the re-share work counters behind `MOON_PERF_LOG=1`.
+//!
 //! ## Example
 //!
 //! ```
@@ -22,9 +29,9 @@
 //! let mut net = FlowNet::new();
 //! let nic_a = net.add_resource(100.0); // 100 B/s
 //! let nic_b = net.add_resource(100.0);
-//! let (flow, _) = net.start_flow(SimTime::ZERO, vec![nic_a, nic_b], 1_000.0);
+//! let (flow, _) = net.start_flow(SimTime::ZERO, &[nic_a, nic_b], 1_000.0);
 //! let eta = net.next_completion().unwrap();
-//! assert_eq!(eta.as_secs_f64().round(), 10.0);
+//! assert_eq!(eta.as_secs_f64(), 10.0);
 //! let (done, _) = net.poll(eta);
 //! assert_eq!(done, vec![flow]);
 //! ```
@@ -34,5 +41,5 @@
 mod maxmin;
 mod net;
 
-pub use maxmin::maxmin_rates;
-pub use net::{Changes, FlowId, FlowNet, ResourceId};
+pub use maxmin::{maxmin_rates, Solver};
+pub use net::{Changes, FlowId, FlowNet, NetStats, ResourceId};

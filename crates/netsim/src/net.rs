@@ -8,10 +8,28 @@
 //! re-shares bandwidth and reports flows that stalled (rate became zero —
 //! e.g. a node suspended) or resumed, so the host can run stall timeouts
 //! (fetch failures in MapReduce terms).
+//!
+//! ## Incremental sharing
+//!
+//! Flows live in a slab (`Vec` slots + free list, handles tagged with a
+//! monotone serial so stale [`FlowId`]s never alias a reused slot), and
+//! every resource keeps the list of live flows crossing it. Disjoint
+//! connected components of the flow↔resource bipartite graph have
+//! independent max-min allocations, so a mutation re-solves only the
+//! component it touches: a bipartite BFS from the touched resources
+//! collects the dirty component into persistent scratch buffers and a
+//! reusable [`maxmin::Solver`](crate::maxmin::Solver) re-runs
+//! progressive filling on just that slice of the network, with zero
+//! steady-state allocation. Paths are deduplicated once at
+//! [`start_flow`](FlowNet::start_flow), never per solve. Rates, stall
+//! transitions, and completion order are bit-identical to a from-scratch
+//! global solve because component flows are processed in flow-creation
+//! order and untouched components would re-derive exactly the same rates
+//! from unchanged inputs (see `DESIGN.md` §5 for the determinism
+//! argument).
 
-use crate::maxmin::maxmin_rates;
+use crate::maxmin::Solver;
 use simkit::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Bytes below which a flow counts as finished (guards f64 rounding).
 const EPS_BYTES: f64 = 1e-3;
@@ -21,19 +39,45 @@ const EPS_BYTES: f64 = 1e-3;
 pub struct ResourceId(u32);
 
 /// Handle to an in-flight transfer.
+///
+/// Ordered by creation: a flow started later compares greater, exactly
+/// like the pre-slab monotone ids, so host-side ordered maps keyed by
+/// `FlowId` still iterate in creation order. The slot half of the handle
+/// is an O(1) index into the flow slab; the serial half guards against a
+/// stale handle aliasing a reused slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct FlowId(u64);
+pub struct FlowId {
+    serial: u64,
+    slot: u32,
+}
 
 #[derive(Debug)]
 struct Resource {
     capacity: f64,
+    /// Slots of live flows whose path crosses this resource, in flow
+    /// creation order (new flows have the largest serial, so insertion
+    /// is a push; removal keeps the order). Creation order makes
+    /// [`FlowNet::resource_throughput`] sum in the same order as a scan
+    /// of all flows, hence bit-identical.
+    flows: Vec<u32>,
+    /// Component-BFS visit stamp (`== FlowNet::epoch` when visited).
+    mark: u32,
+    /// Dense index handed to the solver while visited.
+    local: u32,
 }
 
 #[derive(Debug)]
-struct Flow {
-    path: Vec<ResourceId>,
+struct FlowSlot {
+    /// Serial of the current (or, if `live` is false, the most recent)
+    /// occupant; `FlowId` lookups validate against it.
+    serial: u64,
+    /// Deduplicated, sorted resource indices (computed once at start).
+    path: Vec<u32>,
     remaining: f64,
     rate: f64,
+    live: bool,
+    /// Component-BFS visit stamp (`== FlowNet::epoch` when visited).
+    mark: u32,
 }
 
 /// Flows whose rate crossed zero during a mutation.
@@ -58,12 +102,43 @@ impl Changes {
     }
 }
 
+/// Counters describing how much re-sharing work a [`FlowNet`] performed
+/// (exposed for the `MOON_PERF_LOG=1` per-run perf line and benches).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Incremental reshare invocations (one per effective mutation).
+    pub reshares: u64,
+    /// Total flows visited across all reshared components. Divide by
+    /// `reshares` for the mean dirty-component size; compare against
+    /// `peak_live_flows` to see what a full recompute would have cost.
+    pub reshare_flow_visits: u64,
+    /// High-water mark of concurrently live flows.
+    pub peak_live_flows: u64,
+}
+
 /// A flow-level bandwidth simulator with max-min fair sharing.
 pub struct FlowNet {
     resources: Vec<Resource>,
-    flows: BTreeMap<FlowId, Flow>,
-    next_flow: u64,
+    slots: Vec<FlowSlot>,
+    /// Free slot indices (LIFO reuse keeps the slab compact).
+    free: Vec<u32>,
+    next_serial: u64,
+    n_live: usize,
     last_advance: SimTime,
+    /// Current component-BFS epoch (marks equal to it are "visited").
+    epoch: u32,
+    solver: Solver,
+    /// Scratch: resources of the dirty component, BFS order.
+    comp_res: Vec<u32>,
+    /// Scratch: flow slots of the dirty component, sorted by serial
+    /// before solving.
+    comp_flows: Vec<u32>,
+    /// Flows that crossed the completion threshold but have not been
+    /// returned by [`poll`](Self::poll) yet, as (slot, serial) pairs
+    /// validated at drain time (a cancel or slot reuse invalidates an
+    /// entry).
+    finished: Vec<(u32, u64)>,
+    stats: NetStats,
 }
 
 impl Default for FlowNet {
@@ -77,9 +152,17 @@ impl FlowNet {
     pub fn new() -> Self {
         FlowNet {
             resources: Vec::new(),
-            flows: BTreeMap::new(),
-            next_flow: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_serial: 0,
+            n_live: 0,
             last_advance: SimTime::ZERO,
+            epoch: 0,
+            solver: Solver::new(),
+            comp_res: Vec::new(),
+            comp_flows: Vec::new(),
+            finished: Vec::new(),
+            stats: NetStats::default(),
         }
     }
 
@@ -87,7 +170,12 @@ impl FlowNet {
     pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
         assert!(capacity >= 0.0 && capacity.is_finite());
         let id = ResourceId(self.resources.len() as u32);
-        self.resources.push(Resource { capacity });
+        self.resources.push(Resource {
+            capacity,
+            flows: Vec::new(),
+            mark: 0,
+            local: 0,
+        });
         id
     }
 
@@ -102,7 +190,9 @@ impl FlowNet {
         assert!(capacity >= 0.0 && capacity.is_finite());
         self.advance(now);
         self.resources[r.0 as usize].capacity = capacity;
-        self.reshare()
+        self.begin_component();
+        self.seed_resource(r.0);
+        self.reshare_component()
     }
 
     /// Start a transfer of `bytes` across `path`. The flow exists until it
@@ -114,24 +204,62 @@ impl FlowNet {
     pub fn start_flow(
         &mut self,
         now: SimTime,
-        path: Vec<ResourceId>,
+        path: &[ResourceId],
         bytes: f64,
     ) -> (FlowId, Changes) {
         assert!(!path.is_empty(), "flow must traverse at least one resource");
         assert!(bytes >= 0.0 && bytes.is_finite());
         self.advance(now);
-        let id = FlowId(self.next_flow);
-        self.next_flow += 1;
-        self.flows.insert(
-            id,
-            Flow {
-                path,
-                remaining: bytes,
-                rate: 0.0,
-            },
-        );
-        let mut changes = self.reshare();
-        let f = &self.flows[&id];
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(FlowSlot {
+                    serial: 0,
+                    path: Vec::new(),
+                    remaining: 0.0,
+                    rate: 0.0,
+                    live: false,
+                    mark: 0,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        {
+            let f = &mut self.slots[slot as usize];
+            f.serial = serial;
+            f.remaining = bytes;
+            f.rate = 0.0;
+            f.live = true;
+            // Deduplicate the path once, here — the resource lists, the
+            // solver, and throughput sums all assume unique entries.
+            f.path.clear();
+            f.path.extend(path.iter().map(|r| r.0));
+            f.path.sort_unstable();
+            f.path.dedup();
+        }
+        self.n_live += 1;
+        self.stats.peak_live_flows = self.stats.peak_live_flows.max(self.n_live as u64);
+        // Register with each crossed resource (new serial is the largest,
+        // so pushing keeps the list in creation order).
+        let path_vec = std::mem::take(&mut self.slots[slot as usize].path);
+        for &r in &path_vec {
+            self.resources[r as usize].flows.push(slot);
+        }
+        let id = FlowId { serial, slot };
+        if bytes <= EPS_BYTES {
+            // Zero-byte flows complete at the next poll without ever
+            // advancing; queue them as completion candidates now.
+            self.finished.push((slot, serial));
+        }
+        self.begin_component();
+        for &r in &path_vec {
+            self.seed_resource(r);
+        }
+        self.slots[slot as usize].path = path_vec;
+        let mut changes = self.reshare_component();
+        let f = &self.slots[slot as usize];
         if f.rate <= 0.0 && f.remaining > EPS_BYTES && !changes.stalled.contains(&id) {
             changes.stalled.push(id);
         }
@@ -142,8 +270,16 @@ impl FlowNet {
     /// flow no longer exists, else the freed-bandwidth change set.
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<Changes> {
         self.advance(now);
-        self.flows.remove(&id)?;
-        Some(self.reshare())
+        if !self.is_live(id) {
+            return None;
+        }
+        self.begin_component();
+        let path_vec = self.unlink_flow(id.slot);
+        for &r in &path_vec {
+            self.seed_resource(r);
+        }
+        self.slots[id.slot as usize].path = path_vec;
+        Some(self.reshare_component())
     }
 
     /// Advance to `now` and collect flows that have finished, removing
@@ -151,19 +287,33 @@ impl FlowNet {
     /// of the finished flows.
     pub fn poll(&mut self, now: SimTime) -> (Vec<FlowId>, Changes) {
         self.advance(now);
-        let done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining <= EPS_BYTES)
-            .map(|(&id, _)| id)
-            .collect();
+        if self.finished.is_empty() {
+            return (Vec::new(), Changes::default());
+        }
+        let mut done: Vec<FlowId> = Vec::new();
+        for &(slot, serial) in &self.finished {
+            let f = &self.slots[slot as usize];
+            if f.live && f.serial == serial {
+                debug_assert!(f.remaining <= EPS_BYTES, "finished candidate regressed");
+                done.push(FlowId { serial, slot });
+            }
+        }
+        self.finished.clear();
         if done.is_empty() {
             return (done, Changes::default());
         }
+        // Report completions in flow creation order, like a scan of an
+        // ordered flow map would.
+        done.sort_unstable();
+        self.begin_component();
         for id in &done {
-            self.flows.remove(id);
+            let path_vec = self.unlink_flow(id.slot);
+            for &r in &path_vec {
+                self.seed_resource(r);
+            }
+            self.slots[id.slot as usize].path = path_vec;
         }
-        let changes = self.reshare();
+        let changes = self.reshare_component();
         (done, changes)
     }
 
@@ -171,14 +321,17 @@ impl FlowNet {
     /// mutations. `None` if no flow can finish (all stalled or no flows).
     pub fn next_completion(&self) -> Option<SimTime> {
         let mut best: Option<SimTime> = None;
-        for f in self.flows.values() {
+        for f in &self.slots {
+            if !f.live {
+                continue;
+            }
             let eta = if f.remaining <= EPS_BYTES {
                 self.last_advance
             } else if f.rate > 0.0 {
-                // Round up so that by the event time the flow has
-                // definitely pushed its last byte.
+                // Ceil to the µs grid: by the event instant the flow's
+                // remaining bytes are within the completion epsilon.
                 let secs = f.remaining / f.rate;
-                let us = (secs * 1e6).ceil() as u64 + 1;
+                let us = (secs * 1e6).ceil() as u64;
                 self.last_advance + SimDuration::from_micros(us)
             } else {
                 continue;
@@ -190,26 +343,41 @@ impl FlowNet {
 
     /// Current rate of a flow (bytes/sec), if it exists.
     pub fn rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
+        self.is_live(id).then(|| self.slots[id.slot as usize].rate)
     }
 
     /// Bytes left to transfer, if the flow exists.
     pub fn remaining_bytes(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.remaining)
+        self.is_live(id)
+            .then(|| self.slots[id.slot as usize].remaining)
     }
 
     /// Number of in-flight flows.
     pub fn n_flows(&self) -> usize {
-        self.flows.len()
+        self.n_live
     }
 
     /// Sum of current flow rates through a resource (bytes/sec).
     pub fn resource_throughput(&self, r: ResourceId) -> f64 {
-        self.flows
-            .values()
-            .filter(|f| f.path.contains(&r))
-            .map(|f| f.rate)
+        // The per-resource list is in creation order, so this adds the
+        // same terms in the same order as a filtered scan of all flows.
+        self.resources[r.0 as usize]
+            .flows
+            .iter()
+            .map(|&s| self.slots[s as usize].rate)
             .sum()
+    }
+
+    /// Re-sharing work counters for perf logging and benches.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// True if `id` refers to a live flow (slot occupied by this serial).
+    fn is_live(&self, id: FlowId) -> bool {
+        self.slots
+            .get(id.slot as usize)
+            .is_some_and(|f| f.live && f.serial == id.serial)
     }
 
     /// Charge progress at current rates up to `now`.
@@ -217,33 +385,159 @@ impl FlowNet {
         debug_assert!(now >= self.last_advance, "FlowNet time went backwards");
         let dt = now.since(self.last_advance).as_secs_f64();
         if dt > 0.0 {
-            for f in self.flows.values_mut() {
-                if f.rate > 0.0 {
+            let finished = &mut self.finished;
+            for (i, f) in self.slots.iter_mut().enumerate() {
+                if f.live && f.rate > 0.0 {
+                    let before = f.remaining;
                     f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    if before > EPS_BYTES && f.remaining <= EPS_BYTES {
+                        finished.push((i as u32, f.serial));
+                    }
                 }
             }
         }
         self.last_advance = now;
     }
 
-    /// Recompute the max-min allocation; report zero-crossings.
-    fn reshare(&mut self) -> Changes {
-        let caps: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let paths: Vec<Vec<usize>> = ids
-            .iter()
-            .map(|id| self.flows[id].path.iter().map(|r| r.0 as usize).collect())
-            .collect();
-        let rates = maxmin_rates(&caps, &paths);
+    /// Remove a flow from the slab and all resource lists, returning its
+    /// path (taken out so the caller can seed the component BFS while
+    /// holding `&mut self`; the caller puts it back to keep the slot's
+    /// path allocation for reuse).
+    fn unlink_flow(&mut self, slot: u32) -> Vec<u32> {
+        let path_vec = std::mem::take(&mut self.slots[slot as usize].path);
+        let serial = self.slots[slot as usize].serial;
+        for &r in &path_vec {
+            let slots = &self.slots;
+            let flows = &mut self.resources[r as usize].flows;
+            // The list is sorted by occupant serial (creation order).
+            let pos = flows
+                .binary_search_by_key(&serial, |&s| slots[s as usize].serial)
+                .expect("flow missing from resource list");
+            flows.remove(pos);
+        }
+        let f = &mut self.slots[slot as usize];
+        f.live = false;
+        f.rate = 0.0;
+        self.free.push(slot);
+        self.n_live -= 1;
+        path_vec
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental resharing
+    // ------------------------------------------------------------------
+
+    /// Open a fresh dirty-component, invalidating all visit marks.
+    fn begin_component(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: clear stale marks so none alias the new epoch.
+            for r in &mut self.resources {
+                r.mark = 0;
+            }
+            for f in &mut self.slots {
+                f.mark = 0;
+            }
+            self.epoch = 1;
+        }
+        self.comp_res.clear();
+        self.comp_flows.clear();
+    }
+
+    /// Add a resource (and transitively its component) to the dirty set.
+    fn seed_resource(&mut self, r: u32) {
+        let res = &mut self.resources[r as usize];
+        if res.mark != self.epoch {
+            res.mark = self.epoch;
+            self.comp_res.push(r);
+        }
+    }
+
+    /// Expand the seeded dirty set to its full connected component(s) in
+    /// the flow↔resource bipartite graph, solve max-min on that
+    /// subproblem, apply the rates, and report zero-crossings in flow
+    /// creation order.
+    fn reshare_component(&mut self) -> Changes {
+        let FlowNet {
+            resources,
+            slots,
+            comp_res,
+            comp_flows,
+            solver,
+            epoch,
+            stats,
+            ..
+        } = self;
+        let epoch = *epoch;
+
+        // Two-cursor bipartite BFS: resources pull in their flows, flows
+        // pull in the rest of their path.
+        let mut ri = 0;
+        let mut fi = 0;
+        while ri < comp_res.len() || fi < comp_flows.len() {
+            if ri < comp_res.len() {
+                let r = comp_res[ri] as usize;
+                ri += 1;
+                for &s in &resources[r].flows {
+                    let f = &mut slots[s as usize];
+                    if f.mark != epoch {
+                        f.mark = epoch;
+                        comp_flows.push(s);
+                    }
+                }
+            } else {
+                let s = comp_flows[fi] as usize;
+                fi += 1;
+                for &r in &slots[s].path {
+                    let res = &mut resources[r as usize];
+                    if res.mark != epoch {
+                        res.mark = epoch;
+                        comp_res.push(r);
+                    }
+                }
+            }
+        }
+
+        // Solve in flow creation order: the freeze-round arithmetic below
+        // interleaves remaining-capacity subtractions across flows, so
+        // order is observable in the rate bits; creation order is exactly
+        // the order a from-scratch solve over an ordered flow map uses.
+        comp_flows.sort_unstable_by_key(|&s| slots[s as usize].serial);
+
+        stats.reshares += 1;
+        stats.reshare_flow_visits += comp_flows.len() as u64;
+
+        solver.reset();
+        for &r in comp_res.iter() {
+            let res = &mut resources[r as usize];
+            res.local = solver.add_resource(res.capacity);
+        }
+        for &s in comp_flows.iter() {
+            solver.add_flow(
+                slots[s as usize]
+                    .path
+                    .iter()
+                    .map(|&r| resources[r as usize].local),
+            );
+        }
+        let rates = solver.solve();
+
         let mut changes = Changes::default();
-        for (id, new_rate) in ids.iter().zip(rates) {
-            let f = self.flows.get_mut(id).expect("flow vanished mid-reshare");
+        for (k, &s) in comp_flows.iter().enumerate() {
+            let f = &mut slots[s as usize];
+            let new_rate = rates[k];
             let was_stalled = f.rate <= 0.0;
             let now_stalled = new_rate <= 0.0;
             if !was_stalled && now_stalled && f.remaining > EPS_BYTES {
-                changes.stalled.push(*id);
+                changes.stalled.push(FlowId {
+                    serial: f.serial,
+                    slot: s,
+                });
             } else if was_stalled && !now_stalled {
-                changes.resumed.push(*id);
+                changes.resumed.push(FlowId {
+                    serial: f.serial,
+                    slot: s,
+                });
             }
             f.rate = new_rate;
         }
@@ -263,10 +557,10 @@ mod tests {
     fn single_flow_completes_analytically() {
         let mut net = FlowNet::new();
         let nic = net.add_resource(100.0); // 100 B/s
-        let (id, _) = net.start_flow(t(0), vec![nic], 1000.0);
+        let (id, _) = net.start_flow(t(0), &[nic], 1000.0);
         let eta = net.next_completion().unwrap();
-        // 1000 B at 100 B/s = 10 s (+ rounding guard)
-        assert!(eta >= t(10) && eta <= t(10) + SimDuration::from_millis(1));
+        // 1000 B at 100 B/s = exactly 10 s on the µs grid.
+        assert_eq!(eta, t(10));
         let (done, _) = net.poll(eta);
         assert_eq!(done, vec![id]);
         assert_eq!(net.n_flows(), 0);
@@ -276,8 +570,8 @@ mod tests {
     fn two_flows_share_then_speed_up() {
         let mut net = FlowNet::new();
         let nic = net.add_resource(100.0);
-        let (a, _) = net.start_flow(t(0), vec![nic], 500.0);
-        let (b, _) = net.start_flow(t(0), vec![nic], 1500.0);
+        let (a, _) = net.start_flow(t(0), &[nic], 500.0);
+        let (b, _) = net.start_flow(t(0), &[nic], 1500.0);
         assert_eq!(net.rate(a), Some(50.0));
         assert_eq!(net.rate(b), Some(50.0));
         // a finishes at 10s; b then gets the full 100 B/s.
@@ -294,7 +588,7 @@ mod tests {
     fn capacity_zero_stalls_and_resume_restores() {
         let mut net = FlowNet::new();
         let nic = net.add_resource(100.0);
-        let (id, _) = net.start_flow(t(0), vec![nic], 1000.0);
+        let (id, _) = net.start_flow(t(0), &[nic], 1000.0);
         let ch = net.set_capacity(t(5), nic, 0.0);
         assert_eq!(ch.stalled, vec![id]);
         assert!(net.next_completion().is_none(), "stalled flow has no ETA");
@@ -316,7 +610,7 @@ mod tests {
         let src_disk = net.add_resource(60.0);
         let src_nic = net.add_resource(117.0);
         let dst_nic = net.add_resource(117.0);
-        let (id, _) = net.start_flow(t(0), vec![src_disk, src_nic, dst_nic], 600.0);
+        let (id, _) = net.start_flow(t(0), &[src_disk, src_nic, dst_nic], 600.0);
         assert_eq!(net.rate(id), Some(60.0));
     }
 
@@ -324,8 +618,8 @@ mod tests {
     fn cancel_frees_bandwidth() {
         let mut net = FlowNet::new();
         let nic = net.add_resource(100.0);
-        let (a, _) = net.start_flow(t(0), vec![nic], 1e9);
-        let (b, _) = net.start_flow(t(0), vec![nic], 1e9);
+        let (a, _) = net.start_flow(t(0), &[nic], 1e9);
+        let (b, _) = net.start_flow(t(0), &[nic], 1e9);
         assert_eq!(net.rate(b), Some(50.0));
         net.cancel_flow(t(1), a).unwrap();
         assert_eq!(net.rate(b), Some(100.0));
@@ -336,7 +630,7 @@ mod tests {
     fn zero_byte_flow_completes_immediately() {
         let mut net = FlowNet::new();
         let nic = net.add_resource(100.0);
-        let (id, _) = net.start_flow(t(3), vec![nic], 0.0);
+        let (id, _) = net.start_flow(t(3), &[nic], 0.0);
         assert_eq!(net.next_completion(), Some(t(3)));
         let (done, _) = net.poll(t(3));
         assert_eq!(done, vec![id]);
@@ -346,9 +640,9 @@ mod tests {
     fn throughput_accounting() {
         let mut net = FlowNet::new();
         let nic = net.add_resource(90.0);
-        net.start_flow(t(0), vec![nic], 1e9);
-        net.start_flow(t(0), vec![nic], 1e9);
-        net.start_flow(t(0), vec![nic], 1e9);
+        net.start_flow(t(0), &[nic], 1e9);
+        net.start_flow(t(0), &[nic], 1e9);
+        net.start_flow(t(0), &[nic], 1e9);
         assert!((net.resource_throughput(nic) - 90.0).abs() < 1e-9);
     }
 
@@ -357,10 +651,10 @@ mod tests {
         let mut net = FlowNet::new();
         let nic = net.add_resource(100.0);
         net.set_capacity(t(0), nic, 0.0);
-        let (id, ch) = net.start_flow(t(1), vec![nic], 500.0);
+        let (id, ch) = net.start_flow(t(1), &[nic], 500.0);
         assert_eq!(ch.stalled, vec![id], "born-stalled flow must be reported");
         // A zero-byte flow on a dead resource still completes (no stall).
-        let (_z, ch) = net.start_flow(t(1), vec![nic], 0.0);
+        let (_z, ch) = net.start_flow(t(1), &[nic], 0.0);
         assert!(ch.stalled.is_empty());
     }
 
@@ -372,11 +666,86 @@ mod tests {
         let mut net = FlowNet::new();
         let shared = net.add_resource(100.0);
         let leaf = net.add_resource(100.0);
-        let (a, _) = net.start_flow(t(0), vec![shared, leaf], 1e6);
+        let (a, _) = net.start_flow(t(0), &[shared, leaf], 1e6);
         let ch = net.set_capacity(t(1), leaf, 0.0);
         assert_eq!(ch.stalled, vec![a]);
         let ch = net.set_capacity(t(2), leaf, 50.0);
         assert_eq!(ch.resumed, vec![a]);
         assert_eq!(net.rate(a), Some(50.0));
+    }
+
+    #[test]
+    fn eta_is_exact_ceil_to_microsecond_grid() {
+        // Regression for the old `+ 1 µs` fudge: an exactly-divisible
+        // transfer must complete exactly on its analytic instant, not one
+        // tick later.
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0);
+        let (id, _) = net.start_flow(t(0), &[nic], 1000.0);
+        let eta = net.next_completion().unwrap();
+        assert_eq!(eta, t(10), "eta must be the exact ceil to the µs grid");
+        // Polling at the predicted instant — never one tick later — must
+        // yield the completion.
+        let (done, _) = net.poll(eta);
+        assert_eq!(done, vec![id], "completion polled late");
+
+        // Non-divisible case: eta is the ceil, and polling there
+        // completes the flow too.
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(3.0);
+        let (id, _) = net.start_flow(t(0), &[nic], 1000.0);
+        let eta = net.next_completion().unwrap();
+        let exact: f64 = 1000.0 / 3.0 * 1e6; // µs, non-integral
+        let eta_us = eta.since(SimTime::ZERO).as_micros();
+        assert_eq!(eta_us, exact.ceil() as u64);
+        let (done, _) = net.poll(eta);
+        assert_eq!(done, vec![id], "completion polled late");
+    }
+
+    #[test]
+    fn stale_ids_do_not_alias_reused_slots() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0);
+        let (a, _) = net.start_flow(t(0), &[nic], 1000.0);
+        net.cancel_flow(t(1), a);
+        // The freed slot is reused by the next flow; the old handle must
+        // stay dead.
+        let (b, _) = net.start_flow(t(1), &[nic], 500.0);
+        assert_eq!(net.rate(a), None, "stale id resolved after slot reuse");
+        assert!(net.cancel_flow(t(2), a).is_none());
+        assert_eq!(net.rate(b), Some(100.0));
+        assert!(a < b, "creation order must be preserved by FlowId ordering");
+    }
+
+    #[test]
+    fn disjoint_components_reshare_independently() {
+        // Mutating one component must not disturb the other's rates, and
+        // the stats must show the small dirty component, not the world.
+        let mut net = FlowNet::new();
+        let nic_a = net.add_resource(100.0);
+        let nic_b = net.add_resource(80.0);
+        let (a1, _) = net.start_flow(t(0), &[nic_a], 1e9);
+        let (a2, _) = net.start_flow(t(0), &[nic_a], 1e9);
+        let (b1, _) = net.start_flow(t(0), &[nic_b], 1e9);
+        let visits_before = net.stats().reshare_flow_visits;
+        let ch = net.set_capacity(t(1), nic_b, 40.0);
+        assert!(ch.is_empty());
+        let visits = net.stats().reshare_flow_visits - visits_before;
+        assert_eq!(visits, 1, "dirty component is just b1");
+        assert_eq!(net.rate(a1), Some(50.0));
+        assert_eq!(net.rate(a2), Some(50.0));
+        assert_eq!(net.rate(b1), Some(40.0));
+    }
+
+    #[test]
+    fn stats_count_reshares() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(100.0);
+        let (a, _) = net.start_flow(t(0), &[nic], 1000.0);
+        net.set_capacity(t(1), nic, 50.0);
+        net.cancel_flow(t(2), a);
+        let stats = net.stats();
+        assert_eq!(stats.reshares, 3);
+        assert_eq!(stats.peak_live_flows, 1);
     }
 }

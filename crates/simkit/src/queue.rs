@@ -4,10 +4,17 @@
 //! Events scheduled for the same instant pop in the order they were
 //! scheduled (FIFO), which makes runs reproducible regardless of heap
 //! internals.
+//!
+//! Event handles are monotone sequence numbers, so per-event lifecycle
+//! state lives in a dense offset ring (`VecDeque<u8>` indexed by
+//! `seq - base_seq`) instead of hash sets: `push`, `cancel`,
+//! `is_pending`, and the lazy-deletion skim are all straight array
+//! probes with no hashing and no per-event heap allocation. The window
+//! compacts from the front as the oldest events resolve.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Opaque handle to a scheduled event, used to cancel it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -49,14 +56,25 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Lifecycle of one scheduled sequence number.
+const PENDING: u8 = 0;
+/// Cancelled while still in the heap (lazy-deletion tombstone).
+const CANCELLED: u8 = 1;
+/// Left the heap (popped, or tombstone skimmed).
+const DONE: u8 = 2;
+
 /// A time-ordered queue of simulation events.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Seqs scheduled but not yet popped or cancelled.
-    pending: HashSet<u64>,
-    /// Seqs cancelled while still in the heap (lazy deletion tombstones).
-    cancelled: HashSet<u64>,
+    /// Lifecycle flag of every seq in `[base_seq, next_seq)`, densely
+    /// indexed by `seq - base_seq`. Seqs below `base_seq` are DONE.
+    states: VecDeque<u8>,
+    base_seq: u64,
     next_seq: u64,
+    /// Number of PENDING seqs (live events).
+    live: usize,
+    /// Number of CANCELLED seqs still sitting in the heap.
+    tombstones: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -70,20 +88,22 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            states: VecDeque::new(),
+            base_seq: 0,
             next_seq: 0,
+            live: 0,
+            tombstones: 0,
         }
     }
 
     /// Number of live (non-cancelled) events still pending.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     /// Schedule `event` to fire at `at`. Returns a handle for cancellation.
@@ -91,24 +111,55 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
-        self.pending.insert(seq);
+        self.states.push_back(PENDING);
+        self.live += 1;
+        self.debug_check();
         EventId(seq)
+    }
+
+    fn state(&self, seq: u64) -> u8 {
+        if seq < self.base_seq {
+            DONE
+        } else if seq >= self.next_seq {
+            // Never scheduled (e.g. `EventId::NONE`); treat as resolved.
+            DONE
+        } else {
+            self.states[(seq - self.base_seq) as usize]
+        }
+    }
+
+    /// Mark a seq as having left the heap and compact the front of the
+    /// state window past the resolved prefix.
+    fn mark_done(&mut self, seq: u64) {
+        debug_assert!(seq >= self.base_seq && seq < self.next_seq);
+        self.states[(seq - self.base_seq) as usize] = DONE;
+        while self.states.front() == Some(&DONE) {
+            self.states.pop_front();
+            self.base_seq += 1;
+        }
     }
 
     /// Cancel a previously scheduled event. Returns true if the event was
     /// still pending (i.e. the cancellation had an effect). Cancelling an
     /// already-fired or already-cancelled event is a harmless no-op.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.pending.remove(&id.0) {
+        if self.state(id.0) != PENDING {
             return false;
         }
-        self.cancelled.insert(id.0);
+        // PENDING means the entry is still in the heap, so a tombstone can
+        // never be orphaned: `heap.len() == live + tombstones` stays an
+        // invariant (checked below) and every tombstone is eventually
+        // skimmed and compacted away.
+        self.states[(id.0 - self.base_seq) as usize] = CANCELLED;
+        self.live -= 1;
+        self.tombstones += 1;
+        self.debug_check();
         true
     }
 
     /// True if the event is still scheduled to fire.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.pending.contains(&id.0)
+        self.state(id.0) == PENDING
     }
 
     /// Time of the next live event, if any.
@@ -121,19 +172,52 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
         self.skim();
         let entry = self.heap.pop()?;
-        self.pending.remove(&entry.seq);
+        debug_assert_eq!(self.state(entry.seq), PENDING, "skim left a tombstone");
+        self.live -= 1;
+        self.mark_done(entry.seq);
+        self.debug_check();
         Some((entry.at, EventId(entry.seq), entry.event))
     }
 
     /// Drop cancelled entries sitting at the top of the heap.
     fn skim(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.seq) {
-                self.heap.pop();
+            if self.state(top.seq) == CANCELLED {
+                let seq = self.heap.pop().expect("peeked entry vanished").seq;
+                self.tombstones -= 1;
+                self.mark_done(seq);
             } else {
                 break;
             }
         }
+        self.debug_check();
+    }
+
+    /// Invariant: every heap entry is either pending or a tombstone, and
+    /// tombstones exist only for entries still in the heap (`cancelled ⊆
+    /// heap`). Violations would mean leaked entries or double counting.
+    #[inline]
+    fn debug_check(&self) {
+        debug_assert_eq!(
+            self.heap.len(),
+            self.live + self.tombstones,
+            "event-queue invariant broken: heap {} != live {} + tombstones {}",
+            self.heap.len(),
+            self.live,
+            self.tombstones
+        );
+    }
+
+    /// Cancelled entries still occupying heap slots (test instrumentation).
+    #[cfg(test)]
+    fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Width of the dense state window (test instrumentation).
+    #[cfg(test)]
+    fn state_window(&self) -> usize {
+        self.states.len()
     }
 }
 
@@ -230,5 +314,64 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn cancel_storm_does_not_accumulate_tombstones() {
+        // A schedule/cancel churn loop (the stall-timeout pattern) must
+        // not leak: once the skim passes the cancelled entries, both the
+        // tombstone count and the dense state window return to zero.
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            let ids: Vec<_> = (0..100).map(|i| q.push(t(round * 100 + i), i)).collect();
+            for id in ids {
+                q.cancel(id);
+            }
+            assert_eq!(q.len(), 0);
+            // All tombstones sit at the heap top now; one peek skims them.
+            assert_eq!(q.peek_time(), None);
+            assert_eq!(q.tombstone_count(), 0, "tombstones survived the skim");
+            assert_eq!(q.state_window(), 0, "state window failed to compact");
+        }
+    }
+
+    #[test]
+    fn state_window_compacts_as_prefix_resolves() {
+        let mut q = EventQueue::new();
+        let far = q.push(t(1_000), u64::MAX);
+        for i in 0..50 {
+            q.push(t(i), i);
+        }
+        while q.len() > 1 {
+            q.pop();
+        }
+        // Only the far event is unresolved; it pins the window start, so
+        // the window is exactly [far, next_seq).
+        assert_eq!(q.state_window(), 51);
+        q.cancel(far);
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.state_window(), 0);
+    }
+
+    #[test]
+    fn interleaved_cancel_pop_preserves_order_and_counts() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..1000u64).map(|i| q.push(t(i % 97), i)).collect();
+        for id in ids.iter().step_by(3) {
+            q.cancel(*id);
+        }
+        let mut prev: Option<(SimTime, EventId)> = None;
+        let mut n = 0;
+        while let Some((at, id, v)) = q.pop() {
+            assert_ne!(v % 3, 0, "cancelled event escaped the tombstone");
+            if let Some((pat, pid)) = prev {
+                assert!(at > pat || (at == pat && id > pid), "order violated");
+            }
+            prev = Some((at, id));
+            n += 1;
+        }
+        assert_eq!(n, 1000 - 334);
+        assert_eq!(q.tombstone_count(), 0);
+        assert_eq!(q.state_window(), 0);
     }
 }
