@@ -49,14 +49,21 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let n_seeds = seeds.len();
-    let tasks: Vec<Experiment> = points
+    // One task per (point, seed): the experiment plus the point's
+    // optional job stream (cloned per task so workers stay independent).
+    let tasks: Vec<(Experiment, Option<workloads::JobStream>)> = points
         .iter()
         .flat_map(|pt| {
-            seeds.iter().map(|&seed| Experiment {
-                cluster: pt.cluster.clone(),
-                policy: pt.policy.clone(),
-                workload: pt.workload.clone(),
-                seed,
+            seeds.iter().map(|&seed| {
+                (
+                    Experiment {
+                        cluster: pt.cluster.clone(),
+                        policy: pt.policy.clone(),
+                        workload: pt.workload.clone(),
+                        seed,
+                    },
+                    pt.jobs.clone(),
+                )
             })
         })
         .collect();
@@ -67,8 +74,8 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
     let done = AtomicUsize::new(0);
     let flat: Vec<RunResult> = tasks
         .into_par_iter()
-        .map(|exp| {
-            let r = exp.run();
+        .map(|(exp, stream)| {
+            let r = exp.run_stream(stream);
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
             let shown = match r.outcome {
                 moon::Outcome::Completed => {

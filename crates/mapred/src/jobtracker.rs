@@ -9,7 +9,7 @@
 //! [`crate::policy`].
 
 use crate::job::{AttemptInfo, JobSpec, JobStatus, TaskState};
-use crate::policy::{FetchFailurePolicy, SchedulerPolicy};
+use crate::policy::{CrossJobPolicy, FetchFailurePolicy, SchedulerPolicy};
 use crate::types::{
     AttemptId, AttemptState, JobId, LaunchReason, TaskAssignment, TaskId, TaskKind,
 };
@@ -89,6 +89,8 @@ struct Job {
     completed_reduces: u32,
     submitted: SimTime,
     finished: Option<SimTime>,
+    /// When the job's first attempt launched (queueing-delay endpoint).
+    first_launch: Option<SimTime>,
     /// Launch order: task → sequence number of first launch.
     first_launch_seq: BTreeMap<TaskId, u32>,
     next_launch_seq: u32,
@@ -96,6 +98,11 @@ struct Job {
     /// Reports expire so that disjoint outage episodes do not accumulate
     /// into a spurious re-execution.
     fetch_failures: BTreeMap<TaskId, FetchReports>,
+    /// Live (Running or Inactive) attempts across the job's tasks,
+    /// maintained incrementally at launch / kill / success / failure —
+    /// the job's cluster share, ranked by fair-share ordering without
+    /// an O(tasks) scan per slot grant.
+    live_attempts: u32,
     /// Metrics.
     duplicated_launches: u32,
     killed_map_attempts: u32,
@@ -124,6 +131,20 @@ pub struct JobMetrics {
     pub completed_maps: u32,
     /// Reduces completed so far.
     pub completed_reduces: u32,
+}
+
+impl JobMetrics {
+    /// Accumulate another job's counters (for whole-run aggregates
+    /// across a multi-job stream; summing one job is the identity).
+    pub fn accumulate(&mut self, other: &JobMetrics) {
+        self.duplicated_tasks += other.duplicated_tasks;
+        self.killed_maps += other.killed_maps;
+        self.killed_reduces += other.killed_reduces;
+        self.killed_by_tracker_expiry += other.killed_by_tracker_expiry;
+        self.map_output_relaunches += other.map_output_relaunches;
+        self.completed_maps += other.completed_maps;
+        self.completed_reduces += other.completed_reduces;
+    }
 }
 
 /// What a heartbeat returned: work to start and attempts to abort.
@@ -160,26 +181,40 @@ pub struct SuccessResponse {
 pub struct JobTracker {
     policy: SchedulerPolicy,
     fetch_policy: FetchFailurePolicy,
+    cross_job: CrossJobPolicy,
     trackers: BTreeMap<NodeId, Tracker>,
     jobs: BTreeMap<JobId, Job>,
     next_job: u32,
 }
 
 impl JobTracker {
-    /// A JobTracker with the given scheduling and fetch-failure policies.
+    /// A JobTracker with the given scheduling and fetch-failure policies
+    /// (cross-job ordering defaults to FIFO; see [`Self::with_cross_job`]).
     pub fn new(policy: SchedulerPolicy, fetch_policy: FetchFailurePolicy) -> Self {
         JobTracker {
             policy,
             fetch_policy,
+            cross_job: CrossJobPolicy::default(),
             trackers: BTreeMap::new(),
             jobs: BTreeMap::new(),
             next_job: 0,
         }
     }
 
+    /// Set the cross-job ordering policy (FIFO vs max-min fair share).
+    pub fn with_cross_job(mut self, cross_job: CrossJobPolicy) -> Self {
+        self.cross_job = cross_job;
+        self
+    }
+
     /// The scheduling policy in force.
     pub fn policy(&self) -> &SchedulerPolicy {
         &self.policy
+    }
+
+    /// The cross-job ordering policy in force.
+    pub fn cross_job(&self) -> CrossJobPolicy {
+        self.cross_job
     }
 
     // ------------------------------------------------------------------
@@ -279,6 +314,7 @@ impl JobTracker {
         if let Some(info) = task.attempts.iter_mut().find(|a| a.id == id) {
             if info.state.is_live() {
                 info.state = AttemptState::Killed;
+                job.live_attempts -= 1;
             }
         }
     }
@@ -338,9 +374,11 @@ impl JobTracker {
                 completed_reduces: 0,
                 submitted: now,
                 finished: None,
+                first_launch: None,
                 first_launch_seq: BTreeMap::new(),
                 next_launch_seq: 0,
                 fetch_failures: BTreeMap::new(),
+                live_attempts: 0,
                 duplicated_launches: 0,
                 killed_map_attempts: 0,
                 killed_reduce_attempts: 0,
@@ -359,6 +397,36 @@ impl JobTracker {
     /// When the job was submitted.
     pub fn job_submitted(&self, job: JobId) -> SimTime {
         self.jobs[&job].submitted
+    }
+
+    /// When the job's first attempt launched (None while it still
+    /// queues) — the endpoint of its queueing delay.
+    pub fn job_first_launch(&self, job: JobId) -> Option<SimTime> {
+        self.jobs[&job].first_launch
+    }
+
+    /// Ids of every job ever submitted, ascending.
+    pub fn job_ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.jobs.keys().copied()
+    }
+
+    /// Jobs currently running (submitted, not yet succeeded/failed) —
+    /// an instantaneous diagnostic; the perf-log gauges track peaks on
+    /// the world side.
+    pub fn active_job_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .count()
+    }
+
+    /// Jobs submitted whose first attempt has not launched yet — the
+    /// instantaneous cross-job queue depth.
+    pub fn queued_job_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running && j.first_launch.is_none())
+            .count()
     }
 
     /// When the job finished (all tasks completed), if it has.
@@ -485,6 +553,8 @@ impl JobTracker {
             started: now,
             reason,
         });
+        job.first_launch.get_or_insert(now);
+        job.live_attempts += 1;
         job.first_launch_seq.entry(task).or_insert_with(|| {
             let s = job.next_launch_seq;
             job.next_launch_seq += 1;
@@ -535,62 +605,109 @@ impl JobTracker {
         self.pick_speculative(now, node, kind)
     }
 
+    /// Live attempts (running or inactive) across a job's tasks — the
+    /// job's current cluster share, which max-min fair-share equalises.
+    /// O(1): the counter is maintained at launch/kill/success/failure;
+    /// debug builds cross-check it against a full task scan.
+    fn live_attempts_of(job: &Job) -> u32 {
+        debug_assert_eq!(
+            job.live_attempts,
+            job.tasks.values().map(|t| t.n_live() as u32).sum::<u32>(),
+            "incremental live-attempt counter drifted from the task states"
+        );
+        job.live_attempts
+    }
+
+    /// Drive `f` over running jobs in cross-job policy order, stopping
+    /// at the first `Some`. FIFO walks ascending JobId (= submission
+    /// order) straight off the map — allocation-free, so the single-job
+    /// hot path is untouched; fair share sorts runnable jobs by live
+    /// attempt count (fewest first, JobId tie-break).
+    fn pick_across_jobs<T>(&self, mut f: impl FnMut(JobId, &Job) -> Option<T>) -> Option<T> {
+        match self.cross_job {
+            CrossJobPolicy::Fifo => {
+                for (&jid, job) in &self.jobs {
+                    if job.status != JobStatus::Running {
+                        continue;
+                    }
+                    if let Some(x) = f(jid, job) {
+                        return Some(x);
+                    }
+                }
+                None
+            }
+            CrossJobPolicy::FairShare => {
+                let mut order: Vec<(u32, JobId)> = self
+                    .jobs
+                    .iter()
+                    .filter(|(_, j)| j.status == JobStatus::Running)
+                    .map(|(&jid, j)| (Self::live_attempts_of(j), jid))
+                    .collect();
+                order.sort_unstable();
+                for (_, jid) in order {
+                    if let Some(x) = f(jid, &self.jobs[&jid]) {
+                        return Some(x);
+                    }
+                }
+                None
+            }
+        }
+    }
+
     /// Non-running tasks: retries first (Hadoop prioritises recently
     /// failed tasks), then unscheduled tasks — maps preferring input
-    /// locality to the requesting node.
+    /// locality to the requesting node. Jobs are visited in cross-job
+    /// policy order; the first job with any candidate wins.
     fn pick_pending(&self, node: NodeId, kind: TaskKind) -> Option<(TaskId, LaunchReason)> {
+        self.pick_across_jobs(|jid, job| self.pick_pending_in(jid, job, node, kind))
+    }
+
+    /// The per-job half of [`Self::pick_pending`]: best pending task of
+    /// `kind` in one job, by (class, index).
+    fn pick_pending_in(
+        &self,
+        jid: JobId,
+        job: &Job,
+        node: NodeId,
+        kind: TaskKind,
+    ) -> Option<(TaskId, LaunchReason)> {
+        if kind == TaskKind::Reduce {
+            let gate = (job.spec.reduce_slowstart * job.spec.n_maps as f64).ceil() as u32;
+            if job.completed_maps < gate.min(job.spec.n_maps) {
+                return None;
+            }
+        }
         let mut best: Option<(u8, u32, TaskId)> = None; // (class, order, task)
-        for (&jid, job) in &self.jobs {
-            if job.status != JobStatus::Running {
+        for (tid, task) in job.tasks.range(Self::kind_range(jid, kind)) {
+            if !task.needs_launch() {
                 continue;
             }
-            if kind == TaskKind::Reduce {
-                let gate = (job.spec.reduce_slowstart * job.spec.n_maps as f64).ceil() as u32;
-                if job.completed_maps < gate.min(job.spec.n_maps) {
-                    continue;
-                }
-            }
-            for (tid, task) in job.tasks.range(
-                TaskId {
-                    job: jid,
-                    kind,
-                    index: 0,
-                }..=TaskId {
-                    job: jid,
-                    kind,
-                    index: u32::MAX,
-                },
-            ) {
-                if !task.needs_launch() {
-                    continue;
-                }
-                let retried = !task.attempts.is_empty() || task.output_lost_count > 0;
-                let local = kind == TaskKind::Map
-                    && job
-                        .spec
-                        .map_input_locations
-                        .get(tid.index as usize)
-                        .is_some_and(|locs| locs.contains(&node));
-                // Lower class = higher priority: 0 retry, 1 local fresh,
-                // 2 any fresh.
-                let class = if retried {
-                    0
-                } else if local {
-                    1
-                } else {
-                    2
-                };
-                let order = tid.index;
-                let cand = (class, order, *tid);
-                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
-                    best = Some(cand);
-                }
+            let retried = !task.attempts.is_empty() || task.output_lost_count > 0;
+            let local = kind == TaskKind::Map
+                && job
+                    .spec
+                    .map_input_locations
+                    .get(tid.index as usize)
+                    .is_some_and(|locs| locs.contains(&node));
+            // Lower class = higher priority: 0 retry, 1 local fresh,
+            // 2 any fresh.
+            let class = if retried {
+                0
+            } else if local {
+                1
+            } else {
+                2
+            };
+            let order = tid.index;
+            let cand = (class, order, *tid);
+            if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                best = Some(cand);
             }
         }
         best.map(|(class, _, tid)| {
             let reason = if class == 0 {
                 // Distinguish retry-after-kill from lost-output relaunch.
-                let t = &self.jobs[&tid.job].tasks[&tid];
+                let t = &job.tasks[&tid];
                 if t.output_lost_count > 0
                     && t.attempts
                         .iter()
@@ -694,10 +811,7 @@ impl JobTracker {
         kind: TaskKind,
         p: &crate::policy::HadoopPolicy,
     ) -> Option<(TaskId, LaunchReason)> {
-        for (&jid, job) in self.jobs.iter() {
-            if job.status != JobStatus::Running {
-                continue;
-            }
+        self.pick_across_jobs(|jid, job| {
             let avg = self.avg_progress(jid, job, kind);
             let mut candidates: Vec<(bool, u32, TaskId)> = Vec::new(); // (non_local, seq, id)
             for (tid, task) in job.tasks.range(Self::kind_range(jid, kind)) {
@@ -728,11 +842,10 @@ impl JobTracker {
                 candidates.push((!local, seq, *tid));
             }
             candidates.sort();
-            if let Some(&(_, _, tid)) = candidates.first() {
-                return Some((tid, LaunchReason::Speculative));
-            }
-        }
-        None
+            candidates
+                .first()
+                .map(|&(_, _, tid)| (tid, LaunchReason::Speculative))
+        })
     }
 
     fn pick_speculative_moon(
@@ -749,15 +862,12 @@ impl JobTracker {
             .filter(|(_, t)| t.dedicated)
             .map(|(&n, _)| n)
             .collect();
-        for (&jid, job) in self.jobs.iter() {
-            if job.status != JobStatus::Running {
-                continue;
-            }
+        self.pick_across_jobs(|jid, job| {
             // Global cap on concurrent speculative instances (§V-A).
             let cap =
                 (p.speculative_slot_fraction * self.available_slots(None) as f64).floor() as u32;
             if self.live_speculative(job) >= cap.max(1) {
-                continue;
+                return None;
             }
             let avg = self.avg_progress(jid, job, kind);
             let has_dedicated_copy =
@@ -822,8 +932,8 @@ impl JobTracker {
                 return Some((tid, LaunchReason::Homestretch));
             }
             let _ = node_is_dedicated;
-        }
-        None
+            None
+        })
     }
 
     fn pick_speculative_late(
@@ -832,15 +942,12 @@ impl JobTracker {
         kind: TaskKind,
         p: &crate::policy::LatePolicy,
     ) -> Option<(TaskId, LaunchReason)> {
-        for (&jid, job) in self.jobs.iter() {
-            if job.status != JobStatus::Running {
-                continue;
-            }
+        self.pick_across_jobs(|jid, job| {
             let cap = (p.speculative_cap_fraction * self.available_slots(None) as f64)
                 .floor()
                 .max(1.0) as u32;
             if self.live_speculative(job) >= cap {
-                continue;
+                return None;
             }
             // Progress rates of running tasks of this kind.
             let mut rates: Vec<f64> = Vec::new();
@@ -859,7 +966,7 @@ impl JobTracker {
                 }
             }
             if rates.is_empty() {
-                continue;
+                return None;
             }
             rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let idx = ((rates.len() as f64) * p.slow_task_percentile) as usize;
@@ -894,11 +1001,8 @@ impl JobTracker {
                     best = Some((est_remaining, *tid));
                 }
             }
-            if let Some((_, tid)) = best {
-                return Some((tid, LaunchReason::Speculative));
-            }
-        }
-        None
+            best.map(|(_, tid)| (tid, LaunchReason::Speculative))
+        })
     }
 
     // ------------------------------------------------------------------
@@ -924,11 +1028,17 @@ impl JobTracker {
         if task.completed {
             // A sibling already finished; treat this as a benign kill.
             if let Some(info) = task.attempts.iter_mut().find(|a| a.id == attempt) {
-                info.state = AttemptState::Killed;
+                if info.state.is_live() {
+                    info.state = AttemptState::Killed;
+                    job.live_attempts -= 1;
+                }
             }
             return resp;
         }
         if let Some(info) = task.attempts.iter_mut().find(|a| a.id == attempt) {
+            if info.state.is_live() {
+                job.live_attempts -= 1;
+            }
             info.state = AttemptState::Succeeded;
             info.progress = 1.0;
         }
@@ -965,6 +1075,9 @@ impl JobTracker {
         let job = self.jobs.get_mut(&attempt.task.job).expect("unknown job");
         let task = job.tasks.get_mut(&attempt.task).expect("unknown task");
         if let Some(info) = task.attempts.iter_mut().find(|a| a.id == attempt) {
+            if info.state.is_live() {
+                job.live_attempts -= 1;
+            }
             info.state = AttemptState::Failed;
         }
         task.failures += 1;
@@ -1499,6 +1612,111 @@ mod tests {
             r[0].attempt.task, a1[0].attempt.task,
             "LATE picks the longest estimated time to end"
         );
+    }
+
+    #[test]
+    fn fifo_drains_earlier_jobs_first() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 2, 0);
+        let j0 = jt.submit_job(t(0), JobSpec::new(3, 0));
+        let j1 = jt.submit_job(t(1), JobSpec::new(3, 0));
+        // 2 slots on n0: both must go to j0 under FIFO.
+        let r = jt.heartbeat(t(2), NodeId(0)).assignments;
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|a| a.attempt.task.job == j0), "{r:?}");
+        // j0 still has a pending map, so n1's slots serve it before j1.
+        let r = jt.heartbeat(t(3), NodeId(1)).assignments;
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].attempt.task.job, j0);
+        assert_eq!(r[1].attempt.task.job, j1);
+        assert_eq!(jt.cross_job(), CrossJobPolicy::Fifo);
+    }
+
+    #[test]
+    fn fair_share_interleaves_concurrent_jobs() {
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Hadoop(HadoopPolicy::default()),
+            FetchFailurePolicy::HadoopMajority,
+        )
+        .with_cross_job(CrossJobPolicy::FairShare);
+        cluster(&mut jt, 2, 0);
+        let j0 = jt.submit_job(t(0), JobSpec::new(3, 0));
+        let j1 = jt.submit_job(t(1), JobSpec::new(3, 0));
+        // Slot 1: both jobs have 0 live attempts → tie broken by id (j0).
+        // Slot 2: j0 now has 1 live attempt → j1's turn. Each free slot
+        // re-ranks, so a heartbeat's two slots alternate jobs.
+        let r = jt.heartbeat(t(2), NodeId(0)).assignments;
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].attempt.task.job, j0);
+        assert_eq!(r[1].attempt.task.job, j1, "fair share alternates: {r:?}");
+        let r = jt.heartbeat(t(3), NodeId(1)).assignments;
+        assert_eq!(r[0].attempt.task.job, j0);
+        assert_eq!(r[1].attempt.task.job, j1);
+    }
+
+    #[test]
+    fn fair_share_prefers_starved_job_after_completions() {
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Hadoop(HadoopPolicy::default()),
+            FetchFailurePolicy::HadoopMajority,
+        )
+        .with_cross_job(CrossJobPolicy::FairShare);
+        cluster(&mut jt, 3, 0);
+        let j0 = jt.submit_job(t(0), JobSpec::new(6, 0));
+        // j0 grabs 4 slots before j1 exists.
+        let a0 = jt.heartbeat(t(1), NodeId(0)).assignments;
+        let a1 = jt.heartbeat(t(1), NodeId(1)).assignments;
+        assert_eq!(a0.len() + a1.len(), 4);
+        let j1 = jt.submit_job(t(2), JobSpec::new(6, 0));
+        // j0 holds 4 live attempts, j1 zero → n2's slots both go to j1.
+        let r = jt.heartbeat(t(3), NodeId(2)).assignments;
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|a| a.attempt.task.job == j1), "{r:?}");
+        let _ = j0;
+    }
+
+    #[test]
+    fn first_launch_times_measure_queueing_delay() {
+        let mut jt = hadoop_jt();
+        cluster(&mut jt, 1, 0);
+        let j0 = jt.submit_job(t(0), JobSpec::new(2, 0));
+        let j1 = jt.submit_job(t(0), JobSpec::new(1, 0));
+        assert_eq!(jt.job_first_launch(j0), None);
+        assert_eq!(jt.queued_job_count(), 2);
+        // The 2 slots fill with j0; j1 keeps queueing.
+        let a = jt.heartbeat(t(5), NodeId(0)).assignments;
+        assert_eq!(a.len(), 2);
+        assert_eq!(jt.job_first_launch(j0), Some(t(5)));
+        assert_eq!(jt.job_first_launch(j1), None);
+        assert_eq!(jt.queued_job_count(), 1);
+        assert_eq!(jt.active_job_count(), 2);
+        // j0 finishes; j1 launches on the freed slots.
+        jt.attempt_succeeded(t(40), a[0].attempt);
+        jt.attempt_succeeded(t(41), a[1].attempt);
+        let b = jt.heartbeat(t(42), NodeId(0)).assignments;
+        assert_eq!(b[0].attempt.task.job, j1);
+        assert_eq!(jt.job_first_launch(j1), Some(t(42)));
+        assert_eq!(jt.active_job_count(), 1);
+        assert_eq!(jt.queued_job_count(), 0);
+    }
+
+    #[test]
+    fn metrics_accumulate_sums_counters() {
+        let a = JobMetrics {
+            duplicated_tasks: 1,
+            killed_maps: 2,
+            killed_reduces: 3,
+            killed_by_tracker_expiry: 1,
+            map_output_relaunches: 4,
+            completed_maps: 5,
+            completed_reduces: 6,
+        };
+        let mut total = JobMetrics::default();
+        total.accumulate(&a);
+        total.accumulate(&a);
+        assert_eq!(total.duplicated_tasks, 2);
+        assert_eq!(total.completed_maps, 10);
+        assert_eq!(total.map_output_relaunches, 8);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub use jobtracker::{
     HeartbeatResponse, JobMetrics, JobTracker, SuccessResponse, TrackerState, TrackerSweep,
 };
 pub use policy::{
-    FetchFailurePolicy, HadoopPolicy, LatePolicy, MoonPolicy, SchedulerPolicy, StragglerRule,
+    CrossJobPolicy, FetchFailurePolicy, HadoopPolicy, LatePolicy, MoonPolicy, SchedulerPolicy,
+    StragglerRule,
 };
 pub use types::{AttemptId, AttemptState, JobId, LaunchReason, TaskAssignment, TaskId, TaskKind};

@@ -15,6 +15,34 @@ pub enum FetchFailurePolicy {
     MoonQuery,
 }
 
+/// How the JobTracker orders *jobs* when several run concurrently —
+/// the cross-job layer of the scheduler lattice. The per-task policies
+/// ([`SchedulerPolicy`]) still decide *which task* of the chosen job
+/// runs; this decides *whose turn* it is. With a single job every
+/// variant behaves identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrossJobPolicy {
+    /// Strict submission order: earlier jobs drain the cluster first
+    /// (stock Hadoop's default JobQueue behaviour).
+    #[default]
+    Fifo,
+    /// Max-min fair share over running attempts: every free slot goes
+    /// to the runnable job with the fewest live attempts (ties broken
+    /// by submission order), equalising cluster shares under
+    /// contention — the job-driven style of arXiv:1808.08040.
+    FairShare,
+}
+
+impl CrossJobPolicy {
+    /// Stable machine-readable name (`fifo` / `fair`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrossJobPolicy::Fifo => "fifo",
+            CrossJobPolicy::FairShare => "fair",
+        }
+    }
+}
+
 /// Parameters shared by every policy's straggler ("slow task") test —
 /// Hadoop's classic rule: running over a minute and progress at least
 /// 0.2 behind the average of the same task type.

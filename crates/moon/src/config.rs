@@ -2,7 +2,7 @@
 
 use availability::TraceGenConfig;
 use dfs::{FileKind, NameNodeConfig, ReplicationFactor};
-use mapred::{FetchFailurePolicy, HadoopPolicy, MoonPolicy, SchedulerPolicy};
+use mapred::{CrossJobPolicy, FetchFailurePolicy, HadoopPolicy, MoonPolicy, SchedulerPolicy};
 use simkit::{SimDuration, SimTime};
 use workloads::MB;
 
@@ -112,6 +112,9 @@ impl ClusterConfig {
 pub struct PolicyConfig {
     /// Task scheduling policy.
     pub scheduler: SchedulerPolicy,
+    /// Cross-job ordering when several jobs run concurrently (FIFO by
+    /// default; irrelevant to single-job runs).
+    pub cross_job: CrossJobPolicy,
     /// Fetch-failure reaction.
     pub fetch: FetchFailurePolicy,
     /// NameNode behaviour (hybrid vs stock HDFS).
@@ -135,6 +138,7 @@ impl PolicyConfig {
     pub fn moon_hybrid() -> Self {
         PolicyConfig {
             scheduler: SchedulerPolicy::Moon(MoonPolicy::default()),
+            cross_job: CrossJobPolicy::Fifo,
             fetch: FetchFailurePolicy::MoonQuery,
             namenode: NameNodeConfig::default(),
             input_factor: ReplicationFactor::new(1, 3),
@@ -160,6 +164,7 @@ impl PolicyConfig {
     pub fn hadoop(expiry: SimDuration, n_replicas: u32) -> Self {
         PolicyConfig {
             scheduler: SchedulerPolicy::Hadoop(HadoopPolicy::with_expiry(expiry)),
+            cross_job: CrossJobPolicy::Fifo,
             fetch: FetchFailurePolicy::HadoopMajority,
             namenode: NameNodeConfig::hadoop(SimDuration::from_mins(10)),
             input_factor: ReplicationFactor::uniform(n_replicas),
@@ -211,6 +216,13 @@ impl PolicyConfig {
     pub fn with_reliable_intermediate(mut self) -> Self {
         self.intermediate_factor = ReplicationFactor::new(1, 1);
         self.intermediate_kind = FileKind::Reliable;
+        self
+    }
+
+    /// Cross-job max-min fair share instead of FIFO, applied on top of
+    /// any scheduler variant (single-job behaviour is unchanged).
+    pub fn with_fair_share(mut self) -> Self {
+        self.cross_job = CrossJobPolicy::FairShare;
         self
     }
 }

@@ -30,6 +30,7 @@ const _: () = {
     assert_send_sync::<ClusterConfig>();
     assert_send_sync::<PolicyConfig>();
     assert_send_sync::<workloads::WorkloadSpec>();
+    assert_send_sync::<workloads::JobStream>();
     assert_send_sync::<RunResult>();
 };
 
@@ -47,14 +48,24 @@ fn perf_log_enabled() -> bool {
 impl Experiment {
     /// Run to completion (job output committed) or the horizon.
     pub fn run(self) -> RunResult {
+        self.run_stream(None)
+    }
+
+    /// Run with an optional multi-job arrival stream. `None` is the
+    /// paper's single-job run ([`Experiment::run`]); `Some` injects the
+    /// stream's jobs over the horizon, records per-job SLO rows in
+    /// [`RunResult::jobs`], and reports the *stream* makespan (first
+    /// submission → last output commit) as the run's `job_time`.
+    pub fn run_stream(self, jobs: Option<workloads::JobStream>) -> RunResult {
         let label = self.policy.label.clone();
         let workload_name = self.workload.name.clone();
         let unavailability = self.cluster.unavailability;
         let horizon = self.cluster.horizon;
         let seed = self.seed;
+        let multi_job = jobs.is_some();
 
         let wall_start = perf_log_enabled().then(std::time::Instant::now);
-        let world = World::new(self.cluster, self.policy, self.workload);
+        let world = World::with_stream(self.cluster, self.policy, self.workload, jobs);
         let mut sim = Simulation::new(world, seed).with_event_limit(200_000_000);
         World::init(&mut sim);
         let sim_outcome = sim.run_until(horizon);
@@ -68,10 +79,26 @@ impl Experiment {
             } else {
                 0.0
             };
+            let (jobs_submitted, peak_active) = world.job_gauges();
+            let queue_gauge = if multi_job {
+                let rows = world.job_slo_rows();
+                let delays: Vec<f64> = rows.iter().filter_map(|r| r.queue_delay_secs()).collect();
+                let mean_queue = if delays.is_empty() {
+                    0.0
+                } else {
+                    delays.iter().sum::<f64>() / delays.len() as f64
+                };
+                format!(
+                    ", {jobs_submitted} jobs (peak {peak_active} active, \
+                     mean queue {mean_queue:.1}s)"
+                )
+            } else {
+                String::new()
+            };
             eprintln!(
                 "MOON_PERF {label} w={workload_name} p={unavailability} seed={seed}: \
                  {events} events in {wall:.3}s ({:.0} ev/s), {} reshares \
-                 (mean component {mean_component:.1} flows, peak {} live)",
+                 (mean component {mean_component:.1} flows, peak {} live){queue_gauge}",
                 events as f64 / wall.max(1e-9),
                 net.reshares,
                 net.peak_live_flows,
@@ -114,6 +141,7 @@ impl Experiment {
             fetch_failures: world.metrics.fetch_failures,
             events,
             seed,
+            jobs: multi_job.then(|| world.job_slo_rows()),
         }
     }
 }

@@ -27,6 +27,21 @@
 //! availability trace (Normal outages, mean 409 s, inserted by a Poisson
 //! process to hit the target unavailability rate), and the run ends when
 //! the job's output file reaches its replication factor.
+//!
+//! ## Multi-job streams
+//!
+//! Beyond the paper's one-job-per-run setup, [`Experiment::run_stream`]
+//! serves a whole [`workloads::JobStream`] on one shared cluster —
+//! deterministic batches, open Poisson arrivals, or closed think-time
+//! clients — with cross-job FIFO or max-min fair-share scheduling
+//! layered under the per-task policies, and per-job SLO rows
+//! ([`JobSlo`]: queueing delay, makespan, bounded slowdown) in the
+//! result. Like the quickstart above, the block below *is*
+//! `examples/job_stream.rs`, compiled and executed as a doctest:
+//!
+//! ```
+#![doc = include_str!("../../../examples/job_stream.rs")]
+//! ```
 
 #![warn(missing_docs)]
 
@@ -38,7 +53,7 @@ mod world;
 
 pub use config::{ClusterConfig, PolicyConfig};
 pub use experiment::{run_seeds, summarize_job_times, Experiment};
-pub use metrics::{ExecutionProfile, Outcome, RunMetrics, RunResult};
+pub use metrics::{ExecutionProfile, JobSlo, Outcome, RunMetrics, RunResult};
 pub use world::{Ev, World};
 
 /// A small workload for doctests and smoke tests: 16 maps over 256 MB,

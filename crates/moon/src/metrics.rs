@@ -65,6 +65,56 @@ impl fmt::Display for Outcome {
     }
 }
 
+/// Per-job service-level row of a multi-job run: when the job arrived,
+/// how long it queued, and how long it took end to end. Single-job
+/// runs don't carry these (their one job *is* the run).
+#[derive(Debug, Clone)]
+pub struct JobSlo {
+    /// JobTracker id (submission order).
+    pub job: u32,
+    /// Workload the job ran.
+    pub workload: String,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// First attempt launch (None = starved until the run ended).
+    pub first_launch: Option<SimTime>,
+    /// Output-commit time (None = DNF within the horizon).
+    pub finished: Option<SimTime>,
+    /// The job's own JobTracker counters.
+    pub metrics: JobMetrics,
+}
+
+impl JobSlo {
+    /// Floor for bounded slowdown: jobs whose solo service time is
+    /// shorter than this don't inflate the metric (the classic
+    /// "bounded" in bounded slowdown).
+    pub const SLOWDOWN_BOUND_SECS: f64 = 10.0;
+
+    /// Queueing delay in seconds: submission → first attempt launch.
+    pub fn queue_delay_secs(&self) -> Option<f64> {
+        Some(self.first_launch?.since(self.submitted).as_secs_f64())
+    }
+
+    /// Makespan in seconds: submission → output commit.
+    pub fn makespan_secs(&self) -> Option<f64> {
+        Some(self.finished?.since(self.submitted).as_secs_f64())
+    }
+
+    /// Service time in seconds: first launch → output commit.
+    pub fn service_secs(&self) -> Option<f64> {
+        Some(self.finished?.since(self.first_launch?).as_secs_f64())
+    }
+
+    /// Bounded slowdown: `max(1, makespan / max(service, bound))` —
+    /// how much longer the job took than it would have with the
+    /// cluster to itself, robust to near-zero service times.
+    pub fn bounded_slowdown(&self) -> Option<f64> {
+        let makespan = self.makespan_secs()?;
+        let service = self.service_secs()?;
+        Some((makespan / service.max(Self::SLOWDOWN_BOUND_SECS)).max(1.0))
+    }
+}
+
 /// Final, flattened result of one run (what the bench harness prints).
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -89,6 +139,9 @@ pub struct RunResult {
     pub events: u64,
     /// Seed used.
     pub seed: u64,
+    /// Per-job SLO rows of a multi-job run (None for the paper's
+    /// single-job experiments — their tables and JSON stay byte-stable).
+    pub jobs: Option<Vec<JobSlo>>,
 }
 
 impl RunResult {
@@ -154,8 +207,44 @@ mod tests {
             fetch_failures: 0,
             events: 0,
             seed: 0,
+            jobs: None,
         };
         assert!(r.job_secs().is_nan());
+    }
+
+    #[test]
+    fn slo_row_derivations() {
+        let row = JobSlo {
+            job: 3,
+            workload: "quick".into(),
+            submitted: SimTime::from_secs(100),
+            first_launch: Some(SimTime::from_secs(160)),
+            finished: Some(SimTime::from_secs(400)),
+            metrics: JobMetrics::default(),
+        };
+        assert_eq!(row.queue_delay_secs(), Some(60.0));
+        assert_eq!(row.makespan_secs(), Some(300.0));
+        assert_eq!(row.service_secs(), Some(240.0));
+        assert!((row.bounded_slowdown().unwrap() - 300.0 / 240.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_row_dnf_and_bound() {
+        let mut row = JobSlo {
+            job: 0,
+            workload: "quick".into(),
+            submitted: SimTime::from_secs(10),
+            first_launch: None,
+            finished: None,
+            metrics: JobMetrics::default(),
+        };
+        assert_eq!(row.queue_delay_secs(), None);
+        assert_eq!(row.bounded_slowdown(), None);
+        // A tiny job: slowdown is bounded, never exploding on short
+        // service times, and never below 1.
+        row.first_launch = Some(SimTime::from_secs(11));
+        row.finished = Some(SimTime::from_secs(12));
+        assert!((row.bounded_slowdown().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]

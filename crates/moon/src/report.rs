@@ -104,7 +104,7 @@ pub fn profile_table(title: &str, results: &[RunResult]) -> String {
 /// for the per-run JSON row: `bench::dump_json` and the `moon-cli`
 /// scenario reports both emit these rows, so the two never drift.
 pub mod json {
-    use crate::metrics::RunResult;
+    use crate::metrics::{JobSlo, RunResult};
 
     /// Escape a string for inclusion in a JSON string literal.
     pub fn escape(s: &str) -> String {
@@ -138,9 +138,30 @@ pub mod json {
         x.map(number).unwrap_or_else(|| "null".into())
     }
 
-    /// One run as a two-space-indented JSON object (no trailing comma).
-    pub fn result_row(r: &RunResult) -> String {
+    /// One per-job SLO row of a multi-job run.
+    fn job_slo_row(j: &JobSlo) -> String {
+        let secs = |t: simkit::SimTime| t.since(simkit::SimTime::ZERO).as_secs_f64();
         format!(
+            concat!(
+                "      {{ \"job\": {}, \"workload\": \"{}\", \"submit_secs\": {}, ",
+                "\"queue_secs\": {}, \"makespan_secs\": {}, \"slowdown\": {}, ",
+                "\"completed\": {} }}"
+            ),
+            j.job,
+            escape(&j.workload),
+            number(secs(j.submitted)),
+            opt_number(j.queue_delay_secs()),
+            opt_number(j.makespan_secs()),
+            opt_number(j.bounded_slowdown()),
+            j.finished.is_some(),
+        )
+    }
+
+    /// One run as a two-space-indented JSON object (no trailing comma).
+    /// Single-job runs emit exactly the historical schema; multi-job
+    /// runs append a `"jobs"` array of per-job SLO rows.
+    pub fn result_row(r: &RunResult) -> String {
+        let mut row = format!(
             concat!(
                 "  {{\n",
                 "    \"label\": \"{}\",\n",
@@ -157,8 +178,7 @@ pub mod json {
                 "    \"avg_shuffle_time\": {},\n",
                 "    \"avg_reduce_time\": {},\n",
                 "    \"fetch_failures\": {},\n",
-                "    \"events\": {}\n",
-                "  }}"
+                "    \"events\": {}"
             ),
             escape(&r.label),
             escape(&r.workload),
@@ -175,7 +195,15 @@ pub mod json {
             number(r.profile.avg_reduce_time),
             r.fetch_failures,
             r.events,
-        )
+        );
+        if let Some(jobs) = &r.jobs {
+            row.push_str(",\n    \"jobs\": [\n");
+            let rows: Vec<String> = jobs.iter().map(job_slo_row).collect();
+            row.push_str(&rows.join(",\n"));
+            row.push_str("\n    ]");
+        }
+        row.push_str("\n  }");
+        row
     }
 
     /// A flat array of [`result_row`]s, newline-terminated.
@@ -223,6 +251,7 @@ mod tests {
             fetch_failures: 0,
             events: 17,
             seed: 42,
+            jobs: None,
         }
     }
 

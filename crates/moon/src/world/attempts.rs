@@ -66,6 +66,7 @@ impl World {
 
     pub(super) fn start_attempt(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId, node: NodeId) {
         debug_assert!(!self.attempts.contains_key(&id), "attempt started twice");
+        let n_maps = self.slot_for(id).workload.n_maps;
         let rt = AttemptRt {
             node,
             started: ctx.now(),
@@ -74,7 +75,7 @@ impl World {
             phase: match id.task.kind {
                 TaskKind::Map => Phase::MapRead { flow: None },
                 TaskKind::Reduce => Phase::Shuffle(ShuffleState {
-                    waiting: (0..self.workload.n_maps).collect(),
+                    waiting: (0..n_maps).collect(),
                     inflight: BTreeMap::new(),
                     fetched: BTreeSet::new(),
                     done_at: None,
@@ -98,7 +99,7 @@ impl World {
             return;
         };
         let node = rt.node;
-        let block = self.input_blocks[id.task.index as usize];
+        let block = self.slot_for(id).input_blocks[id.task.index as usize];
         let src =
             self.nn
                 .choose_read_source(block, Some(node), ctx.rng().stream(StreamId::Placement));
@@ -130,13 +131,12 @@ impl World {
 
     pub(super) fn begin_compute(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
         let node = self.attempts[&id].node;
+        let workload = &self.slot_for(id).workload;
         let cpu = match id.task.kind {
-            TaskKind::Map => self
-                .workload
+            TaskKind::Map => workload
                 .map_cpu
                 .sample(ctx.rng().stream(StreamId::TaskDuration(node.0 as u64))),
-            TaskKind::Reduce => self
-                .workload
+            TaskKind::Reduce => workload
                 .reduce_cpu
                 .sample(ctx.rng().stream(StreamId::TaskDuration(node.0 as u64))),
         };
@@ -156,18 +156,19 @@ impl World {
     fn begin_write(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
         let (file, block) = match id.task.kind {
             TaskKind::Map => {
+                let bytes = self.slot_for(id).workload.map_output_bytes;
                 let file = self.nn.create_file(
                     self.policy.intermediate_kind,
                     self.policy.intermediate_factor,
                 );
-                let block = self.nn.allocate_block(file, self.workload.map_output_bytes);
+                let block = self.nn.allocate_block(file, bytes);
                 (file, block)
             }
             TaskKind::Reduce => {
-                let file = self.output_file.expect("output file exists");
-                let block = self
-                    .nn
-                    .allocate_block(file, self.workload.output_bytes_per_reduce(self.n_reduces));
+                let slot = self.slot_for(id);
+                let file = slot.output_file.expect("output file exists");
+                let bytes = slot.workload.output_bytes_per_reduce(slot.n_reduces);
+                let block = self.nn.allocate_block(file, bytes);
                 (file, block)
             }
         };
@@ -277,7 +278,7 @@ impl World {
             },
             TaskKind::Reduce => match &rt.phase {
                 Phase::Shuffle(sh) => {
-                    let total = self.workload.n_maps.max(1) as f64;
+                    let total = self.slot_for(id).workload.n_maps.max(1) as f64;
                     0.33 * (sh.fetched.len() as f64 / total)
                 }
                 Phase::Compute { work, .. } => 0.33 + 0.34 * work.progress(now),
@@ -388,11 +389,11 @@ impl World {
         }
         match id.task.kind {
             TaskKind::Map => {
-                self.map_outputs[id.task.index as usize] = Some((file, block));
+                self.slot_for_mut(id).map_outputs[id.task.index as usize] = Some((file, block));
                 self.metrics
                     .map_times
                     .record(ctx.now().since(rt.started).as_secs_f64());
-                self.notify_reduces_of_map(ctx, id.task.index);
+                self.notify_reduces_of_map(ctx, id.task.job, id.task.index);
             }
             TaskKind::Reduce => {
                 let sh_start = rt.shuffle_started.unwrap_or(rt.started);
@@ -406,10 +407,12 @@ impl World {
             }
         }
         if resp.job_completed {
-            self.job_tasks_done = true;
+            let slot = self.slot_for_mut(id);
+            slot.tasks_done = true;
             // Output commit: promote to reliable; the replication scanner
-            // finishes the remaining copies and ends the run.
-            if let Some(out) = self.output_file {
+            // finishes the remaining copies and (once every job of the
+            // stream has committed) ends the run.
+            if let Some(out) = slot.output_file {
                 self.nn.convert_to_reliable(out);
             }
         }

@@ -2,27 +2,33 @@
 //! the NameNode replication scanner that also decides job completion.
 //!
 //! Handles `Submit`, `TrackerCheck`, and `ReplicationScan`. Submission
-//! stages the input file and opens the opportunistic output file
+//! stages a job's input file and opens its opportunistic output file
 //! (§IV-A); the replication scan issues re-replication flows and, once
-//! every task finished and the output file reached its replication
-//! factor, stamps `job_finished` and stops the run — the paper's
-//! definition of job completion.
+//! a job's tasks finished and its output file reached its replication
+//! factor, stamps that job's commit time. The run stops when every job
+//! of the stream has committed (for the paper's single-job run: when
+//! *the* job has) — closed streams inject each client's next job at
+//! commit, a think-time later.
 
-use super::{Ev, FlowPurpose, World};
+use super::{Ev, FlowPurpose, JobSlot, World};
 use dfs::{FileKind, NodeId};
 use mapred::JobSpec;
 use netsim::Changes;
 use simkit::{Ctx, StreamId};
-use workloads::ReduceCount;
+use workloads::{ArrivalModel, ReduceCount};
 
 impl World {
-    pub(super) fn on_submit(&mut self, ctx: &mut Ctx<'_, Ev>) {
+    pub(super) fn on_submit(&mut self, ctx: &mut Ctx<'_, Ev>, slot: u32) {
+        let slot = slot as usize;
         // Stage the input file (the paper stages input before measuring).
         let input = self
             .nn
             .create_file(FileKind::Reliable, self.policy.input_factor);
-        let split = self.workload.split_bytes();
-        for _ in 0..self.workload.n_maps {
+        let (split, n_maps) = {
+            let s = &self.jobs[slot];
+            (s.workload.split_bytes(), s.workload.n_maps)
+        };
+        for _ in 0..n_maps {
             let b = self.nn.allocate_block(input, split);
             let plan = self.nn.choose_write_targets(
                 ctx.now(),
@@ -33,7 +39,7 @@ impl World {
             for t in plan.targets() {
                 self.nn.commit_replica(b, t);
             }
-            self.input_blocks.push(b);
+            self.jobs[slot].input_blocks.push(b);
         }
         // Resolve the reduce count against submit-time slots (Table I's
         // 0.9 × AvailSlots rule). MOON schedules originals on volatile
@@ -44,25 +50,36 @@ impl World {
             self.cluster.n_volatile
         };
         let avail_reduce_slots = worker_nodes * self.cluster.reduce_slots;
-        self.n_reduces = match self.workload.reduces {
+        let n_reduces = match self.jobs[slot].workload.reduces {
             ReduceCount::Fixed(n) => n,
             f @ ReduceCount::SlotsFraction(_) => f.resolve(avail_reduce_slots),
         };
-        let locations: Vec<Vec<NodeId>> = self
+        self.jobs[slot].n_reduces = n_reduces;
+        let locations: Vec<Vec<NodeId>> = self.jobs[slot]
             .input_blocks
             .iter()
             .map(|&b| self.nn.live_replicas(b))
             .collect();
-        let spec = JobSpec::new(self.workload.n_maps, self.n_reduces).with_locations(locations);
+        let spec = JobSpec::new(n_maps, n_reduces).with_locations(locations);
         let job = self.jt.submit_job(ctx.now(), spec);
-        self.job = Some(job);
-        self.metrics.job_submitted = Some(ctx.now());
-        self.metrics.n_reduces = self.n_reduces;
+        self.jobs[slot].job = Some(job);
+        self.jobs[slot].submitted_at = Some(ctx.now());
+        self.job_slots.insert(job, slot);
+        if self.metrics.job_submitted.is_none() {
+            self.metrics.job_submitted = Some(ctx.now());
+            self.metrics.n_reduces = n_reduces;
+        }
+        let active = self
+            .jobs
+            .iter()
+            .filter(|s| s.submitted_at.is_some() && s.finished_at.is_none())
+            .count() as u32;
+        self.peak_active_jobs = self.peak_active_jobs.max(active);
         // Output file: opportunistic until commit (§IV-A).
         let out = self
             .nn
             .create_file(FileKind::Opportunistic, self.policy.output_factor);
-        self.output_file = Some(out);
+        self.jobs[slot].output_file = Some(out);
     }
 
     pub(super) fn on_tracker_check(&mut self, ctx: &mut Ctx<'_, Ev>) {
@@ -95,17 +112,67 @@ impl World {
         self.apply_changes(ctx, all);
         self.resched_net_poll(ctx);
 
-        // Output-commit check: the job is done once every output block
-        // reached its replication factor (§IV-A).
-        if self.job_tasks_done && self.metrics.job_finished.is_none() {
-            if let Some(out) = self.output_file {
-                if self.nn.is_fully_replicated(out) {
-                    self.metrics.job_finished = Some(ctx.now());
-                    ctx.stop();
-                    return;
-                }
-            }
+        // Output-commit check: a job is done once every output block
+        // reached its replication factor (§IV-A). The run ends when the
+        // whole stream has committed.
+        if self.commit_finished_jobs(ctx) {
+            self.metrics.job_finished = Some(ctx.now());
+            ctx.stop();
+            return;
         }
         ctx.schedule(self.cluster.replication_scan_interval, Ev::ReplicationScan);
+    }
+
+    /// Stamp commits for jobs whose output just reached its replication
+    /// factor (spawning each closed-stream successor), and report
+    /// whether the entire stream is now committed.
+    fn commit_finished_jobs(&mut self, ctx: &mut Ctx<'_, Ev>) -> bool {
+        for slot in 0..self.jobs.len() {
+            let ready = {
+                let s = &self.jobs[slot];
+                s.tasks_done
+                    && s.finished_at.is_none()
+                    && s.output_file
+                        .is_some_and(|out| self.nn.is_fully_replicated(out))
+            };
+            if ready {
+                self.jobs[slot].finished_at = Some(ctx.now());
+                self.spawn_closed_successor(ctx, slot);
+            }
+        }
+        self.jobs.iter().all(|s| s.finished_at.is_some()) && !self.more_submissions_pending()
+    }
+
+    /// A closed-stream client whose job just committed submits its next
+    /// one a think-time later.
+    fn spawn_closed_successor(&mut self, ctx: &mut Ctx<'_, Ev>, slot: usize) {
+        let Some(client) = self.jobs[slot].client else {
+            return;
+        };
+        if self.client_budget[client as usize] == 0 {
+            return;
+        }
+        self.client_budget[client as usize] -= 1;
+        let Some(stream) = &self.stream else { return };
+        let ArrivalModel::Closed { think, .. } = &stream.arrivals else {
+            return;
+        };
+        let think = think.sample(ctx.rng().stream(StreamId::JobArrival(client as u64)));
+        let slot_index = self.jobs.len() as u32;
+        // Cycle the workload by the client's *own* position in the
+        // stream (k-th job of client c gets index c + clients·k, the
+        // same stride the initial burst used), so each client's
+        // sequence is fixed regardless of when other clients commit.
+        let k = self
+            .jobs
+            .iter()
+            .filter(|s| s.client == Some(client))
+            .count() as u32;
+        let n_clients = self.client_budget.len() as u32;
+        let workload = stream
+            .workload_for(client + n_clients * k, &self.base_workload)
+            .clone();
+        self.jobs.push(JobSlot::new(workload, Some(client)));
+        ctx.schedule(think, Ev::Submit(slot_index));
     }
 }

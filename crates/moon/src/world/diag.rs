@@ -11,43 +11,44 @@ use simkit::EventId;
 impl World {
     /// Diagnostics: print every incomplete task's JT view and world phase.
     pub fn debug_dump_incomplete(&self) {
-        let Some(job) = self.job else { return };
-        for kind in [TaskKind::Map, TaskKind::Reduce] {
-            let n = match kind {
-                TaskKind::Map => self.workload.n_maps,
-                TaskKind::Reduce => self.n_reduces,
-            };
-            for i in 0..n {
-                let tid = TaskId {
-                    job,
-                    kind,
-                    index: i,
+        for slot in self.jobs.iter() {
+            let Some(job) = slot.job else { continue };
+            for kind in [TaskKind::Map, TaskKind::Reduce] {
+                let n = match kind {
+                    TaskKind::Map => slot.workload.n_maps,
+                    TaskKind::Reduce => slot.n_reduces,
                 };
-                let t = self.jt.task(tid);
-                if t.completed {
-                    continue;
-                }
-                eprintln!(
-                    "INCOMPLETE {tid}: live={} frozen={} attempts={}",
-                    t.n_live(),
-                    t.is_frozen(),
-                    t.attempts.len()
-                );
-                for a in &t.attempts {
-                    let phase = self.attempts.get(&a.id).map(|rt| match &rt.phase {
-                        Phase::MapRead { .. } => "read".to_string(),
-                        Phase::Compute { work, ev } => format!(
-                            "compute(running={} ev={:?})",
-                            work.is_running(),
-                            *ev != EventId::NONE
-                        ),
-                        Phase::Write { flow, targets, .. } => {
-                            format!("write(flow={:?} targets={targets:?})", flow.is_some())
-                        }
-                        Phase::Shuffle(sh) => {
-                            let mut inflight = String::new();
-                            for (f, maps) in &sh.inflight {
-                                inflight.push_str(&format!(
+                for i in 0..n {
+                    let tid = TaskId {
+                        job,
+                        kind,
+                        index: i,
+                    };
+                    let t = self.jt.task(tid);
+                    if t.completed {
+                        continue;
+                    }
+                    eprintln!(
+                        "INCOMPLETE {tid}: live={} frozen={} attempts={}",
+                        t.n_live(),
+                        t.is_frozen(),
+                        t.attempts.len()
+                    );
+                    for a in &t.attempts {
+                        let phase = self.attempts.get(&a.id).map(|rt| match &rt.phase {
+                            Phase::MapRead { .. } => "read".to_string(),
+                            Phase::Compute { work, ev } => format!(
+                                "compute(running={} ev={:?})",
+                                work.is_running(),
+                                *ev != EventId::NONE
+                            ),
+                            Phase::Write { flow, targets, .. } => {
+                                format!("write(flow={:?} targets={targets:?})", flow.is_some())
+                            }
+                            Phase::Shuffle(sh) => {
+                                let mut inflight = String::new();
+                                for (f, maps) in &sh.inflight {
+                                    inflight.push_str(&format!(
                                     "[flow {f:?} rate={:?} rem={:?} timeout={} known={} maps={}]",
                                     self.net.rate(*f),
                                     self.net.remaining_bytes(*f).map(|b| b.round()),
@@ -55,18 +56,19 @@ impl World {
                                     self.flows.contains_key(f),
                                     maps.len(),
                                 ));
+                                }
+                                format!(
+                                    "shuffle(fetched={} waiting={:?} inflight={inflight})",
+                                    sh.fetched.len(),
+                                    sh.waiting.iter().take(8).collect::<Vec<_>>(),
+                                )
                             }
-                            format!(
-                                "shuffle(fetched={} waiting={:?} inflight={inflight})",
-                                sh.fetched.len(),
-                                sh.waiting.iter().take(8).collect::<Vec<_>>(),
-                            )
-                        }
-                    });
-                    eprintln!(
-                        "  {}: jt_state={:?} node={} world_phase={:?} progress={:.2}",
-                        a.id, a.state, a.node, phase, a.progress
-                    );
+                        });
+                        eprintln!(
+                            "  {}: jt_state={:?} node={} world_phase={:?} progress={:.2}",
+                            a.id, a.state, a.node, phase, a.progress
+                        );
+                    }
                 }
             }
         }

@@ -1,13 +1,17 @@
 //! The composed simulation world: trace-driven node availability +
 //! MOON file system + MapReduce control plane + flow-level I/O.
 //!
-//! One [`World`] simulates one MapReduce job on one cluster under one
-//! policy bundle, exactly like a single experimental run in the paper:
+//! One [`World`] simulates a stream of MapReduce jobs on one cluster
+//! under one policy bundle. The default is the paper's single-job run:
 //! the input is pre-staged, the job is submitted at t = 1 s, a monitor
 //! suspends/resumes each node according to its availability trace, and
 //! the run ends when the job's output reaches its replication factor
 //! (or the horizon passes — a DNF, which the paper also observed for
-//! plain Hadoop at high volatility).
+//! plain Hadoop at high volatility). With a
+//! [`workloads::JobStream`], N jobs coexist: each [`JobSlot`] below
+//! tracks one job's staging, shuffle bookkeeping, and output commit,
+//! while the JobTracker's cross-job policy (FIFO or fair share)
+//! arbitrates slots between them.
 //!
 //! ## Structure
 //!
@@ -45,7 +49,7 @@ use mapred::{AttemptId, JobId, JobStatus, JobTracker};
 use netsim::{Changes, FlowId, FlowNet, ResourceId};
 use simkit::{Ctx, EventId, Model, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use workloads::WorkloadSpec;
+use workloads::{ArrivalModel, JobStream, WorkloadSpec};
 
 /// Events of the world model.
 #[derive(Debug, Clone)]
@@ -72,8 +76,9 @@ pub enum Ev {
     ShuffleTick(AttemptId),
     /// An attempt retries a stalled read/write phase.
     PhaseRetry(AttemptId),
-    /// Submit the job.
-    Submit,
+    /// Submit the job in this arrival slot of the world (slot indexes
+    /// follow submission-schedule order).
+    Submit(u32),
 }
 
 /// Per-node runtime state: liveness plus the node's physical resources
@@ -114,6 +119,47 @@ pub(super) enum FlowPurpose {
     },
 }
 
+/// Per-job runtime state: one submitted (or yet-to-arrive) job's
+/// staging, shuffle bookkeeping, and output commit. The single-job
+/// world of the paper is the one-slot special case.
+pub(super) struct JobSlot {
+    pub(super) workload: WorkloadSpec,
+    /// JobTracker id, assigned at submission.
+    pub(super) job: Option<JobId>,
+    pub(super) input_blocks: Vec<BlockId>,
+    pub(super) output_file: Option<FileId>,
+    pub(super) n_reduces: u32,
+    /// Committed output of each completed map task, indexed by map index.
+    pub(super) map_outputs: Vec<Option<(FileId, BlockId)>>,
+    /// Every task completed (output commit may still be replicating).
+    pub(super) tasks_done: bool,
+    /// When the job was submitted to the JobTracker.
+    pub(super) submitted_at: Option<SimTime>,
+    /// When the job's output reached its replication factor.
+    pub(super) finished_at: Option<SimTime>,
+    /// Closed-stream client that submits its next job once this one
+    /// commits (None for open/batch arrivals and single-job runs).
+    pub(super) client: Option<u32>,
+}
+
+impl JobSlot {
+    fn new(workload: WorkloadSpec, client: Option<u32>) -> Self {
+        let n_maps = workload.n_maps as usize;
+        JobSlot {
+            workload,
+            job: None,
+            input_blocks: Vec::new(),
+            output_file: None,
+            n_reduces: 0,
+            map_outputs: vec![None; n_maps],
+            tasks_done: false,
+            submitted_at: None,
+            finished_at: None,
+            client,
+        }
+    }
+}
+
 /// The full simulation model (implements [`simkit::Model`]).
 ///
 /// `World` is the shared context every subsystem operates on: the
@@ -123,54 +169,100 @@ pub(super) enum FlowPurpose {
 pub struct World {
     cluster: ClusterConfig,
     policy: PolicyConfig,
-    workload: WorkloadSpec,
+    /// Workload of single-job runs and the fallback for stream jobs.
+    base_workload: WorkloadSpec,
+    /// The arrival stream (None = the paper's single-job run).
+    stream: Option<JobStream>,
+    /// Per-client remaining submissions for closed streams.
+    client_budget: Vec<u32>,
     traces: Vec<AvailabilityTrace>,
     nodes: Vec<NodeRt>,
     net: FlowNet,
     nn: NameNode,
     jt: JobTracker,
-    job: Option<JobId>,
-    input_blocks: Vec<BlockId>,
-    output_file: Option<FileId>,
-    n_reduces: u32,
-    /// Committed output of each completed map task, indexed by map index.
-    map_outputs: Vec<Option<(FileId, BlockId)>>,
+    /// One slot per job (created up front for batch/Poisson arrivals,
+    /// incrementally for closed streams).
+    jobs: Vec<JobSlot>,
+    /// JobTracker id → slot index.
+    job_slots: HashMap<JobId, usize>,
     attempts: BTreeMap<AttemptId, AttemptRt>,
     /// Purpose of every open flow. Never iterated (order-free), so a
     /// hash map keeps the per-flow bookkeeping O(1).
     flows: HashMap<FlowId, FlowPurpose>,
     stall_timeouts: HashMap<FlowId, EventId>,
     net_poll_ev: EventId,
-    job_tasks_done: bool,
+    /// Peak concurrently-active (submitted, not yet committed) jobs —
+    /// perf-log gauge.
+    peak_active_jobs: u32,
     /// Measured results.
     pub metrics: RunMetrics,
 }
 
 impl World {
-    /// Build a world. Call [`World::init`] on the simulation afterwards.
+    /// Build a single-job world — the paper's experimental setup. Call
+    /// [`World::init`] on the simulation afterwards.
     pub fn new(cluster: ClusterConfig, policy: PolicyConfig, workload: WorkloadSpec) -> Self {
+        Self::with_stream(cluster, policy, workload, None)
+    }
+
+    /// Build a world that serves `stream` (multi-job), or the classic
+    /// single-job run when `stream` is `None`.
+    pub fn with_stream(
+        cluster: ClusterConfig,
+        policy: PolicyConfig,
+        workload: WorkloadSpec,
+        stream: Option<JobStream>,
+    ) -> Self {
         let nn = NameNode::new(policy.namenode.clone());
-        let jt = JobTracker::new(policy.scheduler.clone(), policy.fetch);
-        let n_maps = workload.n_maps as usize;
+        let jt = JobTracker::new(policy.scheduler.clone(), policy.fetch)
+            .with_cross_job(policy.cross_job);
+        // Pre-create job slots for arrivals known up front; closed
+        // streams start with one slot per client and grow on commit.
+        let mut jobs = Vec::new();
+        let mut client_budget = Vec::new();
+        match &stream {
+            None => jobs.push(JobSlot::new(workload.clone(), None)),
+            Some(s) => match &s.arrivals {
+                ArrivalModel::Batch(offsets) => {
+                    for k in 0..offsets.len() as u32 {
+                        jobs.push(JobSlot::new(s.workload_for(k, &workload).clone(), None));
+                    }
+                }
+                ArrivalModel::Poisson { count, .. } => {
+                    for k in 0..*count {
+                        jobs.push(JobSlot::new(s.workload_for(k, &workload).clone(), None));
+                    }
+                }
+                ArrivalModel::Closed {
+                    clients,
+                    jobs_per_client,
+                    ..
+                } => {
+                    for c in 0..*clients {
+                        jobs.push(JobSlot::new(s.workload_for(c, &workload).clone(), Some(c)));
+                        client_budget.push(jobs_per_client.saturating_sub(1));
+                    }
+                }
+            },
+        }
         World {
             cluster,
             policy,
-            workload,
+            base_workload: workload,
+            stream,
+            client_budget,
             traces: Vec::new(),
             nodes: Vec::new(),
             net: FlowNet::new(),
             nn,
             jt,
-            job: None,
-            input_blocks: Vec::new(),
-            output_file: None,
-            n_reduces: 0,
-            map_outputs: vec![None; n_maps],
+            jobs,
+            job_slots: HashMap::new(),
             attempts: BTreeMap::new(),
             flows: HashMap::new(),
             stall_timeouts: HashMap::new(),
             net_poll_ev: EventId::NONE,
-            job_tasks_done: false,
+            peak_active_jobs: 0,
             metrics: RunMetrics::default(),
         }
     }
@@ -259,7 +351,42 @@ impl World {
         sim.schedule(tci, Ev::TrackerCheck);
         let rsi = sim.model().cluster.replication_scan_interval;
         sim.schedule(rsi, Ev::ReplicationScan);
-        sim.schedule(SimDuration::from_secs(1), Ev::Submit);
+        // Job submissions. The paper's single job arrives at t = 1 s;
+        // stream arrivals are offsets from that base instant. Poisson
+        // inter-arrival gaps derive from the root seed on a dedicated
+        // key, so the jobs' own randomness (placement, task durations)
+        // is untouched.
+        let base = SimDuration::from_secs(1);
+        let arrivals = sim.model().stream.as_ref().map(|s| s.arrivals.clone());
+        match arrivals {
+            None => {
+                sim.schedule(base, Ev::Submit(0));
+            }
+            Some(ArrivalModel::Batch(offsets)) => {
+                for (k, off) in offsets.iter().enumerate() {
+                    sim.schedule(base + *off, Ev::Submit(k as u32));
+                }
+            }
+            Some(ArrivalModel::Poisson {
+                rate_per_hour,
+                count,
+            }) => {
+                let seed = simkit::derive_seed(sim_seed(sim), ARRIVAL_SEED_KEY);
+                let mut r = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                let mut at = base;
+                for k in 0..count {
+                    sim.schedule(at, Ev::Submit(k));
+                    at += ArrivalModel::sample_poisson_gap(rate_per_hour, &mut r);
+                }
+            }
+            Some(ArrivalModel::Closed { clients, .. }) => {
+                // The initial burst: one job per client at the base
+                // instant; successors are scheduled on commit.
+                for c in 0..clients {
+                    sim.schedule(base, Ev::Submit(c));
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -270,8 +397,34 @@ impl World {
         &self.nodes[n.0 as usize]
     }
 
-    fn job_id(&self) -> JobId {
-        self.job.expect("job not submitted yet")
+    /// Slot index of a submitted job.
+    fn slot_of(&self, job: JobId) -> usize {
+        self.job_slots[&job]
+    }
+
+    /// The job slot an attempt belongs to.
+    pub(super) fn slot_for(&self, id: AttemptId) -> &JobSlot {
+        &self.jobs[self.slot_of(id.task.job)]
+    }
+
+    /// Mutable job slot for an attempt.
+    pub(super) fn slot_for_mut(&mut self, id: AttemptId) -> &mut JobSlot {
+        let s = self.slot_of(id.task.job);
+        &mut self.jobs[s]
+    }
+
+    /// Is the MapReduce control plane live? The TaskTracker half of
+    /// the heartbeat runs from the first submission until the last
+    /// job's tasks complete — *including* idle gaps between stream
+    /// arrivals (an unsubmitted slot or an owed closed-stream
+    /// successor keeps it on), where withholding heartbeats would make
+    /// the JobTracker suspend and expire perfectly healthy trackers:
+    /// its liveness sweep only sees `last_heartbeat`. Off before any
+    /// submission and in the final output-replication tail, exactly as
+    /// in the single-job run.
+    pub(super) fn control_plane_active(&self) -> bool {
+        self.jobs.iter().any(|j| j.submitted_at.is_some())
+            && (self.jobs.iter().any(|j| !j.tasks_done) || self.more_submissions_pending())
     }
 
     /// Resource chain for a transfer src → dst (skipping the network for
@@ -348,14 +501,81 @@ impl World {
     // Run-completion accessors used by the experiment driver
     // ------------------------------------------------------------------
 
-    /// Status of the run's job, if submitted.
+    /// Overall status across the run's jobs, if any was submitted:
+    /// `Failed` if any job failed, `Running` while any is incomplete
+    /// (or still to arrive), `Succeeded` once every job succeeded. For
+    /// a single-job run this is exactly that job's status.
     pub fn job_status(&self) -> Option<JobStatus> {
-        self.job.map(|j| self.jt.job_status(j))
+        let statuses: Vec<JobStatus> = self
+            .jobs
+            .iter()
+            .filter_map(|s| s.job)
+            .map(|j| self.jt.job_status(j))
+            .collect();
+        if statuses.is_empty() {
+            return None;
+        }
+        if statuses.contains(&JobStatus::Failed) {
+            Some(JobStatus::Failed)
+        } else if statuses.len() == self.jobs.len()
+            && !self.more_submissions_pending()
+            && statuses.iter().all(|&s| s == JobStatus::Succeeded)
+        {
+            Some(JobStatus::Succeeded)
+        } else {
+            Some(JobStatus::Running)
+        }
     }
 
-    /// JobTracker metrics for the run's job.
+    /// Aggregate JobTracker counters across the run's jobs (a
+    /// single-job run reports exactly that job's counters).
     pub fn job_metrics(&self) -> Option<mapred::JobMetrics> {
-        self.job.map(|j| self.jt.job_metrics(j))
+        let mut total: Option<mapred::JobMetrics> = None;
+        for slot in &self.jobs {
+            if let Some(j) = slot.job {
+                let m = self.jt.job_metrics(j);
+                match &mut total {
+                    None => total = Some(m),
+                    Some(t) => t.accumulate(&m),
+                }
+            }
+        }
+        total
+    }
+
+    /// Closed streams keep injecting jobs after commits; is any such
+    /// future submission still owed?
+    fn more_submissions_pending(&self) -> bool {
+        self.client_budget.iter().any(|&b| b > 0)
+    }
+
+    /// Per-job service-level rows for the run (submission, queueing
+    /// delay, makespan), in submission-slot order. Empty before any
+    /// job is submitted.
+    pub fn job_slo_rows(&self) -> Vec<crate::metrics::JobSlo> {
+        self.jobs
+            .iter()
+            .filter(|s| s.job.is_some())
+            .map(|slot| {
+                let job = slot.job.expect("filtered");
+                let submitted = slot.submitted_at.expect("submitted with id");
+                let first_launch = self.jt.job_first_launch(job);
+                crate::metrics::JobSlo {
+                    job: job.0,
+                    workload: slot.workload.name.clone(),
+                    submitted,
+                    first_launch,
+                    finished: slot.finished_at,
+                    metrics: self.jt.job_metrics(job),
+                }
+            })
+            .collect()
+    }
+
+    /// Perf-log gauges: (jobs submitted, peak concurrently active).
+    pub fn job_gauges(&self) -> (u32, u32) {
+        let submitted = self.jobs.iter().filter(|s| s.job.is_some()).count() as u32;
+        (submitted, self.peak_active_jobs)
     }
 
     /// The NameNode (read access for tests and metrics).
@@ -387,7 +607,7 @@ impl Model for World {
             // shuffle: fetch service
             Ev::ShuffleTick(id) => self.on_shuffle_tick(ctx, id),
             // commit: job submission, liveness sweeps, replication
-            Ev::Submit => self.on_submit(ctx),
+            Ev::Submit(slot) => self.on_submit(ctx, slot),
             Ev::TrackerCheck => self.on_tracker_check(ctx),
             Ev::ReplicationScan => self.on_replication_scan(ctx),
         }
@@ -400,3 +620,8 @@ fn sim_seed(sim: &simkit::Simulation<World>) -> u64 {
     // same root so runs are reproducible end to end.
     sim.root_seed()
 }
+
+/// Seed-derivation key for Poisson arrival-time precomputation.
+/// Disjoint from the per-node trace keys (`0x7000 + i`), so a
+/// multi-job run replays the same fleet as the single-job run.
+const ARRIVAL_SEED_KEY: u64 = 0xA881_7A0B;

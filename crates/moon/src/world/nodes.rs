@@ -110,7 +110,7 @@ impl World {
         }
 
         // TaskTracker heartbeat: receive kills and assignments.
-        if self.job.is_some() && !self.job_tasks_done {
+        if self.control_plane_active() {
             let resp = self.jt.heartbeat(ctx.now(), n);
             for a in resp.kill {
                 self.cancel_attempt_physical(ctx, a);

@@ -52,10 +52,11 @@ impl World {
                 return;
             }
             // Find the first waiting map whose output is ready.
+            let slot = self.slot_for(id);
             let mut batch: Vec<u32> = Vec::new();
             let mut source: Option<NodeId> = None;
             for &m in &sh.waiting {
-                let Some((_, block)) = self.map_outputs[m as usize] else {
+                let Some((_, block)) = slot.map_outputs[m as usize] else {
                     continue;
                 };
                 match source {
@@ -82,7 +83,7 @@ impl World {
             }
             let Some(src) = source else { return };
             let bytes: f64 =
-                batch.len() as f64 * self.workload.shuffle_bytes_per_pair(self.n_reduces) as f64;
+                batch.len() as f64 * slot.workload.shuffle_bytes_per_pair(slot.n_reduces) as f64;
             let path = self.transfer_path(src, node);
             let (flow, ch) = self.net.start_flow(ctx.now(), &path, bytes.max(1.0));
             self.flows.insert(
@@ -113,7 +114,7 @@ impl World {
         flow: FlowId,
         maps: Vec<u32>,
     ) {
-        let n_maps = self.workload.n_maps;
+        let n_maps = self.slot_for(id).workload.n_maps;
         let mut shuffle_complete = false;
         if let Some(rt) = self.attempts.get_mut(&id) {
             if let Phase::Shuffle(sh) = &mut rt.phase {
@@ -149,7 +150,7 @@ impl World {
             self.apply_changes(ctx, ch);
         }
         self.resched_net_poll(ctx);
-        let job = self.job_id();
+        let job = id.task.job;
         let reduce_task = id.task;
         for &m in &maps {
             let map_task = TaskId {
@@ -157,14 +158,14 @@ impl World {
                 kind: TaskKind::Map,
                 index: m,
             };
-            let output_active = self.map_outputs[m as usize]
+            let output_active = self.slot_for(id).map_outputs[m as usize]
                 .map(|(_, b)| self.nn.is_block_available(b))
                 .unwrap_or(false);
             let reexec =
                 self.jt
                     .report_fetch_failure(ctx.now(), map_task, reduce_task, output_active);
             if reexec {
-                self.map_outputs[m as usize] = None;
+                self.slot_for_mut(id).map_outputs[m as usize] = None;
             }
             self.metrics.fetch_failures += 1;
         }
@@ -189,15 +190,16 @@ impl World {
         // a real reducer's connection attempt is refused immediately, and
         // these reports are what drive Hadoop's 50%-of-reduces rule and
         // MOON's query-the-DFS rule for map re-execution (§VI-B).
+        let slot = self.slot_for(id);
         let unreachable: Vec<u32> = sh
             .waiting
             .iter()
             .copied()
             .filter(|&m| {
-                self.map_outputs[m as usize].is_some_and(|(_, b)| !self.nn.is_block_available(b))
+                slot.map_outputs[m as usize].is_some_and(|(_, b)| !self.nn.is_block_available(b))
             })
             .collect();
-        let job = self.job_id();
+        let job = id.task.job;
         let reduce_task = id.task;
         for m in unreachable {
             let map_task = TaskId {
@@ -209,7 +211,7 @@ impl World {
                 .jt
                 .report_fetch_failure(ctx.now(), map_task, reduce_task, false);
             if reexec {
-                self.map_outputs[m as usize] = None;
+                self.slot_for_mut(id).map_outputs[m as usize] = None;
             }
             self.metrics.fetch_failures += 1;
         }
@@ -223,13 +225,21 @@ impl World {
         }
     }
 
-    /// A completed map's output became visible: wake shuffling reduces.
-    pub(super) fn notify_reduces_of_map(&mut self, ctx: &mut Ctx<'_, Ev>, _map_index: u32) {
+    /// A completed map's output became visible: wake the owning job's
+    /// shuffling reduces (other jobs' shuffles never fetch it).
+    pub(super) fn notify_reduces_of_map(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        job: mapred::JobId,
+        _map_index: u32,
+    ) {
         let reduce_attempts: Vec<AttemptId> = self
             .attempts
             .iter()
             .filter(|(aid, rt)| {
-                aid.task.kind == TaskKind::Reduce && matches!(rt.phase, Phase::Shuffle(_))
+                aid.task.job == job
+                    && aid.task.kind == TaskKind::Reduce
+                    && matches!(rt.phase, Phase::Shuffle(_))
             })
             .map(|(&aid, _)| aid)
             .collect();

@@ -63,6 +63,46 @@ fn runs_are_deterministic() {
 }
 
 #[test]
+fn closed_stream_clients_keep_their_own_workloads() {
+    use workloads::{ArrivalModel, DurationModel, JobStream};
+    // Client 0 runs a slow app, client 1 a fast one. The fast client
+    // commits (and resubmits) while the slow job is still running; its
+    // successor must still be *its* app — cycling is by the client's
+    // own position in the stream, not by global commit order.
+    let mut slow = crate::quick_workload();
+    slow.name = "app-slow".into();
+    slow.map_cpu = DurationModel::Fixed(SimDuration::from_secs(120));
+    let mut fast = crate::quick_workload();
+    fast.name = "app-fast".into();
+    fast.map_cpu = DurationModel::Fixed(SimDuration::from_secs(2));
+    let r = Experiment {
+        cluster: ClusterConfig::small(0.0),
+        policy: PolicyConfig::moon_hybrid(),
+        workload: quick(),
+        seed: 3,
+    }
+    .run_stream(Some(JobStream {
+        arrivals: ArrivalModel::Closed {
+            clients: 2,
+            jobs_per_client: 2,
+            think: DurationModel::Fixed(SimDuration::from_secs(5)),
+        },
+        workloads: vec![slow, fast],
+    }));
+    let rows = r.jobs.as_ref().expect("stream run");
+    assert_eq!(rows.len(), 4, "{rows:?}");
+    let names: Vec<&str> = rows.iter().map(|j| j.workload.as_str()).collect();
+    // Initial burst: client 0 → slow, client 1 → fast. The first
+    // successor submitted (slot 2) belongs to the fast client — under
+    // global-index cycling it would wrongly flip to app-slow.
+    assert_eq!(names[0], "app-slow");
+    assert_eq!(names[1], "app-fast");
+    assert_eq!(names[2], "app-fast", "fast client keeps its app: {names:?}");
+    assert_eq!(names[3], "app-slow", "slow client keeps its app: {names:?}");
+    assert!(rows.iter().all(|j| j.finished.is_some()), "{rows:?}");
+}
+
+#[test]
 fn volatile_cluster_moon_completes_job() {
     let r = Experiment {
         cluster: ClusterConfig::small(0.3),
@@ -91,7 +131,8 @@ fn probe_stable_run() {
     eprintln!("metrics={:?}", w.job_metrics());
     eprintln!(
         "tasks_done={} finished={:?}",
-        w.job_tasks_done, w.metrics.job_finished
+        w.jobs.iter().all(|s| s.tasks_done),
+        w.metrics.job_finished
     );
     eprintln!("live attempts={}", w.attempts.len());
     eprintln!("flows in flight={}", w.net.n_flows());
@@ -112,7 +153,7 @@ fn probe_stable_run() {
         };
         eprintln!("  {id}: {ph}");
     }
-    if let Some(out) = w.output_file {
+    if let Some(out) = w.jobs[0].output_file {
         eprintln!("output fully replicated: {}", w.nn.is_fully_replicated(out));
         eprintln!("replication queue: {}", w.nn.replication_queue_len());
     }

@@ -23,8 +23,8 @@
 //! name the offending key.
 
 use crate::spec::{
-    Axis, CorrelatedAxis, CorrelatedKnob, PolicyRef, ScenarioError, ScenarioSpec, TableKind,
-    TableSpec,
+    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, PolicyRef, ScenarioError,
+    ScenarioSpec, TableKind, TableSpec,
 };
 use crate::toml::{self, Table, Value};
 
@@ -139,9 +139,11 @@ fn parse_table_spec(v: &Value) -> Result<TableSpec, ScenarioError> {
         "profile" => TableKind::Profile,
         "detail" => TableKind::Detail,
         "catalog" => TableKind::Catalog,
+        "jobs" => TableKind::Jobs,
         other => {
             return Err(err(format!(
-                "unknown table kind `{other}` (time / duplicates / profile / detail / catalog)"
+                "unknown table kind `{other}` \
+                 (time / duplicates / profile / detail / catalog / jobs)"
             )))
         }
     };
@@ -207,6 +209,97 @@ fn parse_axis(t: &Table) -> Result<Axis, ScenarioError> {
             "unknown axis kind `{other}` (rates / correlated / trace-file)"
         ))),
     }
+}
+
+/// Parse the `[jobs]` table: the multi-job arrival stream.
+fn parse_jobs(t: &Table) -> Result<JobStreamSpec, ScenarioError> {
+    let kind = match t.get("kind") {
+        Some(v) => want_str(v, "jobs.kind")?,
+        None => return Err(err("`[jobs]` is missing `kind`")),
+    };
+    let want_key_f64 = |key: &str| -> Result<f64, ScenarioError> {
+        t.get(key)
+            .ok_or_else(|| err(format!("{kind} jobs stream is missing `{key}`")))
+            .and_then(|v| want_f64(v, key))
+    };
+    let want_key_u32 = |key: &str| -> Result<u32, ScenarioError> {
+        t.get(key)
+            .ok_or_else(|| err(format!("{kind} jobs stream is missing `{key}`")))
+            .and_then(|v| want_u64(v, key).map(|x| x as u32))
+    };
+    // Durations and rates must be finite and non-negative here, with
+    // the key named — downstream they become `SimDuration`s, where a
+    // negative value would only surface as a contextless debug panic
+    // (or a silent clamp in release).
+    let nonneg = |x: f64, key: &str| -> Result<f64, ScenarioError> {
+        if x.is_finite() && x >= 0.0 {
+            Ok(x)
+        } else {
+            Err(err(format!(
+                "`jobs.{key}` must be a finite non-negative number, got {x}"
+            )))
+        }
+    };
+    let arrivals = match kind.as_str() {
+        "batch" => {
+            let offsets = t
+                .get("offsets_secs")
+                .ok_or_else(|| err("batch jobs stream is missing `offsets_secs`"))?;
+            let offsets_secs = f64_array(offsets, "jobs.offsets_secs")?;
+            if offsets_secs.is_empty() {
+                return Err(err("`jobs.offsets_secs` must not be empty"));
+            }
+            for &o in &offsets_secs {
+                nonneg(o, "offsets_secs")?;
+            }
+            ArrivalSpec::Batch { offsets_secs }
+        }
+        "poisson" => {
+            let rate_per_hour = nonneg(want_key_f64("rate_per_hour")?, "rate_per_hour")?;
+            if rate_per_hour == 0.0 {
+                return Err(err("`jobs.rate_per_hour` must be positive"));
+            }
+            ArrivalSpec::Poisson {
+                rate_per_hour,
+                count: want_key_u32("count")?,
+            }
+        }
+        "closed" => ArrivalSpec::Closed {
+            clients: want_key_u32("clients")?,
+            jobs_per_client: want_key_u32("jobs_per_client")?,
+            think_secs: nonneg(want_key_f64("think_secs")?, "think_secs")?,
+        },
+        other => {
+            return Err(err(format!(
+                "unknown jobs stream kind `{other}` (batch / poisson / closed)"
+            )))
+        }
+    };
+    let workloads = str_array(t, "workloads")?.unwrap_or_default();
+    for (k, _) in t.iter() {
+        let known = matches!(
+            k,
+            "kind"
+                | "workloads"
+                | "offsets_secs"
+                | "rate_per_hour"
+                | "count"
+                | "clients"
+                | "jobs_per_client"
+                | "think_secs"
+        );
+        if !known {
+            return Err(err(format!("unknown jobs stream key `{k}`")));
+        }
+    }
+    let spec = JobStreamSpec {
+        arrivals,
+        workloads,
+    };
+    if spec.total_jobs() == 0 {
+        return Err(err("jobs stream would inject zero jobs"));
+    }
+    Ok(spec)
 }
 
 /// Map a parsed TOML root table to a spec.
@@ -276,6 +369,16 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
         .get("horizon_secs")
         .map(|v| want_u64(v, "horizon_secs"))
         .transpose()?;
+    let jobs = match root.get("jobs") {
+        None => None,
+        Some(Value::Table(t)) => Some(parse_jobs(t)?),
+        Some(other) => {
+            return Err(err(format!(
+                "`jobs` must be a `[jobs]` table, got {}",
+                other.type_name()
+            )))
+        }
+    };
     let tables = match root.get("tables") {
         None => vec![TableSpec {
             kind: TableKind::Time,
@@ -298,6 +401,7 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
                 | "dedicated"
                 | "seeds"
                 | "horizon_secs"
+                | "jobs"
                 | "tables"
         ) {
             return Err(err(format!("unknown scenario key `{k}`")));
@@ -313,6 +417,7 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
         dedicated,
         seeds,
         horizon_secs,
+        jobs,
         tables,
     })
 }
@@ -372,6 +477,43 @@ pub fn to_toml(spec: &ScenarioSpec) -> Table {
     }
     if let Some(h) = spec.horizon_secs {
         root.set("horizon_secs", Value::Int(h as i64));
+    }
+    if let Some(jobs) = &spec.jobs {
+        let mut j = Table::new();
+        match &jobs.arrivals {
+            ArrivalSpec::Batch { offsets_secs } => {
+                j.set("kind", Value::Str("batch".into()));
+                j.set(
+                    "offsets_secs",
+                    Value::Array(offsets_secs.iter().map(|&o| Value::Float(o)).collect()),
+                );
+            }
+            ArrivalSpec::Poisson {
+                rate_per_hour,
+                count,
+            } => {
+                j.set("kind", Value::Str("poisson".into()));
+                j.set("rate_per_hour", Value::Float(*rate_per_hour));
+                j.set("count", Value::Int(*count as i64));
+            }
+            ArrivalSpec::Closed {
+                clients,
+                jobs_per_client,
+                think_secs,
+            } => {
+                j.set("kind", Value::Str("closed".into()));
+                j.set("clients", Value::Int(*clients as i64));
+                j.set("jobs_per_client", Value::Int(*jobs_per_client as i64));
+                j.set("think_secs", Value::Float(*think_secs));
+            }
+        }
+        if !jobs.workloads.is_empty() {
+            j.set(
+                "workloads",
+                Value::Array(jobs.workloads.iter().cloned().map(Value::Str).collect()),
+            );
+        }
+        root.set("jobs", Value::Table(j));
     }
     root.set(
         "tables",
@@ -474,6 +616,97 @@ mod tests {
                     seeds = []\n[axis]\nkind = \"rates\"\npoints = [0.3]\n";
         let e = from_str(text).unwrap_err();
         assert!(e.message.contains("`seeds` must not be empty"), "{e}");
+    }
+
+    #[test]
+    fn jobs_stream_parses_and_round_trips() {
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    [axis]\nkind = \"rates\"\npoints = [0.3]\n\
+                    [jobs]\nkind = \"poisson\"\nrate_per_hour = 120.0\ncount = 8\n";
+        let s = from_str(text).unwrap();
+        let jobs = s.jobs.as_ref().expect("stream parsed");
+        assert_eq!(jobs.total_jobs(), 8);
+        assert!(jobs.workloads.is_empty());
+        let back = from_str(&to_string(&s)).unwrap();
+        assert_eq!(back, s);
+
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    [axis]\nkind = \"rates\"\npoints = [0.3]\n\
+                    [jobs]\nkind = \"closed\"\nclients = 2\njobs_per_client = 3\n\
+                    think_secs = 45.5\nworkloads = [\"sort\", \"quick\"]\n";
+        let s = from_str(text).unwrap();
+        let jobs = s.jobs.as_ref().unwrap();
+        assert_eq!(jobs.total_jobs(), 6);
+        assert_eq!(jobs.workloads, vec!["sort", "quick"]);
+        assert_eq!(from_str(&to_string(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn jobs_stream_errors_name_the_problem() {
+        let base = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    [axis]\nkind = \"rates\"\npoints = [0.3]\n";
+        let e = from_str(&format!("{base}[jobs]\nkind = \"sideways\"\n")).unwrap_err();
+        assert!(e.message.contains("unknown jobs stream kind"), "{e}");
+
+        let e = from_str(&format!("{base}[jobs]\nkind = \"poisson\"\ncount = 3\n")).unwrap_err();
+        assert!(e.message.contains("missing `rate_per_hour`"), "{e}");
+
+        let e = from_str(&format!("{base}[jobs]\nkind = \"batch\"\n")).unwrap_err();
+        assert!(e.message.contains("missing `offsets_secs`"), "{e}");
+
+        let e = from_str(&format!(
+            "{base}[jobs]\nkind = \"batch\"\noffsets_secs = []\n"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("must not be empty"), "{e}");
+
+        let e = from_str(&format!(
+            "{base}[jobs]\nkind = \"poisson\"\nrate_per_hour = 1.0\ncount = 2\nmystery = 1\n"
+        ))
+        .unwrap_err();
+        assert!(
+            e.message.contains("unknown jobs stream key `mystery`"),
+            "{e}"
+        );
+
+        let e = from_str(&format!(
+            "{base}[jobs]\nkind = \"closed\"\nclients = 0\njobs_per_client = 3\nthink_secs = 1.0\n"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("zero jobs"), "{e}");
+
+        // Negative durations/rates must fail at parse time with the key
+        // named, not as a contextless SimDuration panic downstream.
+        let e = from_str(&format!(
+            "{base}[jobs]\nkind = \"batch\"\noffsets_secs = [0.0, -10.0]\n"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("`jobs.offsets_secs`"), "{e}");
+
+        let e = from_str(&format!(
+            "{base}[jobs]\nkind = \"poisson\"\nrate_per_hour = -1.0\ncount = 2\n"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("`jobs.rate_per_hour`"), "{e}");
+
+        let e = from_str(&format!(
+            "{base}[jobs]\nkind = \"poisson\"\nrate_per_hour = 0.0\ncount = 2\n"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("must be positive"), "{e}");
+
+        let e = from_str(&format!(
+            "{base}[jobs]\nkind = \"closed\"\nclients = 1\njobs_per_client = 2\nthink_secs = -5.0\n"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("`jobs.think_secs`"), "{e}");
+
+        let e = from_str(
+            "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\njobs = 3\n\
+             [axis]\nkind = \"rates\"\npoints = [0.3]\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("`jobs` must be a `[jobs]` table"), "{e}");
     }
 
     #[test]

@@ -9,14 +9,16 @@
 //! spec's tables using the same index math.
 
 use crate::knobs::{cluster, maybe_shrink, quick_mode};
-use crate::spec::{Axis, CorrelatedAxis, CorrelatedKnob, ScenarioError, ScenarioSpec};
+use crate::spec::{
+    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, ScenarioError, ScenarioSpec,
+};
 use crate::{policy, workload};
 use availability::{stats::fleet_mean_unavailability, AvailabilityTrace, TraceGenConfig};
 use moon::{ClusterConfig, PolicyConfig};
 use rand::SeedableRng;
-use simkit::SimTime;
+use simkit::{SimDuration, SimTime};
 use std::path::{Path, PathBuf};
-use workloads::WorkloadSpec;
+use workloads::{ArrivalModel, DurationModel, JobStream, WorkloadSpec};
 
 /// One grid point of a sweep (formerly `bench::Point`; `bench`
 /// re-exports it unchanged).
@@ -28,6 +30,8 @@ pub struct Point {
     pub cluster: ClusterConfig,
     /// Workload.
     pub workload: WorkloadSpec,
+    /// Multi-job arrival stream (None = single-job run).
+    pub jobs: Option<JobStream>,
 }
 
 /// A fully-resolved scenario: the flat experiment grid plus the table
@@ -260,6 +264,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Plan, ScenarioError> {
         })
         .collect::<Result<_, ScenarioError>>()?;
     let columns = columns_for(spec)?;
+    let stream = spec.jobs.as_ref().map(resolve_stream).transpose()?;
 
     let mut points = Vec::with_capacity(workloads.len() * policies.len() * columns.len());
     for w in &workloads {
@@ -270,6 +275,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Plan, ScenarioError> {
                     policy: p.clone(),
                     cluster: cluster_for(column, dedicated, spec.horizon_secs),
                     workload: maybe_shrink(w.clone()),
+                    jobs: stream.clone(),
                 });
             }
         }
@@ -281,6 +287,46 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Plan, ScenarioError> {
         axis_values: columns.iter().map(|c| c.value).collect(),
         workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
         points,
+    })
+}
+
+/// Resolve a declarative job stream: workload names become (quick-mode
+/// shrunk) specs, arrival parameters become the runtime model. The
+/// resolved stream is shared by every grid point, so all policy rows
+/// and seeds face the same arrival pattern.
+fn resolve_stream(spec: &JobStreamSpec) -> Result<JobStream, ScenarioError> {
+    let workloads: Vec<WorkloadSpec> = spec
+        .workloads
+        .iter()
+        .map(|w| workload::resolve(w).map(maybe_shrink))
+        .collect::<Result<_, _>>()?;
+    let arrivals = match &spec.arrivals {
+        ArrivalSpec::Batch { offsets_secs } => ArrivalModel::Batch(
+            offsets_secs
+                .iter()
+                .map(|&s| SimDuration::from_secs_f64(s))
+                .collect(),
+        ),
+        ArrivalSpec::Poisson {
+            rate_per_hour,
+            count,
+        } => ArrivalModel::Poisson {
+            rate_per_hour: *rate_per_hour,
+            count: *count,
+        },
+        ArrivalSpec::Closed {
+            clients,
+            jobs_per_client,
+            think_secs,
+        } => ArrivalModel::Closed {
+            clients: *clients,
+            jobs_per_client: *jobs_per_client,
+            think: DurationModel::around(SimDuration::from_secs_f64(*think_secs)),
+        },
+    };
+    Ok(JobStream {
+        arrivals,
+        workloads,
     })
 }
 

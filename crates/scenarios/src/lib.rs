@@ -36,6 +36,6 @@ pub use expand::{expand, Plan, Point};
 pub use knobs::{cluster, maybe_shrink, quick_mode, seed_list, seeds, PAPER_RATES};
 pub use render::{mean_duplicates, mean_time, render_tables, report_json};
 pub use spec::{
-    Axis, CorrelatedAxis, CorrelatedKnob, PolicyRef, ScenarioError, ScenarioSpec, TableKind,
-    TableSpec,
+    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, PolicyRef, ScenarioError,
+    ScenarioSpec, TableKind, TableSpec,
 };

@@ -13,7 +13,11 @@
 //! | `no-hibernate`, `no-adaptive-v`, `no-homestretch`, `spec-cap-<pct>`, `hadoop-fetch-rule`, `homestretch-r<r>` | single-mechanism ablations of MOON-Hybrid HA-{1,1} |
 //!
 //! Any id may carry a `+reliable` suffix, applying the Figure 4
-//! isolation setup (intermediate data as reliable `{1,1}` files).
+//! isolation setup (intermediate data as reliable `{1,1}` files),
+//! and/or a `+fair` suffix, switching the cross-job layer from FIFO
+//! to max-min fair share (the label gains the suffix so a scenario
+//! can sweep both variants side by side; single-job runs are
+//! unaffected).
 
 use crate::spec::ScenarioError;
 use mapred::{FetchFailurePolicy, MoonPolicy, SchedulerPolicy};
@@ -123,19 +127,31 @@ fn resolve_base(id: &str) -> Result<PolicyConfig, ScenarioError> {
     Err(unknown(id))
 }
 
-/// Resolve a catalog id (with optional `+reliable` suffix) to its
-/// policy bundle.
+/// Resolve a catalog id (with optional `+reliable` / `+fair`
+/// suffixes, in any order) to its policy bundle.
 pub fn resolve(id: &str) -> Result<PolicyConfig, ScenarioError> {
-    let (base_id, reliable) = match id.strip_suffix("+reliable") {
-        Some(base) => (base, true),
-        None => (id, false),
-    };
-    let p = resolve_base(base_id)?;
-    Ok(if reliable {
-        p.with_reliable_intermediate()
-    } else {
-        p
-    })
+    let mut base_id = id;
+    let (mut reliable, mut fair) = (false, false);
+    loop {
+        if let Some(b) = base_id.strip_suffix("+reliable") {
+            base_id = b;
+            reliable = true;
+        } else if let Some(b) = base_id.strip_suffix("+fair") {
+            base_id = b;
+            fair = true;
+        } else {
+            break;
+        }
+    }
+    let mut p = resolve_base(base_id)?;
+    if reliable {
+        p = p.with_reliable_intermediate();
+    }
+    if fair {
+        p = p.with_fair_share();
+        p.label.push_str("+fair");
+    }
+    Ok(p)
 }
 
 #[cfg(test)]
@@ -151,6 +167,23 @@ mod tests {
         assert_eq!(resolve("hadoop-vo-v3").unwrap().label, "Hadoop-VO-V3");
         assert_eq!(resolve("vo-v5").unwrap().label, "VO-V5");
         assert_eq!(resolve("ha-v1").unwrap().label, "HA-V1");
+    }
+
+    #[test]
+    fn fair_suffix_switches_cross_job_layer() {
+        let p = resolve("moon-hybrid+fair").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::FairShare);
+        assert_eq!(p.label, "MOON-Hybrid+fair");
+        // Suffixes compose in either order.
+        for id in ["hadoop-1min+fair+reliable", "hadoop-1min+reliable+fair"] {
+            let p = resolve(id).unwrap();
+            assert_eq!(p.cross_job, mapred::CrossJobPolicy::FairShare);
+            assert_eq!(p.intermediate_kind, dfs::FileKind::Reliable);
+            assert_eq!(p.label, "Hadoop1Min+fair");
+        }
+        // Plain ids stay FIFO.
+        let p = resolve("moon-hybrid").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::Fifo);
     }
 
     #[test]

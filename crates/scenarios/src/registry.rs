@@ -7,7 +7,8 @@
 
 use crate::knobs::PAPER_RATES;
 use crate::spec::{
-    Axis, CorrelatedAxis, CorrelatedKnob, PolicyRef, ScenarioSpec, TableKind, TableSpec,
+    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, PolicyRef, ScenarioSpec,
+    TableKind, TableSpec,
 };
 
 fn table(kind: TableKind, title: &str) -> TableSpec {
@@ -45,6 +46,7 @@ fn fig45_base(name: &str, title: &str, tables: Vec<TableSpec>) -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables,
     }
 }
@@ -91,6 +93,7 @@ fn fig6() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![table(
             TableKind::Time,
             "Figure 6{panel}: execution time by intermediate replication policy",
@@ -122,6 +125,7 @@ fn fig7() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![table(TableKind::Time, "Figure 7{panel}: MOON vs Hadoop-VO")],
     }
 }
@@ -138,6 +142,7 @@ fn table1() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![table(
             TableKind::Catalog,
             "# Table I — application configurations",
@@ -157,6 +162,7 @@ fn table2() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![table(
             TableKind::Profile,
             "Table II ({panel}) — execution profile at p=0.5",
@@ -186,6 +192,7 @@ fn ablations() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![table(
             TableKind::Detail,
             "# Ablations — sort, p=0.5 (job time / duplicated tasks / killed maps)",
@@ -211,6 +218,7 @@ fn diurnal_lab() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![table(
             TableKind::Time,
             "Diurnal lab{panel}: execution time vs lab-session intensity (sessions/hour)",
@@ -236,6 +244,7 @@ fn blackout() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![table(
             TableKind::Time,
             "Blackout{panel}: execution time vs mass-outage fleet fraction",
@@ -256,6 +265,7 @@ fn trace_replay() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![table(
             TableKind::Time,
             "Trace replay{panel}: execution time on the recorded lab trace",
@@ -274,6 +284,7 @@ fn high_churn() -> ScenarioSpec {
         dedicated: 6,
         seeds: None,
         horizon_secs: None,
+        jobs: None,
         tables: vec![
             table(TableKind::Time, "High churn{panel}: execution time"),
             table(TableKind::Duplicates, "High churn{panel}: duplicated tasks"),
@@ -281,8 +292,86 @@ fn high_churn() -> ScenarioSpec {
     }
 }
 
+fn job_stream_light() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "job-stream-light".into(),
+        title: "Light multi-job stream: 4 quick jobs arrive a minute apart".into(),
+        workloads: vec!["quick".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "hadoop-1min"]),
+        axis: Axis::Rates(vec![0.1]),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: Some(7200),
+        jobs: Some(JobStreamSpec {
+            arrivals: ArrivalSpec::Batch {
+                offsets_secs: vec![0.0, 60.0, 120.0, 180.0],
+            },
+            workloads: Vec::new(),
+        }),
+        tables: vec![
+            table(TableKind::Time, "Job stream light{panel}: stream makespan"),
+            table(TableKind::Jobs, "Job stream light{panel}: per-job SLOs"),
+        ],
+    }
+}
+
+fn job_stream_heavy() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "job-stream-heavy".into(),
+        title: "Heavy open Poisson stream of quick jobs under churn (FIFO vs fair share)".into(),
+        workloads: vec!["quick".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "moon-hybrid+fair", "hadoop-1min"]),
+        axis: Axis::Rates(vec![0.3]),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: Some(14400),
+        jobs: Some(JobStreamSpec {
+            arrivals: ArrivalSpec::Poisson {
+                rate_per_hour: 720.0,
+                count: 24,
+            },
+            workloads: Vec::new(),
+        }),
+        tables: vec![
+            table(TableKind::Time, "Job stream heavy{panel}: stream makespan"),
+            table(TableKind::Jobs, "Job stream heavy{panel}: per-job SLOs"),
+        ],
+    }
+}
+
+fn mixed_apps_contention() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mixed-apps-contention".into(),
+        title: "Closed clients alternating sort and word count on one contended cluster".into(),
+        workloads: vec!["sort".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "moon-hybrid+fair"]),
+        axis: Axis::Rates(vec![0.3]),
+        dedicated: 6,
+        seeds: None,
+        horizon_secs: None,
+        jobs: Some(JobStreamSpec {
+            arrivals: ArrivalSpec::Closed {
+                clients: 2,
+                jobs_per_client: 2,
+                think_secs: 120.0,
+            },
+            workloads: vec!["sort".into(), "word count".into()],
+        }),
+        tables: vec![
+            table(
+                TableKind::Time,
+                "Mixed apps{panel}: stream makespan under contention",
+            ),
+            table(TableKind::Jobs, "Mixed apps{panel}: per-job SLOs"),
+        ],
+    }
+}
+
 /// Every built-in scenario, in catalog order (paper reproductions
-/// first, then the stress scenarios).
+/// first, then the stress scenarios, then the multi-job streams).
 pub fn all() -> Vec<ScenarioSpec> {
     vec![
         fig4(),
@@ -296,6 +385,9 @@ pub fn all() -> Vec<ScenarioSpec> {
         blackout(),
         trace_replay(),
         high_churn(),
+        job_stream_light(),
+        job_stream_heavy(),
+        mixed_apps_contention(),
     ]
 }
 
@@ -327,9 +419,26 @@ mod tests {
             "blackout",
             "trace-replay",
             "high-churn",
+            "job-stream-light",
+            "job-stream-heavy",
+            "mixed-apps-contention",
         ] {
             assert!(names.contains(&required.to_string()), "missing {required}");
         }
+    }
+
+    #[test]
+    fn job_stream_scenarios_carry_streams() {
+        let light = find("job-stream-light").unwrap();
+        assert_eq!(light.jobs.as_ref().unwrap().total_jobs(), 4);
+        let heavy = find("job-stream-heavy").unwrap();
+        assert_eq!(heavy.jobs.as_ref().unwrap().total_jobs(), 24);
+        let mixed = find("mixed-apps-contention").unwrap();
+        let jobs = mixed.jobs.as_ref().unwrap();
+        assert_eq!(jobs.total_jobs(), 4);
+        assert_eq!(jobs.workloads, vec!["sort", "word count"]);
+        // Single-job paper scenarios carry no stream.
+        assert!(find("fig4").unwrap().jobs.is_none());
     }
 
     #[test]

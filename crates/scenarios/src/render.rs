@@ -89,6 +89,54 @@ fn catalog_table(title: &str, plan: &Plan) -> String {
     out
 }
 
+/// Nearest-rank percentile over ascending-sorted samples.
+fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Per-job SLO aggregates of a multi-job stream: makespan and bounded
+/// slowdown means over committed jobs, queueing-delay percentiles over
+/// launched jobs — pooled across every seed at the first axis column
+/// (streams are usually swept at a single rate, like the profile and
+/// detail tables). `job_runs`/`completed` count job *runs* over that
+/// pool: with S seeds and an N-job stream, `job_runs` is S·N, not N.
+fn jobs_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(
+        "policy\tjob_runs\tcompleted\tmakespan_mean(s)\tslowdown_mean\t\
+         queue_p50(s)\tqueue_p95(s)\n",
+    );
+    let mean = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
+    for (row, label) in plan.row_labels.iter().enumerate() {
+        let rs = &results[plan.point_index(panel, row, 0)];
+        let rows: Vec<&moon::JobSlo> = rs.iter().flat_map(|r| r.jobs.iter().flatten()).collect();
+        let completed = rows.iter().filter(|j| j.finished.is_some()).count();
+        let makespans: Vec<f64> = rows.iter().filter_map(|j| j.makespan_secs()).collect();
+        let slowdowns: Vec<f64> = rows.iter().filter_map(|j| j.bounded_slowdown()).collect();
+        let mut queues: Vec<f64> = rows.iter().filter_map(|j| j.queue_delay_secs()).collect();
+        queues.sort_by(|a, b| a.partial_cmp(b).expect("queue delays are finite"));
+        let fmt1 = |v: Option<f64>| v.map(|s| format!("{s:.1}")).unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            label,
+            rows.len(),
+            completed,
+            report::secs_or_dnf(mean(&makespans)),
+            mean(&slowdowns)
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "DNF".into()),
+            fmt1(percentile(&queues, 0.50)),
+            fmt1(percentile(&queues, 0.95)),
+        ));
+    }
+    out
+}
+
 /// The compact ablation-style detail table (time / dup / kills).
 fn detail_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize) -> String {
     let mut out = String::new();
@@ -143,6 +191,7 @@ pub fn render_tables(plan: &Plan, results: &[Vec<RunResult>]) -> String {
                     report::profile_table(&title, &firsts)
                 }
                 TableKind::Detail => detail_table(&title, plan, results, panel),
+                TableKind::Jobs => jobs_table(&title, plan, results, panel),
                 TableKind::Catalog => unreachable!("handled above"),
             };
             out.push_str(&text);
@@ -236,6 +285,7 @@ mod tests {
             fetch_failures: 0,
             events: 1,
             seed,
+            jobs: None,
         }
     }
 

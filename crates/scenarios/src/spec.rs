@@ -38,8 +38,65 @@ pub struct ScenarioSpec {
     /// Horizon override in seconds; `None` = the 8-hour paper default
     /// (or the trace file's own horizon for trace axes).
     pub horizon_secs: Option<u64>,
+    /// Multi-job arrival stream (`None` = the paper's single-job run;
+    /// single-job scenarios stay byte-identical with this unset).
+    pub jobs: Option<JobStreamSpec>,
     /// Output tables, rendered per panel in order.
     pub tables: Vec<TableSpec>,
+}
+
+/// Declarative multi-job stream: how jobs arrive over the horizon and
+/// what each runs. Resolved by expansion into a
+/// [`workloads::JobStream`] shared by every grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStreamSpec {
+    /// The arrival process.
+    pub arrivals: ArrivalSpec,
+    /// Workload names cycled per job index (empty = every job runs the
+    /// panel workload).
+    pub workloads: Vec<String>,
+}
+
+/// The arrival-process half of a [`JobStreamSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// Deterministic offsets (seconds after the base t = 1 s submit).
+    Batch {
+        /// One job per entry, at base + offset.
+        offsets_secs: Vec<f64>,
+    },
+    /// Open Poisson stream: `count` jobs at `rate_per_hour`.
+    Poisson {
+        /// Mean arrivals per hour.
+        rate_per_hour: f64,
+        /// Total jobs injected.
+        count: u32,
+    },
+    /// Closed think-time stream: each of `clients` submits
+    /// `jobs_per_client` jobs back to back with ~`think_secs` pauses.
+    Closed {
+        /// Concurrent clients.
+        clients: u32,
+        /// Jobs per client.
+        jobs_per_client: u32,
+        /// Mean think time between a commit and the next submission.
+        think_secs: f64,
+    },
+}
+
+impl JobStreamSpec {
+    /// Total jobs the stream will inject over a full run.
+    pub fn total_jobs(&self) -> u32 {
+        match &self.arrivals {
+            ArrivalSpec::Batch { offsets_secs } => offsets_secs.len() as u32,
+            ArrivalSpec::Poisson { count, .. } => *count,
+            ArrivalSpec::Closed {
+                clients,
+                jobs_per_client,
+                ..
+            } => clients * jobs_per_client,
+        }
+    }
 }
 
 /// A policy catalog reference with optional per-row overrides.
@@ -164,6 +221,9 @@ pub enum TableKind {
     /// The workload catalog (Table I) — rendered from the resolved
     /// workload specs, no simulation runs.
     Catalog,
+    /// Per-job SLO aggregates of a multi-job stream (makespan, bounded
+    /// slowdown, queueing-delay percentiles) at the first axis column.
+    Jobs,
 }
 
 impl TableKind {
@@ -175,6 +235,7 @@ impl TableKind {
             TableKind::Profile => "profile",
             TableKind::Detail => "detail",
             TableKind::Catalog => "catalog",
+            TableKind::Jobs => "jobs",
         }
     }
 }
@@ -265,6 +326,7 @@ mod tests {
             dedicated: 6,
             seeds: None,
             horizon_secs: None,
+            jobs: None,
             tables: vec![],
         };
         assert_eq!(spec.n_panels(), 2);

@@ -24,6 +24,11 @@ pub enum StreamId {
     Placement,
     /// Workload input generation.
     Workload(u64),
+    /// Job-stream arrival processes (inter-arrival and think-time
+    /// sampling), keyed by stream slot / client id. A dedicated
+    /// namespace so multi-job runs never perturb the placement or
+    /// task-duration streams of the jobs themselves.
+    JobArrival(u64),
     /// Anything else, keyed by an arbitrary tag.
     Custom(u64),
 }
@@ -35,6 +40,7 @@ impl StreamId {
             StreamId::TaskDuration(n) => 0x2000_0000_0000_0000 | n,
             StreamId::Placement => 0x3000_0000_0000_0000,
             StreamId::Workload(n) => 0x4000_0000_0000_0000 | n,
+            StreamId::JobArrival(n) => 0x6000_0000_0000_0000 | n,
             StreamId::Custom(n) => 0x5000_0000_0000_0000 | n,
         }
     }

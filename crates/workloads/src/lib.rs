@@ -11,14 +11,20 @@
 //!   (word count with combiner, total-order sort, grep) that runs on
 //!   [`mapred::LocalRunner`] over data from [`textgen`], proving the
 //!   programming model end-to-end.
+//!
+//! Plus [`stream`]: multi-job arrival models (deterministic batches,
+//! open Poisson streams, closed think-time loops) that describe how a
+//! *sequence* of these applications hits a shared cluster.
 
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod model;
+pub mod stream;
 pub mod textgen;
 
 pub use apps::{
     GrepMapper, IdentityMapper, IdentityReducer, RangePartitioner, SumReducer, WordCountMapper,
 };
 pub use model::{paper, DurationModel, ReduceCount, WorkloadSpec, GB, MB};
+pub use stream::{ArrivalModel, JobStream};

@@ -1,0 +1,162 @@
+//! Multi-job arrival streams — the workload side of the multi-job
+//! control plane.
+//!
+//! The paper evaluates one job at a time, but MOON's hybrid
+//! architecture is meant to serve a *shared* opportunistic cluster.
+//! A [`JobStream`] describes how a sequence of jobs arrives over the
+//! run horizon:
+//!
+//! - **batch** — a deterministic list of arrival offsets (trace-style
+//!   replay of a submission log);
+//! - **open Poisson** — jobs arrive independently of completions at a
+//!   fixed rate (heavy multi-tenant traffic);
+//! - **closed think-time** — a fixed population of clients, each
+//!   submitting its next job a think-time after its previous one
+//!   finishes (interactive analytics sessions).
+//!
+//! The stream is *data*: the `moon` world turns it into `Submit`
+//! events. Poisson inter-arrival gaps are precomputed at init from
+//! the root seed on a dedicated derivation key, and closed-stream
+//! think times draw from the `StreamId::JobArrival` RNG namespace —
+//! either way the arrival machinery never touches the placement or
+//! task-duration streams, so multi-job runs never perturb single-job
+//! randomness.
+
+use crate::model::{DurationModel, WorkloadSpec};
+use rand::Rng;
+use simkit::SimDuration;
+
+/// How jobs of a stream arrive over the horizon.
+#[derive(Debug, Clone)]
+pub enum ArrivalModel {
+    /// Deterministic arrival offsets (seconds after the base submit
+    /// time, one job per entry, not required to be sorted).
+    Batch(Vec<SimDuration>),
+    /// Open stream: `count` jobs with exponential inter-arrival times
+    /// at `rate_per_hour` (a Poisson arrival process).
+    Poisson {
+        /// Mean arrivals per hour.
+        rate_per_hour: f64,
+        /// Total jobs injected.
+        count: u32,
+    },
+    /// Closed stream: `clients` concurrent clients, each running
+    /// `jobs_per_client` jobs back to back with a sampled think time
+    /// between a job's completion and the next submission.
+    Closed {
+        /// Concurrent clients (initial burst size).
+        clients: u32,
+        /// Jobs each client submits in total.
+        jobs_per_client: u32,
+        /// Think-time distribution between completion and resubmit.
+        think: DurationModel,
+    },
+}
+
+impl ArrivalModel {
+    /// Total jobs this model will inject over a full run.
+    pub fn total_jobs(&self) -> u32 {
+        match self {
+            ArrivalModel::Batch(offsets) => offsets.len() as u32,
+            ArrivalModel::Poisson { count, .. } => *count,
+            ArrivalModel::Closed {
+                clients,
+                jobs_per_client,
+                ..
+            } => clients * jobs_per_client,
+        }
+    }
+
+    /// Sample one exponential inter-arrival gap for the Poisson model
+    /// (inverse-CDF, so any `Rng` works without distribution support).
+    pub fn sample_poisson_gap<R: Rng>(rate_per_hour: f64, rng: &mut R) -> SimDuration {
+        let rate_per_sec = (rate_per_hour / 3600.0).max(1e-9);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        SimDuration::from_secs_f64(-u.ln() / rate_per_sec)
+    }
+}
+
+/// A fully-resolved multi-job stream: the arrival process plus the
+/// workload run by each job.
+///
+/// `workloads` is cycled by job index (job *k* runs
+/// `workloads[k % len]`); an empty list means every job runs the
+/// experiment's base workload.
+#[derive(Debug, Clone)]
+pub struct JobStream {
+    /// The arrival process.
+    pub arrivals: ArrivalModel,
+    /// Per-job workloads, cycled by job index; empty = base workload.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl JobStream {
+    /// A stream where every job runs the base workload.
+    pub fn new(arrivals: ArrivalModel) -> Self {
+        JobStream {
+            arrivals,
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Total jobs the stream will inject.
+    pub fn total_jobs(&self) -> u32 {
+        self.arrivals.total_jobs()
+    }
+
+    /// Workload of job `index`, falling back to `base` when the stream
+    /// has no workload list of its own.
+    pub fn workload_for<'a>(&'a self, index: u32, base: &'a WorkloadSpec) -> &'a WorkloadSpec {
+        if self.workloads.is_empty() {
+            base
+        } else {
+            &self.workloads[index as usize % self.workloads.len()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn total_jobs_per_model() {
+        let b = ArrivalModel::Batch(vec![SimDuration::ZERO, SimDuration::from_secs(30)]);
+        assert_eq!(b.total_jobs(), 2);
+        let p = ArrivalModel::Poisson {
+            rate_per_hour: 60.0,
+            count: 7,
+        };
+        assert_eq!(p.total_jobs(), 7);
+        let c = ArrivalModel::Closed {
+            clients: 3,
+            jobs_per_client: 4,
+            think: DurationModel::Fixed(SimDuration::from_secs(10)),
+        };
+        assert_eq!(c.total_jobs(), 12);
+    }
+
+    #[test]
+    fn poisson_gaps_have_the_right_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 4000;
+        let total: f64 = (0..n)
+            .map(|_| ArrivalModel::sample_poisson_gap(60.0, &mut rng).as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        // 60/hour → mean gap 60 s.
+        assert!((mean - 60.0).abs() < 5.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn workload_cycling_and_fallback() {
+        let base = crate::paper::word_count();
+        let mut stream = JobStream::new(ArrivalModel::Batch(vec![SimDuration::ZERO; 3]));
+        assert_eq!(stream.workload_for(2, &base).name, "word count");
+        stream.workloads = vec![crate::paper::sort(), crate::paper::word_count()];
+        assert_eq!(stream.workload_for(0, &base).name, "sort");
+        assert_eq!(stream.workload_for(1, &base).name, "word count");
+        assert_eq!(stream.workload_for(2, &base).name, "sort");
+    }
+}

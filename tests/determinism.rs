@@ -16,8 +16,23 @@ fn quickstart_run(seed: u64, rate: f64) -> RunResult {
     .run()
 }
 
-/// Compare every measured field of two runs, bit-exact for floats.
+/// Compare every measured field of two runs, bit-exact for floats —
+/// including the per-job SLO rows of multi-job runs.
 fn assert_identical(a: &RunResult, b: &RunResult) {
+    match (&a.jobs, &b.jobs) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.len(), y.len(), "job-stream row counts diverged");
+            for (ja, jb) in x.iter().zip(y) {
+                assert_eq!(ja.job, jb.job);
+                assert_eq!(ja.workload, jb.workload);
+                assert_eq!(ja.submitted, jb.submitted, "job {} arrival", ja.job);
+                assert_eq!(ja.first_launch, jb.first_launch, "job {} launch", ja.job);
+                assert_eq!(ja.finished, jb.finished, "job {} commit", ja.job);
+            }
+        }
+        _ => panic!("one run has SLO rows, the other does not"),
+    }
     assert_eq!(a.events, b.events, "event counts diverged");
     assert_eq!(
         a.job_secs().to_bits(),
@@ -96,8 +111,45 @@ fn parallel_sweep_matches_single_thread_sweep() {
                 policy: policy.clone(),
                 cluster: ClusterConfig::small(rate),
                 workload: moon::quick_workload(),
+                jobs: None,
             });
         }
+    }
+    // Multi-job points: every arrival model under both cross-job
+    // policies, so concurrent-jobs bookkeeping (per-slot shuffle state,
+    // closed-stream think-time sampling, Poisson arrival derivation)
+    // is pinned to be thread-placement-independent too.
+    for (policy, stream) in [
+        (
+            PolicyConfig::moon_hybrid(),
+            workloads::JobStream::new(workloads::ArrivalModel::Poisson {
+                rate_per_hour: 240.0,
+                count: 5,
+            }),
+        ),
+        (
+            PolicyConfig::moon_hybrid().with_fair_share(),
+            workloads::JobStream::new(workloads::ArrivalModel::Batch(vec![
+                simkit::SimDuration::ZERO,
+                simkit::SimDuration::from_secs(20),
+                simkit::SimDuration::from_secs(40),
+            ])),
+        ),
+        (
+            PolicyConfig::hadoop(simkit::SimDuration::from_mins(1), 3),
+            workloads::JobStream::new(workloads::ArrivalModel::Closed {
+                clients: 2,
+                jobs_per_client: 2,
+                think: workloads::DurationModel::Fixed(simkit::SimDuration::from_secs(15)),
+            }),
+        ),
+    ] {
+        points.push(bench::Point {
+            policy,
+            cluster: ClusterConfig::small(0.3),
+            workload: moon::quick_workload(),
+            jobs: Some(stream),
+        });
     }
 
     // Serial reference: the exact sweep run_grid performs, one task at
@@ -114,7 +166,7 @@ fn parallel_sweep_matches_single_thread_sweep() {
                         workload: pt.workload.clone(),
                         seed,
                     }
-                    .run()
+                    .run_stream(pt.jobs.clone())
                 })
                 .collect()
         })
@@ -136,6 +188,29 @@ fn parallel_sweep_matches_single_thread_sweep() {
             assert_identical(p, s);
         }
     }
+}
+
+#[test]
+fn job_stream_runs_are_deterministic_per_seed() {
+    let run = |seed| {
+        Experiment {
+            cluster: ClusterConfig::small(0.3),
+            policy: PolicyConfig::moon_hybrid().with_fair_share(),
+            workload: moon::quick_workload(),
+            seed,
+        }
+        .run_stream(Some(workloads::JobStream::new(
+            workloads::ArrivalModel::Poisson {
+                rate_per_hour: 240.0,
+                count: 4,
+            },
+        )))
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_identical(&a, &b);
+    let rows = a.jobs.as_ref().expect("stream runs carry SLO rows");
+    assert_eq!(rows.len(), 4, "all four jobs submitted: {rows:?}");
 }
 
 #[test]

@@ -340,10 +340,30 @@ fn random_spec<R: Rng>(rng: &mut R) -> scenarios::ScenarioSpec {
                 scenarios::TableKind::Profile,
                 scenarios::TableKind::Detail,
                 scenarios::TableKind::Catalog,
-            ][rng.gen_range(0..5)],
+                scenarios::TableKind::Jobs,
+            ][rng.gen_range(0..6)],
             title: format!("T{i} {{panel}} of {}", word(rng)),
         })
         .collect();
+    let jobs = rng.gen_bool(0.5).then(|| scenarios::JobStreamSpec {
+        arrivals: match rng.gen_range(0u8..3) {
+            0 => scenarios::ArrivalSpec::Batch {
+                offsets_secs: (0..rng.gen_range(1usize..5))
+                    .map(|i| i as f64 * 30.0)
+                    .collect(),
+            },
+            1 => scenarios::ArrivalSpec::Poisson {
+                rate_per_hour: rng.gen_range(1.0..200.0),
+                count: rng.gen_range(1u32..20),
+            },
+            _ => scenarios::ArrivalSpec::Closed {
+                clients: rng.gen_range(1u32..5),
+                jobs_per_client: rng.gen_range(1u32..4),
+                think_secs: rng.gen_range(5.0..300.0),
+            },
+        },
+        workloads: (0..rng.gen_range(0usize..3)).map(|_| word(rng)).collect(),
+    });
     scenarios::ScenarioSpec {
         name: format!("spec-{}", rng.gen_range(0..1000)),
         title: word(rng),
@@ -364,6 +384,7 @@ fn random_spec<R: Rng>(rng: &mut R) -> scenarios::ScenarioSpec {
                 .collect()
         }),
         horizon_secs: rng.gen_bool(0.3).then(|| rng.gen_range(600u64..30_000)),
+        jobs,
         tables,
     }
 }

@@ -55,6 +55,75 @@ points = [0.2]
 }
 
 #[test]
+fn job_stream_toml_runs_end_to_end() {
+    // A multi-job scenario entirely from TOML: a batch of three quick
+    // jobs under FIFO vs fair share, with per-job SLO tables and rows.
+    let text = r#"
+name = "e2e-stream"
+title = "engine smoke: three-job batch stream"
+workloads = ["quick"]
+policies = ["moon-hybrid", "moon-hybrid+fair"]
+seeds = [7]
+horizon_secs = 3600
+tables = [
+  { kind = "time", title = "Stream{panel}: makespan" },
+  { kind = "jobs", title = "Stream{panel}: per-job SLOs" },
+]
+
+[axis]
+kind = "rates"
+points = [0.2]
+
+[jobs]
+kind = "batch"
+offsets_secs = [0.0, 15.0, 30.0]
+"#;
+    let spec = codec::from_str(text).expect("spec parses");
+    assert_eq!(spec.jobs.as_ref().unwrap().total_jobs(), 3);
+    let run = bench::run_spec(&spec, None).expect("scenario runs");
+    assert!(
+        run.tables.contains("## Stream: per-job SLOs"),
+        "{}",
+        run.tables
+    );
+    assert!(
+        run.tables
+            .contains("policy\tjob_runs\tcompleted\tmakespan_mean(s)"),
+        "{}",
+        run.tables
+    );
+    assert!(
+        run.tables.contains("MOON-Hybrid+fair\t3\t"),
+        "{}",
+        run.tables
+    );
+    // Every run carries three per-job SLO rows, and the report JSON
+    // exposes them machine-readably.
+    for rs in &run.results {
+        for r in rs {
+            let rows = r.jobs.as_ref().expect("stream run has SLO rows");
+            assert_eq!(rows.len(), 3);
+            assert!(rows.iter().all(|j| j.finished.is_some()), "{rows:?}");
+        }
+    }
+    assert!(
+        run.report_json.contains("\"jobs\": ["),
+        "{}",
+        run.report_json
+    );
+    assert!(
+        run.report_json.contains("\"queue_secs\": "),
+        "{}",
+        run.report_json
+    );
+    // Braces still balance with the nested job rows.
+    assert_eq!(
+        run.report_json.matches('{').count(),
+        run.report_json.matches('}').count()
+    );
+}
+
+#[test]
 fn trace_replay_expands_against_committed_trace() {
     let spec = scenarios::registry::find("trace-replay").expect("registered");
     let plan = scenarios::expand(&spec).expect("committed trace file loads");
