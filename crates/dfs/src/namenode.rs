@@ -101,6 +101,10 @@ struct BlockMeta {
     size: u64,
     /// Replicas the NameNode believes exist (on non-dead nodes).
     replicas: BTreeSet<NodeId>,
+    /// Every node that ever physically held the block, including dead
+    /// ones (which keep their data and re-report it on return). Lets
+    /// block removal touch only holders instead of the whole fleet.
+    holders: BTreeSet<NodeId>,
 }
 
 /// Where to write the copies of a new block.
@@ -171,6 +175,21 @@ pub struct NameNode {
     /// opportunistic files when possible").
     wants_dedicated: BTreeSet<BlockId>,
     estimator: SlidingWindowEstimator,
+    /// Active dedicated nodes, ascending id (incrementally maintained so
+    /// placement never walks the full node table).
+    active_dedicated: BTreeSet<NodeId>,
+    /// Active volatile nodes, ascending id.
+    active_volatile: BTreeSet<NodeId>,
+    /// Non-dead nodes keyed by last heartbeat (oldest first), so a
+    /// liveness sweep inspects only nodes silent past the hibernate
+    /// threshold instead of the whole fleet.
+    heartbeat_order: BTreeSet<(SimTime, NodeId)>,
+    /// Registered volatile nodes (estimator denominator).
+    n_volatile_total: usize,
+    /// Active dedicated nodes whose throttle is currently open.
+    unthrottled_active_dedicated: usize,
+    /// Reusable exclude-set scratch for the replication scanner.
+    scratch_exclude: BTreeSet<NodeId>,
     next_file: u64,
     next_block: u64,
     /// Total replication commands issued (metric).
@@ -191,6 +210,12 @@ impl NameNode {
             queue: ReplicationQueue::new(),
             wants_dedicated: BTreeSet::new(),
             estimator,
+            active_dedicated: BTreeSet::new(),
+            active_volatile: BTreeSet::new(),
+            heartbeat_order: BTreeSet::new(),
+            n_volatile_total: 0,
+            unthrottled_active_dedicated: 0,
+            scratch_exclude: BTreeSet::new(),
             next_file: 0,
             next_block: 0,
             replication_commands: 0,
@@ -237,12 +262,94 @@ impl NameNode {
         self.files.get_mut(f.0 as usize)?.as_mut()
     }
 
-    /// Registered nodes in id order, as (id, info).
+    /// Registered nodes in id order, as (id, info). Only the debug
+    /// drift check still walks the full table; every hot path goes
+    /// through the maintained indexes.
+    #[cfg(any(test, debug_assertions))]
     fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &NodeInfo)> {
         self.nodes
             .iter()
             .enumerate()
             .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+
+    /// Drop a node's contributions to the Active-node indexes. The node
+    /// must currently be Active.
+    fn index_remove_active(&mut self, id: NodeId) {
+        let node = self.node_ref(id);
+        debug_assert_eq!(node.liveness, NodeLiveness::Active);
+        match node.class {
+            NodeClass::Dedicated => {
+                if !node.throttle.as_ref().is_some_and(|t| t.is_throttled()) {
+                    self.unthrottled_active_dedicated -= 1;
+                }
+                self.active_dedicated.remove(&id);
+            }
+            NodeClass::Volatile => {
+                self.active_volatile.remove(&id);
+            }
+        }
+    }
+
+    /// Add a node's contributions to the Active-node indexes. The node's
+    /// liveness must already read Active.
+    fn index_insert_active(&mut self, id: NodeId) {
+        let node = self.node_ref(id);
+        debug_assert_eq!(node.liveness, NodeLiveness::Active);
+        match node.class {
+            NodeClass::Dedicated => {
+                if !node.throttle.as_ref().is_some_and(|t| t.is_throttled()) {
+                    self.unthrottled_active_dedicated += 1;
+                }
+                self.active_dedicated.insert(id);
+            }
+            NodeClass::Volatile => {
+                self.active_volatile.insert(id);
+            }
+        }
+    }
+
+    /// From-scratch recomputation of every incremental index, compared
+    /// against the maintained state — the drift check behind the
+    /// O(active) refactor. Runs on every liveness sweep in debug builds
+    /// and directly from the churn unit tests.
+    #[cfg(any(test, debug_assertions))]
+    fn debug_check_indexes(&self) {
+        let mut dedicated = BTreeSet::new();
+        let mut volatile = BTreeSet::new();
+        let mut unthrottled = 0usize;
+        let mut n_volatile = 0usize;
+        let mut order = BTreeSet::new();
+        for (id, n) in self.nodes_iter() {
+            if n.class == NodeClass::Volatile {
+                n_volatile += 1;
+            }
+            if n.liveness != NodeLiveness::Dead {
+                order.insert((n.last_heartbeat, id));
+            }
+            if n.liveness != NodeLiveness::Active {
+                continue;
+            }
+            match n.class {
+                NodeClass::Dedicated => {
+                    dedicated.insert(id);
+                    if !n.throttle.as_ref().is_some_and(|t| t.is_throttled()) {
+                        unthrottled += 1;
+                    }
+                }
+                NodeClass::Volatile => {
+                    volatile.insert(id);
+                }
+            }
+        }
+        assert_eq!(dedicated, self.active_dedicated, "active-dedicated drift");
+        assert_eq!(volatile, self.active_volatile, "active-volatile drift");
+        assert_eq!(n_volatile, self.n_volatile_total, "volatile-count drift");
+        assert_eq!(
+            unthrottled, self.unthrottled_active_dedicated,
+            "unthrottled-dedicated drift"
+        );
+        assert_eq!(order, self.heartbeat_order, "heartbeat-order drift");
     }
 
     /// Register a DataNode at simulation start.
@@ -252,6 +359,20 @@ impl NameNode {
         if self.nodes.len() <= id.0 as usize {
             self.nodes.resize_with(id.0 as usize + 1, || None);
         }
+        if self.nodes[id.0 as usize].is_some() {
+            // Re-registration: retire the old identity's index entries.
+            let old = self.node_ref(id);
+            let (liveness, hb, old_class) = (old.liveness, old.last_heartbeat, old.class);
+            if liveness == NodeLiveness::Active {
+                self.index_remove_active(id);
+            }
+            if liveness != NodeLiveness::Dead {
+                self.heartbeat_order.remove(&(hb, id));
+            }
+            if old_class == NodeClass::Volatile {
+                self.n_volatile_total -= 1;
+            }
+        }
         self.nodes[id.0 as usize] = Some(NodeInfo {
             class,
             liveness: NodeLiveness::Active,
@@ -259,6 +380,11 @@ impl NameNode {
             throttle,
             blocks: BTreeSet::new(),
         });
+        if class == NodeClass::Volatile {
+            self.n_volatile_total += 1;
+        }
+        self.index_insert_active(id);
+        self.heartbeat_order.insert((now, id));
         self.observe_estimator(now);
     }
 
@@ -277,39 +403,72 @@ impl NameNode {
     /// (bytes/sec, measured by the embedding model).
     pub fn heartbeat(&mut self, now: SimTime, id: NodeId, io_bandwidth: f64) {
         let node = self.node_mut(id);
+        let was = node.liveness;
+        let old_hb = node.last_heartbeat;
+        let was_open = was == NodeLiveness::Active
+            && node.class == NodeClass::Dedicated
+            && !node.throttle.as_ref().is_some_and(|t| t.is_throttled());
         node.last_heartbeat = now;
         if let Some(t) = node.throttle.as_mut() {
             t.update(io_bandwidth);
         }
-        if node.liveness != NodeLiveness::Active {
-            let was_dead = node.liveness == NodeLiveness::Dead;
-            node.liveness = NodeLiveness::Active;
-            if was_dead {
-                // Block report: the returning node still has its data.
-                let held: Vec<BlockId> = node.blocks.iter().copied().collect();
-                for b in held {
-                    match self.block_mut(b) {
-                        Some(meta) => {
-                            meta.replicas.insert(id);
-                        }
-                        None => {
-                            // Block was deleted while the node was away.
-                            self.node_mut(id).blocks.remove(&b);
-                        }
+        let node = self.node_ref(id);
+        let now_open = node.class == NodeClass::Dedicated
+            && !node.throttle.as_ref().is_some_and(|t| t.is_throttled());
+        if was != NodeLiveness::Dead {
+            self.heartbeat_order.remove(&(old_hb, id));
+        }
+        self.heartbeat_order.insert((now, id));
+        if was == NodeLiveness::Active {
+            // Only the throttle can have changed index state.
+            match (was_open, now_open) {
+                (true, false) => self.unthrottled_active_dedicated -= 1,
+                (false, true) => self.unthrottled_active_dedicated += 1,
+                _ => {}
+            }
+            return;
+        }
+        let was_dead = was == NodeLiveness::Dead;
+        self.node_mut(id).liveness = NodeLiveness::Active;
+        self.index_insert_active(id);
+        if was_dead {
+            // Block report: the returning node still has its data.
+            let held: Vec<BlockId> = self.node_ref(id).blocks.iter().copied().collect();
+            for b in held {
+                match self.block_mut(b) {
+                    Some(meta) => {
+                        meta.replicas.insert(id);
+                    }
+                    None => {
+                        // Block was deleted while the node was away.
+                        self.node_mut(id).blocks.remove(&b);
                     }
                 }
             }
-            self.observe_estimator(now);
         }
+        self.observe_estimator(now);
     }
 
     /// Sweep for nodes whose heartbeats have stopped; apply the
     /// hibernate/expiry transitions and queue the re-replications the
     /// paper calls for.
     pub fn check_liveness(&mut self, now: SimTime) -> LivenessReport {
+        #[cfg(debug_assertions)]
+        self.debug_check_indexes();
         let mut report = LivenessReport::default();
-        let ids: Vec<NodeId> = self.nodes_iter().map(|(id, _)| id).collect();
-        for id in ids {
+        // The heartbeat-ordered index puts the longest-silent nodes
+        // first, so the sweep inspects only nodes past the transition
+        // threshold — O(silent), not O(fleet). Hibernated nodes keep
+        // their stale heartbeat and are revisited until they expire or
+        // return, which bounds the revisit set by the down population.
+        let threshold = self.cfg.hibernate_interval.min(self.cfg.expiry_interval);
+        let candidates: Vec<NodeId> = self
+            .heartbeat_order
+            .iter()
+            .take_while(|&&(hb, _)| now.since(hb) >= threshold)
+            .map(|&(_, id)| id)
+            .collect();
+        for id in candidates {
             let node = self.node_ref(id);
             let silent = now.since(node.last_heartbeat);
             match node.liveness {
@@ -331,6 +490,10 @@ impl NameNode {
                 NodeLiveness::Dead => {}
             }
         }
+        // The index yields silence order; reports stay in id order as
+        // the full-table walk produced them.
+        report.hibernated.sort_unstable();
+        report.expired.sort_unstable();
         if !report.hibernated.is_empty() || !report.expired.is_empty() {
             self.observe_estimator(now);
         }
@@ -338,6 +501,7 @@ impl NameNode {
     }
 
     fn hibernate_node(&mut self, id: NodeId) {
+        self.index_remove_active(id);
         let node = self.node_mut(id);
         node.liveness = NodeLiveness::Hibernated;
         // §IV-C: on (transient) unavailability, re-replicate only
@@ -360,6 +524,11 @@ impl NameNode {
     }
 
     fn expire_node(&mut self, id: NodeId) {
+        if self.node_ref(id).liveness == NodeLiveness::Active {
+            self.index_remove_active(id);
+        }
+        let hb = self.node_ref(id).last_heartbeat;
+        self.heartbeat_order.remove(&(hb, id));
         let node = self.node_mut(id);
         node.liveness = NodeLiveness::Dead;
         let held: Vec<BlockId> = node.blocks.iter().copied().collect();
@@ -377,15 +546,21 @@ impl NameNode {
     }
 
     fn volatile_down_count(&self) -> (usize, usize) {
-        let mut down = 0;
-        let mut total = 0;
-        for n in self.nodes.iter().flatten() {
-            if n.class == NodeClass::Volatile {
-                total += 1;
-                if n.liveness != NodeLiveness::Active {
-                    down += 1;
+        let total = self.n_volatile_total;
+        let down = total - self.active_volatile.len();
+        #[cfg(debug_assertions)]
+        {
+            let mut scan_down = 0;
+            let mut scan_total = 0;
+            for n in self.nodes.iter().flatten() {
+                if n.class == NodeClass::Volatile {
+                    scan_total += 1;
+                    if n.liveness != NodeLiveness::Active {
+                        scan_down += 1;
+                    }
                 }
             }
+            assert_eq!((down, total), (scan_down, scan_total), "estimator drift");
         }
         (down, total)
     }
@@ -398,11 +573,20 @@ impl NameNode {
 
     /// True if at least one dedicated node is Active and unthrottled.
     pub fn dedicated_available_for_opportunistic(&self) -> bool {
-        self.nodes.iter().flatten().any(|n| {
-            n.class == NodeClass::Dedicated
-                && n.liveness == NodeLiveness::Active
-                && n.throttle.as_ref().is_none_or(|t| !t.is_throttled())
-        })
+        debug_assert_eq!(
+            self.unthrottled_active_dedicated,
+            self.nodes
+                .iter()
+                .flatten()
+                .filter(|n| {
+                    n.class == NodeClass::Dedicated
+                        && n.liveness == NodeLiveness::Active
+                        && n.throttle.as_ref().is_none_or(|t| !t.is_throttled())
+                })
+                .count(),
+            "unthrottled-dedicated drift"
+        );
+        self.unthrottled_active_dedicated > 0
     }
 
     // ------------------------------------------------------------------
@@ -431,6 +615,7 @@ impl NameNode {
             file,
             size,
             replicas: BTreeSet::new(),
+            holders: BTreeSet::new(),
         }));
         self.file_mut(file).expect("unknown file").blocks.push(id);
         id
@@ -443,7 +628,7 @@ impl NameNode {
         };
         for b in meta.blocks {
             if let Some(bm) = self.blocks.get_mut(b.0 as usize).and_then(Option::take) {
-                for n in bm.replicas {
+                for n in bm.holders {
                     self.node_mut(n).blocks.remove(&b);
                 }
             }
@@ -459,9 +644,9 @@ impl NameNode {
             if let Some(fm) = self.file_mut(bm.file) {
                 fm.blocks.retain(|&b| b != block);
             }
-        }
-        for node in self.nodes.iter_mut().flatten() {
-            node.blocks.remove(&block);
+            for n in bm.holders {
+                self.node_mut(n).blocks.remove(&block);
+            }
         }
         self.queue.remove(block);
         self.wants_dedicated.remove(&block);
@@ -511,12 +696,17 @@ impl NameNode {
     // Placement
     // ------------------------------------------------------------------
 
-    fn active_nodes(&self, class: Option<NodeClass>) -> Vec<NodeId> {
-        self.nodes_iter()
-            .filter(|(_, n)| n.liveness == NodeLiveness::Active)
-            .filter(|(_, n)| class.is_none_or(|c| n.class == c))
-            .map(|(id, _)| id)
-            .collect()
+    /// Every Active node in ascending id order, from the maintained
+    /// class indexes (the same sequence a full-table walk produced).
+    fn active_nodes_all(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .active_dedicated
+            .iter()
+            .chain(self.active_volatile.iter())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Choose dedicated targets at random, preferring unthrottled nodes
@@ -531,7 +721,7 @@ impl NameNode {
     ) -> Vec<NodeId> {
         let mut open: Vec<NodeId> = Vec::new();
         let mut saturated: Vec<NodeId> = Vec::new();
-        for id in self.active_nodes(Some(NodeClass::Dedicated)) {
+        for &id in &self.active_dedicated {
             if exclude.contains(&id) {
                 continue;
             }
@@ -564,24 +754,24 @@ impl NameNode {
         rng: &mut R,
     ) -> Vec<NodeId> {
         let mut chosen = Vec::with_capacity(want);
-        let mut excluded = exclude.clone();
         if want == 0 {
             return chosen;
         }
         if let Some(c) = client {
-            if !excluded.contains(&c) {
+            if !exclude.contains(&c) {
                 if let Some(n) = self.nodes.get(c.0 as usize).and_then(Option::as_ref) {
                     if n.liveness == NodeLiveness::Active && n.class == NodeClass::Volatile {
                         chosen.push(c);
-                        excluded.insert(c);
                     }
                 }
             }
         }
+        let local = chosen.first().copied();
         let mut cands: Vec<NodeId> = self
-            .active_nodes(Some(NodeClass::Volatile))
-            .into_iter()
-            .filter(|id| !excluded.contains(id))
+            .active_volatile
+            .iter()
+            .copied()
+            .filter(|id| !exclude.contains(id) && Some(*id) != local)
             .collect();
         cands.shuffle(rng);
         for id in cands {
@@ -612,9 +802,8 @@ impl NameNode {
             // Stock HDFS: a single pool, uniform random placement.
             let total = factor.total() as usize;
             let mut cands: Vec<NodeId> = self
-                .nodes_iter()
-                .filter(|(_, n)| n.liveness == NodeLiveness::Active)
-                .map(|(id, _)| id)
+                .active_nodes_all()
+                .into_iter()
                 .filter(|id| !exclude.contains(id))
                 .collect();
             let mut chosen = Vec::with_capacity(total);
@@ -735,6 +924,7 @@ impl NameNode {
             return;
         };
         meta.replicas.insert(node);
+        meta.holders.insert(node);
         self.node_mut(node).blocks.insert(block);
         if self.has_dedicated_replica(block) {
             self.wants_dedicated.remove(&block);
@@ -870,6 +1060,9 @@ impl NameNode {
     ) -> Vec<ReplicationCommand> {
         let mut commands = Vec::new();
         let mut requeue = Vec::new();
+        // One exclude set for the whole scan (cleared per block), not a
+        // fresh BTreeSet allocation per under-replicated block.
+        let mut exclude = std::mem::take(&mut self.scratch_exclude);
         while commands.len() < max_commands {
             let Some(req) = self.queue.pop() else { break };
             let block = req.block;
@@ -883,12 +1076,13 @@ impl NameNode {
             let sources = self.active_replicas(block);
             let Some(&source) = sources.first() else {
                 // No live source right now; try again next scan.
-                requeue.push(req);
+                requeue.push(block);
                 continue;
             };
             let bm = self.block_ref(block).expect("checked above");
             let size = bm.size;
-            let exclude: BTreeSet<NodeId> = bm.replicas.iter().copied().collect();
+            exclude.clear();
+            exclude.extend(bm.replicas.iter().copied());
             let mut placed_any = false;
             if self.cfg.hybrid {
                 for target in self.pick_dedicated(d_deficit as usize, &exclude, rng) {
@@ -912,9 +1106,8 @@ impl NameNode {
             } else {
                 let want = v_deficit as usize;
                 let mut cands: Vec<NodeId> = self
-                    .nodes_iter()
-                    .filter(|(_, n)| n.liveness == NodeLiveness::Active)
-                    .map(|(id, _)| id)
+                    .active_nodes_all()
+                    .into_iter()
                     .filter(|id| !exclude.contains(id))
                     .collect();
                 cands.shuffle(rng);
@@ -929,11 +1122,14 @@ impl NameNode {
                 }
             }
             if !placed_any {
-                requeue.push(req);
+                requeue.push(block);
             }
         }
-        for req in requeue {
-            self.queue.enqueue(req);
+        // Re-derive the request instead of re-enqueuing the popped copy:
+        // the popped `live_replicas` snapshot may be stale, and queue
+        // priority must reflect the current replica count.
+        for block in requeue {
+            self.enqueue_if_under_replicated(block);
         }
 
         // Deferred dedicated copies for opportunistic blocks, best-effort.
@@ -958,13 +1154,14 @@ impl NameNode {
                 let Some(&source) = sources.first() else {
                     continue;
                 };
-                let exclude: BTreeSet<NodeId> = self
-                    .block_ref(block)
-                    .expect("checked above")
-                    .replicas
-                    .iter()
-                    .copied()
-                    .collect();
+                exclude.clear();
+                exclude.extend(
+                    self.block_ref(block)
+                        .expect("checked above")
+                        .replicas
+                        .iter()
+                        .copied(),
+                );
                 if let Some(&target) = self.pick_dedicated(1, &exclude, rng).first() {
                     commands.push(ReplicationCommand {
                         block,
@@ -976,6 +1173,7 @@ impl NameNode {
             }
         }
 
+        self.scratch_exclude = exclude;
         self.replication_commands += commands.len() as u64;
         self.replication_bytes += commands.iter().map(|c| c.size).sum::<u64>();
         commands
@@ -1319,6 +1517,80 @@ mod tests {
         nn.check_liveness(t(1200));
         let p = nn.estimated_unavailability(t(1800));
         assert!(p > 0.4, "estimate {p} should approach 0.5");
+    }
+
+    #[test]
+    fn incremental_indexes_survive_randomized_churn() {
+        // Random heartbeat/silence churn across every transition pair
+        // (Active ⇄ Hibernated ⇄ Dead, throttle open ⇄ closed). Each
+        // step cross-checks every maintained index against a
+        // from-scratch table scan.
+        let cfg = NameNodeConfig {
+            hibernate_interval: SimDuration::from_secs(60),
+            expiry_interval: SimDuration::from_secs(120),
+            throttle_window: 3,
+            ..Default::default()
+        };
+        let mut nn = NameNode::new(cfg);
+        for i in 0..3 {
+            nn.register_node(t(0), NodeId(i), NodeClass::Dedicated);
+        }
+        for i in 3..12 {
+            nn.register_node(t(0), NodeId(i), NodeClass::Volatile);
+        }
+        let mut r = StdRng::seed_from_u64(42);
+        let mut produced = [false; 3]; // saw a hibernation / expiry / revival
+        for step in 1..400u64 {
+            let now = t(step * 20);
+            for i in 0..12u32 {
+                if r.gen_range(0..100u32) < 40 {
+                    let was_dead = nn.node_liveness(NodeId(i)) == NodeLiveness::Dead;
+                    nn.heartbeat(now, NodeId(i), r.gen_range(0..200u32) as f64);
+                    produced[2] |= was_dead;
+                }
+            }
+            let report = nn.check_liveness(now);
+            produced[0] |= !report.hibernated.is_empty();
+            produced[1] |= !report.expired.is_empty();
+            nn.debug_check_indexes();
+            let _ = nn.dedicated_available_for_opportunistic();
+        }
+        assert_eq!(
+            produced, [true; 3],
+            "churn must exercise hibernate, expiry and revival"
+        );
+    }
+
+    #[test]
+    fn requeued_request_reflects_current_replica_count() {
+        // A popped request that cannot be served is re-derived, not
+        // re-enqueued verbatim: its priority must track the replica
+        // count as it stands now, not as it stood at first enqueue.
+        let mut nn = small_cluster(NameNodeConfig::default());
+        beat_all(&mut nn, t(0));
+        let f = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(0, 3));
+        let b = nn.allocate_block(f, 64);
+        nn.commit_replica(b, NodeId(2));
+        // Queued at 1 live replica.
+        nn.replica_failed(b, NodeId(3));
+        assert!(nn.queue.contains(b));
+        // Its only live source hibernates → the scan pops it, finds no
+        // source, and requeues. Meanwhile a second replica appeared, so
+        // the re-derived request must carry live_replicas = 2.
+        nn.commit_replica(b, NodeId(4));
+        for i in [0, 1, 3, 5] {
+            nn.heartbeat(t(90), NodeId(i), 0.0);
+        }
+        nn.check_liveness(t(90));
+        let cmds = nn.replication_scan(t(91), 10, &mut rng());
+        assert!(cmds.iter().all(|c| c.block != b), "no live source yet");
+        assert!(nn.queue.contains(b));
+        let req = nn.queue.pop().expect("requeued");
+        assert_eq!(req.block, b);
+        assert_eq!(
+            req.live_replicas, 2,
+            "requeue must recompute live replicas, not reuse the stale snapshot"
+        );
     }
 
     #[test]

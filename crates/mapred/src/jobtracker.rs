@@ -15,6 +15,7 @@ use crate::types::{
 };
 use dfs::NodeId;
 use simkit::{SimDuration, SimTime};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Liveness of a TaskTracker as seen by the JobTracker.
@@ -178,6 +179,14 @@ pub struct SuccessResponse {
 }
 
 /// The MapReduce master.
+///
+/// Hot-path state is indexed so per-event cost tracks *active* work,
+/// not lifetime totals: `running_jobs` keeps the pickers off completed
+/// jobs, the alive-slot counters make `available_slots` O(1), and the
+/// heartbeat-ordered tracker index turns liveness sweeps into a prefix
+/// scan of the silent trackers. Debug builds cross-check every index
+/// against a from-scratch recomputation (see
+/// [`Self::debug_check_indexes`]).
 pub struct JobTracker {
     policy: SchedulerPolicy,
     fetch_policy: FetchFailurePolicy,
@@ -185,6 +194,25 @@ pub struct JobTracker {
     trackers: BTreeMap<NodeId, Tracker>,
     jobs: BTreeMap<JobId, Job>,
     next_job: u32,
+    /// Jobs with status Running, ascending JobId (= submission order,
+    /// so iterating it *is* the FIFO ranking). Maintained at submit /
+    /// completion / failure.
+    running_jobs: BTreeSet<JobId>,
+    /// Map/reduce slot totals over Alive trackers, maintained on every
+    /// liveness transition.
+    alive_map_slots: u32,
+    alive_reduce_slots: u32,
+    /// Dedicated trackers (a registration-time property, state-blind —
+    /// mirrors the set the MOON speculative picker used to rebuild).
+    dedicated_trackers: BTreeSet<NodeId>,
+    /// Non-dead trackers keyed by last heartbeat, oldest first. A
+    /// liveness sweep only visits the prefix that has been silent past
+    /// the earliest transition deadline; dead trackers leave the index
+    /// and re-enter on their revival heartbeat.
+    tracker_hb_order: BTreeSet<(SimTime, NodeId)>,
+    /// Fair-share ranking scratch, cleared and refilled per pick so
+    /// the fair-share hot path is allocation-free like FIFO.
+    fair_share_scratch: RefCell<Vec<(u32, JobId)>>,
 }
 
 impl JobTracker {
@@ -198,7 +226,60 @@ impl JobTracker {
             trackers: BTreeMap::new(),
             jobs: BTreeMap::new(),
             next_job: 0,
+            running_jobs: BTreeSet::new(),
+            alive_map_slots: 0,
+            alive_reduce_slots: 0,
+            dedicated_trackers: BTreeSet::new(),
+            tracker_hb_order: BTreeSet::new(),
+            fair_share_scratch: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Cross-check every incremental index against a from-scratch scan
+    /// (the `live_attempts_of` drift-check pattern, tracker-side).
+    /// Debug builds run this at each liveness sweep; churn tests call
+    /// it directly after every step.
+    #[cfg(any(test, debug_assertions))]
+    pub fn debug_check_indexes(&self) {
+        let running: BTreeSet<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.status == JobStatus::Running)
+            .map(|(&id, _)| id)
+            .collect();
+        assert_eq!(
+            self.running_jobs, running,
+            "running-job index drifted from job statuses"
+        );
+        let mut maps = 0u32;
+        let mut reduces = 0u32;
+        let mut hb_order: BTreeSet<(SimTime, NodeId)> = BTreeSet::new();
+        let mut dedicated: BTreeSet<NodeId> = BTreeSet::new();
+        for (&node, tr) in &self.trackers {
+            if tr.state == TrackerState::Alive {
+                maps += tr.map_slots;
+                reduces += tr.reduce_slots;
+            }
+            if tr.state != TrackerState::Dead {
+                hb_order.insert((tr.last_heartbeat, node));
+            }
+            if tr.dedicated {
+                dedicated.insert(node);
+            }
+        }
+        assert_eq!(self.alive_map_slots, maps, "alive map-slot counter drifted");
+        assert_eq!(
+            self.alive_reduce_slots, reduces,
+            "alive reduce-slot counter drifted"
+        );
+        assert_eq!(
+            self.tracker_hb_order, hb_order,
+            "heartbeat-ordered tracker index drifted"
+        );
+        assert_eq!(
+            self.dedicated_trackers, dedicated,
+            "dedicated-tracker index drifted"
+        );
     }
 
     /// Set the cross-job ordering policy (FIFO vs max-min fair share).
@@ -230,7 +311,7 @@ impl JobTracker {
         reduce_slots: u32,
         dedicated: bool,
     ) {
-        self.trackers.insert(
+        if let Some(old) = self.trackers.insert(
             node,
             Tracker {
                 dedicated,
@@ -240,7 +321,23 @@ impl JobTracker {
                 state: TrackerState::Alive,
                 running: BTreeSet::new(),
             },
-        );
+        ) {
+            // Re-registration: retire the old tracker's index entries.
+            if old.state == TrackerState::Alive {
+                self.alive_map_slots -= old.map_slots;
+                self.alive_reduce_slots -= old.reduce_slots;
+            }
+            if old.state != TrackerState::Dead {
+                self.tracker_hb_order.remove(&(old.last_heartbeat, node));
+            }
+            self.dedicated_trackers.remove(&node);
+        }
+        self.alive_map_slots += map_slots;
+        self.alive_reduce_slots += reduce_slots;
+        if dedicated {
+            self.dedicated_trackers.insert(node);
+        }
+        self.tracker_hb_order.insert((now, node));
     }
 
     /// Current tracker state.
@@ -251,10 +348,26 @@ impl JobTracker {
     /// Sweep tracker liveness (call periodically). Suspends and expires
     /// silent trackers per the policy's intervals.
     pub fn check_trackers(&mut self, now: SimTime) -> TrackerSweep {
+        #[cfg(any(test, debug_assertions))]
+        self.debug_check_indexes();
         let mut sweep = TrackerSweep::default();
         let suspension = self.policy.suspension_interval();
         let expiry = self.policy.tracker_expiry();
-        let nodes: Vec<NodeId> = self.trackers.keys().copied().collect();
+        // Only trackers silent past the earlier deadline can transition;
+        // the heartbeat-ordered index yields exactly that prefix instead
+        // of a full-table walk. Suspended trackers keep their stale key
+        // and are revisited until they expire or heartbeat — bounded by
+        // the silent population, not the fleet. Candidates are processed
+        // in ascending node order to match the old walk exactly (sweep
+        // vectors and kill ordering feed the deterministic event stream).
+        let threshold = suspension.min(expiry);
+        let mut nodes: Vec<NodeId> = self
+            .tracker_hb_order
+            .iter()
+            .take_while(|&&(hb, _)| now.since(hb) >= threshold)
+            .map(|&(_, node)| node)
+            .collect();
+        nodes.sort_unstable();
         for node in nodes {
             let tr = &self.trackers[&node];
             let silent = now.since(tr.last_heartbeat);
@@ -280,7 +393,10 @@ impl JobTracker {
     fn suspend_tracker(&mut self, node: NodeId) {
         let tr = self.trackers.get_mut(&node).unwrap();
         tr.state = TrackerState::Suspended;
+        let (map_slots, reduce_slots) = (tr.map_slots, tr.reduce_slots);
         let attempts: Vec<AttemptId> = tr.running.iter().copied().collect();
+        self.alive_map_slots -= map_slots;
+        self.alive_reduce_slots -= reduce_slots;
         for a in attempts {
             if let Some(info) = self.attempt_mut(a) {
                 if info.state == AttemptState::Running {
@@ -292,8 +408,16 @@ impl JobTracker {
 
     fn expire_tracker(&mut self, node: NodeId) -> Vec<AttemptId> {
         let tr = self.trackers.get_mut(&node).unwrap();
+        let was_alive = tr.state == TrackerState::Alive;
         tr.state = TrackerState::Dead;
+        let (map_slots, reduce_slots) = (tr.map_slots, tr.reduce_slots);
+        let hb_key = (tr.last_heartbeat, node);
         let attempts: Vec<AttemptId> = std::mem::take(&mut tr.running).into_iter().collect();
+        if was_alive {
+            self.alive_map_slots -= map_slots;
+            self.alive_reduce_slots -= reduce_slots;
+        }
+        self.tracker_hb_order.remove(&hb_key);
         for &a in &attempts {
             self.kill_attempt(a);
             if let Some(job) = self.jobs.get_mut(&a.task.job) {
@@ -386,6 +510,7 @@ impl JobTracker {
                 map_output_relaunches: 0,
             },
         );
+        self.running_jobs.insert(id);
         id
     }
 
@@ -414,18 +539,16 @@ impl JobTracker {
     /// an instantaneous diagnostic; the perf-log gauges track peaks on
     /// the world side.
     pub fn active_job_count(&self) -> usize {
-        self.jobs
-            .values()
-            .filter(|j| j.status == JobStatus::Running)
-            .count()
+        self.running_jobs.len()
     }
 
     /// Jobs submitted whose first attempt has not launched yet — the
-    /// instantaneous cross-job queue depth.
+    /// instantaneous cross-job queue depth. O(running), not O(ever
+    /// submitted).
     pub fn queued_job_count(&self) -> usize {
-        self.jobs
-            .values()
-            .filter(|j| j.status == JobStatus::Running && j.first_launch.is_none())
+        self.running_jobs
+            .iter()
+            .filter(|jid| self.jobs[jid].first_launch.is_none())
             .count()
     }
 
@@ -461,33 +584,45 @@ impl JobTracker {
     /// work for its free slots.
     pub fn heartbeat(&mut self, now: SimTime, node: NodeId) -> HeartbeatResponse {
         let mut resp = HeartbeatResponse::default();
-        {
+        let (old_hb, old_state, map_slots, reduce_slots) = {
             let tr = self.trackers.get_mut(&node).expect("unknown tracker");
+            let prior = (tr.last_heartbeat, tr.state, tr.map_slots, tr.reduce_slots);
             tr.last_heartbeat = now;
-            match tr.state {
-                TrackerState::Alive => {}
-                TrackerState::Suspended => {
-                    tr.state = TrackerState::Alive;
-                    let attempts: Vec<AttemptId> = tr.running.iter().copied().collect();
-                    for a in attempts {
-                        // Reactivate attempts unless the task finished (or
-                        // the attempt was individually killed) meanwhile.
-                        let completed = self.jobs[&a.task.job].tasks[&a.task].completed;
-                        if completed {
-                            self.release_attempt(a);
-                            self.kill_attempt(a);
-                            resp.kill.push(a);
-                        } else if let Some(info) = self.attempt_mut(a) {
-                            if info.state == AttemptState::Inactive {
-                                info.state = AttemptState::Running;
-                            }
+            tr.state = TrackerState::Alive;
+            prior
+        };
+        // Dead trackers left the heartbeat index at expiry; everyone
+        // else moves from their stale key to (now, node).
+        if old_state != TrackerState::Dead {
+            self.tracker_hb_order.remove(&(old_hb, node));
+        }
+        self.tracker_hb_order.insert((now, node));
+        match old_state {
+            TrackerState::Alive => {}
+            TrackerState::Suspended => {
+                self.alive_map_slots += map_slots;
+                self.alive_reduce_slots += reduce_slots;
+                let attempts: Vec<AttemptId> =
+                    self.trackers[&node].running.iter().copied().collect();
+                for a in attempts {
+                    // Reactivate attempts unless the task finished (or
+                    // the attempt was individually killed) meanwhile.
+                    let completed = self.jobs[&a.task.job].tasks[&a.task].completed;
+                    if completed {
+                        self.release_attempt(a);
+                        self.kill_attempt(a);
+                        resp.kill.push(a);
+                    } else if let Some(info) = self.attempt_mut(a) {
+                        if info.state == AttemptState::Inactive {
+                            info.state = AttemptState::Running;
                         }
                     }
                 }
-                TrackerState::Dead => {
-                    // Re-registration after expiry; attempts were killed.
-                    tr.state = TrackerState::Alive;
-                }
+            }
+            TrackerState::Dead => {
+                // Re-registration after expiry; attempts were killed.
+                self.alive_map_slots += map_slots;
+                self.alive_reduce_slots += reduce_slots;
             }
         }
 
@@ -626,30 +761,35 @@ impl JobTracker {
     fn pick_across_jobs<T>(&self, mut f: impl FnMut(JobId, &Job) -> Option<T>) -> Option<T> {
         match self.cross_job {
             CrossJobPolicy::Fifo => {
-                for (&jid, job) in &self.jobs {
-                    if job.status != JobStatus::Running {
-                        continue;
-                    }
-                    if let Some(x) = f(jid, job) {
+                for &jid in &self.running_jobs {
+                    if let Some(x) = f(jid, &self.jobs[&jid]) {
                         return Some(x);
                     }
                 }
                 None
             }
             CrossJobPolicy::FairShare => {
-                let mut order: Vec<(u32, JobId)> = self
-                    .jobs
-                    .iter()
-                    .filter(|(_, j)| j.status == JobStatus::Running)
-                    .map(|(&jid, j)| (Self::live_attempts_of(j), jid))
-                    .collect();
+                // The ranking Vec is owned by the tracker and refilled
+                // per pick (clear, don't drop), so steady-state picks
+                // allocate nothing. Taken out of the cell for the
+                // duration so `f` can never observe a held borrow.
+                let mut order = self.fair_share_scratch.take();
+                order.clear();
+                order.extend(
+                    self.running_jobs
+                        .iter()
+                        .map(|&jid| (Self::live_attempts_of(&self.jobs[&jid]), jid)),
+                );
                 order.sort_unstable();
-                for (_, jid) in order {
+                let mut found = None;
+                for &(_, jid) in order.iter() {
                     if let Some(x) = f(jid, &self.jobs[&jid]) {
-                        return Some(x);
+                        found = Some(x);
+                        break;
                     }
                 }
-                None
+                self.fair_share_scratch.replace(order);
+                found
             }
         }
     }
@@ -741,17 +881,24 @@ impl JobTracker {
     }
 
     /// Slots of `kind` across Alive trackers (the paper's "currently
-    /// available execution slots").
+    /// available execution slots"). O(1): the counters are maintained
+    /// on liveness transitions; debug builds cross-check them against
+    /// a full tracker scan.
     fn available_slots(&self, kind: Option<TaskKind>) -> u32 {
-        self.trackers
-            .values()
-            .filter(|t| t.state == TrackerState::Alive)
-            .map(|t| match kind {
-                Some(TaskKind::Map) => t.map_slots,
-                Some(TaskKind::Reduce) => t.reduce_slots,
-                None => t.map_slots + t.reduce_slots,
-            })
-            .sum()
+        debug_assert_eq!(
+            self.alive_map_slots + self.alive_reduce_slots,
+            self.trackers
+                .values()
+                .filter(|t| t.state == TrackerState::Alive)
+                .map(|t| t.map_slots + t.reduce_slots)
+                .sum::<u32>(),
+            "incremental alive-slot counters drifted from tracker states"
+        );
+        match kind {
+            Some(TaskKind::Map) => self.alive_map_slots,
+            Some(TaskKind::Reduce) => self.alive_reduce_slots,
+            None => self.alive_map_slots + self.alive_reduce_slots,
+        }
     }
 
     fn live_speculative(&self, job: &Job) -> u32 {
@@ -856,12 +1003,8 @@ impl JobTracker {
         p: &crate::policy::MoonPolicy,
     ) -> Option<(TaskId, LaunchReason)> {
         let node_is_dedicated = self.trackers[&node].dedicated;
-        let dedicated_nodes: BTreeSet<NodeId> = self
-            .trackers
-            .iter()
-            .filter(|(_, t)| t.dedicated)
-            .map(|(&n, _)| n)
-            .collect();
+        // Maintained at registration — no per-pick rebuild.
+        let dedicated_nodes = &self.dedicated_trackers;
         self.pick_across_jobs(|jid, job| {
             // Global cap on concurrent speculative instances (§V-A).
             let cap =
@@ -1060,6 +1203,7 @@ impl JobTracker {
             job.status = JobStatus::Succeeded;
             job.finished = Some(now);
             resp.job_completed = true;
+            self.running_jobs.remove(&task_id.job);
         }
         for s in siblings {
             self.release_attempt(s);
@@ -1083,6 +1227,7 @@ impl JobTracker {
         task.failures += 1;
         if task.failures > job.spec.max_task_failures {
             job.status = JobStatus::Failed;
+            self.running_jobs.remove(&attempt.task.job);
         }
     }
 
@@ -1164,13 +1309,10 @@ impl JobTracker {
         true
     }
 
-    /// Total live attempts across all jobs (diagnostics).
+    /// Total live attempts across all jobs (diagnostics). Sums the
+    /// per-job maintained counters instead of walking every task.
     pub fn live_attempt_count(&self) -> usize {
-        self.jobs
-            .values()
-            .flat_map(|j| j.tasks.values())
-            .map(|t| t.n_live())
-            .sum()
+        self.jobs.values().map(|j| j.live_attempts as usize).sum()
     }
 }
 
@@ -1717,6 +1859,59 @@ mod tests {
         assert_eq!(total.duplicated_tasks, 2);
         assert_eq!(total.completed_maps, 10);
         assert_eq!(total.map_output_relaunches, 8);
+    }
+
+    /// Randomized churn drift check: after every step of a mixed
+    /// workload (job submissions, partial heartbeats, completions,
+    /// suspensions, expiries, revivals) the incremental indexes —
+    /// running jobs, alive-slot counters, heartbeat order, dedicated
+    /// set — must equal a from-scratch recomputation. Coverage flags
+    /// ensure the churn actually exercised every transition.
+    #[test]
+    fn incremental_indexes_survive_randomized_churn() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut jt = JobTracker::new(
+            SchedulerPolicy::Moon(MoonPolicy {
+                suspension_interval: SimDuration::from_secs(60),
+                tracker_expiry: SimDuration::from_secs(120),
+                ..MoonPolicy::default()
+            }),
+            FetchFailurePolicy::MoonQuery,
+        )
+        .with_cross_job(CrossJobPolicy::FairShare);
+        cluster(&mut jt, 9, 3); // n0..n8 volatile, n9..n11 dedicated
+        let mut rng = StdRng::seed_from_u64(0xF1EE7);
+        let mut now = t(0);
+        // [suspended, expired, revived, job completed]
+        let mut produced = [false; 4];
+        for _ in 0..400 {
+            now += SimDuration::from_secs(20);
+            if rng.gen_range(0..10u32) == 0 {
+                jt.submit_job(now, JobSpec::new(3, 1));
+            }
+            for i in 0..12u32 {
+                if rng.gen_range(0..100u32) < 40 {
+                    let was_down = jt.tracker_state(NodeId(i)) != TrackerState::Alive;
+                    let resp = jt.heartbeat(now, NodeId(i));
+                    produced[2] |= was_down;
+                    for a in resp.assignments {
+                        if rng.gen_range(0..100u32) < 50 {
+                            let s = jt.attempt_succeeded(now, a.attempt);
+                            produced[3] |= s.job_completed;
+                        }
+                    }
+                }
+            }
+            let sweep = jt.check_trackers(now); // runs debug_check_indexes
+            produced[0] |= !sweep.suspended.is_empty();
+            produced[1] |= !sweep.expired.is_empty();
+            jt.debug_check_indexes();
+        }
+        assert_eq!(
+            produced, [true; 4],
+            "churn must exercise suspension, expiry, revival and job completion \
+             [suspended, expired, revived, completed] = {produced:?}"
+        );
     }
 
     #[test]

@@ -407,12 +407,16 @@ impl World {
             }
         }
         if resp.job_completed {
-            let slot = self.slot_for_mut(id);
+            let sidx = self.slot_of(id.task.job);
+            let slot = &mut self.jobs[sidx];
             slot.tasks_done = true;
+            let out = slot.output_file;
+            self.n_tasks_incomplete -= 1;
+            self.commit_pending.insert(sidx);
             // Output commit: promote to reliable; the replication scanner
             // finishes the remaining copies and (once every job of the
             // stream has committed) ends the run.
-            if let Some(out) = slot.output_file {
+            if let Some(out) = out {
                 self.nn.convert_to_reliable(out);
             }
         }

@@ -65,15 +65,14 @@ impl World {
         self.jobs[slot].job = Some(job);
         self.jobs[slot].submitted_at = Some(ctx.now());
         self.job_slots.insert(job, slot);
+        self.n_submitted += 1;
         if self.metrics.job_submitted.is_none() {
             self.metrics.job_submitted = Some(ctx.now());
             self.metrics.n_reduces = n_reduces;
         }
-        let active = self
-            .jobs
-            .iter()
-            .filter(|s| s.submitted_at.is_some() && s.finished_at.is_none())
-            .count() as u32;
+        // Committed slots were necessarily submitted, so the active
+        // (submitted, not yet committed) gauge is a counter difference.
+        let active = self.n_submitted - self.n_committed;
         self.peak_active_jobs = self.peak_active_jobs.max(active);
         // Output file: opportunistic until commit (§IV-A).
         let out = self
@@ -127,20 +126,28 @@ impl World {
     /// factor (spawning each closed-stream successor), and report
     /// whether the entire stream is now committed.
     fn commit_finished_jobs(&mut self, ctx: &mut Ctx<'_, Ev>) -> bool {
-        for slot in 0..self.jobs.len() {
+        #[cfg(any(test, debug_assertions))]
+        self.debug_check_job_counters();
+        // Only slots with tasks done and output still replicating can
+        // commit — the maintained pending set visits exactly those, in
+        // slot order, instead of sweeping every slot each scan. The
+        // snapshot keeps successors spawned below out of this sweep
+        // (the old full walk bound its range before mutating, too).
+        let pending: Vec<usize> = self.commit_pending.iter().copied().collect();
+        for slot in pending {
             let ready = {
                 let s = &self.jobs[slot];
-                s.tasks_done
-                    && s.finished_at.is_none()
-                    && s.output_file
-                        .is_some_and(|out| self.nn.is_fully_replicated(out))
+                s.output_file
+                    .is_some_and(|out| self.nn.is_fully_replicated(out))
             };
             if ready {
                 self.jobs[slot].finished_at = Some(ctx.now());
+                self.commit_pending.remove(&slot);
+                self.n_committed += 1;
                 self.spawn_closed_successor(ctx, slot);
             }
         }
-        self.jobs.iter().all(|s| s.finished_at.is_some()) && !self.more_submissions_pending()
+        self.n_committed as usize == self.jobs.len() && !self.more_submissions_pending()
     }
 
     /// A closed-stream client whose job just committed submits its next
@@ -153,6 +160,7 @@ impl World {
             return;
         }
         self.client_budget[client as usize] -= 1;
+        self.client_budget_total -= 1;
         let Some(stream) = &self.stream else { return };
         let ArrivalModel::Closed { think, .. } = &stream.arrivals else {
             return;
@@ -163,16 +171,16 @@ impl World {
         // stream (k-th job of client c gets index c + clients·k, the
         // same stride the initial burst used), so each client's
         // sequence is fixed regardless of when other clients commit.
-        let k = self
-            .jobs
-            .iter()
-            .filter(|s| s.client == Some(client))
-            .count() as u32;
+        // The per-client slot count is maintained at slot creation —
+        // no walk over every slot per commit.
+        let k = self.client_slot_count[client as usize];
         let n_clients = self.client_budget.len() as u32;
         let workload = stream
             .workload_for(client + n_clients * k, &self.base_workload)
             .clone();
         self.jobs.push(JobSlot::new(workload, Some(client)));
+        self.client_slot_count[client as usize] += 1;
+        self.n_tasks_incomplete += 1;
         ctx.schedule(think, Ev::Submit(slot_index));
     }
 }

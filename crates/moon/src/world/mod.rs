@@ -185,6 +185,22 @@ pub struct World {
     jobs: Vec<JobSlot>,
     /// JobTracker id → slot index.
     job_slots: HashMap<JobId, usize>,
+    /// Slots submitted so far (monotone). With the counters below this
+    /// makes the per-heartbeat `control_plane_active` check O(1)
+    /// instead of a walk over every slot the run will ever have.
+    n_submitted: u32,
+    /// Slots whose tasks have not all completed yet.
+    n_tasks_incomplete: usize,
+    /// Slots whose output commit has been stamped.
+    n_committed: u32,
+    /// Sum of `client_budget` (remaining closed-stream submissions).
+    client_budget_total: u32,
+    /// Slots with tasks done but output not yet fully replicated — the
+    /// per-scan commit sweep visits only these, in slot order.
+    commit_pending: BTreeSet<usize>,
+    /// Slots created per closed-stream client (the workload-cycling
+    /// index for that client's next job).
+    client_slot_count: Vec<u32>,
     attempts: BTreeMap<AttemptId, AttemptRt>,
     /// Purpose of every open flow. Never iterated (order-free), so a
     /// hash map keeps the per-flow bookkeeping O(1).
@@ -245,6 +261,9 @@ impl World {
                 }
             },
         }
+        let n_slots = jobs.len();
+        let client_budget_total = client_budget.iter().sum();
+        let client_slot_count = vec![1; client_budget.len()];
         World {
             cluster,
             policy,
@@ -258,6 +277,12 @@ impl World {
             jt,
             jobs,
             job_slots: HashMap::new(),
+            n_submitted: 0,
+            n_tasks_incomplete: n_slots,
+            n_committed: 0,
+            client_budget_total,
+            commit_pending: BTreeSet::new(),
+            client_slot_count,
             attempts: BTreeMap::new(),
             flows: HashMap::new(),
             stall_timeouts: HashMap::new(),
@@ -423,8 +448,45 @@ impl World {
     /// submission and in the final output-replication tail, exactly as
     /// in the single-job run.
     pub(super) fn control_plane_active(&self) -> bool {
-        self.jobs.iter().any(|j| j.submitted_at.is_some())
-            && (self.jobs.iter().any(|j| !j.tasks_done) || self.more_submissions_pending())
+        self.n_submitted > 0 && (self.n_tasks_incomplete > 0 || self.more_submissions_pending())
+    }
+
+    /// Cross-check the incremental job-slot counters against a
+    /// from-scratch scan (the `live_attempts_of` drift-check pattern).
+    /// Debug builds run this at each commit sweep.
+    #[cfg(any(test, debug_assertions))]
+    pub(super) fn debug_check_job_counters(&self) {
+        assert_eq!(
+            self.n_submitted as usize,
+            self.jobs
+                .iter()
+                .filter(|s| s.submitted_at.is_some())
+                .count(),
+            "submitted-slot counter drifted"
+        );
+        assert_eq!(
+            self.n_tasks_incomplete,
+            self.jobs.iter().filter(|s| !s.tasks_done).count(),
+            "tasks-incomplete counter drifted"
+        );
+        assert_eq!(
+            self.n_committed as usize,
+            self.jobs.iter().filter(|s| s.finished_at.is_some()).count(),
+            "committed-slot counter drifted"
+        );
+        assert_eq!(
+            self.client_budget_total,
+            self.client_budget.iter().sum::<u32>(),
+            "closed-stream budget counter drifted"
+        );
+        let pending: BTreeSet<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.tasks_done && s.finished_at.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(self.commit_pending, pending, "commit-pending set drifted");
     }
 
     /// Resource chain for a transfer src → dst (skipping the network for
@@ -544,9 +606,9 @@ impl World {
     }
 
     /// Closed streams keep injecting jobs after commits; is any such
-    /// future submission still owed?
+    /// future submission still owed? O(1) via the maintained budget sum.
     fn more_submissions_pending(&self) -> bool {
-        self.client_budget.iter().any(|&b| b > 0)
+        self.client_budget_total > 0
     }
 
     /// Per-job service-level rows for the run (submission, queueing

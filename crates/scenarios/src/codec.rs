@@ -15,7 +15,7 @@
 //! tables = [{ kind = "time", title = "High churn{panel}: execution time" }]
 //!
 //! [axis]
-//! kind = "rates"            # or "correlated" / "trace-file"
+//! kind = "rates"            # or "correlated" / "trace-file" / "load"
 //! points = [0.3, 0.5, 0.7]
 //! ```
 //!
@@ -23,8 +23,8 @@
 //! name the offending key.
 
 use crate::spec::{
-    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, PolicyRef, ScenarioError,
-    ScenarioSpec, TableKind, TableSpec,
+    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, LoadAxis, PolicyRef,
+    ScenarioError, ScenarioSpec, TableKind, TableSpec,
 };
 use crate::toml::{self, Table, Value};
 
@@ -140,10 +140,11 @@ fn parse_table_spec(v: &Value) -> Result<TableSpec, ScenarioError> {
         "detail" => TableKind::Detail,
         "catalog" => TableKind::Catalog,
         "jobs" => TableKind::Jobs,
+        "saturation" => TableKind::Saturation,
         other => {
             return Err(err(format!(
                 "unknown table kind `{other}` \
-                 (time / duplicates / profile / detail / catalog / jobs)"
+                 (time / duplicates / profile / detail / catalog / jobs / saturation)"
             )))
         }
     };
@@ -205,8 +206,34 @@ fn parse_axis(t: &Table) -> Result<Axis, ScenarioError> {
                 path: want_str(path, "axis.path")?,
             })
         }
+        "load" => {
+            let points = t
+                .get("points")
+                .ok_or_else(|| err("load axis is missing `points`"))?;
+            let rate = match t.get("rate") {
+                Some(v) => want_f64(v, "axis.rate")?,
+                None => return Err(err("load axis is missing `rate`")),
+            };
+            let n_volatile = t
+                .get("n_volatile")
+                .map(|v| want_u64(v, "axis.n_volatile").map(|n| n as u32))
+                .transpose()?;
+            let points = f64_array(points, "axis.points")?;
+            for &p in &points {
+                if !(p.is_finite() && p > 0.0) {
+                    return Err(err(format!(
+                        "`axis.points` of a load axis must be positive, got {p}"
+                    )));
+                }
+            }
+            Ok(Axis::Load(LoadAxis {
+                points,
+                rate,
+                n_volatile,
+            }))
+        }
         other => Err(err(format!(
-            "unknown axis kind `{other}` (rates / correlated / trace-file)"
+            "unknown axis kind `{other}` (rates / correlated / trace-file / load)"
         ))),
     }
 }
@@ -554,6 +581,17 @@ pub fn to_toml(spec: &ScenarioSpec) -> Table {
             axis.set("kind", Value::Str("trace-file".into()));
             axis.set("path", Value::Str(path.clone()));
         }
+        Axis::Load(l) => {
+            axis.set("kind", Value::Str("load".into()));
+            axis.set(
+                "points",
+                Value::Array(l.points.iter().map(|&p| Value::Float(p)).collect()),
+            );
+            axis.set("rate", Value::Float(l.rate));
+            if let Some(n) = l.n_volatile {
+                axis.set("n_volatile", Value::Int(n as i64));
+            }
+        }
     }
     root.set("axis", Value::Table(axis));
     root
@@ -616,6 +654,54 @@ mod tests {
                     seeds = []\n[axis]\nkind = \"rates\"\npoints = [0.3]\n";
         let e = from_str(text).unwrap_err();
         assert!(e.message.contains("`seeds` must not be empty"), "{e}");
+    }
+
+    #[test]
+    fn load_axis_parses_and_round_trips() {
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    [axis]\nkind = \"load\"\npoints = [30.0, 60.0]\nrate = 0.3\n\
+                    n_volatile = 1000\n\
+                    [jobs]\nkind = \"poisson\"\nrate_per_hour = 60.0\ncount = 8\n";
+        let s = from_str(text).unwrap();
+        match &s.axis {
+            Axis::Load(l) => {
+                assert_eq!(l.points, vec![30.0, 60.0]);
+                assert_eq!(l.rate, 0.3);
+                assert_eq!(l.n_volatile, Some(1000));
+            }
+            other => panic!("expected a load axis, got {other:?}"),
+        }
+        assert_eq!(s.n_cols(), 2);
+        assert_eq!(from_str(&to_string(&s)).unwrap(), s);
+
+        // n_volatile is optional (default cluster shape).
+        let text = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    [axis]\nkind = \"load\"\npoints = [15.0]\nrate = 0.5\n\
+                    [jobs]\nkind = \"poisson\"\nrate_per_hour = 15.0\ncount = 4\n";
+        let s = from_str(text).unwrap();
+        assert_eq!(
+            s.axis,
+            Axis::Load(LoadAxis {
+                points: vec![15.0],
+                rate: 0.5,
+                n_volatile: None,
+            })
+        );
+        assert_eq!(from_str(&to_string(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn load_axis_errors_name_the_problem() {
+        let base = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n";
+        let e = from_str(&format!("{base}[axis]\nkind = \"load\"\nrate = 0.3\n")).unwrap_err();
+        assert!(e.message.contains("missing `points`"), "{e}");
+        let e = from_str(&format!("{base}[axis]\nkind = \"load\"\npoints = [30.0]\n")).unwrap_err();
+        assert!(e.message.contains("missing `rate`"), "{e}");
+        let e = from_str(&format!(
+            "{base}[axis]\nkind = \"load\"\npoints = [30.0, -5.0]\nrate = 0.3\n"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("must be positive"), "{e}");
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use crate::knobs::{cluster, maybe_shrink, quick_mode};
 use crate::spec::{
-    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, ScenarioError, ScenarioSpec,
+    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, LoadAxis, ScenarioError,
+    ScenarioSpec,
 };
 use crate::{policy, workload};
 use availability::{stats::fleet_mean_unavailability, AvailabilityTrace, TraceGenConfig};
@@ -93,6 +94,12 @@ fn resolve_trace_path(path: &str) -> PathBuf {
 /// The dedicated count is applied per policy row afterwards.
 enum ColumnKind {
     Rate(f64),
+    /// A load-axis column: fixed churn, optional fleet-size override
+    /// (the per-column arrival stream lives in the plan's points).
+    Load {
+        rate: f64,
+        n_volatile: Option<u32>,
+    },
     Fleet {
         traces: Vec<AvailabilityTrace>,
         mean_unavailability: f64,
@@ -170,6 +177,25 @@ fn columns_for(spec: &ScenarioSpec) -> Result<Vec<Column>, ScenarioError> {
             })
             .collect()),
         Axis::Correlated(c) => correlated_columns(c, spec.horizon_secs),
+        Axis::Load(l) => {
+            let base = load_base_stream(spec)?;
+            let prefix = match base.arrivals {
+                ArrivalSpec::Poisson { .. } => "jobs/h",
+                ArrivalSpec::Closed { .. } => "clients",
+                ArrivalSpec::Batch { .. } => unreachable!("load_base_stream rejects batch"),
+            };
+            Ok(l.points
+                .iter()
+                .map(|&p| Column {
+                    label: format!("{prefix}={p}"),
+                    value: p,
+                    kind: ColumnKind::Load {
+                        rate: l.rate,
+                        n_volatile: l.n_volatile,
+                    },
+                })
+                .collect())
+        }
         Axis::TraceFile { path } => {
             let resolved = resolve_trace_path(path);
             let traces = availability::load_fleet(&resolved)?;
@@ -203,6 +229,17 @@ fn columns_for(spec: &ScenarioSpec) -> Result<Vec<Column>, ScenarioError> {
 fn cluster_for(column: &Column, dedicated: u32, horizon_secs: Option<u64>) -> ClusterConfig {
     let mut c = match &column.kind {
         ColumnKind::Rate(rate) => cluster(*rate, dedicated),
+        ColumnKind::Load { rate, n_volatile } => {
+            let mut c = cluster(*rate, dedicated);
+            if let Some(n) = n_volatile {
+                // Fleet-scale scenarios pin their node counts even in
+                // quick mode — scale is the point; quick mode still
+                // shrinks the per-job work.
+                c.n_volatile = *n;
+                c.n_dedicated = dedicated;
+            }
+            c
+        }
         ColumnKind::Fleet {
             traces,
             mean_unavailability,
@@ -264,18 +301,26 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Plan, ScenarioError> {
         })
         .collect::<Result<_, ScenarioError>>()?;
     let columns = columns_for(spec)?;
-    let stream = spec.jobs.as_ref().map(resolve_stream).transpose()?;
+    // Load axes scale the arrival stream per column; every other axis
+    // shares one resolved stream across the grid, exactly as before.
+    let col_streams: Vec<Option<JobStream>> = match &spec.axis {
+        Axis::Load(l) => load_streams(spec, l)?.into_iter().map(Some).collect(),
+        _ => {
+            let stream = spec.jobs.as_ref().map(resolve_stream).transpose()?;
+            vec![stream; columns.len()]
+        }
+    };
 
     let mut points = Vec::with_capacity(workloads.len() * policies.len() * columns.len());
     for w in &workloads {
         for (p, pref) in policies.iter().zip(&spec.policies) {
             let dedicated = pref.dedicated.unwrap_or(spec.dedicated);
-            for column in &columns {
+            for (col, column) in columns.iter().enumerate() {
                 points.push(Point {
                     policy: p.clone(),
                     cluster: cluster_for(column, dedicated, spec.horizon_secs),
                     workload: maybe_shrink(w.clone()),
-                    jobs: stream.clone(),
+                    jobs: col_streams[col].clone(),
                 });
             }
         }
@@ -328,6 +373,51 @@ fn resolve_stream(spec: &JobStreamSpec) -> Result<JobStream, ScenarioError> {
         arrivals,
         workloads,
     })
+}
+
+/// The stream a load axis scales: the spec's `[jobs]` table, which
+/// must exist and carry a scalable (Poisson or closed) arrival model.
+fn load_base_stream(spec: &ScenarioSpec) -> Result<&JobStreamSpec, ScenarioError> {
+    let base = spec.jobs.as_ref().ok_or_else(|| {
+        ScenarioError::msg("a load axis requires a `[jobs]` stream to scale per column")
+    })?;
+    if matches!(base.arrivals, ArrivalSpec::Batch { .. }) {
+        return Err(ScenarioError::msg(
+            "a load axis cannot scale a batch jobs stream (use poisson or closed)",
+        ));
+    }
+    Ok(base)
+}
+
+/// One resolved stream per load-axis column: the base stream with its
+/// arrival intensity replaced by the column's point.
+fn load_streams(spec: &ScenarioSpec, axis: &LoadAxis) -> Result<Vec<JobStream>, ScenarioError> {
+    let base = load_base_stream(spec)?;
+    axis.points
+        .iter()
+        .map(|&point| {
+            let arrivals = match &base.arrivals {
+                ArrivalSpec::Poisson { count, .. } => ArrivalSpec::Poisson {
+                    rate_per_hour: point,
+                    count: *count,
+                },
+                ArrivalSpec::Closed {
+                    jobs_per_client,
+                    think_secs,
+                    ..
+                } => ArrivalSpec::Closed {
+                    clients: (point.round() as u32).max(1),
+                    jobs_per_client: *jobs_per_client,
+                    think_secs: *think_secs,
+                },
+                ArrivalSpec::Batch { .. } => unreachable!("load_base_stream rejects batch"),
+            };
+            resolve_stream(&JobStreamSpec {
+                arrivals,
+                workloads: base.workloads.clone(),
+            })
+        })
+        .collect()
 }
 
 /// Is quick mode shrinking this plan? (Re-exported convenience so
@@ -415,6 +505,81 @@ mod tests {
             .unwrap_err()
             .message
             .contains("does/not/exist.trace"));
+    }
+
+    #[test]
+    fn load_axis_scales_the_stream_per_column() {
+        let plan = expand(&registry::find("fleet-1k").unwrap()).unwrap();
+        // 1 panel × 2 policies × 4 load points.
+        assert_eq!(plan.points.len(), 8);
+        assert_eq!(
+            plan.col_labels,
+            vec!["jobs/h=30", "jobs/h=60", "jobs/h=120", "jobs/h=240"]
+        );
+        assert_eq!(plan.axis_values, vec![30.0, 60.0, 120.0, 240.0]);
+        for (col, &rate) in [30.0, 60.0, 120.0, 240.0].iter().enumerate() {
+            let pt = &plan.points[plan.point_index(0, 0, col)];
+            // The fleet shape is pinned (even in quick mode) and churn
+            // stays fixed across columns; only the arrival rate moves.
+            assert_eq!(pt.cluster.n_volatile, 1_000);
+            assert_eq!(pt.cluster.n_dedicated, 100);
+            assert!((pt.cluster.unavailability - 0.3).abs() < 1e-12);
+            let stream = pt.jobs.as_ref().expect("load column carries a stream");
+            match &stream.arrivals {
+                ArrivalModel::Poisson {
+                    rate_per_hour,
+                    count,
+                } => {
+                    assert_eq!(*rate_per_hour, rate);
+                    assert_eq!(*count, 12);
+                }
+                other => panic!("expected a Poisson stream, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn load_axis_scales_closed_client_counts() {
+        let mut spec = registry::find("fleet-1k").unwrap();
+        spec.jobs = Some(crate::spec::JobStreamSpec {
+            arrivals: ArrivalSpec::Closed {
+                clients: 2,
+                jobs_per_client: 3,
+                think_secs: 30.0,
+            },
+            workloads: Vec::new(),
+        });
+        let plan = expand(&spec).unwrap();
+        assert_eq!(plan.col_labels[0], "clients=30");
+        let pt = &plan.points[plan.point_index(0, 0, 2)];
+        match &pt.jobs.as_ref().unwrap().arrivals {
+            ArrivalModel::Closed {
+                clients,
+                jobs_per_client,
+                ..
+            } => {
+                assert_eq!(*clients, 120);
+                assert_eq!(*jobs_per_client, 3);
+            }
+            other => panic!("expected a closed stream, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_axis_requires_a_scalable_stream() {
+        let mut spec = registry::find("fleet-1k").unwrap();
+        spec.jobs = None;
+        let e = expand(&spec).unwrap_err();
+        assert!(e.message.contains("requires a `[jobs]` stream"), "{e}");
+        let mut spec = registry::find("fleet-1k").unwrap();
+        spec.jobs = Some(crate::spec::JobStreamSpec {
+            arrivals: ArrivalSpec::Batch {
+                offsets_secs: vec![0.0],
+            },
+            workloads: Vec::new(),
+        });
+        let e = expand(&spec).unwrap_err();
+        assert!(e.message.contains("batch"), "{e}");
     }
 
     #[test]

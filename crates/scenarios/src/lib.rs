@@ -34,8 +34,8 @@ pub mod workload;
 
 pub use expand::{expand, Plan, Point};
 pub use knobs::{cluster, maybe_shrink, quick_mode, seed_list, seeds, PAPER_RATES};
-pub use render::{mean_duplicates, mean_time, render_tables, report_json};
+pub use render::{mean_duplicates, mean_slowdown, mean_time, render_tables, report_json};
 pub use spec::{
-    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, PolicyRef, ScenarioError,
-    ScenarioSpec, TableKind, TableSpec,
+    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, LoadAxis, PolicyRef,
+    ScenarioError, ScenarioSpec, TableKind, TableSpec,
 };

@@ -7,8 +7,8 @@
 
 use crate::knobs::PAPER_RATES;
 use crate::spec::{
-    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, PolicyRef, ScenarioSpec,
-    TableKind, TableSpec,
+    ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, LoadAxis, PolicyRef,
+    ScenarioSpec, TableKind, TableSpec,
 };
 
 fn table(kind: TableKind, title: &str) -> TableSpec {
@@ -370,6 +370,56 @@ fn mixed_apps_contention() -> ScenarioSpec {
     }
 }
 
+/// A datacenter-scale saturation sweep: `n_volatile` volunteer nodes
+/// (plus 10% dedicated) under a Poisson stream of quick jobs whose
+/// arrival rate rises across columns — the load-vs-bounded-slowdown
+/// curve at fleet scale. The node counts are pinned even in quick
+/// mode (scale is the point; quick mode still shrinks per-job work).
+fn fleet(name: &str, scale: &str, n_volatile: u32, horizon_secs: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        title: format!(
+            "Saturation sweep on a {scale}-node fleet: arrival rate vs bounded slowdown"
+        ),
+        workloads: vec!["quick".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "hadoop-1min"]),
+        axis: Axis::Load(LoadAxis {
+            points: vec![30.0, 60.0, 120.0, 240.0],
+            rate: 0.3,
+            n_volatile: Some(n_volatile),
+        }),
+        dedicated: n_volatile / 10,
+        seeds: None,
+        horizon_secs: Some(horizon_secs),
+        jobs: Some(JobStreamSpec {
+            arrivals: ArrivalSpec::Poisson {
+                rate_per_hour: 60.0,
+                count: 12,
+            },
+            workloads: Vec::new(),
+        }),
+        tables: vec![
+            table(
+                TableKind::Saturation,
+                &format!("Fleet {scale}{{panel}}: bounded slowdown vs arrival rate"),
+            ),
+            table(
+                TableKind::Jobs,
+                &format!("Fleet {scale}{{panel}}: per-job SLOs at the base rate"),
+            ),
+        ],
+    }
+}
+
+fn fleet_1k() -> ScenarioSpec {
+    fleet("fleet-1k", "1k", 1_000, 3600)
+}
+
+fn fleet_10k() -> ScenarioSpec {
+    fleet("fleet-10k", "10k", 10_000, 2700)
+}
+
 /// Every built-in scenario, in catalog order (paper reproductions
 /// first, then the stress scenarios, then the multi-job streams).
 pub fn all() -> Vec<ScenarioSpec> {
@@ -388,6 +438,8 @@ pub fn all() -> Vec<ScenarioSpec> {
         job_stream_light(),
         job_stream_heavy(),
         mixed_apps_contention(),
+        fleet_1k(),
+        fleet_10k(),
     ]
 }
 
@@ -422,6 +474,8 @@ mod tests {
             "job-stream-light",
             "job-stream-heavy",
             "mixed-apps-contention",
+            "fleet-1k",
+            "fleet-10k",
         ] {
             assert!(names.contains(&required.to_string()), "missing {required}");
         }
@@ -439,6 +493,22 @@ mod tests {
         assert_eq!(jobs.workloads, vec!["sort", "word count"]);
         // Single-job paper scenarios carry no stream.
         assert!(find("fig4").unwrap().jobs.is_none());
+    }
+
+    #[test]
+    fn fleet_scenarios_sweep_load_at_scale() {
+        for (name, n_volatile) in [("fleet-1k", 1_000u32), ("fleet-10k", 10_000)] {
+            let spec = find(name).unwrap();
+            let Axis::Load(l) = &spec.axis else {
+                panic!("{name} must sweep a load axis");
+            };
+            assert!(l.points.len() >= 4, "{name} needs >= 4 load columns");
+            assert_eq!(l.n_volatile, Some(n_volatile));
+            assert_eq!(spec.dedicated, n_volatile / 10);
+            assert!(spec.policies.len() >= 2);
+            assert!(spec.tables.iter().any(|t| t.kind == TableKind::Saturation));
+            assert!(spec.jobs.is_some(), "{name} scales a jobs stream");
+        }
     }
 
     #[test]

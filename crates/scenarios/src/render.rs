@@ -31,6 +31,17 @@ pub fn mean_duplicates(results: &[RunResult]) -> f64 {
         / results.len().max(1) as f64
 }
 
+/// Mean bounded slowdown over every committed job run in a point's
+/// seed pool (`None` when no job committed — the saturated regime).
+pub fn mean_slowdown(results: &[RunResult]) -> Option<f64> {
+    let v: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.jobs.iter().flatten())
+        .filter_map(|j| j.bounded_slowdown())
+        .collect();
+    (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
+}
+
 fn title_for(table: &TableSpec, plan: &Plan, panel: usize) -> String {
     table
         .title
@@ -137,6 +148,31 @@ fn jobs_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize
     out
 }
 
+/// The load-vs-bounded-slowdown curve: one row per policy, one column
+/// per axis point, cells are mean bounded slowdown over committed job
+/// runs (two decimals — slowdowns live near 1, where `secs_or_dnf`'s
+/// integer formatting would flatten the curve). `DNF` marks a column
+/// where no job committed: the policy saturated at that load.
+fn saturation_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title} (bounded slowdown)\n"));
+    out.push_str("policy");
+    for c in &plan.col_labels {
+        out.push_str(&format!("\t{c}"));
+    }
+    out.push('\n');
+    for (row, label) in plan.row_labels.iter().enumerate() {
+        out.push_str(label);
+        for col in 0..plan.col_labels.len() {
+            let v = mean_slowdown(&results[plan.point_index(panel, row, col)]);
+            out.push('\t');
+            out.push_str(&v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "DNF".into()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// The compact ablation-style detail table (time / dup / kills).
 fn detail_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize) -> String {
     let mut out = String::new();
@@ -192,6 +228,7 @@ pub fn render_tables(plan: &Plan, results: &[Vec<RunResult>]) -> String {
                 }
                 TableKind::Detail => detail_table(&title, plan, results, panel),
                 TableKind::Jobs => jobs_table(&title, plan, results, panel),
+                TableKind::Saturation => saturation_table(&title, plan, results, panel),
                 TableKind::Catalog => unreachable!("handled above"),
             };
             out.push_str(&text);
@@ -206,6 +243,7 @@ fn axis_kind_name(plan: &Plan) -> &'static str {
         crate::spec::Axis::Rates(_) => "rates",
         crate::spec::Axis::Correlated(_) => "correlated",
         crate::spec::Axis::TraceFile { .. } => "trace-file",
+        crate::spec::Axis::Load(_) => "load",
     }
 }
 
@@ -352,6 +390,48 @@ mod tests {
             text.contains("# (by default, Hadoop runs 2 reduce tasks per node)"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn saturation_table_renders_per_column_slowdowns() {
+        let plan = expand::expand(&registry::find("fleet-1k").unwrap()).unwrap();
+        // One job row per run: makespan 150 s over a 100 s service
+        // time ⇒ bounded slowdown 1.50 in every non-DNF cell.
+        let slo = moon::JobSlo {
+            job: 0,
+            workload: "quick".into(),
+            submitted: simkit::SimTime::ZERO,
+            first_launch: Some(simkit::SimTime::from_secs(50)),
+            finished: Some(simkit::SimTime::from_secs(150)),
+            metrics: Default::default(),
+        };
+        let results: Vec<Vec<RunResult>> = (0..plan.n_points())
+            .map(|i| {
+                let mut r = fake_result("x", Some(150.0), 42);
+                // Starve the last column's first policy row: no job
+                // committed there, so its cell must read DNF.
+                r.jobs = if i == 3 {
+                    Some(vec![])
+                } else {
+                    Some(vec![slo.clone()])
+                };
+                vec![r]
+            })
+            .collect();
+        let text = render_tables(&plan, &results);
+        assert!(
+            text.contains("## Fleet 1k: bounded slowdown vs arrival rate (bounded slowdown)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("MOON-Hybrid\t1.50\t1.50\t1.50\tDNF"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Hadoop1Min\t1.50\t1.50\t1.50\t1.50"),
+            "{text}"
+        );
+        assert!(text.contains("jobs/h=240"), "{text}");
     }
 
     #[test]

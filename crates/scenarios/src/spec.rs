@@ -147,6 +147,25 @@ pub enum Axis {
         /// current directory and then the repository root.
         path: String,
     },
+    /// Saturation sweep: columns vary the `[jobs]` stream's arrival
+    /// intensity (`rate_per_hour` for Poisson, client count for
+    /// closed) at one fixed unavailability rate — the classic
+    /// load-vs-bounded-slowdown curve.
+    Load(LoadAxis),
+}
+
+/// A load (saturation) sweep: `points` scale the spec's `[jobs]`
+/// arrival stream per column while churn stays fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadAxis {
+    /// Per-column arrival intensity: jobs/hour for a Poisson stream,
+    /// concurrent clients for a closed stream.
+    pub points: Vec<f64>,
+    /// Fixed unavailability rate shared by every column.
+    pub rate: f64,
+    /// Volatile-node count override (`None` = the default cluster
+    /// shape) — how the fleet-scale scenarios pin 1k/10k-node runs.
+    pub n_volatile: Option<u32>,
 }
 
 /// Which [`CorrelatedAxis`] knob the axis points sweep.
@@ -224,6 +243,9 @@ pub enum TableKind {
     /// Per-job SLO aggregates of a multi-job stream (makespan, bounded
     /// slowdown, queueing-delay percentiles) at the first axis column.
     Jobs,
+    /// Mean bounded slowdown per (policy, axis column) — the
+    /// load-vs-slowdown curve a [`Axis::Load`] sweep produces.
+    Saturation,
 }
 
 impl TableKind {
@@ -236,6 +258,7 @@ impl TableKind {
             TableKind::Detail => "detail",
             TableKind::Catalog => "catalog",
             TableKind::Jobs => "jobs",
+            TableKind::Saturation => "saturation",
         }
     }
 }
@@ -301,6 +324,7 @@ impl ScenarioSpec {
             Axis::Rates(r) => r.len(),
             Axis::Correlated(c) => c.points.len(),
             Axis::TraceFile { .. } => 1,
+            Axis::Load(l) => l.points.len(),
         }
     }
 

@@ -190,6 +190,66 @@ fn parallel_sweep_matches_single_thread_sweep() {
     }
 }
 
+/// Fleet-scale determinism: a 4-thread sweep over the `fleet-1k`
+/// scenario (trimmed to two load columns and a shorter horizon so the
+/// debug-build test stays fast) must be bit-identical to the same grid
+/// run serially. This drives the O(active) index paths — the
+/// heartbeat-ordered liveness sweeps, maintained slot counters, and
+/// per-column scaled arrival streams — at 1000-node scale, where any
+/// iteration-order or shared-state dependence they introduced would
+/// surface as cross-thread divergence.
+#[test]
+fn fleet_scale_parallel_sweep_matches_serial() {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global();
+
+    let mut spec = scenarios::registry::find("fleet-1k").expect("registered");
+    let scenarios::Axis::Load(ref mut l) = spec.axis else {
+        panic!("fleet-1k sweeps a load axis");
+    };
+    l.points = vec![120.0, 480.0];
+    spec.horizon_secs = Some(1200);
+    if let Some(jobs) = &mut spec.jobs {
+        jobs.arrivals = scenarios::ArrivalSpec::Poisson {
+            rate_per_hour: 120.0,
+            count: 4,
+        };
+    }
+    let plan = scenarios::expand(&spec).expect("fleet spec expands");
+    assert_eq!(plan.points.len(), 4, "2 policies x 2 load columns");
+    assert!(plan.points.iter().all(|p| p.cluster.n_volatile == 1_000));
+
+    let seeds = vec![42u64];
+    let serial: Vec<Vec<RunResult>> = plan
+        .points
+        .iter()
+        .map(|pt| {
+            seeds
+                .iter()
+                .map(|&seed| {
+                    Experiment {
+                        cluster: pt.cluster.clone(),
+                        policy: pt.policy.clone(),
+                        workload: pt.workload.clone(),
+                        seed,
+                    }
+                    .run_stream(pt.jobs.clone())
+                })
+                .collect()
+        })
+        .collect();
+
+    let parallel = bench::run_grid_with_seeds(plan.points.clone(), &seeds);
+    assert_eq!(parallel.len(), serial.len(), "grid shape diverged");
+    for (pi, (par_point, ser_point)) in parallel.iter().zip(&serial).enumerate() {
+        for (p, s) in par_point.iter().zip(ser_point) {
+            eprintln!("fleet point {pi}: parallel == serial check");
+            assert_identical(p, s);
+        }
+    }
+}
+
 #[test]
 fn job_stream_runs_are_deterministic_per_seed() {
     let run = |seed| {
