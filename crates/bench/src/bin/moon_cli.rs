@@ -3,7 +3,8 @@
 //! ```text
 //! moon-cli list                                  # catalog of built-in scenarios
 //! moon-cli describe <name|file.toml>             # spec as TOML + derived grid info
-//! moon-cli run <name|file.toml> [--seeds N] [--out FILE]
+//! moon-cli run <name|file.toml> [--seeds N] [--out FILE] [--strict]
+//! moon-cli fuzz <n-cases> [--seed S] [--out FILE] [--fault invert-fair]
 //! ```
 //!
 //! `run` prints the scenario's paper-style tables to stdout and writes
@@ -12,14 +13,23 @@
 //! file) is parsed as a scenario file instead of a registry name, so
 //! new workloads and volatility regimes need no Rust at all. Env knobs
 //! (`MOON_SEEDS`, `MOON_QUICK`, `MOON_THREADS`) apply as everywhere.
+//! `--strict` exits nonzero if any run hit the event limit (a simulator
+//! livelock, never a legitimate DNF).
+//!
+//! `fuzz` runs the seeded metamorphic fuzz campaign
+//! ([`scenarios::fuzz`]): it samples scenarios, checks the invariant
+//! oracle, shrinks failures to ready-to-run `.toml` repros, writes a
+//! JSON report, and exits nonzero on any violation (strict is always on
+//! for fuzzing).
 
 use scenarios::{codec, registry, ScenarioError, ScenarioSpec};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage:
   moon-cli list
   moon-cli describe <name|file.toml>
-  moon-cli run <name|file.toml> [--seeds N] [--out FILE]";
+  moon-cli run <name|file.toml> [--seeds N] [--out FILE] [--strict]
+  moon-cli fuzz <n-cases> [--seed S] [--out FILE] [--fault invert-fair]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -76,7 +86,7 @@ fn cmd_describe(arg: &str) {
     print!("{}", codec::to_string(&spec));
 }
 
-fn cmd_run(arg: &str, seeds_override: Option<Vec<u64>>, out: Option<String>) {
+fn cmd_run(arg: &str, seeds_override: Option<Vec<u64>>, out: Option<String>, strict: bool) {
     let spec = match resolve_spec(arg) {
         Ok(s) => s,
         Err(e) => fail(&format!("run {arg}: {e}")),
@@ -95,8 +105,77 @@ fn cmd_run(arg: &str, seeds_override: Option<Vec<u64>>, out: Option<String>) {
             moon::report::outcome_summary(run.results.iter().flatten())
         );
     }
+    // Conservation-audit findings are simulator bugs, not statistics —
+    // always show them so a fuzz repro run is self-explanatory.
+    for r in run.results.iter().flatten() {
+        for a in &r.audit {
+            eprintln!("audit ({} seed {}): {a}", r.label, r.seed);
+        }
+    }
     let out_path = out.unwrap_or_else(|| format!("bench_results/{}.json", spec.name));
     bench::write_report(Path::new(&out_path), &run.report_json);
+    if strict {
+        let livelocked = run
+            .results
+            .iter()
+            .flatten()
+            .filter(|r| r.outcome == moon::Outcome::EventLimit)
+            .count();
+        if livelocked > 0 {
+            eprintln!(
+                "strict: {livelocked} run(s) hit the event limit (simulator livelock) — failing"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_fuzz(n_cases: u32, seed: u64, out: Option<String>, fault: Option<scenarios::Fault>) {
+    let out_path = PathBuf::from(out.unwrap_or_else(|| "bench_results/fuzz.json".into()));
+    // Repros and generated traces live next to the report.
+    let out_dir = out_path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."))
+        .join("fuzz");
+    let cfg = scenarios::FuzzConfig {
+        n_cases,
+        seed,
+        out_dir,
+        fault,
+    };
+    let report = match scenarios::run_fuzz(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fuzz campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    bench::write_report(&out_path, &report.to_json());
+    if report.ok() {
+        eprintln!(
+            "fuzz: {} cases clean ({} simulation runs)",
+            report.n_cases, report.experiments
+        );
+    } else {
+        // Fuzzing is always strict: any invariant violation fails the
+        // invocation so CI can gate on it.
+        eprintln!("fuzz: {} violation(s):", report.violations.len());
+        for v in &report.violations {
+            eprintln!(
+                "  case {} [{}] {}: {}{}",
+                v.case,
+                v.mutation.as_str(),
+                v.invariant,
+                v.detail,
+                v.repro
+                    .as_deref()
+                    .map(|p| format!(" (repro: {p})"))
+                    .unwrap_or_default()
+            );
+        }
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -114,6 +193,7 @@ fn main() {
             };
             let mut seeds_override = None;
             let mut out = None;
+            let mut strict = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -133,10 +213,54 @@ fn main() {
                         );
                         i += 2;
                     }
+                    "--strict" => {
+                        strict = true;
+                        i += 1;
+                    }
                     other => fail(&format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
-            cmd_run(&name, seeds_override, out);
+            cmd_run(&name, seeds_override, out, strict);
+        }
+        Some("fuzz") => {
+            let n_cases: u32 = match args.get(1) {
+                Some(n) => n
+                    .parse()
+                    .unwrap_or_else(|_| fail("fuzz needs a positive case count")),
+                None => fail(USAGE),
+            };
+            let mut seed = 7u64;
+            let mut out = None;
+            let mut fault = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" => {
+                        seed = args
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| fail("--seed needs an integer"));
+                        i += 2;
+                    }
+                    "--out" => {
+                        out = Some(
+                            args.get(i + 1)
+                                .unwrap_or_else(|| fail("--out needs a file path"))
+                                .clone(),
+                        );
+                        i += 2;
+                    }
+                    "--fault" => {
+                        fault = match args.get(i + 1).map(String::as_str) {
+                            Some("invert-fair") => Some(scenarios::Fault::InvertFairShare),
+                            _ => fail("--fault takes `invert-fair`"),
+                        };
+                        i += 2;
+                    }
+                    other => fail(&format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            cmd_fuzz(n_cases, seed, out, fault);
         }
         _ => fail(USAGE),
     }

@@ -262,10 +262,9 @@ impl NameNode {
         self.files.get_mut(f.0 as usize)?.as_mut()
     }
 
-    /// Registered nodes in id order, as (id, info). Only the debug
-    /// drift check still walks the full table; every hot path goes
-    /// through the maintained indexes.
-    #[cfg(any(test, debug_assertions))]
+    /// Registered nodes in id order, as (id, info). Only the drift
+    /// checks still walk the full table; every hot path goes through
+    /// the maintained indexes.
     fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &NodeInfo)> {
         self.nodes
             .iter()
@@ -350,6 +349,63 @@ impl NameNode {
             "unthrottled-dedicated drift"
         );
         assert_eq!(order, self.heartbeat_order, "heartbeat-order drift");
+    }
+
+    /// Non-panicking variant of the index drift check, always compiled:
+    /// each discrepancy becomes one line. Used by the end-of-run audit
+    /// (`World::debug_final_audit`) so release-mode fuzzing surfaces
+    /// drift as a finding instead of a campaign-aborting panic.
+    pub fn audit_indexes(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        let mut dedicated = BTreeSet::new();
+        let mut volatile = BTreeSet::new();
+        let mut unthrottled = 0usize;
+        let mut n_volatile = 0usize;
+        let mut order = BTreeSet::new();
+        for (id, n) in self.nodes_iter() {
+            if n.class == NodeClass::Volatile {
+                n_volatile += 1;
+            }
+            if n.liveness != NodeLiveness::Dead {
+                order.insert((n.last_heartbeat, id));
+            }
+            if n.liveness != NodeLiveness::Active {
+                continue;
+            }
+            match n.class {
+                NodeClass::Dedicated => {
+                    dedicated.insert(id);
+                    if !n.throttle.as_ref().is_some_and(|t| t.is_throttled()) {
+                        unthrottled += 1;
+                    }
+                }
+                NodeClass::Volatile => {
+                    volatile.insert(id);
+                }
+            }
+        }
+        if dedicated != self.active_dedicated {
+            issues.push("namenode active-dedicated index drifted".into());
+        }
+        if volatile != self.active_volatile {
+            issues.push("namenode active-volatile index drifted".into());
+        }
+        if n_volatile != self.n_volatile_total {
+            issues.push(format!(
+                "namenode volatile-count drifted: counter {}, recount {n_volatile}",
+                self.n_volatile_total
+            ));
+        }
+        if unthrottled != self.unthrottled_active_dedicated {
+            issues.push(format!(
+                "namenode unthrottled-dedicated counter drifted: counter {}, recount {unthrottled}",
+                self.unthrottled_active_dedicated
+            ));
+        }
+        if order != self.heartbeat_order {
+            issues.push("namenode heartbeat-order index drifted".into());
+        }
+        issues
     }
 
     /// Register a DataNode at simulation start.
@@ -929,7 +985,14 @@ impl NameNode {
         if self.has_dedicated_replica(block) {
             self.wants_dedicated.remove(&block);
         }
-        if !self.is_under_replicated(block) {
+        if self.is_under_replicated(block) {
+            // A block can be *born* under-replicated: on a small or
+            // busy fleet the write plan may find fewer targets than
+            // the factor asks for. Queue maintenance must be symmetric
+            // here, or such blocks are invisible to the replication
+            // scanner and the owning job can never commit its output.
+            self.enqueue_if_under_replicated(block);
+        } else {
             self.queue.remove(block);
         }
     }
@@ -1443,6 +1506,40 @@ mod tests {
         assert!(cmds[0].target.0 < 2, "must target a dedicated node");
         nn.commit_replica(b, cmds[0].target);
         assert!(nn.is_fully_replicated(f));
+    }
+
+    /// Found by `moon-cli fuzz`: a block whose write plan came up short
+    /// (small or busy fleet) was born under-replicated but never
+    /// entered the replication queue — nothing ever "lost" a replica —
+    /// so the scanner never fixed it and the owning job's output could
+    /// never commit. Committing a replica must enqueue the block when a
+    /// deficit remains.
+    #[test]
+    fn block_born_under_replicated_is_queued_and_repaired() {
+        let mut nn = small_cluster(NameNodeConfig::default());
+        beat_all(&mut nn, t(0));
+        let f = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(1, 3));
+        let b = nn.allocate_block(f, 64);
+        // The write pipeline only found two volatile targets (plus the
+        // best-effort dedicated copy); the volatile factor wants three.
+        nn.commit_replica(b, NodeId(2));
+        nn.commit_replica(b, NodeId(3));
+        nn.commit_replica(b, NodeId(0));
+        assert!(!nn.is_fully_replicated(f));
+        assert_eq!(
+            nn.replication_queue_len(),
+            1,
+            "a short write plan must leave the block queued for repair"
+        );
+        let cmds = nn.replication_scan(t(1), 10, &mut rng());
+        assert_eq!(cmds.len(), 1);
+        assert!(
+            cmds[0].target.0 >= 2,
+            "the deficit is volatile-side, so the copy must land on a volatile node"
+        );
+        nn.commit_replica(b, cmds[0].target);
+        assert!(nn.is_fully_replicated(f));
+        assert_eq!(nn.replication_queue_len(), 0);
     }
 
     #[test]

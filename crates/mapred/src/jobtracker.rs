@@ -282,6 +282,71 @@ impl JobTracker {
         );
     }
 
+    /// Non-panicking variant of the index drift check, always compiled:
+    /// each discrepancy becomes one line. Release-mode fuzzing runs
+    /// this after every experiment (`World::debug_final_audit`), where
+    /// a panic would abort the whole campaign instead of becoming a
+    /// shrinkable finding.
+    pub fn audit_indexes(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        let running: BTreeSet<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.status == JobStatus::Running)
+            .map(|(&id, _)| id)
+            .collect();
+        if self.running_jobs != running {
+            issues.push(format!(
+                "running-job index drifted: indexed {:?}, statuses say {:?}",
+                self.running_jobs, running
+            ));
+        }
+        let mut maps = 0u32;
+        let mut reduces = 0u32;
+        let mut hb_order: BTreeSet<(SimTime, NodeId)> = BTreeSet::new();
+        let mut dedicated: BTreeSet<NodeId> = BTreeSet::new();
+        for (&node, tr) in &self.trackers {
+            if tr.state == TrackerState::Alive {
+                maps += tr.map_slots;
+                reduces += tr.reduce_slots;
+            }
+            if tr.state != TrackerState::Dead {
+                hb_order.insert((tr.last_heartbeat, node));
+            }
+            if tr.dedicated {
+                dedicated.insert(node);
+            }
+        }
+        if self.alive_map_slots != maps {
+            issues.push(format!(
+                "alive map-slot counter drifted: counter {}, recount {maps}",
+                self.alive_map_slots
+            ));
+        }
+        if self.alive_reduce_slots != reduces {
+            issues.push(format!(
+                "alive reduce-slot counter drifted: counter {}, recount {reduces}",
+                self.alive_reduce_slots
+            ));
+        }
+        if self.tracker_hb_order != hb_order {
+            issues.push("heartbeat-ordered tracker index drifted".into());
+        }
+        if self.dedicated_trackers != dedicated {
+            issues.push("dedicated-tracker index drifted".into());
+        }
+        for (&jid, job) in &self.jobs {
+            let live: u32 = job.tasks.values().map(|t| t.n_live() as u32).sum();
+            if job.live_attempts != live {
+                issues.push(format!(
+                    "job {jid:?} live-attempt counter drifted: counter {}, recount {live}",
+                    job.live_attempts
+                ));
+            }
+        }
+        issues
+    }
+
     /// Set the cross-job ordering policy (FIFO vs max-min fair share).
     pub fn with_cross_job(mut self, cross_job: CrossJobPolicy) -> Self {
         self.cross_job = cross_job;
@@ -768,7 +833,7 @@ impl JobTracker {
                 }
                 None
             }
-            CrossJobPolicy::FairShare => {
+            CrossJobPolicy::FairShare | CrossJobPolicy::FairShareInverted => {
                 // The ranking Vec is owned by the tracker and refilled
                 // per pick (clear, don't drop), so steady-state picks
                 // allocate nothing. Taken out of the cell for the
@@ -781,6 +846,13 @@ impl JobTracker {
                         .map(|&jid| (Self::live_attempts_of(&self.jobs[&jid]), jid)),
                 );
                 order.sort_unstable();
+                if self.cross_job == CrossJobPolicy::FairShareInverted {
+                    // Fault injection: most live attempts first, latest
+                    // submission among ties — starves the queue tail so
+                    // the fuzzer's tail-latency oracle has a known bug
+                    // to catch.
+                    order.reverse();
+                }
                 let mut found = None;
                 for &(_, jid) in order.iter() {
                     if let Some(x) = f(jid, &self.jobs[&jid]) {

@@ -31,14 +31,22 @@ pub enum CrossJobPolicy {
     /// by submission order), equalising cluster shares under
     /// contention — the job-driven style of arXiv:1808.08040.
     FairShare,
+    /// Fair share with the ranking deliberately inverted: every free
+    /// slot goes to the runnable job with the *most* live attempts
+    /// (ties broken by *latest* submission). A fault-injection variant
+    /// that starves the queue tail — it exists so the metamorphic
+    /// fuzzer's tail-latency invariant can prove it catches scheduler
+    /// regressions, and is never a sensible production choice.
+    FairShareInverted,
 }
 
 impl CrossJobPolicy {
-    /// Stable machine-readable name (`fifo` / `fair`).
+    /// Stable machine-readable name (`fifo` / `fair` / `fair-inverted`).
     pub fn as_str(self) -> &'static str {
         match self {
             CrossJobPolicy::Fifo => "fifo",
             CrossJobPolicy::FairShare => "fair",
+            CrossJobPolicy::FairShareInverted => "fair-inverted",
         }
     }
 }

@@ -142,6 +142,7 @@ impl Experiment {
             events,
             seed,
             jobs: multi_job.then(|| world.job_slo_rows()),
+            audit: world.debug_final_audit(),
         }
     }
 }

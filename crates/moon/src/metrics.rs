@@ -142,6 +142,12 @@ pub struct RunResult {
     /// Per-job SLO rows of a multi-job run (None for the paper's
     /// single-job experiments — their tables and JSON stay byte-stable).
     pub jobs: Option<Vec<JobSlo>>,
+    /// End-of-run conservation audit ([`World::debug_final_audit`]):
+    /// one line per violated invariant, empty when the run is clean.
+    /// Not rendered in tables or JSON — the fuzzer and tests read it.
+    ///
+    /// [`World::debug_final_audit`]: crate::World::debug_final_audit
+    pub audit: Vec<String>,
 }
 
 impl RunResult {
@@ -208,6 +214,7 @@ mod tests {
             events: 0,
             seed: 0,
             jobs: None,
+            audit: Vec::new(),
         };
         assert!(r.job_secs().is_nan());
     }

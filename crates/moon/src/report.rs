@@ -252,6 +252,7 @@ mod tests {
             events: 17,
             seed: 42,
             jobs: None,
+            audit: Vec::new(),
         }
     }
 

@@ -377,6 +377,10 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
     let dedicated = root
         .get("dedicated")
         .map_or(Ok(6), |v| want_u64(v, "dedicated"))? as u32;
+    let n_volatile = root
+        .get("n_volatile")
+        .map(|v| want_u64(v, "n_volatile").map(|n| n as u32))
+        .transpose()?;
     let seeds = match root.get("seeds") {
         None => None,
         Some(v) => {
@@ -426,6 +430,7 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
                 | "policies"
                 | "axis"
                 | "dedicated"
+                | "n_volatile"
                 | "seeds"
                 | "horizon_secs"
                 | "jobs"
@@ -442,6 +447,7 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
         policies,
         axis,
         dedicated,
+        n_volatile,
         seeds,
         horizon_secs,
         jobs,
@@ -496,6 +502,9 @@ pub fn to_toml(spec: &ScenarioSpec) -> Table {
         Value::Array(spec.policies.iter().map(policy_to_toml).collect()),
     );
     root.set("dedicated", Value::Int(spec.dedicated as i64));
+    if let Some(n) = spec.n_volatile {
+        root.set("n_volatile", Value::Int(n as i64));
+    }
     if let Some(seeds) = &spec.seeds {
         root.set(
             "seeds",

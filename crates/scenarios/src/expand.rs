@@ -123,9 +123,12 @@ struct Column {
 fn correlated_columns(
     axis: &CorrelatedAxis,
     horizon_secs: Option<u64>,
+    n_volatile: Option<u32>,
 ) -> Result<Vec<Column>, ScenarioError> {
-    // Fleet size follows the (quick-mode aware) cluster shape.
+    // Fleet size follows the (quick-mode aware) cluster shape unless
+    // the spec pins it.
     let shape = cluster(0.0, 6);
+    let fleet_size = n_volatile.unwrap_or(shape.n_volatile);
     let mut columns = Vec::new();
     for (col, &point) in axis.points.iter().enumerate() {
         let (sessions_per_hour, session_fraction) = match axis.knob {
@@ -141,7 +144,7 @@ fn correlated_columns(
             background.horizon = SimTime::from_secs(h);
         }
         let cfg = availability::CorrelatedConfig {
-            n_nodes: shape.n_volatile as usize,
+            n_nodes: fleet_size as usize,
             background,
             sessions_per_hour,
             session_fraction_mean: session_fraction,
@@ -158,7 +161,7 @@ fn correlated_columns(
             kind: ColumnKind::Fleet {
                 traces,
                 mean_unavailability: mean,
-                n_volatile: None,
+                n_volatile,
                 horizon: None,
             },
         });
@@ -176,7 +179,7 @@ fn columns_for(spec: &ScenarioSpec) -> Result<Vec<Column>, ScenarioError> {
                 kind: ColumnKind::Rate(r),
             })
             .collect()),
-        Axis::Correlated(c) => correlated_columns(c, spec.horizon_secs),
+        Axis::Correlated(c) => correlated_columns(c, spec.horizon_secs, spec.n_volatile),
         Axis::Load(l) => {
             let base = load_base_stream(spec)?;
             let prefix = match base.arrivals {
@@ -191,7 +194,8 @@ fn columns_for(spec: &ScenarioSpec) -> Result<Vec<Column>, ScenarioError> {
                     value: p,
                     kind: ColumnKind::Load {
                         rate: l.rate,
-                        n_volatile: l.n_volatile,
+                        // The axis's own override wins over the spec's.
+                        n_volatile: l.n_volatile.or(spec.n_volatile),
                     },
                 })
                 .collect())
@@ -226,9 +230,24 @@ fn columns_for(spec: &ScenarioSpec) -> Result<Vec<Column>, ScenarioError> {
     }
 }
 
-fn cluster_for(column: &Column, dedicated: u32, horizon_secs: Option<u64>) -> ClusterConfig {
+fn cluster_for(
+    column: &Column,
+    dedicated: u32,
+    n_volatile: Option<u32>,
+    horizon_secs: Option<u64>,
+) -> ClusterConfig {
     let mut c = match &column.kind {
-        ColumnKind::Rate(rate) => cluster(*rate, dedicated),
+        ColumnKind::Rate(rate) => {
+            let mut c = cluster(*rate, dedicated);
+            if let Some(n) = n_volatile {
+                // A spec-level fleet-size pin applies even in quick
+                // mode — the fuzzer samples small fleets this way;
+                // quick mode still shrinks the per-job work.
+                c.n_volatile = n;
+                c.n_dedicated = dedicated;
+            }
+            c
+        }
         ColumnKind::Load { rate, n_volatile } => {
             let mut c = cluster(*rate, dedicated);
             if let Some(n) = n_volatile {
@@ -318,7 +337,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Plan, ScenarioError> {
             for (col, column) in columns.iter().enumerate() {
                 points.push(Point {
                     policy: p.clone(),
-                    cluster: cluster_for(column, dedicated, spec.horizon_secs),
+                    cluster: cluster_for(column, dedicated, spec.n_volatile, spec.horizon_secs),
                     workload: maybe_shrink(w.clone()),
                     jobs: col_streams[col].clone(),
                 });

@@ -1,0 +1,277 @@
+//! The metamorphic oracle: what must stay true when a scenario is
+//! perturbed, with the tolerances that make the checks robust on a
+//! stochastic simulator.
+//!
+//! MOON's headline claims are *monotone* (§VI): more nodes or more
+//! replication never hurts, more churn never helps, and fair-share
+//! scheduling never worsens the queueing tail under symmetric load.
+//! Different configurations consume different randomness, so the
+//! stochastic checks compare *scores* (mean makespan with DNFs scored
+//! at the horizon) under multiplicative + additive slack rather than
+//! demanding strict ordering; the conservation and codec checks are
+//! exact. See DESIGN.md §8 for why each invariant follows from the
+//! model.
+
+use crate::spec::ScenarioSpec;
+use moon::{Outcome, RunResult};
+
+/// Inv 1 slack: adding nodes may not raise the score beyond
+/// `base * INV1_FACTOR + INV1_SLACK_SECS`.
+pub const INV1_FACTOR: f64 = 1.5;
+/// Additive half of the inv-1 tolerance (seconds).
+pub const INV1_SLACK_SECS: f64 = 120.0;
+/// Inv 2 slack: raising unavailability may not *lower* the score below
+/// `base * INV2_FACTOR - INV2_SLACK_SECS`.
+pub const INV2_FACTOR: f64 = 0.6;
+/// Additive half of the inv-2 tolerance (seconds).
+pub const INV2_SLACK_SECS: f64 = 120.0;
+/// Inv 3 guard: completion counts are only compared when the base run
+/// finished within this fraction of the horizon (a run already
+/// brushing the horizon can legitimately tip over under the extra
+/// replication I/O).
+pub const INV3_MARGIN: f64 = 0.7;
+/// Inv 4 slack: fair-share pooled p95 queueing delay may not exceed
+/// `fifo * INV4_FACTOR + INV4_SLACK_SECS`. Genuine fair share beats
+/// FIFO's tail by a wide margin under symmetric congestion, so the
+/// slack can stay tight enough to catch an inverted ranking (which
+/// lands near or beyond 2× FIFO).
+pub const INV4_FACTOR: f64 = 1.2;
+/// Additive half of the inv-4 tolerance (seconds).
+pub const INV4_SLACK_SECS: f64 = 30.0;
+
+/// The score a stochastic comparison uses: mean makespan in seconds
+/// over the point's seeds, scoring each DNF at the full horizon (an
+/// upper bound that keeps the score monotone-safe — a run that gets
+/// *worse* can only move toward the horizon, never past it).
+pub fn score(results: &[RunResult], horizon_secs: f64) -> f64 {
+    if results.is_empty() {
+        return horizon_secs;
+    }
+    let total: f64 = results
+        .iter()
+        .map(|r| match r.job_time {
+            Some(d) => d.as_secs_f64().min(horizon_secs),
+            None => horizon_secs,
+        })
+        .sum();
+    total / results.len() as f64
+}
+
+/// Committed-work count across a point's seeds: per-job commits for a
+/// stream run, else 1 per completed run — the "completion rate"
+/// numerator invariant 3 compares.
+pub fn completed_count(results: &[RunResult]) -> usize {
+    results
+        .iter()
+        .map(|r| match &r.jobs {
+            Some(rows) => rows.iter().filter(|j| j.finished.is_some()).count(),
+            None => usize::from(r.outcome == Outcome::Completed),
+        })
+        .sum()
+}
+
+/// Pooled p95 queueing delay (seconds) across every job row of every
+/// seed, by nearest rank. `None` when no job ever launched.
+pub fn pooled_p95_queue_delay(results: &[RunResult]) -> Option<f64> {
+    let mut delays: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.jobs.as_ref())
+        .flatten()
+        .filter_map(|j| j.queue_delay_secs())
+        .collect();
+    if delays.is_empty() {
+        return None;
+    }
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+    let rank = ((0.95 * delays.len() as f64).ceil() as usize).clamp(1, delays.len());
+    Some(delays[rank - 1])
+}
+
+/// Invariant 1 — adding nodes never raises mean makespan (beyond
+/// noise slack). Returns the violation description, if any.
+pub fn check_add_nodes(base: f64, grown: f64) -> Option<String> {
+    (grown > base * INV1_FACTOR + INV1_SLACK_SECS)
+        .then(|| format!("adding nodes raised the score from {base:.1}s to {grown:.1}s"))
+}
+
+/// Invariant 2 — raising unavailability never lowers mean makespan
+/// (beyond noise slack).
+pub fn check_raise_unavailability(base: f64, churned: f64) -> Option<String> {
+    (churned < base * INV2_FACTOR - INV2_SLACK_SECS).then(|| {
+        format!("raising unavailability lowered the score from {base:.1}s to {churned:.1}s")
+    })
+}
+
+/// Invariant 3 — raising intermediate replication never lowers the
+/// committed-work count, provided the base run had comfortable horizon
+/// margin (`base_score < INV3_MARGIN × horizon`).
+pub fn check_raise_replication(
+    base_completed: usize,
+    more_completed: usize,
+    base_score: f64,
+    horizon_secs: f64,
+) -> Option<String> {
+    if base_score >= INV3_MARGIN * horizon_secs {
+        return None; // too close to the horizon to compare fairly
+    }
+    (more_completed < base_completed).then(|| {
+        format!(
+            "raising replication dropped committed work from {base_completed} to {more_completed}"
+        )
+    })
+}
+
+/// Invariant 4 — under a symmetric closed stream, fair-share pooled
+/// p95 queueing delay never exceeds FIFO's (beyond slack). This is the
+/// check the `+fair-inverted` fault-injection policy must trip.
+pub fn check_fair_tail(fifo_p95: f64, fair_p95: f64) -> Option<String> {
+    (fair_p95 > fifo_p95 * INV4_FACTOR + INV4_SLACK_SECS).then(|| {
+        format!(
+            "fair-share p95 queue delay {fair_p95:.1}s exceeds FIFO's {fifo_p95:.1}s \
+             beyond tolerance"
+        )
+    })
+}
+
+/// Invariant 5 — netsim/World conservation: a run may end at the
+/// horizon, but never in an event-limit livelock, and the end-of-run
+/// audit ([`moon::World::debug_final_audit`]) must be empty. One line
+/// per violated run.
+pub fn check_conservation(results: &[RunResult]) -> Vec<String> {
+    let mut issues = Vec::new();
+    for r in results {
+        if r.outcome == Outcome::EventLimit {
+            issues.push(format!(
+                "seed {} ({}): event-limit livelock after {} events",
+                r.seed, r.label, r.events
+            ));
+        }
+        for a in &r.audit {
+            issues.push(format!("seed {} ({}): audit: {a}", r.seed, r.label));
+        }
+    }
+    issues
+}
+
+/// Invariant 6 — every generated spec must round-trip through the
+/// TOML codec bit-exactly (`from_str(to_string(s)) == s`, and the
+/// re-serialization byte-identical).
+pub fn check_roundtrip(spec: &ScenarioSpec) -> Option<String> {
+    let text = crate::codec::to_string(spec);
+    let back = match crate::codec::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => return Some(format!("generated spec fails to re-parse: {e}")),
+    };
+    if &back != spec {
+        return Some("generated spec round-trips to a different value".into());
+    }
+    let again = crate::codec::to_string(&back);
+    (again != text).then(|| "re-serialization is not byte-identical".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapred::JobMetrics;
+    use moon::{ExecutionProfile, JobSlo};
+    use simkit::{SimDuration, SimTime};
+
+    fn run(job_secs: Option<f64>, outcome: Outcome) -> RunResult {
+        RunResult {
+            label: "x".into(),
+            workload: "quick".into(),
+            unavailability: 0.3,
+            job_time: job_secs.map(SimDuration::from_secs_f64),
+            outcome,
+            job: JobMetrics::default(),
+            profile: ExecutionProfile::default(),
+            fetch_failures: 0,
+            events: 10,
+            seed: 42,
+            jobs: None,
+            audit: Vec::new(),
+        }
+    }
+
+    fn slo(submitted: u64, launch: Option<u64>, finished: Option<u64>) -> JobSlo {
+        JobSlo {
+            job: 0,
+            workload: "quick".into(),
+            submitted: SimTime::from_secs(submitted),
+            first_launch: launch.map(SimTime::from_secs),
+            finished: finished.map(SimTime::from_secs),
+            metrics: JobMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn score_mixes_makespans_and_horizon_dnfs() {
+        let rs = vec![
+            run(Some(100.0), Outcome::Completed),
+            run(None, Outcome::Horizon),
+        ];
+        assert!((score(&rs, 3600.0) - 1850.0).abs() < 1e-9);
+        assert_eq!(score(&[], 3600.0), 3600.0);
+    }
+
+    #[test]
+    fn completed_count_prefers_job_rows() {
+        let mut r = run(Some(10.0), Outcome::Completed);
+        r.jobs = Some(vec![
+            slo(1, Some(2), Some(50)),
+            slo(1, Some(3), None),
+            slo(1, None, None),
+        ]);
+        assert_eq!(completed_count(&[r]), 1);
+        let rs = vec![
+            run(Some(10.0), Outcome::Completed),
+            run(None, Outcome::Horizon),
+        ];
+        assert_eq!(completed_count(&rs), 1);
+    }
+
+    #[test]
+    fn p95_is_pooled_nearest_rank() {
+        let mut r = run(Some(10.0), Outcome::Completed);
+        r.jobs = Some((0..20).map(|i| slo(0, Some(i + 1), None)).collect());
+        let p95 = pooled_p95_queue_delay(std::slice::from_ref(&r)).unwrap();
+        assert_eq!(p95, 19.0);
+        r.jobs = Some(vec![slo(0, None, None)]);
+        assert_eq!(pooled_p95_queue_delay(&[r]), None);
+    }
+
+    #[test]
+    fn monotone_checks_respect_tolerance() {
+        assert!(check_add_nodes(100.0, 200.0).is_none());
+        assert!(check_add_nodes(100.0, 400.0).is_some());
+        assert!(check_raise_unavailability(1000.0, 900.0).is_none());
+        assert!(check_raise_unavailability(1000.0, 100.0).is_some());
+        assert!(check_fair_tail(100.0, 140.0).is_none());
+        assert!(check_fair_tail(100.0, 160.0).is_some());
+        // Replication check is guarded by horizon margin.
+        assert!(check_raise_replication(3, 2, 3500.0, 3600.0).is_none());
+        assert!(check_raise_replication(3, 2, 100.0, 3600.0).is_some());
+        assert!(check_raise_replication(3, 3, 100.0, 3600.0).is_none());
+    }
+
+    #[test]
+    fn conservation_flags_livelocks_and_audits() {
+        let ok = run(Some(10.0), Outcome::Completed);
+        assert!(check_conservation(std::slice::from_ref(&ok)).is_empty());
+        let ll = run(None, Outcome::EventLimit);
+        let issues = check_conservation(&[ok, ll]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].contains("livelock"), "{issues:?}");
+        let mut bad = run(Some(10.0), Outcome::Completed);
+        bad.audit.push("counter drifted".into());
+        let issues = check_conservation(&[bad]);
+        assert!(issues[0].contains("counter drifted"), "{issues:?}");
+    }
+
+    #[test]
+    fn roundtrip_check_accepts_builtins() {
+        for spec in crate::registry::all() {
+            assert_eq!(check_roundtrip(&spec), None, "{}", spec.name);
+        }
+    }
+}

@@ -24,6 +24,8 @@
 
 pub mod codec;
 pub mod expand;
+pub mod fuzz;
+pub mod invariants;
 pub mod knobs;
 pub mod policy;
 pub mod registry;
@@ -33,6 +35,7 @@ pub mod toml;
 pub mod workload;
 
 pub use expand::{expand, Plan, Point};
+pub use fuzz::{run_fuzz, Fault, FuzzConfig, FuzzReport};
 pub use knobs::{cluster, maybe_shrink, quick_mode, seed_list, seeds, PAPER_RATES};
 pub use render::{mean_duplicates, mean_slowdown, mean_time, render_tables, report_json};
 pub use spec::{

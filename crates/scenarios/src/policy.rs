@@ -127,15 +127,22 @@ fn resolve_base(id: &str) -> Result<PolicyConfig, ScenarioError> {
     Err(unknown(id))
 }
 
-/// Resolve a catalog id (with optional `+reliable` / `+fair`
-/// suffixes, in any order) to its policy bundle.
+/// Resolve a catalog id (with optional `+reliable` / `+fair` /
+/// `+fair-inverted` suffixes, in any order) to its policy bundle.
+/// `+fair-inverted` is the fault-injection variant of `+fair`
+/// ([`mapred::CrossJobPolicy::FairShareInverted`]): it exists so the
+/// fuzzer can prove its tail-latency oracle catches a broken
+/// cross-job ranking, and should never appear in a real scenario.
 pub fn resolve(id: &str) -> Result<PolicyConfig, ScenarioError> {
     let mut base_id = id;
-    let (mut reliable, mut fair) = (false, false);
+    let (mut reliable, mut fair, mut fair_inverted) = (false, false, false);
     loop {
         if let Some(b) = base_id.strip_suffix("+reliable") {
             base_id = b;
             reliable = true;
+        } else if let Some(b) = base_id.strip_suffix("+fair-inverted") {
+            base_id = b;
+            fair_inverted = true;
         } else if let Some(b) = base_id.strip_suffix("+fair") {
             base_id = b;
             fair = true;
@@ -150,6 +157,10 @@ pub fn resolve(id: &str) -> Result<PolicyConfig, ScenarioError> {
     if fair {
         p = p.with_fair_share();
         p.label.push_str("+fair");
+    }
+    if fair_inverted {
+        p.cross_job = mapred::CrossJobPolicy::FairShareInverted;
+        p.label.push_str("+fair-inverted");
     }
     Ok(p)
 }
@@ -184,6 +195,16 @@ mod tests {
         // Plain ids stay FIFO.
         let p = resolve("moon-hybrid").unwrap();
         assert_eq!(p.cross_job, mapred::CrossJobPolicy::Fifo);
+    }
+
+    #[test]
+    fn fair_inverted_suffix_is_the_fault_injection_variant() {
+        let p = resolve("moon-hybrid+fair-inverted").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::FairShareInverted);
+        assert_eq!(p.label, "MOON-Hybrid+fair-inverted");
+        let p = resolve("hadoop-1min+fair-inverted+reliable").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::FairShareInverted);
+        assert_eq!(p.intermediate_kind, dfs::FileKind::Reliable);
     }
 
     #[test]

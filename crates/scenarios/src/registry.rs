@@ -44,6 +44,7 @@ fn fig45_base(name: &str, title: &str, tables: Vec<TableSpec>) -> ScenarioSpec {
         ]),
         axis: Axis::Rates(PAPER_RATES.to_vec()),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -91,6 +92,7 @@ fn fig6() -> ScenarioSpec {
         ]),
         axis: Axis::Rates(PAPER_RATES.to_vec()),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -123,6 +125,7 @@ fn fig7() -> ScenarioSpec {
         policies,
         axis: Axis::Rates(PAPER_RATES.to_vec()),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -140,6 +143,7 @@ fn table1() -> ScenarioSpec {
         policies: Vec::new(),
         axis: Axis::Rates(Vec::new()),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -160,6 +164,7 @@ fn table2() -> ScenarioSpec {
         policies: refs(&["vo-v1", "vo-v3", "vo-v5", "ha-v1"]),
         axis: Axis::Rates(vec![0.5]),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -190,6 +195,7 @@ fn ablations() -> ScenarioSpec {
         policies,
         axis: Axis::Rates(vec![0.5]),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -216,6 +222,7 @@ fn diurnal_lab() -> ScenarioSpec {
             diurnal: true,
         }),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -242,6 +249,7 @@ fn blackout() -> ScenarioSpec {
             diurnal: false,
         }),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -263,6 +271,7 @@ fn trace_replay() -> ScenarioSpec {
             path: "data/traces/lab-day.trace".into(),
         },
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -282,6 +291,7 @@ fn high_churn() -> ScenarioSpec {
         policies: refs(&["moon-hybrid", "moon", "hadoop-1min", "hadoop-vo-v3"]),
         axis: Axis::Rates(vec![0.3, 0.5, 0.7]),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: None,
@@ -301,6 +311,7 @@ fn job_stream_light() -> ScenarioSpec {
         policies: refs(&["moon-hybrid", "hadoop-1min"]),
         axis: Axis::Rates(vec![0.1]),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: Some(7200),
         jobs: Some(JobStreamSpec {
@@ -325,6 +336,7 @@ fn job_stream_heavy() -> ScenarioSpec {
         policies: refs(&["moon-hybrid", "moon-hybrid+fair", "hadoop-1min"]),
         axis: Axis::Rates(vec![0.3]),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: Some(14400),
         jobs: Some(JobStreamSpec {
@@ -350,6 +362,7 @@ fn mixed_apps_contention() -> ScenarioSpec {
         policies: refs(&["moon-hybrid", "moon-hybrid+fair"]),
         axis: Axis::Rates(vec![0.3]),
         dedicated: 6,
+        n_volatile: None,
         seeds: None,
         horizon_secs: None,
         jobs: Some(JobStreamSpec {
@@ -390,6 +403,7 @@ fn fleet(name: &str, scale: &str, n_volatile: u32, horizon_secs: u64) -> Scenari
             n_volatile: Some(n_volatile),
         }),
         dedicated: n_volatile / 10,
+        n_volatile: None,
         seeds: None,
         horizon_secs: Some(horizon_secs),
         jobs: Some(JobStreamSpec {

@@ -324,6 +324,7 @@ mod tests {
             events: 1,
             seed,
             jobs: None,
+            audit: Vec::new(),
         }
     }
 
@@ -432,6 +433,36 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("jobs/h=240"), "{text}");
+    }
+
+    fn fake_slo(launch: u64, finished: Option<u64>) -> moon::JobSlo {
+        moon::JobSlo {
+            job: 0,
+            workload: "quick".into(),
+            submitted: simkit::SimTime::ZERO,
+            first_launch: Some(simkit::SimTime::from_secs(launch)),
+            finished: finished.map(simkit::SimTime::from_secs),
+            metrics: Default::default(),
+        }
+    }
+
+    #[test]
+    fn mean_slowdown_pools_committed_jobs_across_seeds() {
+        // Three seeds of the same point: seed 1 commits a job at
+        // slowdown 1.5 alongside a DNF job, seed 2 commits one at 2.5,
+        // seed 3's stream starved entirely. The pool must average only
+        // the committed rows — across seeds, not per seed.
+        let mut a = fake_result("x", Some(300.0), 1);
+        a.jobs = Some(vec![fake_slo(100, Some(300)), fake_slo(100, None)]);
+        let mut b = fake_result("x", Some(200.0), 2);
+        b.jobs = Some(vec![fake_slo(120, Some(200))]);
+        let mut c = fake_result("x", None, 3);
+        c.jobs = Some(vec![fake_slo(50, None)]);
+        assert_eq!(mean_slowdown(&[a, b, c.clone()]), Some(2.0));
+        // A pool where nothing committed is the saturated regime: None,
+        // which the saturation table renders as DNF.
+        assert_eq!(mean_slowdown(&[c]), None);
+        assert_eq!(mean_slowdown(&[]), None);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct ScenarioSpec {
     /// Dedicated-node count (overridable per policy; ignored in quick
     /// mode, which pins the small-cluster shape).
     pub dedicated: u32,
+    /// Volatile-node count override for rate/correlated columns
+    /// (`None` = the default cluster shape). Applies even in quick
+    /// mode — how the fuzzer samples fleet size; a load axis's own
+    /// `n_volatile` takes precedence, trace axes size from the trace.
+    pub n_volatile: Option<u32>,
     /// Explicit seeds; `None` = the `MOON_SEEDS` env default.
     pub seeds: Option<Vec<u64>>,
     /// Horizon override in seconds; `None` = the 8-hour paper default
@@ -348,6 +353,7 @@ mod tests {
             policies: vec![PolicyRef::new("moon-hybrid"), PolicyRef::new("moon")],
             axis: Axis::Rates(vec![0.1, 0.3, 0.5]),
             dedicated: 6,
+            n_volatile: None,
             seeds: None,
             horizon_secs: None,
             jobs: None,

@@ -64,6 +64,10 @@ fn assert_identical(a: &RunResult, b: &RunResult) {
         a.profile.avg_reduce_time.to_bits(),
         b.profile.avg_reduce_time.to_bits()
     );
+    // The end-of-run conservation audit must agree — and hold — on
+    // both runs; a drifted counter here is a world bug, not noise.
+    assert_eq!(a.audit, b.audit, "audit findings diverged");
+    assert!(a.audit.is_empty(), "audit: {:?}", a.audit);
 }
 
 #[test]

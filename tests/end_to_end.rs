@@ -39,6 +39,7 @@ fn all_policies_complete_on_stable_cluster() {
         // No volatility → no tracker expiry → no duplicated tasks beyond
         // homestretch copies; and no fetch failures at all.
         assert_eq!(r.fetch_failures, 0, "{label}");
+        assert!(r.audit.is_empty(), "{label} audit: {:?}", r.audit);
     }
 }
 
@@ -55,6 +56,9 @@ fn moon_survives_high_volatility() {
         r.job_time.is_some(),
         "MOON-Hybrid should complete at p=0.5: {r:?}"
     );
+    // The end-of-run conservation audit must hold even under heavy
+    // churn — that is where counter drift would hide.
+    assert!(r.audit.is_empty(), "audit: {:?}", r.audit);
 }
 
 #[test]
@@ -142,6 +146,7 @@ fn trace_overrides_are_respected() {
     }
     .run();
     assert!(r.job_time.is_some(), "{r:?}");
+    assert!(r.audit.is_empty(), "audit: {:?}", r.audit);
 }
 
 #[test]

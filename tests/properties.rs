@@ -259,6 +259,44 @@ fn trace_file_round_trips_any_wellformed_fleet() {
     }
 }
 
+/// The fuzzer's trace-file axis writes generator-produced fleets
+/// ([`scenarios::fuzz`] → `save_fleet`) and reloads them for the run:
+/// the codec must round-trip those fleets exactly, and an overlapping
+/// interval smuggled into such a file must be rejected with the exact
+/// line it sits on — that is what makes a hand-edited repro debuggable.
+#[test]
+fn generated_trace_fleets_round_trip_and_reject_overlaps() {
+    for case in 0..16u64 {
+        let mut rng = rng_for("trace_gen_fleet", case as usize);
+        let mut cfg = availability::TraceGenConfig::paper(rng.gen_range(0.05f64..0.35));
+        cfg.horizon = SimTime::from_secs(rng.gen_range(2400u64..7200));
+        let fleet: Vec<_> = (0..6)
+            .map(|_| availability::TraceGenerator::poisson_insertion(&cfg, &mut rng))
+            .collect();
+        let mut buf = Vec::new();
+        availability::write_fleet(&mut buf, &fleet).expect("in-memory write");
+        let back =
+            availability::read_fleet(buf.as_slice()).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(fleet, back, "case {case}");
+
+        // Duplicate a node's outage line: the second copy overlaps the
+        // first (same interval), and the error must name its line.
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let Some(victim) =
+            (0..lines.len()).find(|&i| !lines[i].starts_with('#') && !lines[i].is_empty())
+        else {
+            continue; // low-rate draw with zero outages fleet-wide
+        };
+        let mut doctored: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        doctored.insert(victim + 1, lines[victim].to_string());
+        let e = availability::read_fleet(doctored.join("\n").as_bytes())
+            .expect_err("overlapping intervals must be rejected");
+        assert_eq!(e.line, victim + 2, "case {case}: {e}");
+        assert!(e.to_string().contains("overlaps"), "case {case}: {e}");
+    }
+}
+
 #[test]
 fn trace_file_errors_name_lines_on_corrupted_input() {
     for case in 0..64 {
@@ -308,7 +346,7 @@ fn random_spec<R: Rng>(rng: &mut R) -> scenarios::ScenarioSpec {
     const WORDS: [&str; 6] = ["sort", "word count", "quick", "sleep(sort)", "x y", "a\"b"];
     let word = |rng: &mut R| WORDS[rng.gen_range(0..WORDS.len())].to_string();
     let n_panels = rng.gen_range(1usize..4);
-    let axis = match rng.gen_range(0u8..3) {
+    let axis = match rng.gen_range(0u8..4) {
         0 => scenarios::Axis::Rates(
             (0..rng.gen_range(0usize..5))
                 .map(|i| i as f64 / 7.0)
@@ -327,6 +365,13 @@ fn random_spec<R: Rng>(rng: &mut R) -> scenarios::ScenarioSpec {
             session_fraction: rng.gen_range(0.05..0.9),
             background: rng.gen_range(0.0..0.5),
             diurnal: rng.gen_bool(0.5),
+        }),
+        2 => scenarios::Axis::Load(scenarios::LoadAxis {
+            points: (0..rng.gen_range(1usize..4))
+                .map(|i| 15.0 * (i + 1) as f64)
+                .collect(),
+            rate: rng.gen_range(0.05..0.6),
+            n_volatile: rng.gen_bool(0.5).then(|| rng.gen_range(8u32..2000)),
         }),
         _ => scenarios::Axis::TraceFile {
             path: format!("data/traces/{}.trace", rng.gen_range(0..100)),
@@ -378,6 +423,7 @@ fn random_spec<R: Rng>(rng: &mut R) -> scenarios::ScenarioSpec {
             .collect(),
         axis,
         dedicated: rng.gen_range(1u32..8),
+        n_volatile: rng.gen_bool(0.3).then(|| rng.gen_range(4u32..64)),
         seeds: rng.gen_bool(0.5).then(|| {
             (0..rng.gen_range(1usize..4))
                 .map(|i| 42 + i as u64)
