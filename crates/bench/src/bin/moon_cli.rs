@@ -4,6 +4,7 @@
 //! moon-cli list                                  # catalog of built-in scenarios
 //! moon-cli describe <name|file.toml>             # spec as TOML + derived grid info
 //! moon-cli run <name|file.toml> [--seeds N] [--out FILE] [--strict]
+//!              [--metrics-out FILE] [--trace-out FILE]
 //! moon-cli fuzz <n-cases> [--seed S] [--out FILE] [--fault invert-fair]
 //! ```
 //!
@@ -15,6 +16,14 @@
 //! (`MOON_SEEDS`, `MOON_QUICK`, `MOON_THREADS`) apply as everywhere.
 //! `--strict` exits nonzero if any run hit the event limit (a simulator
 //! livelock, never a legitimate DNF).
+//!
+//! `--metrics-out FILE` / `--trace-out FILE` turn on telemetry (if the
+//! scenario's own `[telemetry]` table didn't already) and write the
+//! sweep's gauge samples as JSONL and its span timeline as Chrome
+//! trace-event JSON (open in Perfetto or `chrome://tracing`); see
+//! [`bench::obs`]. Without these flags — and without `[telemetry]` in
+//! the spec — recording is off and output is byte-identical to older
+//! builds.
 //!
 //! `fuzz` runs the seeded metamorphic fuzz campaign
 //! ([`scenarios::fuzz`]): it samples scenarios, checks the invariant
@@ -29,6 +38,7 @@ const USAGE: &str = "usage:
   moon-cli list
   moon-cli describe <name|file.toml>
   moon-cli run <name|file.toml> [--seeds N] [--out FILE] [--strict]
+               [--metrics-out FILE] [--trace-out FILE]
   moon-cli fuzz <n-cases> [--seed S] [--out FILE] [--fault invert-fair]";
 
 fn fail(msg: &str) -> ! {
@@ -86,12 +96,27 @@ fn cmd_describe(arg: &str) {
     print!("{}", codec::to_string(&spec));
 }
 
-fn cmd_run(arg: &str, seeds_override: Option<Vec<u64>>, out: Option<String>, strict: bool) {
-    let spec = match resolve_spec(arg) {
+/// Options for `moon-cli run` beyond the scenario name.
+#[derive(Default)]
+struct RunOpts {
+    seeds_override: Option<Vec<u64>>,
+    out: Option<String>,
+    strict: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn cmd_run(arg: &str, opts: RunOpts) {
+    let mut spec = match resolve_spec(arg) {
         Ok(s) => s,
         Err(e) => fail(&format!("run {arg}: {e}")),
     };
-    let run = match bench::run_spec(&spec, seeds_override) {
+    // Telemetry artifact flags imply recording: inject the default
+    // [telemetry] knob unless the scenario already configured one.
+    if (opts.metrics_out.is_some() || opts.trace_out.is_some()) && spec.telemetry.is_none() {
+        spec.telemetry = Some(scenarios::TelemetrySpec::default());
+    }
+    let run = match bench::run_spec(&spec, opts.seeds_override) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("scenario `{}` failed: {e}", spec.name);
@@ -112,9 +137,17 @@ fn cmd_run(arg: &str, seeds_override: Option<Vec<u64>>, out: Option<String>, str
             eprintln!("audit ({} seed {}): {a}", r.label, r.seed);
         }
     }
-    let out_path = out.unwrap_or_else(|| format!("bench_results/{}.json", spec.name));
+    let out_path = opts
+        .out
+        .unwrap_or_else(|| format!("bench_results/{}.json", spec.name));
     bench::write_report(Path::new(&out_path), &run.report_json);
-    if strict {
+    if let Some(p) = &opts.metrics_out {
+        bench::write_report(Path::new(p), &bench::obs::metrics_jsonl(&run));
+    }
+    if let Some(p) = &opts.trace_out {
+        bench::write_report(Path::new(p), &bench::obs::chrome_trace(&run));
+    }
+    if opts.strict {
         let livelocked = run
             .results
             .iter()
@@ -191,9 +224,7 @@ fn main() {
                 Some(n) if !n.starts_with("--") => n.clone(),
                 _ => fail(USAGE),
             };
-            let mut seeds_override = None;
-            let mut out = None;
-            let mut strict = false;
+            let mut opts = RunOpts::default();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -202,25 +233,41 @@ fn main() {
                             .get(i + 1)
                             .and_then(|v| v.parse().ok())
                             .unwrap_or_else(|| fail("--seeds needs a positive integer"));
-                        seeds_override = Some(scenarios::seed_list(n));
+                        opts.seeds_override = Some(scenarios::seed_list(n));
                         i += 2;
                     }
                     "--out" => {
-                        out = Some(
+                        opts.out = Some(
                             args.get(i + 1)
                                 .unwrap_or_else(|| fail("--out needs a file path"))
                                 .clone(),
                         );
                         i += 2;
                     }
+                    "--metrics-out" => {
+                        opts.metrics_out = Some(
+                            args.get(i + 1)
+                                .unwrap_or_else(|| fail("--metrics-out needs a file path"))
+                                .clone(),
+                        );
+                        i += 2;
+                    }
+                    "--trace-out" => {
+                        opts.trace_out = Some(
+                            args.get(i + 1)
+                                .unwrap_or_else(|| fail("--trace-out needs a file path"))
+                                .clone(),
+                        );
+                        i += 2;
+                    }
                     "--strict" => {
-                        strict = true;
+                        opts.strict = true;
                         i += 1;
                     }
                     other => fail(&format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
-            cmd_run(&name, seeds_override, out, strict);
+            cmd_run(&name, opts);
         }
         Some("fuzz") => {
             let n_cases: u32 = match args.get(1) {

@@ -20,6 +20,7 @@
 use moon::{Experiment, RunResult};
 use rayon::prelude::*;
 
+pub mod obs;
 mod scenario;
 
 pub use scenario::{run_spec, scenario_main, write_report, ScenarioRun};
@@ -50,8 +51,16 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
 
     let n_seeds = seeds.len();
     // One task per (point, seed): the experiment plus the point's
-    // optional job stream (cloned per task so workers stay independent).
-    let tasks: Vec<(Experiment, Option<workloads::JobStream>)> = points
+    // optional job stream and telemetry config (cloned per task so
+    // workers stay independent — telemetry buffers are per-run, never
+    // shared, which is what keeps enabled-telemetry sweeps bit-identical
+    // across thread counts).
+    type Task = (
+        Experiment,
+        Option<workloads::JobStream>,
+        Option<simkit::TelemetryConfig>,
+    );
+    let tasks: Vec<Task> = points
         .iter()
         .flat_map(|pt| {
             seeds.iter().map(|&seed| {
@@ -63,6 +72,7 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
                         seed,
                     },
                     pt.jobs.clone(),
+                    pt.telemetry.clone(),
                 )
             })
         })
@@ -74,8 +84,8 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
     let done = AtomicUsize::new(0);
     let flat: Vec<RunResult> = tasks
         .into_par_iter()
-        .map(|(exp, stream)| {
-            let r = exp.run_stream(stream);
+        .map(|(exp, stream, telemetry)| {
+            let r = exp.run_with_telemetry(stream, telemetry);
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
             let shown = match r.outcome {
                 moon::Outcome::Completed => {

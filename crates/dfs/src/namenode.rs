@@ -1258,6 +1258,12 @@ impl NameNode {
     pub fn replication_queue_len(&self) -> usize {
         self.queue.len()
     }
+
+    /// Currently active node counts as `(volatile, dedicated)` — the
+    /// incrementally maintained liveness sets, O(1). Telemetry gauge.
+    pub fn live_node_counts(&self) -> (usize, usize) {
+        (self.active_volatile.len(), self.active_dedicated.len())
+    }
 }
 
 #[cfg(test)]

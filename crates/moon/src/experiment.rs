@@ -34,15 +34,13 @@ const _: () = {
     assert_send_sync::<RunResult>();
 };
 
-/// True when `MOON_PERF_LOG=1`: every run prints a perf line on stderr
-/// (events/sec plus the flow-network re-share counters) for bench triage.
+/// True when `MOON_PERF_LOG` is truthy (see [`simkit::env::env_flag`]
+/// for the workspace's truthiness rules): every run prints a perf line
+/// on stderr (events/sec plus the flow-network re-share counters) for
+/// bench triage.
 fn perf_log_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| {
-        std::env::var("MOON_PERF_LOG")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-    })
+    *ON.get_or_init(|| simkit::env::env_flag("MOON_PERF_LOG"))
 }
 
 impl Experiment {
@@ -57,6 +55,24 @@ impl Experiment {
     /// [`RunResult::jobs`], and reports the *stream* makespan (first
     /// submission → last output commit) as the run's `job_time`.
     pub fn run_stream(self, jobs: Option<workloads::JobStream>) -> RunResult {
+        self.run_with_telemetry(jobs, None)
+    }
+
+    /// [`Experiment::run_stream`] with an optional telemetry recorder.
+    /// `None` (the common case) is exactly `run_stream`: the world
+    /// carries no recorder and every instrumentation hook reduces to a
+    /// null check, so results are byte-identical to pre-telemetry
+    /// builds. `Some(cfg)` samples gauges on `cfg`'s sim-time cadence
+    /// and collects spans, returning the recorder in
+    /// [`RunResult::telemetry`]. Enabling telemetry never changes the
+    /// simulation itself: the recorder is fed from the engine's
+    /// post-dispatch observer hook and from value reads at existing
+    /// transition points, with no access to the event queue or RNG.
+    pub fn run_with_telemetry(
+        self,
+        jobs: Option<workloads::JobStream>,
+        telemetry: Option<simkit::TelemetryConfig>,
+    ) -> RunResult {
         let label = self.policy.label.clone();
         let workload_name = self.workload.name.clone();
         let unavailability = self.cluster.unavailability;
@@ -65,12 +81,18 @@ impl Experiment {
         let multi_job = jobs.is_some();
 
         let wall_start = perf_log_enabled().then(std::time::Instant::now);
-        let world = World::with_stream(self.cluster, self.policy, self.workload, jobs);
+        let mut world = World::with_stream(self.cluster, self.policy, self.workload, jobs);
+        if let Some(cfg) = telemetry {
+            world.enable_telemetry(cfg);
+        }
         let mut sim = Simulation::new(world, seed).with_event_limit(200_000_000);
         World::init(&mut sim);
         let sim_outcome = sim.run_until(horizon);
         let events = sim.events_handled();
-        let world = sim.into_model();
+        let end = sim.now();
+        let mut world = sim.into_model();
+        let telemetry = world.finalize_telemetry(end).map(Box::new);
+        let world = world;
         if let Some(t0) = wall_start {
             let wall = t0.elapsed().as_secs_f64();
             let net = world.net_stats();
@@ -143,6 +165,7 @@ impl Experiment {
             seed,
             jobs: multi_job.then(|| world.job_slo_rows()),
             audit: world.debug_final_audit(),
+            telemetry,
         }
     }
 }

@@ -144,10 +144,21 @@ pub struct RunResult {
     pub jobs: Option<Vec<JobSlo>>,
     /// End-of-run conservation audit ([`World::debug_final_audit`]):
     /// one line per violated invariant, empty when the run is clean.
-    /// Not rendered in tables or JSON — the fuzzer and tests read it.
+    /// Never rendered in tables; the JSON report embeds the findings
+    /// as an `"audit"` array only when non-empty, so clean runs keep
+    /// the historical byte-stable schema while fuzz/CI artifacts stay
+    /// self-contained.
     ///
     /// [`World::debug_final_audit`]: crate::World::debug_final_audit
     pub audit: Vec<String>,
+    /// Telemetry recorder of the run (gauge series + spans), present
+    /// only when the run was started via
+    /// [`Experiment::run_with_telemetry`] with a config. Never rendered
+    /// in tables or the per-run JSON rows; the sweep-level exporters
+    /// turn it into the metrics JSONL and Chrome-trace artifacts.
+    ///
+    /// [`Experiment::run_with_telemetry`]: crate::Experiment::run_with_telemetry
+    pub telemetry: Option<Box<simkit::Telemetry>>,
 }
 
 impl RunResult {
@@ -215,6 +226,7 @@ mod tests {
             seed: 0,
             jobs: None,
             audit: Vec::new(),
+            telemetry: None,
         };
         assert!(r.job_secs().is_nan());
     }
@@ -252,6 +264,49 @@ mod tests {
         row.first_launch = Some(SimTime::from_secs(11));
         row.finished = Some(SimTime::from_secs(12));
         assert!((row.bounded_slowdown().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_bound_floor_divides_short_services() {
+        // Service shorter than the 10 s floor: the *floor*, not the
+        // measured service, divides the makespan — a 5 s job that
+        // queued 45 s reports 50/10 = 5×, not 50/5 = 10×.
+        let row = JobSlo {
+            job: 1,
+            workload: "quick".into(),
+            submitted: SimTime::from_secs(0),
+            first_launch: Some(SimTime::from_secs(45)),
+            finished: Some(SimTime::from_secs(50)),
+            metrics: JobMetrics::default(),
+        };
+        assert_eq!(row.service_secs(), Some(5.0));
+        assert!((row.bounded_slowdown().unwrap() - 5.0).abs() < 1e-12);
+        // Exactly at the floor the two formulas agree.
+        let at_floor = JobSlo {
+            first_launch: Some(SimTime::from_secs(40)),
+            ..row
+        };
+        assert_eq!(at_floor.service_secs(), Some(10.0));
+        assert!((at_floor.bounded_slowdown().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_launched_but_never_committed_is_dnf() {
+        // A job that launched but never committed: queue delay is
+        // known, every commit-derived metric is None — the run-level
+        // aggregations must treat it as DNF, not zero.
+        let row = JobSlo {
+            job: 2,
+            workload: "sort".into(),
+            submitted: SimTime::from_secs(100),
+            first_launch: Some(SimTime::from_secs(130)),
+            finished: None,
+            metrics: JobMetrics::default(),
+        };
+        assert_eq!(row.queue_delay_secs(), Some(30.0));
+        assert_eq!(row.makespan_secs(), None);
+        assert_eq!(row.service_secs(), None);
+        assert_eq!(row.bounded_slowdown(), None);
     }
 
     #[test]

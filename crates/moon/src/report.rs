@@ -202,6 +202,19 @@ pub mod json {
             row.push_str(&rows.join(",\n"));
             row.push_str("\n    ]");
         }
+        // Audit findings ride along only when present, so the report is
+        // self-contained for fuzz/CI triage while clean runs keep the
+        // historical byte-stable schema.
+        if !r.audit.is_empty() {
+            row.push_str(",\n    \"audit\": [\n");
+            let lines: Vec<String> = r
+                .audit
+                .iter()
+                .map(|a| format!("      \"{}\"", escape(a)))
+                .collect();
+            row.push_str(&lines.join(",\n"));
+            row.push_str("\n    ]");
+        }
         row.push_str("\n  }");
         row
     }
@@ -253,6 +266,7 @@ mod tests {
             seed: 42,
             jobs: None,
             audit: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -266,6 +280,24 @@ mod tests {
         let arr = json::results_array([&r, &r].map(|x| x as &RunResult));
         assert!(arr.starts_with("[\n"), "{arr}");
         assert_eq!(arr.matches("\"seed\": 42").count(), 2);
+    }
+
+    #[test]
+    fn json_rows_embed_audit_only_when_present() {
+        let clean = dummy_result(crate::Outcome::Completed);
+        assert!(
+            !json::result_row(&clean).contains("\"audit\""),
+            "clean runs must keep the historical schema"
+        );
+        let mut dirty = dummy_result(crate::Outcome::Completed);
+        dirty.audit = vec!["counter \"x\" drifted".into(), "slot 3 stuck".into()];
+        let row = json::result_row(&dirty);
+        assert!(
+            row.contains(
+                "\"audit\": [\n      \"counter \\\"x\\\" drifted\",\n      \"slot 3 stuck\"\n    ]"
+            ),
+            "{row}"
+        );
     }
 
     #[test]

@@ -120,7 +120,15 @@ impl World {
                 // every replica is gone for good the task fails.
                 if self.nn.live_replicas(block).is_empty() {
                     self.jt.attempt_failed(ctx.now(), id);
-                    self.attempts.remove(&id);
+                    if let Some(rt) = self.attempts.remove(&id) {
+                        self.obs_attempt_end(
+                            id.task.kind,
+                            node.0,
+                            rt.started,
+                            ctx.now(),
+                            super::telemetry::ATTEMPT_FAILED,
+                        );
+                    }
                     self.nodes[node.0 as usize].local_attempts.remove(&id);
                 } else {
                     ctx.schedule(PHASE_RETRY_DELAY, Ev::PhaseRetry(id));
@@ -224,6 +232,13 @@ impl World {
         let Some(rt) = self.attempts.remove(&id) else {
             return;
         };
+        self.obs_attempt_end(
+            id.task.kind,
+            rt.node.0,
+            rt.started,
+            ctx.now(),
+            super::telemetry::ATTEMPT_KILLED,
+        );
         self.nodes[rt.node.0 as usize].local_attempts.remove(&id);
         let mut flows_to_cancel: Vec<FlowId> = Vec::new();
         match rt.phase {
@@ -382,6 +397,13 @@ impl World {
         block: BlockId,
     ) {
         let rt = self.attempts.remove(&id).expect("attempt exists");
+        self.obs_attempt_end(
+            id.task.kind,
+            rt.node.0,
+            rt.started,
+            ctx.now(),
+            super::telemetry::ATTEMPT_SUCCEEDED,
+        );
         self.nodes[rt.node.0 as usize].local_attempts.remove(&id);
         let resp = self.jt.attempt_succeeded(ctx.now(), id);
         for k in resp.kill {

@@ -37,6 +37,7 @@ mod commit;
 mod diag;
 mod nodes;
 mod shuffle;
+mod telemetry;
 #[cfg(test)]
 mod tests;
 
@@ -210,6 +211,9 @@ pub struct World {
     /// Peak concurrently-active (submitted, not yet committed) jobs —
     /// perf-log gauge.
     peak_active_jobs: u32,
+    /// Telemetry recorder and span scratch; `None` (the default) keeps
+    /// every instrumentation hook on a single null-check fast path.
+    telemetry: Option<Box<telemetry::TelemetryState>>,
     /// Measured results.
     pub metrics: RunMetrics,
 }
@@ -288,6 +292,7 @@ impl World {
             stall_timeouts: HashMap::new(),
             net_poll_ev: EventId::NONE,
             peak_active_jobs: 0,
+            telemetry: None,
             metrics: RunMetrics::default(),
         }
     }
@@ -672,6 +677,18 @@ impl Model for World {
             Ev::Submit(slot) => self.on_submit(ctx, slot),
             Ev::TrackerCheck => self.on_tracker_check(ctx),
             Ev::ReplicationScan => self.on_replication_scan(ctx),
+        }
+    }
+
+    /// Telemetry gauge sampling. Disabled runs take the `None` branch
+    /// and return; enabled runs sample only when the sim-time cadence
+    /// is due. Runs outside the scheduling surface (no `Ctx`), so it
+    /// cannot perturb the event sequence or RNG draws.
+    fn observe(&mut self, stats: &simkit::DispatchStats) {
+        match &self.telemetry {
+            None => (),
+            Some(t) if !t.rec.due(stats.now) => (),
+            Some(_) => self.telemetry_sample(stats.now, stats.events_handled, stats.queue_depth),
         }
     }
 }

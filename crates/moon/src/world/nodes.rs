@@ -24,6 +24,7 @@ impl World {
         rt.up = false;
         ctx.cancel(rt.heartbeat_ev);
         let (disk, up, down) = (rt.disk, rt.nic_up, rt.nic_down);
+        self.obs_node_down(n.0, ctx.now());
         let mut all = Changes::default();
         all.merge(self.net.set_capacity(ctx.now(), disk, 0.0));
         all.merge(self.net.set_capacity(ctx.now(), up, 0.0));
@@ -54,6 +55,7 @@ impl World {
         }
         rt.up = true;
         let (disk, up, down) = (rt.disk, rt.nic_up, rt.nic_down);
+        self.obs_node_up(n.0, ctx.now());
         let (disk_bw, nic_bw) = (self.cluster.disk_bandwidth, self.cluster.nic_bandwidth);
         let mut all = Changes::default();
         all.merge(self.net.set_capacity(ctx.now(), disk, disk_bw));

@@ -86,6 +86,7 @@ impl World {
                 batch.len() as f64 * slot.workload.shuffle_bytes_per_pair(slot.n_reduces) as f64;
             let path = self.transfer_path(src, node);
             let (flow, ch) = self.net.start_flow(ctx.now(), &path, bytes.max(1.0));
+            self.obs_fetch_started(flow, ctx.now());
             self.flows.insert(
                 flow,
                 FlowPurpose::Fetch {
@@ -115,6 +116,9 @@ impl World {
         maps: Vec<u32>,
     ) {
         let n_maps = self.slot_for(id).workload.n_maps;
+        if let Some(node) = self.attempts.get(&id).map(|rt| rt.node.0) {
+            self.obs_fetch_end(flow, node, maps.len(), ctx.now(), true);
+        }
         let mut shuffle_complete = false;
         if let Some(rt) = self.attempts.get_mut(&id) {
             if let Phase::Shuffle(sh) = &mut rt.phase {
@@ -144,6 +148,9 @@ impl World {
         flow: FlowId,
         maps: Vec<u32>,
     ) {
+        if let Some(node) = self.attempts.get(&id).map(|rt| rt.node.0) {
+            self.obs_fetch_end(flow, node, maps.len(), ctx.now(), false);
+        }
         let ch = self.net.cancel_flow(ctx.now(), flow);
         self.drop_flow_records(ctx, flow);
         if let Some(ch) = ch {

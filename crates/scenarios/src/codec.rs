@@ -24,7 +24,7 @@
 
 use crate::spec::{
     ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, LoadAxis, PolicyRef,
-    ScenarioError, ScenarioSpec, TableKind, TableSpec,
+    ScenarioError, ScenarioSpec, TableKind, TableSpec, TelemetrySpec,
 };
 use crate::toml::{self, Table, Value};
 
@@ -329,6 +329,38 @@ fn parse_jobs(t: &Table) -> Result<JobStreamSpec, ScenarioError> {
     Ok(spec)
 }
 
+/// Parse the `[telemetry]` table: gauge cadence and span capacity,
+/// defaulting any omitted key (so `[telemetry]` alone turns recording
+/// on with the standard settings).
+fn parse_telemetry(t: &Table) -> Result<TelemetrySpec, ScenarioError> {
+    let defaults = TelemetrySpec::default();
+    let sample_every_secs = match t.get("sample_every_secs") {
+        None => defaults.sample_every_secs,
+        Some(v) => {
+            let x = want_f64(v, "telemetry.sample_every_secs")?;
+            if !(x.is_finite() && x > 0.0) {
+                return Err(err(format!(
+                    "`telemetry.sample_every_secs` must be positive, got {x}"
+                )));
+            }
+            x
+        }
+    };
+    let span_capacity = match t.get("span_capacity") {
+        None => defaults.span_capacity,
+        Some(v) => want_u64(v, "telemetry.span_capacity")? as u32,
+    };
+    for (k, _) in t.iter() {
+        if !matches!(k, "sample_every_secs" | "span_capacity") {
+            return Err(err(format!("unknown telemetry key `{k}`")));
+        }
+    }
+    Ok(TelemetrySpec {
+        sample_every_secs,
+        span_capacity,
+    })
+}
+
 /// Map a parsed TOML root table to a spec.
 pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
     let name = match root.get("name") {
@@ -410,6 +442,16 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
             )))
         }
     };
+    let telemetry = match root.get("telemetry") {
+        None => None,
+        Some(Value::Table(t)) => Some(parse_telemetry(t)?),
+        Some(other) => {
+            return Err(err(format!(
+                "`telemetry` must be a `[telemetry]` table, got {}",
+                other.type_name()
+            )))
+        }
+    };
     let tables = match root.get("tables") {
         None => vec![TableSpec {
             kind: TableKind::Time,
@@ -434,6 +476,7 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
                 | "seeds"
                 | "horizon_secs"
                 | "jobs"
+                | "telemetry"
                 | "tables"
         ) {
             return Err(err(format!("unknown scenario key `{k}`")));
@@ -451,6 +494,7 @@ pub fn from_toml(root: &Table) -> Result<ScenarioSpec, ScenarioError> {
         seeds,
         horizon_secs,
         jobs,
+        telemetry,
         tables,
     })
 }
@@ -550,6 +594,12 @@ pub fn to_toml(spec: &ScenarioSpec) -> Table {
             );
         }
         root.set("jobs", Value::Table(j));
+    }
+    if let Some(tel) = &spec.telemetry {
+        let mut t = Table::new();
+        t.set("sample_every_secs", Value::Float(tel.sample_every_secs));
+        t.set("span_capacity", Value::Int(tel.span_capacity as i64));
+        root.set("telemetry", Value::Table(t));
     }
     root.set(
         "tables",
@@ -802,6 +852,45 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.message.contains("`jobs` must be a `[jobs]` table"), "{e}");
+    }
+
+    #[test]
+    fn telemetry_knob_parses_defaults_and_round_trips() {
+        let base = "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\n\
+                    [axis]\nkind = \"rates\"\npoints = [0.3]\n";
+
+        // Absent: telemetry stays off.
+        assert!(from_str(base).unwrap().telemetry.is_none());
+
+        // A bare [telemetry] table turns recording on with defaults.
+        let s = from_str(&format!("{base}[telemetry]\n")).unwrap();
+        assert_eq!(s.telemetry, Some(TelemetrySpec::default()));
+
+        // Explicit knobs parse, convert, and round-trip.
+        let s = from_str(&format!(
+            "{base}[telemetry]\nsample_every_secs = 5.0\nspan_capacity = 128\n"
+        ))
+        .unwrap();
+        let tel = s.telemetry.as_ref().unwrap();
+        assert_eq!(tel.sample_every_secs, 5.0);
+        assert_eq!(tel.span_capacity, 128);
+        let cfg = tel.to_config();
+        assert_eq!(cfg.sample_every, simkit::SimDuration::from_secs(5));
+        assert_eq!(cfg.span_capacity, 128);
+        assert_eq!(from_str(&to_string(&s)).unwrap(), s);
+
+        // Errors name the key.
+        let e = from_str(&format!("{base}[telemetry]\nsample_every_secs = 0.0\n")).unwrap_err();
+        assert!(e.message.contains("`telemetry.sample_every_secs`"), "{e}");
+        let e = from_str(&format!("{base}[telemetry]\nmystery = 1\n")).unwrap_err();
+        assert!(e.message.contains("unknown telemetry key `mystery`"), "{e}");
+        // A scalar at root (before any table header) is rejected.
+        let e = from_str(
+            "name = \"x\"\ntitle = \"t\"\nworkloads = [\"quick\"]\ntelemetry = 3\n\
+             [axis]\nkind = \"rates\"\npoints = [0.3]\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("`[telemetry]` table"), "{e}");
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct Point {
     pub workload: WorkloadSpec,
     /// Multi-job arrival stream (None = single-job run).
     pub jobs: Option<JobStream>,
+    /// Telemetry recording config (None = off). Resolved from the
+    /// spec's `[telemetry]` knob; every run of the grid records into
+    /// its own per-run buffers.
+    pub telemetry: Option<simkit::TelemetryConfig>,
 }
 
 /// A fully-resolved scenario: the flat experiment grid plus the table
@@ -340,6 +344,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Plan, ScenarioError> {
                     cluster: cluster_for(column, dedicated, spec.n_volatile, spec.horizon_secs),
                     workload: maybe_shrink(w.clone()),
                     jobs: col_streams[col].clone(),
+                    telemetry: spec.telemetry.as_ref().map(|t| t.to_config()),
                 });
             }
         }

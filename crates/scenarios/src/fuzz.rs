@@ -433,6 +433,7 @@ fn sample_case(
         seeds: Some(seeds),
         horizon_secs: Some(horizon_secs),
         jobs,
+        telemetry: None,
         tables,
     };
     Ok(FuzzCase {

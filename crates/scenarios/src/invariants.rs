@@ -190,6 +190,7 @@ mod tests {
             seed: 42,
             jobs: None,
             audit: Vec::new(),
+            telemetry: None,
         }
     }
 

@@ -9,13 +9,11 @@ use workloads::WorkloadSpec;
 /// The unavailability rates every paper figure sweeps.
 pub const PAPER_RATES: [f64; 3] = [0.1, 0.3, 0.5];
 
-/// Seeds to run per grid point (env `MOON_SEEDS`, default 1).
+/// Seeds to run per grid point (env `MOON_SEEDS`, default 1). Parsed
+/// via [`simkit::env::env_u64`] — the workspace's one set of
+/// environment-knob parsing rules.
 pub fn seeds() -> Vec<u64> {
-    let n: u64 = std::env::var("MOON_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    seed_list(n)
+    seed_list(simkit::env::env_u64("MOON_SEEDS").unwrap_or(1))
 }
 
 /// The canonical seed list for `n` seeds (42, 1042, 2042, …) — the
@@ -24,12 +22,11 @@ pub fn seed_list(n: u64) -> Vec<u64> {
     (0..n.max(1)).map(|k| 42 + k * 1000).collect()
 }
 
-/// Quick mode (env `MOON_QUICK=1`): shrink the cluster and workload so
-/// a full figure regenerates in seconds (for CI smoke runs).
+/// Quick mode (env `MOON_QUICK` truthy per [`simkit::env::env_flag`]):
+/// shrink the cluster and workload so a full figure regenerates in
+/// seconds (for CI smoke runs).
 pub fn quick_mode() -> bool {
-    std::env::var("MOON_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    simkit::env::env_flag("MOON_QUICK")
 }
 
 /// Scale a workload down for quick mode.

@@ -40,5 +40,5 @@ pub use knobs::{cluster, maybe_shrink, quick_mode, seed_list, seeds, PAPER_RATES
 pub use render::{mean_duplicates, mean_slowdown, mean_time, render_tables, report_json};
 pub use spec::{
     ArrivalSpec, Axis, CorrelatedAxis, CorrelatedKnob, JobStreamSpec, LoadAxis, PolicyRef,
-    ScenarioError, ScenarioSpec, TableKind, TableSpec,
+    ScenarioError, ScenarioSpec, TableKind, TableSpec, TelemetrySpec,
 };

@@ -48,6 +48,7 @@ fn fig45_base(name: &str, title: &str, tables: Vec<TableSpec>) -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables,
     }
 }
@@ -96,6 +97,7 @@ fn fig6() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![table(
             TableKind::Time,
             "Figure 6{panel}: execution time by intermediate replication policy",
@@ -129,6 +131,7 @@ fn fig7() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![table(TableKind::Time, "Figure 7{panel}: MOON vs Hadoop-VO")],
     }
 }
@@ -147,6 +150,7 @@ fn table1() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![table(
             TableKind::Catalog,
             "# Table I — application configurations",
@@ -168,6 +172,7 @@ fn table2() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![table(
             TableKind::Profile,
             "Table II ({panel}) — execution profile at p=0.5",
@@ -199,6 +204,7 @@ fn ablations() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![table(
             TableKind::Detail,
             "# Ablations — sort, p=0.5 (job time / duplicated tasks / killed maps)",
@@ -226,6 +232,7 @@ fn diurnal_lab() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![table(
             TableKind::Time,
             "Diurnal lab{panel}: execution time vs lab-session intensity (sessions/hour)",
@@ -253,6 +260,7 @@ fn blackout() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![table(
             TableKind::Time,
             "Blackout{panel}: execution time vs mass-outage fleet fraction",
@@ -275,6 +283,7 @@ fn trace_replay() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![table(
             TableKind::Time,
             "Trace replay{panel}: execution time on the recorded lab trace",
@@ -295,6 +304,7 @@ fn high_churn() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: None,
+        telemetry: None,
         tables: vec![
             table(TableKind::Time, "High churn{panel}: execution time"),
             table(TableKind::Duplicates, "High churn{panel}: duplicated tasks"),
@@ -320,6 +330,7 @@ fn job_stream_light() -> ScenarioSpec {
             },
             workloads: Vec::new(),
         }),
+        telemetry: None,
         tables: vec![
             table(TableKind::Time, "Job stream light{panel}: stream makespan"),
             table(TableKind::Jobs, "Job stream light{panel}: per-job SLOs"),
@@ -346,6 +357,7 @@ fn job_stream_heavy() -> ScenarioSpec {
             },
             workloads: Vec::new(),
         }),
+        telemetry: None,
         tables: vec![
             table(TableKind::Time, "Job stream heavy{panel}: stream makespan"),
             table(TableKind::Jobs, "Job stream heavy{panel}: per-job SLOs"),
@@ -373,6 +385,7 @@ fn mixed_apps_contention() -> ScenarioSpec {
             },
             workloads: vec!["sort".into(), "word count".into()],
         }),
+        telemetry: None,
         tables: vec![
             table(
                 TableKind::Time,
@@ -413,6 +426,7 @@ fn fleet(name: &str, scale: &str, n_volatile: u32, horizon_secs: u64) -> Scenari
             },
             workloads: Vec::new(),
         }),
+        telemetry: None,
         tables: vec![
             table(
                 TableKind::Saturation,

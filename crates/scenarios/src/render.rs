@@ -325,6 +325,7 @@ mod tests {
             seed,
             jobs: None,
             audit: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -463,6 +464,47 @@ mod tests {
         // which the saturation table renders as DNF.
         assert_eq!(mean_slowdown(&[c]), None);
         assert_eq!(mean_slowdown(&[]), None);
+    }
+
+    #[test]
+    fn jobs_table_pools_mixed_committed_and_dnf_cells() {
+        let plan = expand::expand(&registry::find("job-stream-light").unwrap()).unwrap();
+        // Two seeds per point. First policy row: seed 1 commits a job
+        // (makespan 300 s over a 200 s service time ⇒ slowdown 1.50)
+        // next to a launched-but-never-finished job; seed 2's whole
+        // stream starves. Remaining rows: all jobs DNF.
+        let results: Vec<Vec<RunResult>> = (0..plan.n_points())
+            .map(|i| {
+                let mut a = fake_result("x", Some(300.0), 1);
+                let mut b = fake_result("x", None, 2);
+                if i == 0 {
+                    a.jobs = Some(vec![fake_slo(100, Some(300)), fake_slo(150, None)]);
+                    b.jobs = Some(vec![]);
+                } else {
+                    a.jobs = Some(vec![fake_slo(40, None)]);
+                    b.jobs = Some(vec![fake_slo(60, None)]);
+                }
+                vec![a, b]
+            })
+            .collect();
+        let text = render_tables(&plan, &results);
+        assert!(text.contains("## Job stream light: per-job SLOs"), "{text}");
+        // Pooled row: 2 job runs across both seeds, 1 committed;
+        // makespan/slowdown average the committed job only, queue
+        // percentiles pool both *launched* jobs (delays 100 s, 150 s:
+        // p50 = 100, p95 = 150 by nearest rank).
+        let first = plan.row_labels.first().unwrap();
+        assert!(
+            text.contains(&format!("{first}\t2\t1\t300\t1.50\t100.0\t150.0")),
+            "{text}"
+        );
+        // An all-DNF row keeps its run count but shows DNF aggregates —
+        // queue delays still render (those jobs did launch).
+        let last = plan.row_labels.last().unwrap();
+        assert!(
+            text.contains(&format!("{last}\t2\t0\tDNF\tDNF\t40.0\t60.0")),
+            "{text}"
+        );
     }
 
     #[test]

@@ -46,8 +46,44 @@ pub struct ScenarioSpec {
     /// Multi-job arrival stream (`None` = the paper's single-job run;
     /// single-job scenarios stay byte-identical with this unset).
     pub jobs: Option<JobStreamSpec>,
+    /// Telemetry recording (`None` = off, the zero-overhead default;
+    /// tables and reports stay byte-identical with this unset).
+    /// `moon-cli run --metrics-out/--trace-out` injects the default
+    /// spec when the scenario itself leaves this `None`.
+    pub telemetry: Option<TelemetrySpec>,
     /// Output tables, rendered per panel in order.
     pub tables: Vec<TableSpec>,
+}
+
+/// Declarative `[telemetry]` knob: per-run gauge sampling cadence and
+/// span-ring capacity. Resolved into a [`simkit::TelemetryConfig`] at
+/// expansion; every grid point of the scenario records independently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySpec {
+    /// Sim-time seconds between gauge samples.
+    pub sample_every_secs: f64,
+    /// Maximum retained spans per run (oldest dropped beyond this).
+    pub span_capacity: u32,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        let cfg = simkit::TelemetryConfig::default();
+        TelemetrySpec {
+            sample_every_secs: cfg.sample_every.as_secs_f64(),
+            span_capacity: cfg.span_capacity as u32,
+        }
+    }
+}
+
+impl TelemetrySpec {
+    /// The engine-level config this spec resolves to.
+    pub fn to_config(&self) -> simkit::TelemetryConfig {
+        simkit::TelemetryConfig {
+            sample_every: simkit::SimDuration::from_secs_f64(self.sample_every_secs),
+            span_capacity: self.span_capacity as usize,
+        }
+    }
 }
 
 /// Declarative multi-job stream: how jobs arrive over the horizon and
@@ -357,6 +393,7 @@ mod tests {
             seeds: None,
             horizon_secs: None,
             jobs: None,
+            telemetry: None,
             tables: vec![],
         };
         assert_eq!(spec.n_panels(), 2);

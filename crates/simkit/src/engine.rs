@@ -17,6 +17,33 @@ pub trait Model {
 
     /// Handle one event. `ctx` exposes the clock, scheduling, and RNG.
     fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+
+    /// Observer hook, invoked by the engine after every handled event.
+    ///
+    /// Unlike [`Model::handle`] this runs *outside* the event loop's
+    /// scheduling surface: the observer receives only read-only
+    /// [`DispatchStats`] — no [`Ctx`], no queue access, no RNG — so an
+    /// implementation can record telemetry but cannot schedule, cancel,
+    /// or draw random numbers. That structural restriction is what lets
+    /// instrumentation ride along without perturbing determinism: the
+    /// event sequence, RNG draws, and `events_handled` count are
+    /// bit-identical whether or not the observer does anything.
+    ///
+    /// The default implementation is a no-op that the optimizer removes
+    /// entirely, so un-instrumented models pay nothing.
+    fn observe(&mut self, _stats: &DispatchStats) {}
+}
+
+/// Read-only per-dispatch engine statistics handed to [`Model::observe`]
+/// after each event is handled.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchStats {
+    /// Simulated time of the event that was just handled.
+    pub now: SimTime,
+    /// Total events handled so far, including the one just dispatched.
+    pub events_handled: u64,
+    /// Events still pending in the queue after this dispatch.
+    pub queue_depth: usize,
 }
 
 /// Engine services exposed to the model while it handles an event.
@@ -177,6 +204,11 @@ impl<M: Model> Simulation<M> {
             stop: &mut stop,
         };
         self.model.handle(&mut ctx, event);
+        self.model.observe(&DispatchStats {
+            now: self.now,
+            events_handled: self.events_handled,
+            queue_depth: self.queue.len(),
+        });
         true
     }
 
@@ -204,6 +236,11 @@ impl<M: Model> Simulation<M> {
                 stop: &mut stop,
             };
             self.model.handle(&mut ctx, event);
+            self.model.observe(&DispatchStats {
+                now: self.now,
+                events_handled: self.events_handled,
+                queue_depth: self.queue.len(),
+            });
             if stop {
                 return RunOutcome::Stopped;
             }

@@ -13,6 +13,9 @@
 //! - [`PausableWork`]: progress bookkeeping for tasks that suspend and
 //!   resume with node availability (the paper's emulation model).
 //! - [`stats`]: streaming summaries, time-weighted gauges, histograms.
+//! - [`telemetry`]: sim-time gauge sampling, span timelines, and the
+//!   JSONL / Chrome-trace exporters, fed from [`Model::observe`].
+//! - [`env`](mod@env): the workspace's environment-knob parsing rules.
 //!
 //! ## Example
 //!
@@ -42,15 +45,18 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod env;
 mod queue;
 mod rng;
 pub mod stats;
+pub mod telemetry;
 mod time;
 mod work;
 
-pub use engine::{Ctx, Model, RunOutcome, Simulation};
+pub use engine::{Ctx, DispatchStats, Model, RunOutcome, Simulation};
 pub use queue::{EventId, EventQueue};
 pub use rng::{derive_seed, RngPool, StreamId};
 pub use stats::{DurationHistogram, Summary, TimeWeighted};
+pub use telemetry::{Span, SpanGroup, SpanKind, Telemetry, TelemetryConfig};
 pub use time::{SimDuration, SimTime, MICROS_PER_SEC};
 pub use work::PausableWork;

@@ -116,6 +116,7 @@ fn parallel_sweep_matches_single_thread_sweep() {
                 cluster: ClusterConfig::small(rate),
                 workload: moon::quick_workload(),
                 jobs: None,
+                telemetry: None,
             });
         }
     }
@@ -153,6 +154,7 @@ fn parallel_sweep_matches_single_thread_sweep() {
             cluster: ClusterConfig::small(0.3),
             workload: moon::quick_workload(),
             jobs: Some(stream),
+            telemetry: None,
         });
     }
 

@@ -431,6 +431,10 @@ fn random_spec<R: Rng>(rng: &mut R) -> scenarios::ScenarioSpec {
         }),
         horizon_secs: rng.gen_bool(0.3).then(|| rng.gen_range(600u64..30_000)),
         jobs,
+        telemetry: rng.gen_bool(0.3).then(|| scenarios::TelemetrySpec {
+            sample_every_secs: rng.gen_range(1u32..600) as f64 / 2.0,
+            span_capacity: rng.gen_range(0u32..100_000),
+        }),
         tables,
     }
 }

@@ -93,11 +93,16 @@ thread_local! {
 
 /// Thread count from the environment: `MOON_THREADS` wins over
 /// `RAYON_NUM_THREADS`, which wins over the hardware count.
+///
+/// Values are trimmed before parsing — the same rule as
+/// `simkit::env::env_u64`, which this shim can't call (it sits below
+/// simkit in the dependency graph) but deliberately mirrors so every
+/// `MOON_*` knob in the workspace reads the environment identically.
 fn default_threads() -> usize {
     for var in ["MOON_THREADS", "RAYON_NUM_THREADS"] {
         if let Some(n) = std::env::var(var)
             .ok()
-            .and_then(|s| s.parse::<usize>().ok())
+            .and_then(|s| s.trim().parse::<usize>().ok())
         {
             if n >= 1 {
                 return n;
