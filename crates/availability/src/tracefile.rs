@@ -83,10 +83,13 @@ pub fn write_fleet<W: Write>(mut w: W, fleet: &[AvailabilityTrace]) -> std::io::
     Ok(())
 }
 
-/// Save a fleet to `path` in the v1 text format.
+/// Save a fleet to `path` in the v1 text format (atomically — trace
+/// files feed reproducible sweeps, so a truncated save must never be
+/// mistaken for a complete fleet).
 pub fn save_fleet<P: AsRef<Path>>(path: P, fleet: &[AvailabilityTrace]) -> std::io::Result<()> {
-    let f = std::fs::File::create(path)?;
-    write_fleet(std::io::BufWriter::new(f), fleet)
+    let mut buf = Vec::new();
+    write_fleet(&mut buf, fleet)?;
+    simkit::fsio::atomic_write(path.as_ref(), &buf)
 }
 
 fn parse_u64(line_no: usize, field: &str, what: &str) -> Result<u64, TraceFileError> {

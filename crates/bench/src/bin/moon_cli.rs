@@ -30,6 +30,23 @@
 //! oracle, shrinks failures to ready-to-run `.toml` repros, writes a
 //! JSON report, and exits nonzero on any violation (strict is always on
 //! for fuzzing).
+//!
+//! ## Campaigns (checkpointed, resumable runs)
+//!
+//! Any of `--checkpoint` / `--resume` / `--event-budget` /
+//! `--cell-deadline-secs` / `--inject-panic` switches `run` into
+//! **campaign mode** ([`bench::campaign`]): every completed (point,
+//! seed) cell is appended to a checkpoint file (default
+//! `bench_results/campaigns/<name>.ckpt.jsonl`), a killed sweep resumes
+//! with `--resume` (completed cells are restored, artifacts come out
+//! byte-identical to an uninterrupted run), and panicked / livelocked /
+//! deadlined cells are contained per-cell and recorded in a dead-letter
+//! queue next to the checkpoint. `dlq list` shows the failed cells;
+//! `dlq retry` re-runs them with bounded attempts. A campaign run with
+//! failed cells exits 1 after writing all artifacts. The checkpoint is
+//! keyed by a content hash of the spec + seeds + quick mode, so pass
+//! the same spec, seeds, `MOON_QUICK`, and telemetry flags when
+//! resuming or retrying.
 
 use scenarios::{codec, registry, ScenarioError, ScenarioSpec};
 use std::path::{Path, PathBuf};
@@ -39,6 +56,13 @@ const USAGE: &str = "usage:
   moon-cli describe <name|file.toml>
   moon-cli run <name|file.toml> [--seeds N] [--out FILE] [--strict]
                [--metrics-out FILE] [--trace-out FILE]
+               [--checkpoint [FILE]] [--resume] [--event-budget N]
+               [--cell-deadline-secs S] [--inject-panic CELL]
+  moon-cli dlq list <name|file.toml> [--checkpoint FILE]
+  moon-cli dlq retry <name|file.toml> [--checkpoint FILE] [--max-attempts N]
+               [--seeds N] [--out FILE] [--strict]
+               [--metrics-out FILE] [--trace-out FILE]
+               [--event-budget N] [--cell-deadline-secs S]
   moon-cli fuzz <n-cases> [--seed S] [--out FILE] [--fault invert-fair]";
 
 fn fail(msg: &str) -> ! {
@@ -104,25 +128,62 @@ struct RunOpts {
     strict: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    // Campaign mode (any of these set switches cmd_run over to the
+    // checkpointed runner).
+    checkpoint: Option<String>,
+    checkpoint_flag: bool,
+    resume: bool,
+    event_budget: Option<u64>,
+    cell_deadline_secs: Option<u64>,
+    inject_panic: Option<usize>,
 }
 
-fn cmd_run(arg: &str, opts: RunOpts) {
-    let mut spec = match resolve_spec(arg) {
-        Ok(s) => s,
-        Err(e) => fail(&format!("run {arg}: {e}")),
-    };
-    // Telemetry artifact flags imply recording: inject the default
-    // [telemetry] knob unless the scenario already configured one.
-    if (opts.metrics_out.is_some() || opts.trace_out.is_some()) && spec.telemetry.is_none() {
-        spec.telemetry = Some(scenarios::TelemetrySpec::default());
+impl RunOpts {
+    fn campaign_mode(&self) -> bool {
+        self.checkpoint_flag
+            || self.resume
+            || self.event_budget.is_some()
+            || self.cell_deadline_secs.is_some()
+            || self.inject_panic.is_some()
     }
-    let run = match bench::run_spec(&spec, opts.seeds_override) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("scenario `{}` failed: {e}", spec.name);
-            std::process::exit(1);
+
+    fn campaign_config(
+        &self,
+        spec_name: &str,
+        retry: bool,
+        max_attempts: u32,
+    ) -> bench::CampaignConfig {
+        let ckpt = self
+            .checkpoint
+            .clone()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| bench::campaign::default_checkpoint_path(spec_name));
+        let mut cfg = bench::CampaignConfig::new(ckpt);
+        cfg.resume = self.resume || retry;
+        cfg.retry_failed = retry;
+        cfg.max_attempts = max_attempts;
+        if let Some(b) = self.event_budget {
+            cfg.limits.event_budget = b;
         }
-    };
+        if let Some(s) = self.cell_deadline_secs {
+            cfg.limits.wall_deadline = Some(std::time::Duration::from_secs(s));
+        }
+        cfg.inject_panic = self.inject_panic;
+        cfg
+    }
+}
+
+/// Shared tail of `run` / `dlq retry`: print tables + outcome summary +
+/// audit findings, write the JSON report and any telemetry artifacts,
+/// apply `--strict`. For campaigns the telemetry artifacts come from
+/// the checkpointed fragments (`outcome`), for plain runs from the live
+/// recorders.
+fn finish_run(
+    spec: &ScenarioSpec,
+    run: &bench::ScenarioRun,
+    opts: &RunOpts,
+    outcome: Option<&bench::CampaignOutcome>,
+) {
     print!("{}", run.tables);
     if !run.results.is_empty() {
         eprintln!(
@@ -139,13 +200,22 @@ fn cmd_run(arg: &str, opts: RunOpts) {
     }
     let out_path = opts
         .out
+        .clone()
         .unwrap_or_else(|| format!("bench_results/{}.json", spec.name));
     bench::write_report(Path::new(&out_path), &run.report_json);
     if let Some(p) = &opts.metrics_out {
-        bench::write_report(Path::new(p), &bench::obs::metrics_jsonl(&run));
+        let body = match outcome {
+            Some(o) => o.metrics_jsonl.clone(),
+            None => bench::obs::metrics_jsonl(run),
+        };
+        bench::write_report(Path::new(p), &body);
     }
     if let Some(p) = &opts.trace_out {
-        bench::write_report(Path::new(p), &bench::obs::chrome_trace(&run));
+        let body = match outcome {
+            Some(o) => o.chrome_trace.clone(),
+            None => bench::obs::chrome_trace(run),
+        };
+        bench::write_report(Path::new(p), &body);
     }
     if opts.strict {
         let livelocked = run
@@ -161,6 +231,104 @@ fn cmd_run(arg: &str, opts: RunOpts) {
             std::process::exit(1);
         }
     }
+}
+
+/// Run a spec in campaign mode (or retry its DLQ) and exit nonzero if
+/// any cell is still failed.
+fn run_campaign_mode(spec: &ScenarioSpec, opts: &RunOpts, retry: bool, max_attempts: u32) {
+    let cfg = opts.campaign_config(&spec.name, retry, max_attempts);
+    let outcome = match bench::run_campaign(spec, opts.seeds_override.clone(), &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("campaign `{}` failed: {e}", spec.name);
+            std::process::exit(1);
+        }
+    };
+    finish_run(spec, &outcome.run, opts, Some(&outcome));
+    if !outcome.failed.is_empty() {
+        eprintln!(
+            "campaign {}: {} cell(s) failed — `moon-cli dlq list` shows them, \
+             `moon-cli dlq retry` re-runs them with bounded attempts",
+            outcome.campaign,
+            outcome.failed.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn cmd_run(arg: &str, opts: RunOpts) {
+    let mut spec = match resolve_spec(arg) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("run {arg}: {e}")),
+    };
+    // Telemetry artifact flags imply recording: inject the default
+    // [telemetry] knob unless the scenario already configured one.
+    // (In campaign mode this happens before the content key is
+    // computed, so resumes must pass the same telemetry flags.)
+    if (opts.metrics_out.is_some() || opts.trace_out.is_some()) && spec.telemetry.is_none() {
+        spec.telemetry = Some(scenarios::TelemetrySpec::default());
+    }
+    if opts.campaign_mode() {
+        run_campaign_mode(&spec, &opts, false, 0);
+        return;
+    }
+    let run = match bench::run_spec(&spec, opts.seeds_override.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scenario `{}` failed: {e}", spec.name);
+            std::process::exit(1);
+        }
+    };
+    finish_run(&spec, &run, &opts, None);
+}
+
+fn cmd_dlq_list(arg: &str, checkpoint: Option<String>) {
+    let spec = match resolve_spec(arg) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("dlq list {arg}: {e}")),
+    };
+    let ckpt = checkpoint
+        .map(PathBuf::from)
+        .unwrap_or_else(|| bench::campaign::default_checkpoint_path(&spec.name));
+    let dlq = bench::campaign::dlq_path_for(&ckpt);
+    let entries = match bench::campaign::load_dlq(&dlq) {
+        Ok(e) => e,
+        Err(e) => fail(&format!("dlq list: {e}")),
+    };
+    if entries.is_empty() {
+        eprintln!("dlq {}: empty", dlq.display());
+        return;
+    }
+    println!("cell\tpoint\tpanel\tpolicy\tcolumn\tseed\treason\tattempts\tdetail");
+    for e in &entries {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            e.cell,
+            e.point,
+            e.panel,
+            e.policy,
+            e.column,
+            e.seed,
+            e.reason,
+            e.attempts,
+            e.detail.replace(['\t', '\n'], " "),
+        );
+    }
+    eprintln!("dlq {}: {} failed cell(s)", dlq.display(), entries.len());
+}
+
+fn cmd_dlq_retry(arg: &str, opts: RunOpts, max_attempts: u32) {
+    let mut spec = match resolve_spec(arg) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("dlq retry {arg}: {e}")),
+    };
+    // Same telemetry-implication rule as `run`: the campaign key
+    // covers the telemetry config, so a retry must shape the spec the
+    // same way the original invocation did.
+    if (opts.metrics_out.is_some() || opts.trace_out.is_some()) && spec.telemetry.is_none() {
+        spec.telemetry = Some(scenarios::TelemetrySpec::default());
+    }
+    run_campaign_mode(&spec, &opts, true, max_attempts);
 }
 
 fn cmd_fuzz(n_cases: u32, seed: u64, out: Option<String>, fault: Option<scenarios::Fault>) {
@@ -211,6 +379,84 @@ fn cmd_fuzz(n_cases: u32, seed: u64, out: Option<String>, fault: Option<scenario
     }
 }
 
+/// Consume one `run`-style flag at `args[*i]` into `opts`, advancing
+/// `*i`. Returns false (leaving `*i` alone) on an unrecognized flag so
+/// callers can layer their own flags or fail with usage.
+fn parse_run_flag(args: &[String], i: &mut usize, opts: &mut RunOpts) -> bool {
+    let value = |what: &str| -> String {
+        args.get(*i + 1)
+            .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+            .clone()
+    };
+    match args[*i].as_str() {
+        "--seeds" => {
+            let n: u64 = value("--seeds")
+                .parse()
+                .unwrap_or_else(|_| fail("--seeds needs a positive integer"));
+            opts.seeds_override = Some(scenarios::seed_list(n));
+            *i += 2;
+        }
+        "--out" => {
+            opts.out = Some(value("--out"));
+            *i += 2;
+        }
+        "--metrics-out" => {
+            opts.metrics_out = Some(value("--metrics-out"));
+            *i += 2;
+        }
+        "--trace-out" => {
+            opts.trace_out = Some(value("--trace-out"));
+            *i += 2;
+        }
+        "--strict" => {
+            opts.strict = true;
+            *i += 1;
+        }
+        "--checkpoint" => {
+            // The file argument is optional: bare `--checkpoint` uses
+            // the conventional bench_results/campaigns/<name> path.
+            opts.checkpoint_flag = true;
+            match args.get(*i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    opts.checkpoint = Some(v.clone());
+                    *i += 2;
+                }
+                _ => *i += 1,
+            }
+        }
+        "--resume" => {
+            opts.resume = true;
+            *i += 1;
+        }
+        "--event-budget" => {
+            opts.event_budget = Some(
+                value("--event-budget")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--event-budget needs a positive integer")),
+            );
+            *i += 2;
+        }
+        "--cell-deadline-secs" => {
+            opts.cell_deadline_secs = Some(
+                value("--cell-deadline-secs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cell-deadline-secs needs a positive integer")),
+            );
+            *i += 2;
+        }
+        "--inject-panic" => {
+            opts.inject_panic = Some(
+                value("--inject-panic")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--inject-panic needs a cell index")),
+            );
+            *i += 2;
+        }
+        _ => return false,
+    }
+    true
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -227,47 +473,55 @@ fn main() {
             let mut opts = RunOpts::default();
             let mut i = 2;
             while i < args.len() {
-                match args[i].as_str() {
-                    "--seeds" => {
-                        let n: u64 = args
-                            .get(i + 1)
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or_else(|| fail("--seeds needs a positive integer"));
-                        opts.seeds_override = Some(scenarios::seed_list(n));
-                        i += 2;
-                    }
-                    "--out" => {
-                        opts.out = Some(
-                            args.get(i + 1)
-                                .unwrap_or_else(|| fail("--out needs a file path"))
-                                .clone(),
-                        );
-                        i += 2;
-                    }
-                    "--metrics-out" => {
-                        opts.metrics_out = Some(
-                            args.get(i + 1)
-                                .unwrap_or_else(|| fail("--metrics-out needs a file path"))
-                                .clone(),
-                        );
-                        i += 2;
-                    }
-                    "--trace-out" => {
-                        opts.trace_out = Some(
-                            args.get(i + 1)
-                                .unwrap_or_else(|| fail("--trace-out needs a file path"))
-                                .clone(),
-                        );
-                        i += 2;
-                    }
-                    "--strict" => {
-                        opts.strict = true;
-                        i += 1;
-                    }
-                    other => fail(&format!("unknown flag `{other}`\n{USAGE}")),
+                if !parse_run_flag(&args, &mut i, &mut opts) {
+                    fail(&format!("unknown flag `{}`\n{USAGE}", args[i]));
                 }
             }
             cmd_run(&name, opts);
+        }
+        Some("dlq") => {
+            let name = match args.get(2) {
+                Some(n) if !n.starts_with("--") => n.clone(),
+                _ => fail(USAGE),
+            };
+            match args.get(1).map(String::as_str) {
+                Some("list") => {
+                    let mut checkpoint = None;
+                    let mut i = 3;
+                    while i < args.len() {
+                        match args[i].as_str() {
+                            "--checkpoint" => {
+                                checkpoint = Some(
+                                    args.get(i + 1)
+                                        .unwrap_or_else(|| fail("--checkpoint needs a file path"))
+                                        .clone(),
+                                );
+                                i += 2;
+                            }
+                            other => fail(&format!("unknown flag `{other}`\n{USAGE}")),
+                        }
+                    }
+                    cmd_dlq_list(&name, checkpoint);
+                }
+                Some("retry") => {
+                    let mut opts = RunOpts::default();
+                    let mut max_attempts = 3u32;
+                    let mut i = 3;
+                    while i < args.len() {
+                        if args[i].as_str() == "--max-attempts" {
+                            max_attempts = args
+                                .get(i + 1)
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| fail("--max-attempts needs a positive integer"));
+                            i += 2;
+                        } else if !parse_run_flag(&args, &mut i, &mut opts) {
+                            fail(&format!("unknown flag `{}`\n{USAGE}", args[i]));
+                        }
+                    }
+                    cmd_dlq_retry(&name, opts, max_attempts);
+                }
+                _ => fail(USAGE),
+            }
         }
         Some("fuzz") => {
             let n_cases: u32 = match args.get(1) {

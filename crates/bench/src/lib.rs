@@ -20,9 +20,11 @@
 use moon::{Experiment, RunResult};
 use rayon::prelude::*;
 
+pub mod campaign;
 pub mod obs;
 mod scenario;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, DlqEntry};
 pub use scenario::{run_spec, scenario_main, write_report, ScenarioRun};
 pub use scenarios::workload::measured_sleep;
 pub use scenarios::{
@@ -87,19 +89,7 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
         .map(|(exp, stream, telemetry)| {
             let r = exp.run_with_telemetry(stream, telemetry);
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-            let shown = match r.outcome {
-                moon::Outcome::Completed => {
-                    moon::report::secs_or_dnf(r.job_time.map(|d| d.as_secs_f64()))
-                }
-                // Distinguish a legitimate horizon DNF from an
-                // event-limit livelock right in the progress stream.
-                moon::Outcome::Horizon => "DNF(horizon)".into(),
-                moon::Outcome::EventLimit => "DNF(EVENT-LIMIT — livelock!)".into(),
-            };
-            eprintln!(
-                "[{}/{}] {} {} p={} seed={}: {}s",
-                k, total, r.label, r.workload, r.unavailability, r.seed, shown
-            );
+            progress_line(k, total, &r);
             r
         })
         .collect();
@@ -109,14 +99,33 @@ pub fn run_grid_with_seeds(points: Vec<Point>, seeds: &[u64]) -> Vec<Vec<RunResu
         .collect()
 }
 
+/// Emit one progress line for a finished run (`k` of `total`). Each
+/// line is a single `eprintln!` (one stderr lock), so concurrent pool
+/// workers never interleave mid-line.
+pub(crate) fn progress_line(k: usize, total: usize, r: &RunResult) {
+    let shown = match r.outcome {
+        moon::Outcome::Completed => moon::report::secs_or_dnf(r.job_time.map(|d| d.as_secs_f64())),
+        // Distinguish a legitimate horizon DNF from the containment
+        // verdicts right in the progress stream.
+        moon::Outcome::Horizon => "DNF(horizon)".into(),
+        moon::Outcome::EventLimit => "DNF(EVENT-LIMIT — livelock!)".into(),
+        moon::Outcome::Deadline => "DNF(WALL-DEADLINE — cell budget exceeded)".into(),
+        moon::Outcome::Crashed => "DNF(CRASHED — panic contained)".into(),
+    };
+    eprintln!(
+        "[{}/{}] {} {} p={} seed={}: {}s",
+        k, total, r.label, r.workload, r.unavailability, r.seed, shown
+    );
+}
+
 /// Dump raw per-run rows as JSON under `bench_results/<name>.json`
 /// (row schema shared with the scenario reports via
-/// [`moon::report::json`]).
+/// [`moon::report::json`]); written atomically so an interrupted dump
+/// never leaves a truncated artifact.
 pub fn dump_json(name: &str, results: &[Vec<RunResult>]) {
     let body = moon::report::json::results_array(results.iter().flatten());
-    std::fs::create_dir_all("bench_results").ok();
     let path = format!("bench_results/{name}.json");
-    match std::fs::write(&path, body) {
+    match simkit::fsio::atomic_write(std::path::Path::new(&path), body.as_bytes()) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

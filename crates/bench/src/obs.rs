@@ -45,47 +45,92 @@ fn run_meta(idx: usize, r: &RunResult) -> Vec<(&'static str, String)> {
     ]
 }
 
+/// One run's contribution to the metrics JSONL artifact: its gauge
+/// sample lines, rendered exactly as [`metrics_jsonl`] would append
+/// them at flat run index `idx`. `None` when the run carries no
+/// telemetry recorder.
+///
+/// The campaign checkpoint stores these fragments per cell, so a
+/// resumed sweep can stitch the artifact byte-identically without the
+/// (unserializable) live recorders.
+pub fn run_metrics_fragment(idx: usize, r: &RunResult) -> Option<String> {
+    let t = r.telemetry.as_deref()?;
+    let mut out = String::new();
+    t.metrics_jsonl_into(&run_meta(idx, r), &mut out);
+    Some(out)
+}
+
+/// One run's contribution to the Chrome trace artifact: its trace
+/// events (process metadata + spans) joined with `",\n"`, exactly the
+/// block [`chrome_trace`] emits for flat run index `idx`. `None` when
+/// the run carries no telemetry recorder.
+pub fn run_trace_fragment(idx: usize, r: &RunResult) -> Option<String> {
+    let t = r.telemetry.as_deref()?;
+    let coord = format!(
+        "run {idx}: {} {} p={} seed={}",
+        r.label, r.workload, r.unavailability, r.seed
+    );
+    let pid_nodes = (2 * idx + 1) as u64;
+    let pid_jobs = (2 * idx + 2) as u64;
+    let mut events: Vec<String> = Vec::new();
+    t.trace_events_into(
+        &move |g| match g {
+            SpanGroup::Nodes => pid_nodes,
+            SpanGroup::Jobs => pid_jobs,
+        },
+        &[
+            (SpanGroup::Nodes, format!("{coord} — nodes")),
+            (SpanGroup::Jobs, format!("{coord} — jobs")),
+        ],
+        &mut events,
+    );
+    Some(events.join(",\n"))
+}
+
+/// Assemble the metrics JSONL artifact from per-run fragments in grid
+/// order (`None` = run without telemetry): plain concatenation.
+pub fn metrics_from_fragments<'a>(frags: impl IntoIterator<Item = Option<&'a str>>) -> String {
+    frags.into_iter().flatten().collect()
+}
+
+/// Assemble the Chrome trace document from per-run fragments in grid
+/// order, reproducing [`chrome_trace`]'s bytes: non-empty fragments
+/// joined with `",\n"` inside the fixed wrapper.
+pub fn trace_from_fragments<'a>(frags: impl IntoIterator<Item = Option<&'a str>>) -> String {
+    let blocks: Vec<&str> = frags
+        .into_iter()
+        .flatten()
+        .filter(|f| !f.is_empty())
+        .collect();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&blocks.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
 /// Assemble the sweep's metrics JSONL artifact. Empty string when no
 /// run recorded telemetry.
 pub fn metrics_jsonl(run: &ScenarioRun) -> String {
-    let mut out = String::new();
-    for (idx, r) in runs(run) {
-        if let Some(t) = &r.telemetry {
-            t.metrics_jsonl_into(&run_meta(idx, r), &mut out);
-        }
-    }
-    out
+    metrics_from_fragments(
+        runs(run)
+            .map(|(idx, r)| run_metrics_fragment(idx, r))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(Option::as_deref),
+    )
 }
 
 /// Assemble the sweep's Chrome trace-event artifact: one JSON document
 /// with a `traceEvents` array covering every telemetry-enabled run.
 /// Run `i` owns pids `2i+1` (nodes) and `2i+2` (jobs).
 pub fn chrome_trace(run: &ScenarioRun) -> String {
-    let mut events: Vec<String> = Vec::new();
-    for (idx, r) in runs(run) {
-        let Some(t) = &r.telemetry else { continue };
-        let coord = format!(
-            "run {idx}: {} {} p={} seed={}",
-            r.label, r.workload, r.unavailability, r.seed
-        );
-        let pid_nodes = (2 * idx + 1) as u64;
-        let pid_jobs = (2 * idx + 2) as u64;
-        t.trace_events_into(
-            &move |g| match g {
-                SpanGroup::Nodes => pid_nodes,
-                SpanGroup::Jobs => pid_jobs,
-            },
-            &[
-                (SpanGroup::Nodes, format!("{coord} — nodes")),
-                (SpanGroup::Jobs, format!("{coord} — jobs")),
-            ],
-            &mut events,
-        );
-    }
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    out.push_str(&events.join(",\n"));
-    out.push_str("\n]}\n");
-    out
+    trace_from_fragments(
+        runs(run)
+            .map(|(idx, r)| run_trace_fragment(idx, r))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(Option::as_deref),
+    )
 }
 
 #[cfg(test)]

@@ -52,14 +52,10 @@ pub fn run_spec(
 }
 
 /// Write a scenario report to `path` (creating parent directories),
-/// logging the destination on stderr.
+/// logging the destination on stderr. The write is atomic (temp file +
+/// rename), so a killed process never leaves a truncated artifact.
 pub fn write_report(path: &std::path::Path, report_json: &str) {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).ok();
-        }
-    }
-    match std::fs::write(path, report_json) {
+    match simkit::fsio::atomic_write(path, report_json.as_bytes()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

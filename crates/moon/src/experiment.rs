@@ -7,6 +7,33 @@ use crate::world::World;
 use mapred::JobStatus;
 use simkit::{RunOutcome, Simulation};
 
+/// Containment limits for one experiment run, used by the campaign
+/// runner to turn livelocked cells into recorded failures instead of
+/// hung sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Hard cap on handled simulation events. Hitting it classifies
+    /// the run as [`Outcome::EventLimit`].
+    pub event_budget: u64,
+    /// Optional wall-clock budget for the run. Exceeding it classifies
+    /// the run as [`Outcome::Deadline`].
+    pub wall_deadline: Option<std::time::Duration>,
+}
+
+impl RunLimits {
+    /// The event budget every non-campaign run has always used.
+    pub const DEFAULT_EVENT_BUDGET: u64 = 200_000_000;
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            event_budget: Self::DEFAULT_EVENT_BUDGET,
+            wall_deadline: None,
+        }
+    }
+}
+
 /// One experiment point: a workload under a policy on a cluster.
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -73,6 +100,20 @@ impl Experiment {
         jobs: Option<workloads::JobStream>,
         telemetry: Option<simkit::TelemetryConfig>,
     ) -> RunResult {
+        self.run_with_limits(jobs, telemetry, RunLimits::default())
+    }
+
+    /// [`Experiment::run_with_telemetry`] under explicit containment
+    /// limits. The default limits reproduce the historical behaviour
+    /// exactly (same event budget, no wall deadline), so every
+    /// non-campaign caller keeps byte-identical results; the campaign
+    /// runner tightens them per cell to catch livelocks.
+    pub fn run_with_limits(
+        self,
+        jobs: Option<workloads::JobStream>,
+        telemetry: Option<simkit::TelemetryConfig>,
+        limits: RunLimits,
+    ) -> RunResult {
         let label = self.policy.label.clone();
         let workload_name = self.workload.name.clone();
         let unavailability = self.cluster.unavailability;
@@ -85,7 +126,10 @@ impl Experiment {
         if let Some(cfg) = telemetry {
             world.enable_telemetry(cfg);
         }
-        let mut sim = Simulation::new(world, seed).with_event_limit(200_000_000);
+        let mut sim = Simulation::new(world, seed).with_event_limit(limits.event_budget);
+        if let Some(budget) = limits.wall_deadline {
+            sim = sim.with_wall_deadline(budget);
+        }
         World::init(&mut sim);
         let sim_outcome = sim.run_until(horizon);
         let events = sim.events_handled();
@@ -138,6 +182,8 @@ impl Experiment {
             Outcome::Completed
         } else if sim_outcome == RunOutcome::EventLimit {
             Outcome::EventLimit
+        } else if sim_outcome == RunOutcome::WallDeadline {
+            Outcome::Deadline
         } else {
             Outcome::Horizon
         };

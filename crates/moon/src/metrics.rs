@@ -45,17 +45,52 @@ pub enum Outcome {
     /// The event-count safety limit was hit — a livelock in the world
     /// model, not a legitimate DNF. Investigate, don't average.
     EventLimit,
+    /// The wall-clock deadline of a campaign cell passed first — the
+    /// run made too little progress per second of real time. Like
+    /// [`Outcome::EventLimit`], a containment verdict, not a DNF.
+    Deadline,
+    /// The run panicked and was contained by the campaign runner; the
+    /// rest of the result row is a deterministic placeholder. Only the
+    /// campaign layer produces this.
+    Crashed,
 }
 
 impl Outcome {
     /// Stable machine-readable name (`completed` / `horizon` /
-    /// `event_limit`), used by the JSON report writer.
+    /// `event_limit` / `wall_deadline` / `crashed`), used by the JSON
+    /// report writer and the campaign checkpoint codec.
     pub fn as_str(self) -> &'static str {
         match self {
             Outcome::Completed => "completed",
             Outcome::Horizon => "horizon",
             Outcome::EventLimit => "event_limit",
+            Outcome::Deadline => "wall_deadline",
+            Outcome::Crashed => "crashed",
         }
+    }
+
+    /// Inverse of [`Outcome::as_str`], used when decoding checkpoint
+    /// rows. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "completed" => Outcome::Completed,
+            "horizon" => Outcome::Horizon,
+            "event_limit" => Outcome::EventLimit,
+            "wall_deadline" => Outcome::Deadline,
+            "crashed" => Outcome::Crashed,
+            _ => return None,
+        })
+    }
+
+    /// True for the containment outcomes ([`Outcome::EventLimit`],
+    /// [`Outcome::Deadline`], [`Outcome::Crashed`]): the run did not
+    /// end by simulation semantics, so its partial counters must not
+    /// be pooled into table cells.
+    pub fn is_contained_failure(self) -> bool {
+        matches!(
+            self,
+            Outcome::EventLimit | Outcome::Deadline | Outcome::Crashed
+        )
     }
 }
 
@@ -314,6 +349,22 @@ mod tests {
         assert_eq!(Outcome::Completed.as_str(), "completed");
         assert_eq!(Outcome::Horizon.as_str(), "horizon");
         assert_eq!(Outcome::EventLimit.to_string(), "event_limit");
+        assert_eq!(Outcome::Deadline.as_str(), "wall_deadline");
+        assert_eq!(Outcome::Crashed.as_str(), "crashed");
+        for o in [
+            Outcome::Completed,
+            Outcome::Horizon,
+            Outcome::EventLimit,
+            Outcome::Deadline,
+            Outcome::Crashed,
+        ] {
+            assert_eq!(Outcome::from_name(o.as_str()), Some(o));
+            assert_eq!(
+                o.is_contained_failure(),
+                !matches!(o, Outcome::Completed | Outcome::Horizon)
+            );
+        }
+        assert_eq!(Outcome::from_name("nope"), None);
     }
 
     #[test]

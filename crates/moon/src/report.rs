@@ -17,12 +17,15 @@ pub fn secs_or_dnf(t: Option<f64>) -> String {
 /// called out loudly when present, since those are simulator bugs
 /// rather than legitimate paper-style DNFs.
 pub fn outcome_summary<'a>(results: impl IntoIterator<Item = &'a RunResult>) -> String {
-    let (mut done, mut horizon, mut livelock) = (0usize, 0usize, 0usize);
+    let (mut done, mut horizon, mut livelock, mut deadline, mut crashed) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
     for r in results {
         match r.outcome {
             Outcome::Completed => done += 1,
             Outcome::Horizon => horizon += 1,
             Outcome::EventLimit => livelock += 1,
+            Outcome::Deadline => deadline += 1,
+            Outcome::Crashed => crashed += 1,
         }
     }
     let mut s = format!("{done} completed");
@@ -33,6 +36,14 @@ pub fn outcome_summary<'a>(results: impl IntoIterator<Item = &'a RunResult>) -> 
         s.push_str(&format!(
             ", {livelock} EVENT-LIMIT (livelock — investigate, not a real DNF)"
         ));
+    }
+    if deadline > 0 {
+        s.push_str(&format!(
+            ", {deadline} WALL-DEADLINE (cell budget exceeded — see DLQ)"
+        ));
+    }
+    if crashed > 0 {
+        s.push_str(&format!(", {crashed} CRASHED (panic contained — see DLQ)"));
     }
     s
 }
@@ -83,6 +94,12 @@ pub fn profile_table(title: &str, results: &[RunResult]) -> String {
         "policy\tavg_map(s)\tavg_shuffle(s)\tavg_reduce(s)\tkilled_maps\tkilled_reduces\n",
     );
     for r in results {
+        if r.outcome.is_contained_failure() {
+            // A cut-off run's per-task averages are partial, not a
+            // profile: the whole row is DNF.
+            out.push_str(&format!("{}\tDNF\tDNF\tDNF\tDNF\tDNF\n", r.label));
+            continue;
+        }
         out.push_str(&format!(
             "{}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\n",
             r.label,
@@ -224,6 +241,245 @@ pub mod json {
         let rows: Vec<String> = results.into_iter().map(result_row).collect();
         format!("[\n{}\n]\n", rows.join(",\n"))
     }
+
+    /// A parsed JSON value.
+    ///
+    /// Numbers are kept as their **raw source text** rather than eagerly
+    /// converted to `f64`: campaign checkpoints carry `u64` seeds and
+    /// micro-second timestamps that exceed 2^53, which an `f64` round
+    /// trip would silently corrupt. Callers pick the lossless conversion
+    /// ([`Value::as_u64`], [`Value::as_f64`]) at the use site.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, as raw source text (lossless).
+        Num(String),
+        /// A string (unescaped).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object; insertion order preserved.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// String contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Boolean, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// Array elements, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Lossless unsigned-integer view of a number.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// Floating-point view of a number (`null` maps to `None`;
+        /// callers that encoded NaN as `null` recover it explicitly).
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document. Trailing whitespace is allowed, trailing
+    /// garbage is an error. Errors carry a byte offset for triage.
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if *pos < bytes.len() && bytes[*pos] == b {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", b as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':')?;
+                    fields.push((key, parse_value(bytes, pos)?));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = *pos;
+                if bytes[*pos] == b'-' {
+                    *pos += 1;
+                }
+                while *pos < bytes.len()
+                    && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    *pos += 1;
+                }
+                let raw = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| format!("invalid number at byte {start}"))?;
+                // Validate eagerly so garbage like "1.2.3" is rejected
+                // here, not at the (possibly distant) use site.
+                raw.parse::<f64>()
+                    .map_err(|_| format!("invalid number {raw:?} at byte {start}"))?;
+                Ok(Value::Num(raw.to_string()))
+            }
+            Some(&b) => Err(format!("unexpected byte '{}' at byte {pos}", b as char)),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {lit} at byte {pos}"))
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = *pos;
+            while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                *pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| format!("invalid utf-8 in string at byte {start}"))?,
+            );
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                            // The emitters in this workspace only escape
+                            // control characters, so bare BMP scalars
+                            // suffice; reject surrogates outright.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u scalar at byte {pos}"))?;
+                            out.push(c);
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -321,5 +577,53 @@ mod tests {
         assert!(s.contains("EVENT-LIMIT"), "{s}");
         let s = outcome_summary(&rs[..1]);
         assert_eq!(s, "1 completed");
+        let rs = vec![
+            dummy_result(Outcome::Deadline),
+            dummy_result(Outcome::Crashed),
+        ];
+        let s = outcome_summary(&rs);
+        assert!(s.contains("1 WALL-DEADLINE"), "{s}");
+        assert!(s.contains("1 CRASHED"), "{s}");
+    }
+
+    #[test]
+    fn json_parse_round_trips_result_rows() {
+        use json::Value;
+        let mut r = dummy_result(crate::Outcome::Completed);
+        r.seed = u64::MAX - 3; // exceeds 2^53: must survive losslessly
+        let doc = json::parse(&json::result_row(&r)).unwrap();
+        assert_eq!(doc.get("label").and_then(Value::as_str), Some("a\"b"));
+        assert_eq!(doc.get("seed").and_then(Value::as_u64), Some(u64::MAX - 3));
+        assert_eq!(doc.get("job_secs"), Some(&Value::Null));
+        assert_eq!(doc.get("events").and_then(Value::as_u64), Some(17));
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_documents() {
+        assert!(json::parse("").is_err());
+        assert!(json::parse("{\"a\": 1,}").is_err());
+        assert!(json::parse("{\"a\": 1} extra").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+        assert!(json::parse("1.2.3").is_err());
+    }
+
+    #[test]
+    fn json_parse_handles_escapes_and_nesting() {
+        use json::Value;
+        let doc = json::parse(
+            "{\"s\": \"a\\n\\t\\\"b\\u0007\", \"arr\": [true, false, null, -1.5e3], \"o\": {}}",
+        )
+        .unwrap();
+        assert_eq!(doc.get("s").and_then(Value::as_str), Some("a\n\t\"b\u{7}"));
+        let arr = doc.get("arr").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr[0], Value::Bool(true));
+        assert_eq!(arr[2], Value::Null);
+        assert_eq!(arr[3].as_f64(), Some(-1500.0));
+        assert_eq!(doc.get("o"), Some(&Value::Obj(vec![])));
+        // Escaped strings round-trip through the emitter's escape().
+        let s = "weird \\ chars\t\"quoted\"\nnewline \u{1}";
+        let doc = json::parse(&format!("\"{}\"", json::escape(s))).unwrap();
+        assert_eq!(doc.as_str(), Some(s));
     }
 }

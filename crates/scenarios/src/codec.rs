@@ -661,10 +661,63 @@ pub fn to_string(spec: &ScenarioSpec) -> String {
     toml::serialize(&to_toml(spec))
 }
 
+/// Deterministic campaign key: a 64-bit FNV-1a hash (hex) over the
+/// spec's canonical TOML serialization, the effective seed list, and
+/// the quick-mode flag — everything that shapes the expanded grid.
+///
+/// Two invocations agree on the key iff they would run the same cells
+/// with the same inputs, which is the precondition for checkpoint
+/// resume: `moon-cli run --resume` refuses a checkpoint whose key
+/// differs. Canonical TOML (not the user's file bytes) feeds the hash,
+/// so formatting and key order don't matter; `MOON_QUICK` and the seed
+/// list do, since they change cluster shrinking and the grid itself.
+pub fn content_key(spec: &ScenarioSpec, seeds: &[u64], quick: bool) -> String {
+    // FNV-1a, 64-bit: tiny, stable across platforms and releases —
+    // unlike `DefaultHasher`, whose output is explicitly unspecified.
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(to_string(spec).as_bytes());
+    eat(b"\0seeds");
+    for &s in seeds {
+        eat(&s.to_le_bytes());
+    }
+    eat(b"\0quick");
+    eat(&[quick as u8]);
+    format!("{h:016x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::registry;
+
+    #[test]
+    fn content_key_is_stable_and_input_sensitive() {
+        let spec = registry::find("high-churn").unwrap();
+        let key = content_key(&spec, &[42, 1042], false);
+        assert_eq!(key.len(), 16);
+        assert!(key.chars().all(|c| c.is_ascii_hexdigit()));
+        // Deterministic across calls…
+        assert_eq!(key, content_key(&spec, &[42, 1042], false));
+        // …and sensitive to each input that shapes the grid.
+        assert_ne!(key, content_key(&spec, &[42], false));
+        assert_ne!(key, content_key(&spec, &[1042, 42], false));
+        assert_ne!(key, content_key(&spec, &[42, 1042], true));
+        let mut other = spec.clone();
+        other.horizon_secs = Some(other.horizon_secs.unwrap_or(28_800) + 1);
+        assert_ne!(key, content_key(&other, &[42, 1042], false));
+        // Canonicalization: a spec reparsed from its own serialization
+        // keys identically (formatting of the source file is irrelevant).
+        let reparsed = from_str(&to_string(&spec)).unwrap();
+        assert_eq!(key, content_key(&reparsed, &[42, 1042], false));
+    }
 
     #[test]
     fn every_builtin_round_trips() {

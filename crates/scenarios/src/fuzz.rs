@@ -717,9 +717,10 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport, ScenarioError> {
                 let path = cfg
                     .out_dir
                     .join(format!("repro-case-{index}-{}.toml", f.invariant));
-                std::fs::write(&path, codec::to_string(&small.spec)).map_err(|e| {
-                    ScenarioError::msg(format!("cannot write {}: {e}", path.display()))
-                })?;
+                simkit::fsio::atomic_write(&path, codec::to_string(&small.spec).as_bytes())
+                    .map_err(|e| {
+                        ScenarioError::msg(format!("cannot write {}: {e}", path.display()))
+                    })?;
                 Some(path.to_string_lossy().into_owned())
             } else {
                 None

@@ -11,9 +11,22 @@ use crate::spec::{TableKind, TableSpec};
 use moon::{report, RunResult};
 use workloads::ReduceCount;
 
-/// Mean job time over finished seeds (`None` if every seed DNF'd).
+/// True when any run in a cell's seed pool ended in a containment
+/// verdict (event-limit livelock, wall-deadline, contained panic).
+/// Such runs carry *partial* counters — whatever the world had done
+/// when it was cut off — so pooling them would print plausible-looking
+/// garbage. Every table kind treats a poisoned cell as DNF instead.
+pub fn cell_poisoned(results: &[RunResult]) -> bool {
+    results.iter().any(|r| r.outcome.is_contained_failure())
+}
+
+/// Mean job time over finished seeds (`None` if every seed DNF'd or
+/// the pool is [poisoned](cell_poisoned)).
 /// (Formerly `bench::mean_time`; `bench` re-exports it.)
 pub fn mean_time(results: &[RunResult]) -> Option<f64> {
+    if cell_poisoned(results) {
+        return None;
+    }
     let done: Vec<f64> = results
         .iter()
         .filter_map(|r| r.job_time.map(|d| d.as_secs_f64()))
@@ -21,19 +34,30 @@ pub fn mean_time(results: &[RunResult]) -> Option<f64> {
     (!done.is_empty()).then(|| done.iter().sum::<f64>() / done.len() as f64)
 }
 
-/// Mean duplicated-task count across seeds.
+/// Mean duplicated-task count across seeds (`None` when the pool is
+/// [poisoned](cell_poisoned) — a cut-off run's duplicate counter is
+/// partial, not a measurement).
 /// (Formerly `bench::mean_duplicates`; `bench` re-exports it.)
-pub fn mean_duplicates(results: &[RunResult]) -> f64 {
-    results
-        .iter()
-        .map(|r| r.job.duplicated_tasks as f64)
-        .sum::<f64>()
-        / results.len().max(1) as f64
+pub fn mean_duplicates(results: &[RunResult]) -> Option<f64> {
+    if cell_poisoned(results) {
+        return None;
+    }
+    Some(
+        results
+            .iter()
+            .map(|r| r.job.duplicated_tasks as f64)
+            .sum::<f64>()
+            / results.len().max(1) as f64,
+    )
 }
 
 /// Mean bounded slowdown over every committed job run in a point's
-/// seed pool (`None` when no job committed — the saturated regime).
+/// seed pool (`None` when no job committed — the saturated regime —
+/// or when the pool is [poisoned](cell_poisoned)).
 pub fn mean_slowdown(results: &[RunResult]) -> Option<f64> {
+    if cell_poisoned(results) {
+        return None;
+    }
     let v: Vec<f64> = results
         .iter()
         .flat_map(|r| r.jobs.iter().flatten())
@@ -125,6 +149,12 @@ fn jobs_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize
     let mean = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
     for (row, label) in plan.row_labels.iter().enumerate() {
         let rs = &results[plan.point_index(panel, row, 0)];
+        if cell_poisoned(rs) {
+            // A cut-off run's SLO rows are partial; the whole pooled
+            // cell is DNF (counts and means), "-" for the percentiles.
+            out.push_str(&format!("{label}\tDNF\tDNF\tDNF\tDNF\t-\t-\n"));
+            continue;
+        }
         let rows: Vec<&moon::JobSlo> = rs.iter().flat_map(|r| r.jobs.iter().flatten()).collect();
         let completed = rows.iter().filter(|j| j.finished.is_some()).count();
         let makespans: Vec<f64> = rows.iter().filter_map(|j| j.makespan_secs()).collect();
@@ -182,6 +212,10 @@ fn detail_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usi
     for (row, label) in plan.row_labels.iter().enumerate() {
         // Detail tables are single-column sweeps; show the first column.
         let rs = &results[plan.point_index(panel, row, 0)];
+        if cell_poisoned(rs) {
+            out.push_str(&format!("{label}\tDNF\tDNF\tDNF\tDNF\n"));
+            continue;
+        }
         out.push_str(&format!(
             "{}\t{}\t{}\t{}\t{}\n",
             label,
@@ -217,12 +251,21 @@ pub fn render_tables(plan: &Plan, results: &[Vec<RunResult>]) -> String {
                 TableKind::Duplicates => report::series_table_cols(
                     &title,
                     &plan.col_labels,
-                    &series_rows(plan, results, panel, |rs| Some(mean_duplicates(rs))),
+                    &series_rows(plan, results, panel, mean_duplicates),
                     "count",
                 ),
                 TableKind::Profile => {
                     let firsts: Vec<RunResult> = (0..plan.row_labels.len())
-                        .map(|row| results[plan.point_index(panel, row, 0)][0].clone())
+                        .map(|row| {
+                            let rs = &results[plan.point_index(panel, row, 0)];
+                            // Surface the containment verdict itself as
+                            // the representative run: `profile_table`
+                            // renders contained failures as a DNF row.
+                            rs.iter()
+                                .find(|r| r.outcome.is_contained_failure())
+                                .unwrap_or(&rs[0])
+                                .clone()
+                        })
                         .collect();
                     report::profile_table(&title, &firsts)
                 }
@@ -350,7 +393,70 @@ mod tests {
         ];
         assert_eq!(mean_time(&rs), Some(150.0));
         assert_eq!(mean_time(&rs[1..2]), None);
-        assert_eq!(mean_duplicates(&rs), 0.0);
+        assert_eq!(mean_duplicates(&rs), Some(0.0));
+    }
+
+    #[test]
+    fn poisoned_cells_render_dnf_in_every_table_kind() {
+        // One livelocked seed poisons its whole pooled cell: the other
+        // seeds' numbers must not leak into any table kind.
+        let mut livelocked = fake_result("x", None, 2);
+        livelocked.outcome = Outcome::EventLimit;
+        livelocked.job.duplicated_tasks = 999;
+        livelocked.profile.avg_map_time = 123.0;
+        livelocked.jobs = Some(vec![fake_slo(10, Some(500))]);
+        let pool = vec![fake_result("x", Some(100.0), 1), livelocked];
+        assert!(cell_poisoned(&pool));
+        assert_eq!(mean_time(&pool), None, "time cell must DNF");
+        assert_eq!(mean_duplicates(&pool), None, "dup cell must DNF");
+        assert_eq!(mean_slowdown(&pool), None, "slowdown cell must DNF");
+        // The same rule holds for the wall-deadline and crash verdicts.
+        for outcome in [Outcome::Deadline, Outcome::Crashed] {
+            let mut r = fake_result("x", None, 3);
+            r.outcome = outcome;
+            assert!(cell_poisoned(&[r]));
+        }
+
+        // End to end: poison the first point of each scenario whose
+        // tables exercise Profile/Detail/Jobs and check the rendered
+        // rows say DNF, not numbers pooled from the healthy seed.
+        let plan = expand::expand(&registry::find("job-stream-light").unwrap()).unwrap();
+        let results: Vec<Vec<RunResult>> = (0..plan.n_points())
+            .map(|i| {
+                let mut a = fake_result("x", Some(300.0), 1);
+                a.jobs = Some(vec![fake_slo(100, Some(300))]);
+                let mut b = fake_result("x", Some(200.0), 2);
+                b.jobs = Some(vec![fake_slo(60, Some(260))]);
+                if i == 0 {
+                    b.outcome = Outcome::EventLimit;
+                    b.job_time = None;
+                }
+                vec![a, b]
+            })
+            .collect();
+        let text = render_tables(&plan, &results);
+        let first = plan.row_labels.first().unwrap();
+        assert!(
+            text.contains(&format!("{first}\tDNF\tDNF\tDNF\tDNF\t-\t-")),
+            "jobs table must DNF the poisoned pooled row: {text}"
+        );
+        let plan = expand::expand(&registry::find("table2").unwrap()).unwrap();
+        let results: Vec<Vec<RunResult>> = (0..plan.n_points())
+            .map(|i| {
+                let mut r = fake_result("x", Some(100.0), 1);
+                r.profile.avg_map_time = 21.0;
+                if i == 0 {
+                    r.outcome = Outcome::Deadline;
+                    r.job_time = None;
+                }
+                vec![r]
+            })
+            .collect();
+        let text = render_tables(&plan, &results);
+        assert!(
+            text.contains("\tDNF\tDNF\tDNF\tDNF\tDNF\n"),
+            "profile table must DNF the poisoned row: {text}"
+        );
     }
 
     #[test]

@@ -113,6 +113,8 @@ pub enum RunOutcome {
     HorizonReached,
     /// The event-count safety limit was hit (likely a livelock bug).
     EventLimit,
+    /// The wall-clock deadline passed before the run finished.
+    WallDeadline,
 }
 
 /// A discrete-event simulation over a user model.
@@ -125,6 +127,10 @@ pub struct Simulation<M: Model> {
     /// Hard cap on handled events, to turn accidental livelocks into
     /// detectable failures instead of hangs.
     event_limit: u64,
+    /// Wall-clock instant after which `run_until` bails out with
+    /// [`RunOutcome::WallDeadline`]. Checked coarsely (every 16384
+    /// events) so the hot loop stays branch-cheap.
+    wall_deadline: Option<std::time::Instant>,
 }
 
 impl<M: Model> Simulation<M> {
@@ -138,12 +144,24 @@ impl<M: Model> Simulation<M> {
             model,
             events_handled: 0,
             event_limit: u64::MAX,
+            wall_deadline: None,
         }
     }
 
     /// Cap the total number of events handled (safety valve for tests).
     pub fn with_event_limit(mut self, limit: u64) -> Self {
         self.event_limit = limit;
+        self
+    }
+
+    /// Abort the run once `budget` of wall-clock time has elapsed,
+    /// returning [`RunOutcome::WallDeadline`]. The check piggybacks on
+    /// the event counter (every 16384 events), so very short budgets
+    /// resolve with that granularity. This is the campaign runner's
+    /// livelock guard for models that stay under the event limit but
+    /// make no real progress.
+    pub fn with_wall_deadline(mut self, budget: std::time::Duration) -> Self {
+        self.wall_deadline = Some(std::time::Instant::now() + budget);
         self
     }
 
@@ -217,6 +235,11 @@ impl<M: Model> Simulation<M> {
         loop {
             if self.events_handled >= self.event_limit {
                 return RunOutcome::EventLimit;
+            }
+            if let Some(deadline) = self.wall_deadline {
+                if self.events_handled & 0x3FFF == 0 && std::time::Instant::now() >= deadline {
+                    return RunOutcome::WallDeadline;
+                }
             }
             let Some(next) = self.queue.peek_time() else {
                 return RunOutcome::QueueEmpty;
@@ -344,6 +367,38 @@ mod tests {
         sim.schedule(SimDuration::ZERO, ());
         assert_eq!(sim.run(), RunOutcome::EventLimit);
         assert_eq!(sim.events_handled(), 1000);
+    }
+
+    #[test]
+    fn wall_deadline_halts_livelock() {
+        struct Livelock;
+        impl Model for Livelock {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _ev: ()) {
+                ctx.schedule(SimDuration::ZERO, ());
+            }
+        }
+        // A zero budget trips the very first coarse check, before any
+        // event is handled; without it the livelock would spin forever.
+        let mut sim = Simulation::new(Livelock, 0).with_wall_deadline(std::time::Duration::ZERO);
+        sim.schedule(SimDuration::ZERO, ());
+        assert_eq!(sim.run(), RunOutcome::WallDeadline);
+        assert_eq!(sim.events_handled(), 0);
+    }
+
+    #[test]
+    fn generous_wall_deadline_does_not_perturb_run() {
+        let mut sim = Simulation::new(
+            Countdown {
+                remaining: 3,
+                fired_at: vec![],
+            },
+            42,
+        )
+        .with_wall_deadline(std::time::Duration::from_secs(3600));
+        sim.schedule(SimDuration::from_secs(5), Tick::Tick);
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.events_handled(), 4);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 mod engine;
 pub mod env;
+pub mod fsio;
 mod queue;
 mod rng;
 pub mod stats;

@@ -146,6 +146,31 @@ mod tests {
     }
 
     #[test]
+    fn many_panics_drain_fully_and_report_exactly_once() {
+        pool4();
+        // The campaign layer relies on this containment contract: even
+        // when several tasks panic, the batch drains (sibling side
+        // effects persist) and exactly one panic reaches the caller —
+        // the pool never aborts and never double-raises.
+        static SURVIVORS: AtomicUsize = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            (0u32..40).into_par_iter().for_each(|x| {
+                if x % 10 == 0 {
+                    panic!("boom {x}");
+                }
+                SURVIVORS.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let payload = result.expect_err("one panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.starts_with("boom"), "unexpected payload: {msg:?}");
+        assert_eq!(SURVIVORS.load(Ordering::Relaxed), 36);
+    }
+
+    #[test]
     fn filter_and_for_each_work() {
         pool4();
         let kept: Vec<u32> = (0u32..100).into_par_iter().filter(|x| x % 3 == 0).collect();
