@@ -270,7 +270,7 @@ fn encode_job_metrics(m: &mapred::JobMetrics) -> String {
         concat!(
             "{{\"duplicated_tasks\":{},\"killed_maps\":{},\"killed_reduces\":{},",
             "\"killed_by_tracker_expiry\":{},\"map_output_relaunches\":{},",
-            "\"completed_maps\":{},\"completed_reduces\":{}}}"
+            "\"completed_maps\":{},\"completed_reduces\":{},\"preempted\":{}}}"
         ),
         m.duplicated_tasks,
         m.killed_maps,
@@ -279,7 +279,18 @@ fn encode_job_metrics(m: &mapred::JobMetrics) -> String {
         m.map_output_relaunches,
         m.completed_maps,
         m.completed_reduces,
+        m.preempted,
     )
+}
+
+/// Like [`dec_u32`], but a missing key decodes as 0 — counters added
+/// after a checkpoint was written (e.g. `preempted`) read back as
+/// zero instead of poisoning the resume.
+fn dec_u32_or_zero(v: &Value, key: &str) -> Result<u32, String> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(_) => dec_u32(v, key),
+    }
 }
 
 fn decode_job_metrics(v: &Value) -> Result<mapred::JobMetrics, String> {
@@ -291,6 +302,7 @@ fn decode_job_metrics(v: &Value) -> Result<mapred::JobMetrics, String> {
         map_output_relaunches: dec_u32(v, "map_output_relaunches")?,
         completed_maps: dec_u32(v, "completed_maps")?,
         completed_reduces: dec_u32(v, "completed_reduces")?,
+        preempted: dec_u32_or_zero(v, "preempted")?,
     })
 }
 
@@ -298,7 +310,8 @@ fn encode_slo(j: &JobSlo) -> String {
     format!(
         concat!(
             "{{\"job\":{},\"workload\":\"{}\",\"submitted_us\":{},",
-            "\"first_launch_us\":{},\"finished_us\":{},\"metrics\":{}}}"
+            "\"first_launch_us\":{},\"finished_us\":{},\"deadline_us\":{},",
+            "\"priority\":{},\"tenant\":{},\"metrics\":{}}}"
         ),
         j.job,
         escape(&j.workload),
@@ -311,18 +324,40 @@ fn encode_slo(j: &JobSlo) -> String {
             j.finished
                 .map(|t| t.since(simkit::SimTime::ZERO).as_micros())
         ),
+        enc_opt_micros(
+            j.deadline
+                .map(|t| t.since(simkit::SimTime::ZERO).as_micros())
+        ),
+        j.priority,
+        j.tenant,
         encode_job_metrics(&j.metrics),
     )
 }
 
 fn decode_slo(v: &Value) -> Result<JobSlo, String> {
     let time = simkit::SimTime::from_micros;
+    // Scheduling metadata keys postdate the checkpoint format; missing
+    // ones decode as "no metadata" so older checkpoints still resume.
+    let deadline = match v.get("deadline_us") {
+        None => None,
+        Some(_) => dec_opt_micros(v, "deadline_us")?.map(time),
+    };
+    let priority = match v.get("priority") {
+        None => 0,
+        Some(n) => n
+            .as_i64()
+            .and_then(|i| i32::try_from(i).ok())
+            .ok_or_else(|| "`priority` is not an i32".to_string())?,
+    };
     Ok(JobSlo {
         job: dec_u32(v, "job")?,
         workload: dec_str(v, "workload")?,
         submitted: time(dec_u64(v, "submitted_us")?),
         first_launch: dec_opt_micros(v, "first_launch_us")?.map(time),
         finished: dec_opt_micros(v, "finished_us")?.map(time),
+        deadline,
+        priority,
+        tenant: dec_u32_or_zero(v, "tenant")?,
         metrics: decode_job_metrics(field(v, "metrics")?)?,
     })
 }
@@ -989,6 +1024,9 @@ mod tests {
             submitted: simkit::SimTime::from_micros(u64::MAX / 5),
             first_launch: None,
             finished: Some(simkit::SimTime::from_micros(12)),
+            deadline: Some(simkit::SimTime::from_micros(u64::MAX / 7)),
+            priority: -3,
+            tenant: 2,
             metrics: Default::default(),
         }]);
         r
@@ -1034,6 +1072,9 @@ mod tests {
         assert_eq!(ja.submitted, jb.submitted);
         assert_eq!(ja.first_launch, jb.first_launch);
         assert_eq!(ja.finished, jb.finished);
+        assert_eq!(ja.deadline, jb.deadline);
+        assert_eq!(ja.priority, jb.priority);
+        assert_eq!(ja.tenant, jb.tenant);
         assert_eq!(ja.metrics, jb.metrics);
     }
 

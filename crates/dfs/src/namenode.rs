@@ -186,6 +186,9 @@ pub struct NameNode {
     heartbeat_order: BTreeSet<(SimTime, NodeId)>,
     /// Registered volatile nodes (estimator denominator).
     n_volatile_total: usize,
+    /// Registered dedicated nodes (capacity clamp for replication
+    /// demands).
+    n_dedicated_total: usize,
     /// Active dedicated nodes whose throttle is currently open.
     unthrottled_active_dedicated: usize,
     /// Reusable exclude-set scratch for the replication scanner.
@@ -214,6 +217,7 @@ impl NameNode {
             active_volatile: BTreeSet::new(),
             heartbeat_order: BTreeSet::new(),
             n_volatile_total: 0,
+            n_dedicated_total: 0,
             unthrottled_active_dedicated: 0,
             scratch_exclude: BTreeSet::new(),
             next_file: 0,
@@ -318,10 +322,12 @@ impl NameNode {
         let mut volatile = BTreeSet::new();
         let mut unthrottled = 0usize;
         let mut n_volatile = 0usize;
+        let mut n_dedicated = 0usize;
         let mut order = BTreeSet::new();
         for (id, n) in self.nodes_iter() {
-            if n.class == NodeClass::Volatile {
-                n_volatile += 1;
+            match n.class {
+                NodeClass::Volatile => n_volatile += 1,
+                NodeClass::Dedicated => n_dedicated += 1,
             }
             if n.liveness != NodeLiveness::Dead {
                 order.insert((n.last_heartbeat, id));
@@ -344,6 +350,7 @@ impl NameNode {
         assert_eq!(dedicated, self.active_dedicated, "active-dedicated drift");
         assert_eq!(volatile, self.active_volatile, "active-volatile drift");
         assert_eq!(n_volatile, self.n_volatile_total, "volatile-count drift");
+        assert_eq!(n_dedicated, self.n_dedicated_total, "dedicated-count drift");
         assert_eq!(
             unthrottled, self.unthrottled_active_dedicated,
             "unthrottled-dedicated drift"
@@ -361,10 +368,12 @@ impl NameNode {
         let mut volatile = BTreeSet::new();
         let mut unthrottled = 0usize;
         let mut n_volatile = 0usize;
+        let mut n_dedicated = 0usize;
         let mut order = BTreeSet::new();
         for (id, n) in self.nodes_iter() {
-            if n.class == NodeClass::Volatile {
-                n_volatile += 1;
+            match n.class {
+                NodeClass::Volatile => n_volatile += 1,
+                NodeClass::Dedicated => n_dedicated += 1,
             }
             if n.liveness != NodeLiveness::Dead {
                 order.insert((n.last_heartbeat, id));
@@ -396,6 +405,12 @@ impl NameNode {
                 self.n_volatile_total
             ));
         }
+        if n_dedicated != self.n_dedicated_total {
+            issues.push(format!(
+                "namenode dedicated-count drifted: counter {}, recount {n_dedicated}",
+                self.n_dedicated_total
+            ));
+        }
         if unthrottled != self.unthrottled_active_dedicated {
             issues.push(format!(
                 "namenode unthrottled-dedicated counter drifted: counter {}, recount {unthrottled}",
@@ -425,8 +440,9 @@ impl NameNode {
             if liveness != NodeLiveness::Dead {
                 self.heartbeat_order.remove(&(hb, id));
             }
-            if old_class == NodeClass::Volatile {
-                self.n_volatile_total -= 1;
+            match old_class {
+                NodeClass::Volatile => self.n_volatile_total -= 1,
+                NodeClass::Dedicated => self.n_dedicated_total -= 1,
             }
         }
         self.nodes[id.0 as usize] = Some(NodeInfo {
@@ -436,8 +452,9 @@ impl NameNode {
             throttle,
             blocks: BTreeSet::new(),
         });
-        if class == NodeClass::Volatile {
-            self.n_volatile_total += 1;
+        match class {
+            NodeClass::Volatile => self.n_volatile_total += 1,
+            NodeClass::Dedicated => self.n_dedicated_total += 1,
         }
         self.index_insert_active(id);
         self.heartbeat_order.insert((now, id));
@@ -1073,9 +1090,15 @@ impl NameNode {
                 })
                 .count() as u32
         };
+        // A replica occupies a whole node, so no block can ever hold
+        // more copies than the registered fleet: clamp the demand to
+        // physical capacity, or a factor larger than the cluster would
+        // leave the block under-replicated forever (and the owning
+        // job's output-commit rule waiting forever with it).
         if !self.cfg.hybrid {
+            let cap = (self.n_volatile_total + self.n_dedicated_total) as u32;
             let total_have = count(NodeClass::Dedicated) + count(NodeClass::Volatile);
-            return (0, file.factor.total().saturating_sub(total_have));
+            return (0, file.factor.total().min(cap).saturating_sub(total_have));
         }
         let d_have = count(NodeClass::Dedicated);
         let v_have = count(NodeClass::Volatile);
@@ -1086,8 +1109,13 @@ impl NameNode {
             FileKind::Opportunistic => 0,
         };
         (
-            d_want.saturating_sub(d_have),
-            file.factor.volatile.saturating_sub(v_have),
+            d_want
+                .min(self.n_dedicated_total as u32)
+                .saturating_sub(d_have),
+            file.factor
+                .volatile
+                .min(self.n_volatile_total as u32)
+                .saturating_sub(v_have),
         )
     }
 
@@ -1762,5 +1790,49 @@ mod remove_block_tests {
         assert!(!nn.is_fully_replicated(f));
         nn.remove_block(orphan);
         assert!(nn.is_fully_replicated(f));
+    }
+
+    #[test]
+    fn replication_demand_is_clamped_to_fleet_capacity() {
+        // A factor larger than the registered fleet must not leave the
+        // file under-replicated forever: one replica per node is the
+        // physical ceiling, hybrid and non-hybrid alike.
+        let mut nn = NameNode::new(NameNodeConfig::default()); // 2 ded + 4 vol
+        for i in 0..2 {
+            nn.register_node(t(0), NodeId(i), NodeClass::Dedicated);
+        }
+        for i in 2..6 {
+            nn.register_node(t(0), NodeId(i), NodeClass::Volatile);
+        }
+        let f = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(0, 6));
+        let b = nn.allocate_block(f, 10);
+        for i in 2..6 {
+            nn.commit_replica(b, NodeId(i));
+        }
+        assert!(
+            nn.is_fully_replicated(f),
+            "4 volatile replicas on a 4-volatile-node fleet must satisfy v=6"
+        );
+        // One short of capacity is still under-replicated.
+        let g = nn.create_file(FileKind::Opportunistic, ReplicationFactor::new(0, 6));
+        let c = nn.allocate_block(g, 10);
+        for i in 2..5 {
+            nn.commit_replica(c, NodeId(i));
+        }
+        assert!(!nn.is_fully_replicated(g));
+
+        let mut flat = NameNode::new(NameNodeConfig::hadoop(SimDuration::from_mins(10)));
+        for i in 0..3 {
+            flat.register_node(t(0), NodeId(i), NodeClass::Volatile);
+        }
+        let h = flat.create_file(FileKind::Opportunistic, ReplicationFactor::uniform(6));
+        let d = flat.allocate_block(h, 10);
+        for i in 0..3 {
+            flat.commit_replica(d, NodeId(i));
+        }
+        assert!(
+            flat.is_fully_replicated(h),
+            "non-hybrid demand clamps to the 3-node fleet"
+        );
     }
 }

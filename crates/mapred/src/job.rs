@@ -20,6 +20,16 @@ pub struct JobSpec {
     /// A task failing this many times fails the whole job (Hadoop
     /// reschedules an incomplete map up to 4 times — paper footnote 1).
     pub max_task_failures: u32,
+    /// Absolute completion deadline, for deadline-aware cross-job
+    /// policies ([`crate::CrossJobPolicy::Edf`]) and deadline-miss
+    /// reporting. `None` = no deadline.
+    pub deadline: Option<SimTime>,
+    /// Scheduling priority for [`crate::CrossJobPolicy::StrictPriority`]
+    /// (higher wins; default 0).
+    pub priority: i32,
+    /// Owning tenant for [`crate::CrossJobPolicy::TenantFair`]
+    /// (default tenant 0).
+    pub tenant: u32,
 }
 
 impl JobSpec {
@@ -31,6 +41,9 @@ impl JobSpec {
             map_input_locations: Vec::new(),
             reduce_slowstart: 0.05,
             max_task_failures: 4,
+            deadline: None,
+            priority: 0,
+            tenant: 0,
         }
     }
 
@@ -38,6 +51,24 @@ impl JobSpec {
     pub fn with_locations(mut self, locations: Vec<Vec<NodeId>>) -> Self {
         assert!(locations.len() == self.n_maps as usize);
         self.map_input_locations = locations;
+        self
+    }
+
+    /// Attach an absolute completion deadline.
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the strict-priority tier (higher wins).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the owning tenant id.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -247,5 +278,15 @@ mod tests {
         assert_eq!(s.n_maps, 384);
         assert!((s.reduce_slowstart - 0.05).abs() < 1e-12);
         assert_eq!(s.max_task_failures, 4);
+        assert_eq!(s.deadline, None);
+        assert_eq!(s.priority, 0);
+        assert_eq!(s.tenant, 0);
+        let s = s
+            .with_deadline(SimTime::from_secs(90))
+            .with_priority(3)
+            .with_tenant(2);
+        assert_eq!(s.deadline, Some(SimTime::from_secs(90)));
+        assert_eq!(s.priority, 3);
+        assert_eq!(s.tenant, 2);
     }
 }

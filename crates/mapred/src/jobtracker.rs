@@ -110,6 +110,9 @@ struct Job {
     killed_reduce_attempts: u32,
     killed_by_tracker_expiry: u32,
     map_output_relaunches: u32,
+    /// Attempts of *this* job killed by cross-job preemption (subset of
+    /// the killed counts, like `killed_by_tracker_expiry`).
+    preempted_attempts: u32,
 }
 
 /// Per-job counters used by the paper's figures and Table II.
@@ -132,6 +135,9 @@ pub struct JobMetrics {
     pub completed_maps: u32,
     /// Reduces completed so far.
     pub completed_reduces: u32,
+    /// Attempts killed by cross-job preemption (subset of the killed
+    /// counts — the cost side of the preemption tradeoff).
+    pub preempted: u32,
 }
 
 impl JobMetrics {
@@ -145,6 +151,7 @@ impl JobMetrics {
         self.map_output_relaunches += other.map_output_relaunches;
         self.completed_maps += other.completed_maps;
         self.completed_reduces += other.completed_reduces;
+        self.preempted += other.preempted;
     }
 }
 
@@ -213,6 +220,19 @@ pub struct JobTracker {
     /// Fair-share ranking scratch, cleared and refilled per pick so
     /// the fair-share hot path is allocation-free like FIFO.
     fair_share_scratch: RefCell<Vec<(u32, JobId)>>,
+    /// Ranking scratch for the keyed policies (EDF / strict-priority /
+    /// tenant-fair), same refill discipline as `fair_share_scratch`.
+    rank_scratch: RefCell<Vec<(u128, JobId)>>,
+    /// Kill-and-requeue preemption: when on, a saturated tracker may
+    /// reclaim an occupied slot for a more policy-deserving job.
+    preempt: bool,
+    /// Tenant weights for [`CrossJobPolicy::TenantFair`], indexed by
+    /// tenant id (missing / zero entries count as weight 1).
+    tenant_weights: Vec<u32>,
+    /// Per-tenant minimum slot guarantees (missing entries = 0).
+    tenant_min_slots: Vec<u32>,
+    /// Lifetime preemption count across all jobs (gauge feed).
+    total_preempted: u64,
 }
 
 impl JobTracker {
@@ -232,6 +252,11 @@ impl JobTracker {
             dedicated_trackers: BTreeSet::new(),
             tracker_hb_order: BTreeSet::new(),
             fair_share_scratch: RefCell::new(Vec::new()),
+            rank_scratch: RefCell::new(Vec::new()),
+            preempt: false,
+            tenant_weights: Vec::new(),
+            tenant_min_slots: Vec::new(),
+            total_preempted: 0,
         }
     }
 
@@ -351,6 +376,33 @@ impl JobTracker {
     pub fn with_cross_job(mut self, cross_job: CrossJobPolicy) -> Self {
         self.cross_job = cross_job;
         self
+    }
+
+    /// Enable kill-and-requeue preemption: a heartbeat with no free
+    /// slots may kill a running attempt of a policy-disfavored job to
+    /// make room for a more deserving one, in the same scheduling round.
+    pub fn with_preemption(mut self, preempt: bool) -> Self {
+        self.preempt = preempt;
+        self
+    }
+
+    /// Configure tenant weights and minimum-share guarantees for
+    /// [`CrossJobPolicy::TenantFair`] (both indexed by tenant id;
+    /// missing weights default to 1, missing minimums to 0).
+    pub fn with_tenants(mut self, weights: Vec<u32>, min_slots: Vec<u32>) -> Self {
+        self.tenant_weights = weights;
+        self.tenant_min_slots = min_slots;
+        self
+    }
+
+    /// Is kill-and-requeue preemption enabled?
+    pub fn preemption(&self) -> bool {
+        self.preempt
+    }
+
+    /// Lifetime count of attempts killed by preemption, across jobs.
+    pub fn preempted_total(&self) -> u64 {
+        self.total_preempted
     }
 
     /// The scheduling policy in force.
@@ -573,6 +625,7 @@ impl JobTracker {
                 killed_reduce_attempts: 0,
                 killed_by_tracker_expiry: 0,
                 map_output_relaunches: 0,
+                preempted_attempts: 0,
             },
         );
         self.running_jobs.insert(id);
@@ -633,7 +686,14 @@ impl JobTracker {
             map_output_relaunches: j.map_output_relaunches,
             completed_maps: j.completed_maps,
             completed_reduces: j.completed_reduces,
+            preempted: j.preempted_attempts,
         }
+    }
+
+    /// The job's spec as submitted (deadline / priority / tenant reads
+    /// for the world's SLO rows).
+    pub fn job_spec(&self, job: JobId) -> &JobSpec {
+        &self.jobs[&job].spec
     }
 
     /// State of one task (for tests and the world model).
@@ -691,31 +751,27 @@ impl JobTracker {
             }
         }
 
-        // Assignment loop: fill map slots then reduce slots.
-        loop {
-            let free_maps = self.free_slots(node, TaskKind::Map);
-            if free_maps == 0 {
-                break;
-            }
-            match self.pick_task(now, node, TaskKind::Map) {
-                Some((task, reason)) => {
-                    let a = self.launch(now, task, node, reason);
-                    resp.assignments.push(a);
+        // Assignment loop: fill map slots then reduce slots. With
+        // preemption on, a saturated tracker may first reclaim an
+        // occupied slot (kill lands in `resp.kill`, handled by the
+        // world *before* the assignments) and the freed slot is granted
+        // by the next iteration — same scheduling round, so preemption
+        // is work-conserving by construction.
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            loop {
+                if self.free_slots(node, kind) == 0 {
+                    if self.preempt && self.try_preempt(node, kind, &mut resp.kill) {
+                        continue;
+                    }
+                    break;
                 }
-                None => break,
-            }
-        }
-        loop {
-            let free_reduces = self.free_slots(node, TaskKind::Reduce);
-            if free_reduces == 0 {
-                break;
-            }
-            match self.pick_task(now, node, TaskKind::Reduce) {
-                Some((task, reason)) => {
-                    let a = self.launch(now, task, node, reason);
-                    resp.assignments.push(a);
+                match self.pick_task(now, node, kind) {
+                    Some((task, reason)) => {
+                        let a = self.launch(now, task, node, reason);
+                        resp.assignments.push(a);
+                    }
+                    None => break,
                 }
-                None => break,
             }
         }
         resp
@@ -863,7 +919,204 @@ impl JobTracker {
                 self.fair_share_scratch.replace(order);
                 found
             }
+            CrossJobPolicy::Edf | CrossJobPolicy::StrictPriority | CrossJobPolicy::TenantFair => {
+                // Keyed ranking: one u128 per job (lower = more
+                // deserving), JobId tie-break in the tuple. Same
+                // owned-scratch discipline as the fair-share path.
+                let tenant_live = (self.cross_job == CrossJobPolicy::TenantFair)
+                    .then(|| self.tenant_live_counts());
+                let mut order = self.rank_scratch.take();
+                order.clear();
+                order.extend(
+                    self.running_jobs
+                        .iter()
+                        .map(|&jid| (self.rank_key(&self.jobs[&jid], tenant_live.as_ref()), jid)),
+                );
+                order.sort_unstable();
+                let mut found = None;
+                for &(_, jid) in order.iter() {
+                    if let Some(x) = f(jid, &self.jobs[&jid]) {
+                        found = Some(x);
+                        break;
+                    }
+                }
+                self.rank_scratch.replace(order);
+                found
+            }
         }
+    }
+
+    /// Live attempts per tenant over running jobs — the shares the
+    /// tenant-fair ranking and preemption guards compare. O(running
+    /// jobs) per call; no maintained index to drift.
+    fn tenant_live_counts(&self) -> BTreeMap<u32, u64> {
+        let mut live = BTreeMap::new();
+        for &jid in &self.running_jobs {
+            let j = &self.jobs[&jid];
+            *live.entry(j.spec.tenant).or_insert(0u64) += u64::from(j.live_attempts);
+        }
+        live
+    }
+
+    fn tenant_weight(&self, tenant: u32) -> u64 {
+        u64::from(
+            self.tenant_weights
+                .get(tenant as usize)
+                .copied()
+                .unwrap_or(1)
+                .max(1),
+        )
+    }
+
+    fn tenant_min(&self, tenant: u32) -> u64 {
+        u64::from(
+            self.tenant_min_slots
+                .get(tenant as usize)
+                .copied()
+                .unwrap_or(0),
+        )
+    }
+
+    /// One job's scheduling rank under the keyed cross-job policies
+    /// (lower = scheduled sooner; preemption kills the *highest*-ranked
+    /// slot holder). `tenant_live` is precomputed for picks and `None`
+    /// for one-off victim ranking.
+    ///
+    /// - EDF: the absolute deadline in microseconds; deadline-less jobs
+    ///   rank at `u128::MAX`, so an all-`None` stream degenerates to
+    ///   FIFO via the JobId tie-break.
+    /// - Strict priority: `i32::MAX - priority` (higher priority ⇒
+    ///   smaller key), never negative.
+    /// - Tenant-fair: `class · 2^120 | weighted_share · 2^40 |
+    ///   job_live` — tenants below their minimum share first, then
+    ///   ascending `tenant_live/weight`, then max-min within a tenant.
+    /// - FIFO / fair share: submission order and live-attempt count
+    ///   (victim-ranking only; their pick paths don't use keys).
+    fn rank_key(&self, job: &Job, tenant_live: Option<&BTreeMap<u32, u64>>) -> u128 {
+        match self.cross_job {
+            CrossJobPolicy::Fifo | CrossJobPolicy::FairShareInverted => 0,
+            CrossJobPolicy::FairShare => u128::from(job.live_attempts),
+            CrossJobPolicy::Edf => job
+                .spec
+                .deadline
+                .map_or(u128::MAX, |d| u128::from(d.as_micros())),
+            CrossJobPolicy::StrictPriority => {
+                (i64::from(i32::MAX) - i64::from(job.spec.priority)) as u128
+            }
+            CrossJobPolicy::TenantFair => {
+                let tenant = job.spec.tenant;
+                let owned;
+                let live = match tenant_live {
+                    Some(m) => m,
+                    None => {
+                        owned = self.tenant_live_counts();
+                        &owned
+                    }
+                };
+                let t_live = live.get(&tenant).copied().unwrap_or(0);
+                let class: u128 = u128::from(t_live >= self.tenant_min(tenant));
+                // < 2^52: live attempts are bounded by cluster slots.
+                let share = u128::from(t_live * 1_000_000 / self.tenant_weight(tenant));
+                (class << 120) | (share << 40) | u128::from(job.live_attempts)
+            }
+        }
+    }
+
+    /// May a pending task of `challenger` kill a running attempt of
+    /// `victim`? Each guard is strict enough that a preemption strictly
+    /// improves a policy potential, so kill/relaunch ping-pong cannot
+    /// occur within or across scheduling rounds:
+    ///
+    /// - FIFO: earlier submission only.
+    /// - Fair share: only while the gap stays ≥ 2 (`ch + 1 < victim`) —
+    ///   after the transfer the loser still has at least as many slots.
+    /// - EDF / strict priority: strictly earlier deadline / strictly
+    ///   higher priority (static total orders).
+    /// - Tenant-fair: within a tenant, the fair-share rule; across
+    ///   tenants, only when the victim's tenant stays at or above its
+    ///   minimum share *and* either the challenger's tenant is below
+    ///   its own minimum or the weighted shares strictly rebalance
+    ///   (`(ch_live+1)·w_v ≤ (v_live−1)·w_c`).
+    /// - Inverted fair share never preempts (fault-injection variant).
+    fn may_preempt(&self, challenger: JobId, victim: JobId) -> bool {
+        let ch = &self.jobs[&challenger];
+        let vi = &self.jobs[&victim];
+        match self.cross_job {
+            CrossJobPolicy::Fifo => challenger < victim,
+            CrossJobPolicy::FairShare => ch.live_attempts + 1 < vi.live_attempts,
+            CrossJobPolicy::FairShareInverted => false,
+            CrossJobPolicy::Edf => match (ch.spec.deadline, vi.spec.deadline) {
+                (Some(c), Some(v)) => c < v,
+                (Some(_), None) => true,
+                (None, _) => false,
+            },
+            CrossJobPolicy::StrictPriority => ch.spec.priority > vi.spec.priority,
+            CrossJobPolicy::TenantFair => {
+                let (ct, vt) = (ch.spec.tenant, vi.spec.tenant);
+                if ct == vt {
+                    return ch.live_attempts + 1 < vi.live_attempts;
+                }
+                let live = self.tenant_live_counts();
+                let cl = live.get(&ct).copied().unwrap_or(0);
+                let vl = live.get(&vt).copied().unwrap_or(0);
+                if vl <= self.tenant_min(vt) {
+                    return false; // never push a tenant below its floor
+                }
+                cl < self.tenant_min(ct)
+                    || (cl + 1) * self.tenant_weight(vt) <= (vl - 1) * self.tenant_weight(ct)
+            }
+        }
+    }
+
+    /// Kill-and-requeue one occupied `kind` slot on `node`, if some
+    /// pending job deserves it more than a current occupant. The victim
+    /// attempt is killed through the normal attempt-kill path (its task
+    /// re-enters the pending pool via `needs_launch`) and pushed onto
+    /// `kill` for the world to tear down physically. Returns whether a
+    /// slot was reclaimed; the caller grants it in the same round.
+    fn try_preempt(&mut self, node: NodeId, kind: TaskKind, kill: &mut Vec<AttemptId>) -> bool {
+        // Dedicated nodes under MOON-style policies run speculative
+        // copies only (§V-C); reclaiming a slot there would grant it to
+        // an original, which those nodes never run.
+        if self.trackers[&node].dedicated && !self.policy.dedicated_runs_originals() {
+            return false;
+        }
+        // Challenger: the first job in policy order with a pending
+        // launchable task of this kind — exactly the pick the freed
+        // slot will serve, so a successful preemption always re-grants.
+        let Some(challenger) = self
+            .pick_across_jobs(|jid, job| self.pick_pending_in(jid, job, node, kind).map(|_| jid))
+        else {
+            return false;
+        };
+        // Victim: among this tracker's running attempts of `kind`, the
+        // one owned by the most policy-disfavored job the challenger may
+        // preempt — preferring speculative copies, then the youngest
+        // attempt, so the least progress is discarded.
+        let mut victim: Option<(u128, JobId, bool, AttemptId)> = None;
+        let tr = &self.trackers[&node];
+        for &aid in tr.running.iter().filter(|a| a.task.kind == kind) {
+            let vjid = aid.task.job;
+            if vjid == challenger || !self.may_preempt(challenger, vjid) {
+                continue;
+            }
+            let key = self.rank_key(&self.jobs[&vjid], None);
+            let speculative = self.attempt(aid).is_some_and(|a| a.reason.is_duplicate());
+            let cand = (key, vjid, speculative, aid);
+            if victim.is_none_or(|v| cand > v) {
+                victim = Some(cand);
+            }
+        }
+        let Some((_, vjid, _, aid)) = victim else {
+            return false;
+        };
+        self.release_attempt(aid);
+        self.kill_attempt(aid);
+        let job = self.jobs.get_mut(&vjid).expect("victim job exists");
+        job.preempted_attempts += 1;
+        self.total_preempted += 1;
+        kill.push(aid);
+        true
     }
 
     /// Non-running tasks: retries first (Hadoop prioritises recently
@@ -1924,6 +2177,7 @@ mod tests {
             map_output_relaunches: 4,
             completed_maps: 5,
             completed_reduces: 6,
+            preempted: 7,
         };
         let mut total = JobMetrics::default();
         total.accumulate(&a);
@@ -1931,6 +2185,144 @@ mod tests {
         assert_eq!(total.duplicated_tasks, 2);
         assert_eq!(total.completed_maps, 10);
         assert_eq!(total.map_output_relaunches, 8);
+        assert_eq!(total.preempted, 14);
+    }
+
+    #[test]
+    fn preemption_is_off_by_default() {
+        let mut jt = hadoop_jt().with_cross_job(CrossJobPolicy::StrictPriority);
+        cluster(&mut jt, 1, 0);
+        let low = jt.submit_job(t(0), JobSpec::new(2, 0));
+        assert_eq!(jt.heartbeat(t(1), NodeId(0)).assignments.len(), 2);
+        let _high = jt.submit_job(t(5), JobSpec::new(1, 0).with_priority(9));
+        let r = jt.heartbeat(t(6), NodeId(0));
+        assert!(r.kill.is_empty(), "{r:?}");
+        assert!(r.assignments.is_empty(), "{r:?}");
+        assert_eq!(jt.preempted_total(), 0);
+        let _ = low;
+    }
+
+    #[test]
+    fn fifo_preemption_never_fires_for_later_jobs() {
+        // FIFO's guard is `challenger < victim`: a later submission can
+        // never reclaim an earlier job's slot, so enabling preemption
+        // under plain FIFO changes nothing for in-order arrivals.
+        let mut jt = hadoop_jt().with_preemption(true);
+        cluster(&mut jt, 1, 0);
+        let _first = jt.submit_job(t(0), JobSpec::new(2, 0));
+        assert_eq!(jt.heartbeat(t(1), NodeId(0)).assignments.len(), 2);
+        let _second = jt.submit_job(t(5), JobSpec::new(1, 0));
+        let r = jt.heartbeat(t(6), NodeId(0));
+        assert!(r.kill.is_empty(), "{r:?}");
+        assert_eq!(jt.preempted_total(), 0);
+    }
+
+    #[test]
+    fn inverted_fair_share_never_preempts() {
+        let mut jt = hadoop_jt()
+            .with_cross_job(CrossJobPolicy::FairShareInverted)
+            .with_preemption(true);
+        cluster(&mut jt, 1, 0);
+        let _a = jt.submit_job(t(0), JobSpec::new(4, 0));
+        assert_eq!(jt.heartbeat(t(1), NodeId(0)).assignments.len(), 2);
+        let _b = jt.submit_job(t(5), JobSpec::new(4, 0));
+        let r = jt.heartbeat(t(6), NodeId(0));
+        assert!(r.kill.is_empty(), "{r:?}");
+        assert_eq!(jt.preempted_total(), 0);
+    }
+
+    #[test]
+    fn fair_share_preemption_stops_at_gap_one() {
+        // The fair guard (`ch + 1 < victim`) transfers exactly one slot
+        // here: 2-vs-0 becomes 1-vs-1, where neither side may preempt
+        // the other — no kill/relaunch ping-pong.
+        let mut jt = hadoop_jt()
+            .with_cross_job(CrossJobPolicy::FairShare)
+            .with_preemption(true);
+        cluster(&mut jt, 1, 0);
+        let a = jt.submit_job(t(0), JobSpec::new(4, 0));
+        assert_eq!(jt.heartbeat(t(1), NodeId(0)).assignments.len(), 2);
+        let b = jt.submit_job(t(5), JobSpec::new(4, 0));
+        let r = jt.heartbeat(t(6), NodeId(0));
+        assert_eq!(r.kill.len(), 1, "{r:?}");
+        assert_eq!(r.kill[0].task.job, a);
+        assert_eq!(r.assignments.len(), 1, "{r:?}");
+        assert_eq!(r.assignments[0].attempt.task.job, b);
+        // Balanced now: the next round must leave the split alone.
+        let r = jt.heartbeat(t(9), NodeId(0));
+        assert!(r.kill.is_empty(), "{r:?}");
+        assert_eq!(jt.preempted_total(), 1);
+    }
+
+    #[test]
+    fn preemption_victim_is_the_youngest_attempt() {
+        // Among equally ranked victims the highest attempt id — the
+        // most recently launched, least progressed — is discarded.
+        let mut jt = hadoop_jt()
+            .with_cross_job(CrossJobPolicy::StrictPriority)
+            .with_preemption(true);
+        cluster(&mut jt, 1, 0);
+        let low = jt.submit_job(t(0), JobSpec::new(2, 0));
+        let r0 = jt.heartbeat(t(1), NodeId(0));
+        assert_eq!(r0.assignments.len(), 2);
+        let high = jt.submit_job(t(5), JobSpec::new(1, 0).with_priority(3));
+        let r1 = jt.heartbeat(t(6), NodeId(0));
+        assert_eq!(r1.kill, vec![r0.assignments[1].attempt], "{r1:?}");
+        assert_eq!(r1.assignments[0].attempt.task.job, high);
+        let _ = low;
+    }
+
+    #[test]
+    fn tenant_floor_blocks_further_preemption() {
+        // Cross-tenant preemption stops the moment the victim tenant
+        // would drop below its guaranteed minimum share.
+        let mut jt = hadoop_jt()
+            .with_cross_job(CrossJobPolicy::TenantFair)
+            .with_preemption(true)
+            .with_tenants(vec![1, 1], vec![1, 1]);
+        cluster(&mut jt, 1, 0);
+        let a = jt.submit_job(t(0), JobSpec::new(4, 0).with_tenant(0));
+        assert_eq!(jt.heartbeat(t(1), NodeId(0)).assignments.len(), 2);
+        let b = jt.submit_job(t(5), JobSpec::new(4, 0).with_tenant(1));
+        let r = jt.heartbeat(t(6), NodeId(0));
+        // Tenant 1 (live 0, below its floor) reclaims exactly one slot;
+        // tenant 0 then sits at its own floor and keeps the other.
+        assert_eq!(r.kill.len(), 1, "{r:?}");
+        assert_eq!(r.kill[0].task.job, a);
+        assert_eq!(r.assignments.len(), 1, "{r:?}");
+        assert_eq!(r.assignments[0].attempt.task.job, b);
+        let r = jt.heartbeat(t(9), NodeId(0));
+        assert!(r.kill.is_empty(), "{r:?}");
+        assert_eq!(jt.preempted_total(), 1);
+    }
+
+    #[test]
+    fn preempted_task_requeues_and_relaunches() {
+        // Kill-and-requeue loses the attempt, not the task: the victim
+        // re-enters the pending pool and relaunches once a slot frees.
+        let mut jt = hadoop_jt()
+            .with_cross_job(CrossJobPolicy::Edf)
+            .with_preemption(true);
+        cluster(&mut jt, 1, 0);
+        let loose = jt.submit_job(t(0), JobSpec::new(2, 0).with_deadline(t(3600)));
+        let r0 = jt.heartbeat(t(1), NodeId(0));
+        assert_eq!(r0.assignments.len(), 2);
+        let tight = jt.submit_job(t(5), JobSpec::new(2, 0).with_deadline(t(120)));
+        let r1 = jt.heartbeat(t(6), NodeId(0));
+        assert_eq!(r1.kill.len(), 2, "{r1:?}");
+        assert!(r1.assignments.iter().all(|x| x.attempt.task.job == tight));
+        assert_eq!(jt.job_metrics(loose).preempted, 2);
+        // Tight job drains; the preempted tasks relaunch.
+        for x in &r1.assignments {
+            jt.attempt_succeeded(t(30), x.attempt);
+        }
+        let r2 = jt.heartbeat(t(31), NodeId(0));
+        assert_eq!(r2.assignments.len(), 2, "{r2:?}");
+        assert!(r2.assignments.iter().all(|x| x.attempt.task.job == loose));
+        for x in &r2.assignments {
+            jt.attempt_succeeded(t(60), x.attempt);
+        }
+        assert_eq!(jt.job_status(loose), crate::JobStatus::Succeeded);
     }
 
     /// Randomized churn drift check: after every step of a mixed

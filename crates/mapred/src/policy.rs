@@ -38,15 +38,36 @@ pub enum CrossJobPolicy {
     /// fuzzer's tail-latency invariant can prove it catches scheduler
     /// regressions, and is never a sensible production choice.
     FairShareInverted,
+    /// Earliest-deadline-first: jobs with the nearest absolute deadline
+    /// drain first; deadline-less jobs rank behind every deadline (and
+    /// among themselves in submission order, so an all-slack or
+    /// all-`None` stream degenerates to FIFO). The deadline-driven
+    /// half of arXiv:1808.08040's two-level scheduler.
+    Edf,
+    /// Strict priority: higher [`crate::JobSpec::priority`] always wins
+    /// a slot over lower (ties in submission order). Deliberately
+    /// starvation-prone below the top runnable tier — that is the
+    /// contract the conformance suite pins.
+    StrictPriority,
+    /// Weighted max-min fairness across *tenants* with minimum-share
+    /// guarantees: tenants below their configured minimum slot count
+    /// rank first, then tenants by ascending `live_attempts / weight`,
+    /// then jobs within a tenant by max-min fair share. The OS4M-style
+    /// global-balancing axis from the roadmap.
+    TenantFair,
 }
 
 impl CrossJobPolicy {
-    /// Stable machine-readable name (`fifo` / `fair` / `fair-inverted`).
+    /// Stable machine-readable name (`fifo` / `fair` / `fair-inverted`
+    /// / `edf` / `priority` / `tenant-fair`).
     pub fn as_str(self) -> &'static str {
         match self {
             CrossJobPolicy::Fifo => "fifo",
             CrossJobPolicy::FairShare => "fair",
             CrossJobPolicy::FairShareInverted => "fair-inverted",
+            CrossJobPolicy::Edf => "edf",
+            CrossJobPolicy::StrictPriority => "priority",
+            CrossJobPolicy::TenantFair => "tenant-fair",
         }
     }
 }

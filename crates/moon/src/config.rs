@@ -115,6 +115,9 @@ pub struct PolicyConfig {
     /// Cross-job ordering when several jobs run concurrently (FIFO by
     /// default; irrelevant to single-job runs).
     pub cross_job: CrossJobPolicy,
+    /// Kill-and-requeue preemption in the cross-job layer (off by
+    /// default; irrelevant to single-job runs).
+    pub preempt: bool,
     /// Fetch-failure reaction.
     pub fetch: FetchFailurePolicy,
     /// NameNode behaviour (hybrid vs stock HDFS).
@@ -139,6 +142,7 @@ impl PolicyConfig {
         PolicyConfig {
             scheduler: SchedulerPolicy::Moon(MoonPolicy::default()),
             cross_job: CrossJobPolicy::Fifo,
+            preempt: false,
             fetch: FetchFailurePolicy::MoonQuery,
             namenode: NameNodeConfig::default(),
             input_factor: ReplicationFactor::new(1, 3),
@@ -165,6 +169,7 @@ impl PolicyConfig {
         PolicyConfig {
             scheduler: SchedulerPolicy::Hadoop(HadoopPolicy::with_expiry(expiry)),
             cross_job: CrossJobPolicy::Fifo,
+            preempt: false,
             fetch: FetchFailurePolicy::HadoopMajority,
             namenode: NameNodeConfig::hadoop(SimDuration::from_mins(10)),
             input_factor: ReplicationFactor::uniform(n_replicas),
@@ -223,6 +228,20 @@ impl PolicyConfig {
     /// any scheduler variant (single-job behaviour is unchanged).
     pub fn with_fair_share(mut self) -> Self {
         self.cross_job = CrossJobPolicy::FairShare;
+        self
+    }
+
+    /// Any cross-job ordering policy, applied on top of any scheduler
+    /// variant (single-job behaviour is unchanged).
+    pub fn with_cross_job(mut self, cross_job: CrossJobPolicy) -> Self {
+        self.cross_job = cross_job;
+        self
+    }
+
+    /// Kill-and-requeue preemption in the cross-job layer, applied on
+    /// top of any scheduler variant.
+    pub fn with_preemption(mut self) -> Self {
+        self.preempt = true;
         self
     }
 }

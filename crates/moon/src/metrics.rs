@@ -22,6 +22,10 @@ pub struct RunMetrics {
     pub reduce_times: Summary,
     /// Total shuffle fetch failures reported.
     pub fetch_failures: u64,
+    /// Fetch batches that completed after their map output had been
+    /// invalidated (map re-execution decided mid-flight) — the stale
+    /// data is discarded and the maps re-fetched.
+    pub stale_fetches: u64,
 }
 
 impl RunMetrics {
@@ -115,6 +119,12 @@ pub struct JobSlo {
     pub first_launch: Option<SimTime>,
     /// Output-commit time (None = DNF within the horizon).
     pub finished: Option<SimTime>,
+    /// Absolute completion deadline (None = no deadline attached).
+    pub deadline: Option<SimTime>,
+    /// Strict-priority tier the job ran at (0 = default).
+    pub priority: i32,
+    /// Owning tenant id (0 = default tenant).
+    pub tenant: u32,
     /// The job's own JobTracker counters.
     pub metrics: JobMetrics,
 }
@@ -147,6 +157,24 @@ impl JobSlo {
         let makespan = self.makespan_secs()?;
         let service = self.service_secs()?;
         Some((makespan / service.max(Self::SLOWDOWN_BOUND_SECS)).max(1.0))
+    }
+
+    /// Did the job miss its deadline? A deadline-less job never misses;
+    /// a job with a deadline misses unless it committed at or before
+    /// it (so a DNF with a deadline counts as a miss).
+    pub fn deadline_missed(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| self.finished.is_none_or(|f| f > d))
+    }
+
+    /// Does this job carry scheduling metadata (or was it preempted)?
+    /// Gates the extra report columns/keys so metadata-free streams
+    /// keep their historical byte-stable output.
+    pub fn has_metadata(&self) -> bool {
+        self.deadline.is_some()
+            || self.priority != 0
+            || self.tenant != 0
+            || self.metrics.preempted > 0
     }
 }
 
@@ -274,6 +302,9 @@ mod tests {
             submitted: SimTime::from_secs(100),
             first_launch: Some(SimTime::from_secs(160)),
             finished: Some(SimTime::from_secs(400)),
+            deadline: None,
+            priority: 0,
+            tenant: 0,
             metrics: JobMetrics::default(),
         };
         assert_eq!(row.queue_delay_secs(), Some(60.0));
@@ -290,6 +321,9 @@ mod tests {
             submitted: SimTime::from_secs(10),
             first_launch: None,
             finished: None,
+            deadline: None,
+            priority: 0,
+            tenant: 0,
             metrics: JobMetrics::default(),
         };
         assert_eq!(row.queue_delay_secs(), None);
@@ -312,6 +346,9 @@ mod tests {
             submitted: SimTime::from_secs(0),
             first_launch: Some(SimTime::from_secs(45)),
             finished: Some(SimTime::from_secs(50)),
+            deadline: None,
+            priority: 0,
+            tenant: 0,
             metrics: JobMetrics::default(),
         };
         assert_eq!(row.service_secs(), Some(5.0));
@@ -336,12 +373,37 @@ mod tests {
             submitted: SimTime::from_secs(100),
             first_launch: Some(SimTime::from_secs(130)),
             finished: None,
+            deadline: None,
+            priority: 0,
+            tenant: 0,
             metrics: JobMetrics::default(),
         };
         assert_eq!(row.queue_delay_secs(), Some(30.0));
         assert_eq!(row.makespan_secs(), None);
         assert_eq!(row.service_secs(), None);
         assert_eq!(row.bounded_slowdown(), None);
+    }
+
+    #[test]
+    fn deadline_miss_semantics() {
+        let mut row = JobSlo {
+            job: 4,
+            workload: "quick".into(),
+            submitted: SimTime::from_secs(0),
+            first_launch: Some(SimTime::from_secs(5)),
+            finished: Some(SimTime::from_secs(90)),
+            deadline: None,
+            priority: 0,
+            tenant: 0,
+            metrics: JobMetrics::default(),
+        };
+        assert!(!row.deadline_missed(), "no deadline → never a miss");
+        row.deadline = Some(SimTime::from_secs(90));
+        assert!(!row.deadline_missed(), "finishing exactly on time is met");
+        row.deadline = Some(SimTime::from_secs(89));
+        assert!(row.deadline_missed());
+        row.finished = None;
+        assert!(row.deadline_missed(), "a deadline DNF is a miss");
     }
 
     #[test]

@@ -155,14 +155,18 @@ pub mod json {
         x.map(number).unwrap_or_else(|| "null".into())
     }
 
-    /// One per-job SLO row of a multi-job run.
+    /// One per-job SLO row of a multi-job run. Scheduling-metadata keys
+    /// (`deadline_secs`, `deadline_missed`, `priority`, `tenant`,
+    /// `preempted`) ride along only when the job carries metadata or
+    /// was preempted, so metadata-free streams keep the historical
+    /// byte-stable schema.
     fn job_slo_row(j: &JobSlo) -> String {
         let secs = |t: simkit::SimTime| t.since(simkit::SimTime::ZERO).as_secs_f64();
-        format!(
+        let mut row = format!(
             concat!(
                 "      {{ \"job\": {}, \"workload\": \"{}\", \"submit_secs\": {}, ",
                 "\"queue_secs\": {}, \"makespan_secs\": {}, \"slowdown\": {}, ",
-                "\"completed\": {} }}"
+                "\"completed\": {}"
             ),
             j.job,
             escape(&j.workload),
@@ -171,7 +175,22 @@ pub mod json {
             opt_number(j.makespan_secs()),
             opt_number(j.bounded_slowdown()),
             j.finished.is_some(),
-        )
+        );
+        if j.has_metadata() {
+            row.push_str(&format!(
+                concat!(
+                    ", \"deadline_secs\": {}, \"deadline_missed\": {}, ",
+                    "\"priority\": {}, \"tenant\": {}, \"preempted\": {}"
+                ),
+                opt_number(j.deadline.map(secs)),
+                j.deadline_missed(),
+                j.priority,
+                j.tenant,
+                j.metrics.preempted,
+            ));
+        }
+        row.push_str(" }");
+        row
     }
 
     /// One run as a two-space-indented JSON object (no trailing comma).
@@ -300,6 +319,14 @@ pub mod json {
 
         /// Lossless unsigned-integer view of a number.
         pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// Lossless signed-integer view of a number.
+        pub fn as_i64(&self) -> Option<i64> {
             match self {
                 Value::Num(raw) => raw.parse().ok(),
                 _ => None,

@@ -60,7 +60,17 @@ impl World {
             .iter()
             .map(|&b| self.nn.live_replicas(b))
             .collect();
-        let spec = JobSpec::new(n_maps, n_reduces).with_locations(locations);
+        let mut spec = JobSpec::new(n_maps, n_reduces).with_locations(locations);
+        // Scheduling metadata rides the stream, cycled by the same index
+        // that picked the slot's workload. Relative deadlines become
+        // absolute here (submission time + slack).
+        if let Some(stream) = &self.stream {
+            let meta = stream.meta_for(self.jobs[slot].stream_index);
+            if let Some(slack) = meta.deadline {
+                spec = spec.with_deadline(ctx.now().saturating_add(slack));
+            }
+            spec = spec.with_priority(meta.priority).with_tenant(meta.tenant);
+        }
         let job = self.jt.submit_job(ctx.now(), spec);
         self.jobs[slot].job = Some(job);
         self.jobs[slot].submitted_at = Some(ctx.now());
@@ -175,10 +185,9 @@ impl World {
         // no walk over every slot per commit.
         let k = self.client_slot_count[client as usize];
         let n_clients = self.client_budget.len() as u32;
-        let workload = stream
-            .workload_for(client + n_clients * k, &self.base_workload)
-            .clone();
-        self.jobs.push(JobSlot::new(workload, Some(client)));
+        let index = client + n_clients * k;
+        let workload = stream.workload_for(index, &self.base_workload).clone();
+        self.jobs.push(JobSlot::new(workload, Some(client), index));
         self.client_slot_count[client as usize] += 1;
         self.n_tasks_incomplete += 1;
         ctx.schedule(think, Ev::Submit(slot_index));

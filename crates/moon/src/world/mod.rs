@@ -141,10 +141,13 @@ pub(super) struct JobSlot {
     /// Closed-stream client that submits its next job once this one
     /// commits (None for open/batch arrivals and single-job runs).
     pub(super) client: Option<u32>,
+    /// Stream cycling index of this slot — the same index that picked
+    /// its workload, reused at submit to pick its scheduling metadata.
+    pub(super) stream_index: u32,
 }
 
 impl JobSlot {
-    fn new(workload: WorkloadSpec, client: Option<u32>) -> Self {
+    fn new(workload: WorkloadSpec, client: Option<u32>, stream_index: u32) -> Self {
         let n_maps = workload.n_maps as usize;
         JobSlot {
             workload,
@@ -157,6 +160,7 @@ impl JobSlot {
             submitted_at: None,
             finished_at: None,
             client,
+            stream_index,
         }
     }
 }
@@ -234,23 +238,27 @@ impl World {
         stream: Option<JobStream>,
     ) -> Self {
         let nn = NameNode::new(policy.namenode.clone());
-        let jt = JobTracker::new(policy.scheduler.clone(), policy.fetch)
-            .with_cross_job(policy.cross_job);
+        let mut jt = JobTracker::new(policy.scheduler.clone(), policy.fetch)
+            .with_cross_job(policy.cross_job)
+            .with_preemption(policy.preempt);
+        if let Some(s) = &stream {
+            jt = jt.with_tenants(s.tenant_weights.clone(), s.tenant_min_slots.clone());
+        }
         // Pre-create job slots for arrivals known up front; closed
         // streams start with one slot per client and grow on commit.
         let mut jobs = Vec::new();
         let mut client_budget = Vec::new();
         match &stream {
-            None => jobs.push(JobSlot::new(workload.clone(), None)),
+            None => jobs.push(JobSlot::new(workload.clone(), None, 0)),
             Some(s) => match &s.arrivals {
                 ArrivalModel::Batch(offsets) => {
                     for k in 0..offsets.len() as u32 {
-                        jobs.push(JobSlot::new(s.workload_for(k, &workload).clone(), None));
+                        jobs.push(JobSlot::new(s.workload_for(k, &workload).clone(), None, k));
                     }
                 }
                 ArrivalModel::Poisson { count, .. } => {
                     for k in 0..*count {
-                        jobs.push(JobSlot::new(s.workload_for(k, &workload).clone(), None));
+                        jobs.push(JobSlot::new(s.workload_for(k, &workload).clone(), None, k));
                     }
                 }
                 ArrivalModel::Closed {
@@ -259,7 +267,11 @@ impl World {
                     ..
                 } => {
                     for c in 0..*clients {
-                        jobs.push(JobSlot::new(s.workload_for(c, &workload).clone(), Some(c)));
+                        jobs.push(JobSlot::new(
+                            s.workload_for(c, &workload).clone(),
+                            Some(c),
+                            c,
+                        ));
                         client_budget.push(jobs_per_client.saturating_sub(1));
                     }
                 }
@@ -627,12 +639,16 @@ impl World {
                 let job = slot.job.expect("filtered");
                 let submitted = slot.submitted_at.expect("submitted with id");
                 let first_launch = self.jt.job_first_launch(job);
+                let spec = self.jt.job_spec(job);
                 crate::metrics::JobSlo {
                     job: job.0,
                     workload: slot.workload.name.clone(),
                     submitted,
                     first_launch,
                     finished: slot.finished_at,
+                    deadline: spec.deadline,
+                    priority: spec.priority,
+                    tenant: spec.tenant,
                     metrics: self.jt.job_metrics(job),
                 }
             })

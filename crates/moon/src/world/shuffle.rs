@@ -37,6 +37,12 @@ pub(super) struct ShuffleState {
     pub(super) done_at: Option<SimTime>,
 }
 
+/// Split a completed fetch batch into (still-valid, invalidated) map
+/// indexes. Order within each side is preserved.
+fn partition_fetched(maps: &[u32], still_valid: impl Fn(u32) -> bool) -> (Vec<u32>, Vec<u32>) {
+    maps.iter().partition(|&&m| still_valid(m))
+}
+
 impl World {
     /// Start as many fetch batches as the parallelism budget allows.
     pub(super) fn pump_shuffle(&mut self, ctx: &mut Ctx<'_, Ev>, id: AttemptId) {
@@ -107,7 +113,12 @@ impl World {
         }
     }
 
-    /// A fetch batch completed.
+    /// A fetch batch completed. Outputs invalidated *while the batch
+    /// was in flight* (a fetch-failure quorum decided to re-execute the
+    /// map — possibly reported by a different reduce, or the map's
+    /// attempt was killed or preempted) carry stale data: those maps go
+    /// back to `waiting` to be re-fetched from the re-executed output
+    /// instead of being silently counted as fetched.
     pub(super) fn on_fetch_done(
         &mut self,
         ctx: &mut Ctx<'_, Ev>,
@@ -119,11 +130,15 @@ impl World {
         if let Some(node) = self.attempts.get(&id).map(|rt| rt.node.0) {
             self.obs_fetch_end(flow, node, maps.len(), ctx.now(), true);
         }
+        let slot = self.slot_for(id);
+        let (good, stale) = partition_fetched(&maps, |m| slot.map_outputs[m as usize].is_some());
+        self.metrics.stale_fetches += stale.len() as u64;
         let mut shuffle_complete = false;
         if let Some(rt) = self.attempts.get_mut(&id) {
             if let Phase::Shuffle(sh) = &mut rt.phase {
                 sh.inflight.remove(&flow);
-                sh.fetched.extend(maps.iter().copied());
+                sh.fetched.extend(good.iter().copied());
+                sh.waiting.extend(stale.iter().copied());
                 if sh.fetched.len() as u32 == n_maps {
                     sh.done_at = Some(ctx.now());
                     shuffle_complete = true;
@@ -253,5 +268,22 @@ impl World {
         for id in reduce_attempts {
             self.pump_shuffle(ctx, id);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::partition_fetched;
+
+    #[test]
+    fn stale_maps_split_from_valid_ones() {
+        // Maps 1 and 3 were invalidated while the batch was in flight.
+        let valid = |m: u32| m != 1 && m != 3;
+        let (good, stale) = partition_fetched(&[0, 1, 2, 3], valid);
+        assert_eq!(good, vec![0, 2]);
+        assert_eq!(stale, vec![1, 3]);
+        let (good, stale) = partition_fetched(&[5, 6], |_| true);
+        assert_eq!(good, vec![5, 6]);
+        assert!(stale.is_empty());
     }
 }

@@ -30,6 +30,7 @@ pub(super) const GAUGES: &[&str] = &[
     "repl_queue",
     "queue_depth",
     "events",
+    "preempted",
 ];
 
 /// Per-run telemetry state: the recorder plus the world-side scratch
@@ -110,6 +111,7 @@ impl World {
             self.nn.replication_queue_len() as f64,
             queue_depth as f64,
             events_handled as f64,
+            self.jt.preempted_total() as f64,
         ];
         let t = self.telemetry.as_mut().expect("caller checked enabled");
         t.rec.record_sample(now, &row);

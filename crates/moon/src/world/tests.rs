@@ -82,12 +82,12 @@ fn closed_stream_clients_keep_their_own_workloads() {
         seed: 3,
     }
     .run_stream(Some(JobStream {
-        arrivals: ArrivalModel::Closed {
+        workloads: vec![slow, fast],
+        ..JobStream::new(ArrivalModel::Closed {
             clients: 2,
             jobs_per_client: 2,
             think: DurationModel::Fixed(SimDuration::from_secs(5)),
-        },
-        workloads: vec![slow, fast],
+        })
     }));
     let rows = r.jobs.as_ref().expect("stream run");
     assert_eq!(rows.len(), 4, "{rows:?}");

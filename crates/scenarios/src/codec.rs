@@ -303,6 +303,44 @@ fn parse_jobs(t: &Table) -> Result<JobStreamSpec, ScenarioError> {
         }
     };
     let workloads = str_array(t, "workloads")?.unwrap_or_default();
+    let u32_list = |key: &str| -> Result<Vec<u32>, ScenarioError> {
+        match t.get(key) {
+            None => Ok(Vec::new()),
+            Some(v) => want_array(v, key)?
+                .iter()
+                .map(|x| want_u64(x, &format!("jobs.{key}")).map(|n| n as u32))
+                .collect(),
+        }
+    };
+    let deadlines_secs = match t.get("deadlines_secs") {
+        None => Vec::new(),
+        Some(v) => {
+            let list = f64_array(v, "jobs.deadlines_secs")?;
+            for &d in &list {
+                nonneg(d, "deadlines_secs")?;
+            }
+            list
+        }
+    };
+    let priorities = match t.get("priorities") {
+        None => Vec::new(),
+        Some(v) => want_array(v, "jobs.priorities")?
+            .iter()
+            .map(|x| match *x {
+                Value::Int(i) if i32::try_from(i).is_ok() => Ok(i),
+                _ => Err(err(format!(
+                    "`jobs.priorities` entries must be 32-bit integers, got {}",
+                    x.type_name()
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let tenants = u32_list("tenants")?;
+    let tenant_weights = u32_list("tenant_weights")?;
+    if tenant_weights.contains(&0) {
+        return Err(err("`jobs.tenant_weights` entries must be positive"));
+    }
+    let tenant_min_slots = u32_list("tenant_min_slots")?;
     for (k, _) in t.iter() {
         let known = matches!(
             k,
@@ -314,6 +352,11 @@ fn parse_jobs(t: &Table) -> Result<JobStreamSpec, ScenarioError> {
                 | "clients"
                 | "jobs_per_client"
                 | "think_secs"
+                | "deadlines_secs"
+                | "priorities"
+                | "tenants"
+                | "tenant_weights"
+                | "tenant_min_slots"
         );
         if !known {
             return Err(err(format!("unknown jobs stream key `{k}`")));
@@ -322,6 +365,11 @@ fn parse_jobs(t: &Table) -> Result<JobStreamSpec, ScenarioError> {
     let spec = JobStreamSpec {
         arrivals,
         workloads,
+        deadlines_secs,
+        priorities,
+        tenants,
+        tenant_weights,
+        tenant_min_slots,
     };
     if spec.total_jobs() == 0 {
         return Err(err("jobs stream would inject zero jobs"));
@@ -592,6 +640,36 @@ pub fn to_toml(spec: &ScenarioSpec) -> Table {
                 "workloads",
                 Value::Array(jobs.workloads.iter().cloned().map(Value::Str).collect()),
             );
+        }
+        // Scheduling metadata serializes only when present, so specs
+        // without it keep their historical byte-identical TOML form.
+        if !jobs.deadlines_secs.is_empty() {
+            j.set(
+                "deadlines_secs",
+                Value::Array(
+                    jobs.deadlines_secs
+                        .iter()
+                        .map(|&d| Value::Float(d))
+                        .collect(),
+                ),
+            );
+        }
+        if !jobs.priorities.is_empty() {
+            j.set(
+                "priorities",
+                Value::Array(jobs.priorities.iter().map(|&p| Value::Int(p)).collect()),
+            );
+        }
+        let u32_list =
+            |list: &[u32]| Value::Array(list.iter().map(|&x| Value::Int(x as i64)).collect());
+        if !jobs.tenants.is_empty() {
+            j.set("tenants", u32_list(&jobs.tenants));
+        }
+        if !jobs.tenant_weights.is_empty() {
+            j.set("tenant_weights", u32_list(&jobs.tenant_weights));
+        }
+        if !jobs.tenant_min_slots.is_empty() {
+            j.set("tenant_min_slots", u32_list(&jobs.tenant_min_slots));
         }
         root.set("jobs", Value::Table(j));
     }

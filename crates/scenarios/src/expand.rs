@@ -396,6 +396,15 @@ fn resolve_stream(spec: &JobStreamSpec) -> Result<JobStream, ScenarioError> {
     Ok(JobStream {
         arrivals,
         workloads,
+        deadlines: spec
+            .deadlines_secs
+            .iter()
+            .map(|&s| SimDuration::from_secs_f64(s))
+            .collect(),
+        priorities: spec.priorities.iter().map(|&p| p as i32).collect(),
+        tenants: spec.tenants.clone(),
+        tenant_weights: spec.tenant_weights.clone(),
+        tenant_min_slots: spec.tenant_min_slots.clone(),
     })
 }
 
@@ -438,7 +447,7 @@ fn load_streams(spec: &ScenarioSpec, axis: &LoadAxis) -> Result<Vec<JobStream>, 
             };
             resolve_stream(&JobStreamSpec {
                 arrivals,
-                workloads: base.workloads.clone(),
+                ..base.clone()
             })
         })
         .collect()
@@ -565,14 +574,11 @@ mod tests {
     #[test]
     fn load_axis_scales_closed_client_counts() {
         let mut spec = registry::find("fleet-1k").unwrap();
-        spec.jobs = Some(crate::spec::JobStreamSpec {
-            arrivals: ArrivalSpec::Closed {
-                clients: 2,
-                jobs_per_client: 3,
-                think_secs: 30.0,
-            },
-            workloads: Vec::new(),
-        });
+        spec.jobs = Some(crate::spec::JobStreamSpec::new(ArrivalSpec::Closed {
+            clients: 2,
+            jobs_per_client: 3,
+            think_secs: 30.0,
+        }));
         let plan = expand(&spec).unwrap();
         assert_eq!(plan.col_labels[0], "clients=30");
         let pt = &plan.points[plan.point_index(0, 0, 2)];
@@ -596,12 +602,9 @@ mod tests {
         let e = expand(&spec).unwrap_err();
         assert!(e.message.contains("requires a `[jobs]` stream"), "{e}");
         let mut spec = registry::find("fleet-1k").unwrap();
-        spec.jobs = Some(crate::spec::JobStreamSpec {
-            arrivals: ArrivalSpec::Batch {
-                offsets_secs: vec![0.0],
-            },
-            workloads: Vec::new(),
-        });
+        spec.jobs = Some(crate::spec::JobStreamSpec::new(ArrivalSpec::Batch {
+            offsets_secs: vec![0.0],
+        }));
         let e = expand(&spec).unwrap_err();
         assert!(e.message.contains("batch"), "{e}");
     }

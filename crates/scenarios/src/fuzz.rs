@@ -4,8 +4,10 @@
 //! space (fleet size, horizon, availability axes — synthetic rates,
 //! correlated fleets, generated trace files — arrival streams, and
 //! policies from the catalog), runs each case *and a mutated sibling*
-//! (more nodes, more churn, more replication, or a fair-share twin)
-//! through [`moon::Experiment`], and checks the invariant suite in
+//! (more nodes, more churn, more replication, a fair-share twin, a
+//! priority boost, or uniformly slacked deadlines — plus a
+//! preemption-under-idle single-run check) through
+//! [`moon::Experiment`], and checks the invariant suite in
 //! [`crate::invariants`]. Failing cases are shrunk by a deterministic
 //! minimizer (halve fleet / jobs / horizon while the failure
 //! reproduces) and written as ready-to-run `.toml` repros next to the
@@ -70,6 +72,17 @@ pub enum Mutation {
     /// scheduling — fair share's p95 queueing delay must not exceed
     /// FIFO's under a symmetric closed load.
     FairVsFifo,
+    /// Boost alternating jobs' priority under preemptive
+    /// strict-priority scheduling — the boosted jobs' own p95 queueing
+    /// delay must not rise.
+    RaisePriority,
+    /// Add the same constant slack to every job's relative deadline
+    /// under preemptive EDF — the schedule must be bit-identical (a
+    /// uniform shift preserves every EDF comparison).
+    SlackDeadlines,
+    /// Space batch arrivals so jobs never coexist under a preemptive
+    /// policy — the preemption count must be exactly zero.
+    PreemptIdle,
 }
 
 impl Mutation {
@@ -80,6 +93,9 @@ impl Mutation {
             Mutation::RaiseUnavailability => "raise-unavailability",
             Mutation::RaiseReplication => "raise-replication",
             Mutation::FairVsFifo => "fair-vs-fifo",
+            Mutation::RaisePriority => "raise-priority",
+            Mutation::SlackDeadlines => "slack-deadlines",
+            Mutation::PreemptIdle => "preempt-idle",
         }
     }
 }
@@ -221,7 +237,9 @@ struct Failure {
 // ---------------------------------------------------------------------
 
 /// Catalog ids the non-replication cases draw their policy row from.
-const POLICY_POOL: [&str; 8] = [
+/// The preemptive entries keep the monotone invariants honest under
+/// kill-and-requeue scheduling too.
+const POLICY_POOL: [&str; 10] = [
     "moon-hybrid",
     "moon",
     "hadoop-1min",
@@ -230,6 +248,8 @@ const POLICY_POOL: [&str; 8] = [
     "ha-v1",
     "no-homestretch",
     "hadoop-fetch-rule",
+    "moon-hybrid+preempt",
+    "moon-hybrid+fair+preempt",
 ];
 
 /// Base ids whose trailing digit is the replication degree invariant 3
@@ -259,10 +279,7 @@ fn sample_jobs(rng: &mut StdRng) -> Option<JobStreamSpec> {
             think_secs: rng.gen_range(10.0..60.0),
         },
     };
-    Some(JobStreamSpec {
-        arrivals,
-        workloads: Vec::new(),
-    })
+    Some(JobStreamSpec::new(arrivals))
 }
 
 /// Generate a synthetic fleet, write it as a `moon-trace v1` file, and
@@ -315,32 +332,44 @@ fn sample_case(
 ) -> Result<FuzzCase, ScenarioError> {
     let case_seed = derive_seed(cfg.seed, index as u64);
     let mut rng = StdRng::seed_from_u64(case_seed);
-    let mutation = match rng.gen_range(0u8..8) {
+    let mutation = match rng.gen_range(0u8..14) {
         0 | 1 => Mutation::AddNodes,
         2 | 3 => Mutation::RaiseUnavailability,
         4 | 5 => Mutation::RaiseReplication,
-        _ => Mutation::FairVsFifo,
+        6 | 7 => Mutation::FairVsFifo,
+        8 | 9 => Mutation::RaisePriority,
+        10 | 11 => Mutation::SlackDeadlines,
+        _ => Mutation::PreemptIdle,
     };
     let horizon_secs = match mutation {
-        Mutation::FairVsFifo => rng.gen_range(3600u64..7200),
+        Mutation::FairVsFifo | Mutation::RaisePriority => rng.gen_range(3600u64..7200),
+        // Widely spaced batches must all fit before the horizon.
+        Mutation::PreemptIdle => rng.gen_range(5400u64..7200),
         _ => rng.gen_range(2400u64..7200),
     };
     let rate = rng.gen_range(0.05..0.35);
-    // Fair-vs-FIFO cases need sustained queueing for the tail to mean
-    // anything: a small fleet, many closed-loop clients, and short
-    // think times. The other mutations sample a roomier range.
+    // Fair-vs-FIFO and priority-boost cases need sustained queueing for
+    // the tail to mean anything: a small fleet and tightly packed
+    // arrivals. Preempt-idle wants the opposite — room for each job to
+    // finish alone. The other mutations sample a roomier range.
     let n_volatile = match mutation {
-        Mutation::FairVsFifo => rng.gen_range(4u32..=6),
+        Mutation::FairVsFifo | Mutation::RaisePriority => rng.gen_range(4u32..=6),
+        Mutation::SlackDeadlines => rng.gen_range(4u32..=8),
+        Mutation::PreemptIdle => rng.gen_range(8u32..=14),
         _ => rng.gen_range(6u32..=14),
     };
     let dedicated = match mutation {
-        Mutation::FairVsFifo => 1,
+        Mutation::FairVsFifo | Mutation::RaisePriority | Mutation::SlackDeadlines => 1,
+        Mutation::PreemptIdle => rng.gen_range(2u32..=3),
         _ => rng.gen_range(1u32..=3),
     };
     let axis = match mutation {
-        Mutation::AddNodes | Mutation::RaiseUnavailability | Mutation::FairVsFifo => {
-            Axis::Rates(vec![rate])
-        }
+        Mutation::AddNodes
+        | Mutation::RaiseUnavailability
+        | Mutation::FairVsFifo
+        | Mutation::RaisePriority
+        | Mutation::SlackDeadlines
+        | Mutation::PreemptIdle => Axis::Rates(vec![rate]),
         Mutation::RaiseReplication => match rng.gen_range(0u8..5) {
             0 => Axis::Correlated(CorrelatedAxis {
                 points: vec![rng.gen_range(0.5..2.0)],
@@ -372,19 +401,70 @@ fn sample_case(
                 Some(Fault::InvertFairShare) => "+fair-inverted",
                 None => "+fair",
             };
-            let jobs = JobStreamSpec {
-                arrivals: ArrivalSpec::Closed {
-                    clients: rng.gen_range(5u32..=7),
-                    jobs_per_client: rng.gen_range(2u32..=3),
-                    think_secs: rng.gen_range(2.0..6.0),
-                },
-                workloads: Vec::new(), // symmetric: every job runs the panel workload
-            };
+            // Symmetric: every job runs the panel workload.
+            let jobs = JobStreamSpec::new(ArrivalSpec::Closed {
+                clients: rng.gen_range(5u32..=7),
+                jobs_per_client: rng.gen_range(2u32..=3),
+                think_secs: rng.gen_range(2.0..6.0),
+            });
             (
                 vec![
                     PolicyRef::new(base),
                     PolicyRef::new(format!("{base}{suffix}")),
                 ],
+                Some(jobs),
+                vec![TableSpec {
+                    kind: TableKind::Jobs,
+                    title: "fuzz jobs{panel}".into(),
+                }],
+            )
+        }
+        Mutation::RaisePriority => {
+            // Batch arrivals: job ids follow the fixed offsets in both
+            // runs, so boosted rows match their base twins by id.
+            let base = FAIR_POOL[rng.gen_range(0..FAIR_POOL.len())];
+            let n = rng.gen_range(4u32..=6);
+            let gap = rng.gen_range(10.0..40.0);
+            let jobs = JobStreamSpec::new(ArrivalSpec::Batch {
+                offsets_secs: (0..n).map(|i| i as f64 * gap).collect(),
+            });
+            (
+                vec![PolicyRef::new(format!("{base}+prio"))],
+                Some(jobs),
+                vec![TableSpec {
+                    kind: TableKind::Jobs,
+                    title: "fuzz jobs{panel}".into(),
+                }],
+            )
+        }
+        Mutation::SlackDeadlines => {
+            let base = FAIR_POOL[rng.gen_range(0..FAIR_POOL.len())];
+            let n = rng.gen_range(3u32..=5);
+            let gap = rng.gen_range(15.0..45.0);
+            let mut jobs = JobStreamSpec::new(ArrivalSpec::Batch {
+                offsets_secs: (0..n).map(|i| i as f64 * gap).collect(),
+            });
+            jobs.deadlines_secs = (0..rng.gen_range(1usize..=3))
+                .map(|i| 300.0 * (i + 1) as f64)
+                .collect();
+            (
+                vec![PolicyRef::new(format!("{base}+edf"))],
+                Some(jobs),
+                vec![TableSpec {
+                    kind: TableKind::Jobs,
+                    title: "fuzz jobs{panel}".into(),
+                }],
+            )
+        }
+        Mutation::PreemptIdle => {
+            let base = FAIR_POOL[rng.gen_range(0..FAIR_POOL.len())];
+            let n = rng.gen_range(2u32..=3);
+            let gap = rng.gen_range(900.0..1500.0);
+            let jobs = JobStreamSpec::new(ArrivalSpec::Batch {
+                offsets_secs: (0..n).map(|i| i as f64 * gap).collect(),
+            });
+            (
+                vec![PolicyRef::new(format!("{base}+preempt"))],
                 Some(jobs),
                 vec![TableSpec {
                     kind: TableKind::Jobs,
@@ -495,7 +575,17 @@ fn mutant_of(case: &FuzzCase) -> Option<ScenarioSpec> {
             let k: u32 = tail.parse().ok()?;
             m.policies[0] = PolicyRef::new(format!("{head}{}", k + 1));
         }
+        Mutation::RaisePriority => {
+            // Boost alternating jobs; the rest keep the default 0.
+            m.jobs.as_mut()?.priorities = vec![5, 0];
+        }
+        Mutation::SlackDeadlines => {
+            for d in m.jobs.as_mut()?.deadlines_secs.iter_mut() {
+                *d += 600.0;
+            }
+        }
         Mutation::FairVsFifo => return None, // both rows live in the base spec
+        Mutation::PreemptIdle => return None, // single-run check
     }
     Some(m)
 }
@@ -539,6 +629,67 @@ fn eval_case(case: &FuzzCase, runs: &mut u64) -> Result<Vec<Failure>, ScenarioEr
                 }
             }
         }
+        Mutation::PreemptIdle => {
+            if let Some(detail) = invariants::check_preempt_idle(&base[0]) {
+                failures.push(Failure {
+                    invariant: "inv9-preempt-idle".into(),
+                    detail,
+                });
+            }
+        }
+        Mutation::RaisePriority | Mutation::SlackDeadlines => {
+            if let Some(mutant) = mutant_of(case) {
+                if let Some(detail) = invariants::check_roundtrip(&mutant) {
+                    failures.push(Failure {
+                        invariant: "inv6-roundtrip".into(),
+                        detail,
+                    });
+                }
+                let mutated = run_spec(&mutant, runs)?;
+                for point in &mutated {
+                    for detail in invariants::check_conservation(point) {
+                        failures.push(Failure {
+                            invariant: "inv5-conservation".into(),
+                            detail,
+                        });
+                    }
+                }
+                let check = match case.mutation {
+                    Mutation::RaisePriority => {
+                        // Boosted rows carry their nonzero priority in
+                        // the SLO output; match base twins by job id.
+                        let ids: std::collections::BTreeSet<u32> = mutated[0]
+                            .iter()
+                            .filter_map(|r| r.jobs.as_ref())
+                            .flatten()
+                            .filter(|j| j.priority > 0)
+                            .map(|j| j.job)
+                            .collect();
+                        let before = invariants::pooled_p95_queue_delay_of(&base[0], |j| {
+                            ids.contains(&j.job)
+                        });
+                        let after =
+                            invariants::pooled_p95_queue_delay_of(&mutated[0], |j| j.priority > 0);
+                        match (before, after) {
+                            (Some(b), Some(a)) => invariants::check_priority_boost(b, a)
+                                .map(|d| ("inv7-priority-boost", d)),
+                            _ => None,
+                        }
+                    }
+                    Mutation::SlackDeadlines => {
+                        invariants::check_slack_deadlines(&base[0], &mutated[0])
+                            .map(|d| ("inv8-deadline-slack", d))
+                    }
+                    _ => unreachable!("outer arm is priority/deadline only"),
+                };
+                if let Some((invariant, detail)) = check {
+                    failures.push(Failure {
+                        invariant: invariant.into(),
+                        detail,
+                    });
+                }
+            }
+        }
         _ => {
             if let Some(mutant) = mutant_of(case) {
                 if let Some(detail) = invariants::check_roundtrip(&mutant) {
@@ -572,7 +723,7 @@ fn eval_case(case: &FuzzCase, runs: &mut u64) -> Result<Vec<Failure>, ScenarioEr
                         horizon,
                     )
                     .map(|d| ("inv3-raise-replication", d)),
-                    Mutation::FairVsFifo => unreachable!("handled above"),
+                    _ => unreachable!("handled above"),
                 };
                 if let Some((invariant, detail)) = check {
                     failures.push(Failure {
@@ -624,7 +775,7 @@ fn halve_jobs(jobs: &JobStreamSpec) -> Option<JobStreamSpec> {
     };
     Some(JobStreamSpec {
         arrivals,
-        workloads: jobs.workloads.clone(),
+        ..jobs.clone()
     })
 }
 
@@ -821,6 +972,35 @@ mod tests {
                     assert_ne!(m.policies[0].id, case.spec.policies[0].id);
                     crate::policy::resolve(&m.policies[0].id)
                         .unwrap_or_else(|e| panic!("case {index}: {e}"));
+                }
+                Mutation::RaisePriority => {
+                    assert!(case.spec.policies[0].id.ends_with("+prio"));
+                    assert!(case.spec.jobs.as_ref().unwrap().priorities.is_empty());
+                    let m = mutant_of(&case).unwrap();
+                    assert_eq!(m.jobs.as_ref().unwrap().priorities, vec![5, 0]);
+                    assert_eq!(invariants::check_roundtrip(&m), None);
+                }
+                Mutation::SlackDeadlines => {
+                    assert!(case.spec.policies[0].id.ends_with("+edf"));
+                    let base = &case.spec.jobs.as_ref().unwrap().deadlines_secs;
+                    assert!(!base.is_empty());
+                    let m = mutant_of(&case).unwrap();
+                    let slacked = &m.jobs.as_ref().unwrap().deadlines_secs;
+                    assert!(base
+                        .iter()
+                        .zip(slacked)
+                        .all(|(b, s)| (s - b - 600.0).abs() < 1e-9));
+                    assert_eq!(invariants::check_roundtrip(&m), None);
+                }
+                Mutation::PreemptIdle => {
+                    assert!(case.spec.policies[0].id.ends_with("+preempt"));
+                    assert!(mutant_of(&case).is_none());
+                    let ArrivalSpec::Batch { offsets_secs } =
+                        &case.spec.jobs.as_ref().unwrap().arrivals
+                    else {
+                        panic!("case {index}: preempt-idle uses batch arrivals");
+                    };
+                    assert!(offsets_secs.windows(2).all(|w| w[1] - w[0] >= 900.0));
                 }
             }
         }

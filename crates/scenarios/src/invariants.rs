@@ -39,6 +39,14 @@ pub const INV4_FACTOR: f64 = 1.2;
 /// Additive half of the inv-4 tolerance (seconds).
 pub const INV4_SLACK_SECS: f64 = 30.0;
 
+/// Inv 7 slack: raising a job's own priority may not raise that job's
+/// pooled p95 queueing delay beyond `base * INV7_FACTOR +
+/// INV7_SLACK_SECS` (the schedule around it changes, so the check
+/// tolerates noise like inv 4).
+pub const INV7_FACTOR: f64 = 1.2;
+/// Additive half of the inv-7 tolerance (seconds).
+pub const INV7_SLACK_SECS: f64 = 30.0;
+
 /// The score a stochastic comparison uses: mean makespan in seconds
 /// over the point's seeds, scoring each DNF at the full horizon (an
 /// upper bound that keeps the score monotone-safe — a run that gets
@@ -73,10 +81,20 @@ pub fn completed_count(results: &[RunResult]) -> usize {
 /// Pooled p95 queueing delay (seconds) across every job row of every
 /// seed, by nearest rank. `None` when no job ever launched.
 pub fn pooled_p95_queue_delay(results: &[RunResult]) -> Option<f64> {
+    pooled_p95_queue_delay_of(results, |_| true)
+}
+
+/// [`pooled_p95_queue_delay`] restricted to the job rows `keep`
+/// selects — how inv 7 isolates the boosted jobs' own tail.
+pub fn pooled_p95_queue_delay_of(
+    results: &[RunResult],
+    keep: impl Fn(&moon::JobSlo) -> bool,
+) -> Option<f64> {
     let mut delays: Vec<f64> = results
         .iter()
         .filter_map(|r| r.jobs.as_ref())
         .flatten()
+        .filter(|j| keep(j))
         .filter_map(|j| j.queue_delay_secs())
         .collect();
     if delays.is_empty() {
@@ -131,6 +149,100 @@ pub fn check_fair_tail(fifo_p95: f64, fair_p95: f64) -> Option<String> {
              beyond tolerance"
         )
     })
+}
+
+/// Invariant 7 — under strict-priority scheduling, raising a set of
+/// jobs' own priority never raises *their* pooled p95 queueing delay
+/// (beyond slack).
+pub fn check_priority_boost(base_p95: f64, boosted_p95: f64) -> Option<String> {
+    (boosted_p95 > base_p95 * INV7_FACTOR + INV7_SLACK_SECS).then(|| {
+        format!(
+            "raising priority raised the boosted jobs' own p95 queue delay \
+             from {base_p95:.1}s to {boosted_p95:.1}s"
+        )
+    })
+}
+
+/// Invariant 8 — adding the *same* constant slack to every job's
+/// relative deadline preserves every EDF comparison (a uniform shift
+/// of all absolute deadlines), so the schedule must be bit-identical:
+/// same per-job submit/launch/finish times and counters, deadline
+/// fields aside. Exact, like the codec checks.
+pub fn check_slack_deadlines(base: &[RunResult], slacked: &[RunResult]) -> Option<String> {
+    if base.len() != slacked.len() {
+        return Some(format!(
+            "slacked run count {} differs from base {}",
+            slacked.len(),
+            base.len()
+        ));
+    }
+    for (b, s) in base.iter().zip(slacked) {
+        if b.job_time != s.job_time {
+            return Some(format!(
+                "seed {}: slacking deadlines moved stream makespan from {:?} to {:?}",
+                b.seed, b.job_time, s.job_time
+            ));
+        }
+        let (rb, rs) = (
+            b.jobs.as_deref().unwrap_or(&[]),
+            s.jobs.as_deref().unwrap_or(&[]),
+        );
+        if rb.len() != rs.len() {
+            return Some(format!(
+                "seed {}: slacking deadlines changed the job count from {} to {}",
+                b.seed,
+                rb.len(),
+                rs.len()
+            ));
+        }
+        for (jb, js) in rb.iter().zip(rs) {
+            let same = jb.job == js.job
+                && jb.submitted == js.submitted
+                && jb.first_launch == js.first_launch
+                && jb.finished == js.finished
+                && jb.metrics == js.metrics;
+            if !same {
+                return Some(format!(
+                    "seed {}: job {} scheduled differently under slacked deadlines \
+                     (base launch {:?} finish {:?} vs {:?} {:?})",
+                    b.seed, jb.job, jb.first_launch, jb.finished, js.first_launch, js.finished
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Invariant 9 — preemption is strictly a cross-job mechanism: in a
+/// run whose jobs never coexist (every `[submitted, finished]` window
+/// pairwise disjoint, no DNFs), the preemption count must be zero.
+/// Runs with overlapping or unfinished jobs are skipped — the guard
+/// keeps the check exact rather than probabilistic.
+pub fn check_preempt_idle(results: &[RunResult]) -> Option<String> {
+    for r in results {
+        let Some(rows) = &r.jobs else { continue };
+        let mut windows: Vec<(simkit::SimTime, simkit::SimTime)> = Vec::new();
+        let mut all_done = true;
+        for j in rows {
+            match j.finished {
+                Some(f) => windows.push((j.submitted, f)),
+                None => all_done = false,
+            }
+        }
+        windows.sort();
+        let disjoint = windows.windows(2).all(|w| w[0].1 <= w[1].0);
+        if !(all_done && disjoint) {
+            continue;
+        }
+        let preempted: u64 = rows.iter().map(|j| u64::from(j.metrics.preempted)).sum();
+        if preempted > 0 {
+            return Some(format!(
+                "seed {}: {} preemption(s) in a run whose jobs never coexisted",
+                r.seed, preempted
+            ));
+        }
+    }
+    None
 }
 
 /// Invariant 5 — netsim/World conservation: a run may end at the
@@ -201,6 +313,9 @@ mod tests {
             submitted: SimTime::from_secs(submitted),
             first_launch: launch.map(SimTime::from_secs),
             finished: finished.map(SimTime::from_secs),
+            deadline: None,
+            priority: 0,
+            tenant: 0,
             metrics: JobMetrics::default(),
         }
     }
@@ -253,6 +368,71 @@ mod tests {
         assert!(check_raise_replication(3, 2, 3500.0, 3600.0).is_none());
         assert!(check_raise_replication(3, 2, 100.0, 3600.0).is_some());
         assert!(check_raise_replication(3, 3, 100.0, 3600.0).is_none());
+    }
+
+    #[test]
+    fn priority_boost_check_respects_tolerance() {
+        assert!(check_priority_boost(100.0, 140.0).is_none());
+        assert!(check_priority_boost(100.0, 160.0).is_some());
+        assert!(check_priority_boost(0.0, 20.0).is_none());
+    }
+
+    #[test]
+    fn p95_filter_isolates_selected_rows() {
+        let mut r = run(Some(10.0), Outcome::Completed);
+        let mut rows: Vec<JobSlo> = (0..4).map(|i| slo(0, Some((i + 1) * 10), None)).collect();
+        rows[0].priority = 5;
+        rows[1].priority = 5;
+        r.jobs = Some(rows);
+        let boosted =
+            pooled_p95_queue_delay_of(std::slice::from_ref(&r), |j| j.priority > 0).unwrap();
+        assert_eq!(boosted, 20.0);
+        assert_eq!(pooled_p95_queue_delay(&[r]), Some(40.0));
+    }
+
+    #[test]
+    fn slack_deadline_check_is_exact() {
+        let mut a = run(Some(10.0), Outcome::Completed);
+        a.jobs = Some(vec![slo(0, Some(5), Some(50)), slo(10, Some(20), Some(80))]);
+        let b = a.clone();
+        assert_eq!(
+            check_slack_deadlines(std::slice::from_ref(&a), std::slice::from_ref(&b)),
+            None
+        );
+        // Deadline fields themselves may differ — that's the slack.
+        let mut c = b.clone();
+        c.jobs.as_mut().unwrap()[0].deadline = Some(SimTime::from_secs(999));
+        assert_eq!(check_slack_deadlines(&[a.clone()], &[c]), None);
+        // Any schedule drift is a violation.
+        let mut d = b.clone();
+        d.jobs.as_mut().unwrap()[1].finished = Some(SimTime::from_secs(81));
+        assert!(check_slack_deadlines(&[a.clone()], &[d]).is_some());
+        let mut e = b;
+        e.jobs.as_mut().unwrap()[0].metrics.preempted = 1;
+        assert!(check_slack_deadlines(&[a], &[e]).is_some());
+    }
+
+    #[test]
+    fn preempt_idle_check_requires_disjoint_finished_windows() {
+        // Disjoint windows, preemption recorded: violation.
+        let mut r = run(Some(10.0), Outcome::Completed);
+        let mut rows = vec![slo(0, Some(1), Some(50)), slo(60, Some(61), Some(90))];
+        rows[1].metrics.preempted = 2;
+        r.jobs = Some(rows.clone());
+        assert!(check_preempt_idle(std::slice::from_ref(&r)).is_some());
+        // Same counters but overlapping windows: skipped, no violation.
+        rows[1].submitted = SimTime::from_secs(40);
+        r.jobs = Some(rows.clone());
+        assert_eq!(check_preempt_idle(std::slice::from_ref(&r)), None);
+        // A DNF job also disarms the check.
+        rows[1].submitted = SimTime::from_secs(60);
+        rows[1].finished = None;
+        r.jobs = Some(rows);
+        assert_eq!(check_preempt_idle(std::slice::from_ref(&r)), None);
+        // Disjoint and preemption-free: clean.
+        let mut ok = run(Some(10.0), Outcome::Completed);
+        ok.jobs = Some(vec![slo(0, Some(1), Some(50)), slo(60, Some(61), Some(90))]);
+        assert_eq!(check_preempt_idle(&[ok]), None);
     }
 
     #[test]

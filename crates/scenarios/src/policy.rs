@@ -18,6 +18,13 @@
 //! to max-min fair share (the label gains the suffix so a scenario
 //! can sweep both variants side by side; single-job runs are
 //! unaffected).
+//!
+//! The deadline-/priority-/tenant-aware cross-job rankings ride the
+//! same mechanism: `+edf` (earliest deadline first), `+prio` (strict
+//! priority), and `+tenant-fair` (weighted max-min over tenants with
+//! minimum shares) each switch the ranking *and* enable
+//! kill-and-requeue preemption, while a bare `+preempt` enables
+//! preemption on top of any base ranking.
 
 use crate::spec::ScenarioError;
 use mapred::{FetchFailurePolicy, MoonPolicy, SchedulerPolicy};
@@ -128,14 +135,24 @@ fn resolve_base(id: &str) -> Result<PolicyConfig, ScenarioError> {
 }
 
 /// Resolve a catalog id (with optional `+reliable` / `+fair` /
-/// `+fair-inverted` suffixes, in any order) to its policy bundle.
+/// `+fair-inverted` / `+edf` / `+prio` / `+tenant-fair` / `+preempt`
+/// suffixes, in any order) to its policy bundle.
+///
 /// `+fair-inverted` is the fault-injection variant of `+fair`
 /// ([`mapred::CrossJobPolicy::FairShareInverted`]): it exists so the
 /// fuzzer can prove its tail-latency oracle catches a broken
 /// cross-job ranking, and should never appear in a real scenario.
+///
+/// The deadline-/priority-/tenant-aware suffixes (`+edf`, `+prio`,
+/// `+tenant-fair`) switch the cross-job ranking *and* enable
+/// kill-and-requeue preemption — those policies only honor their
+/// ordering under contention if a more-deserving job can reclaim a
+/// busy slot. `+preempt` enables preemption alone, composing with any
+/// base (e.g. `moon-hybrid+fair+preempt` is preemptive fair share).
 pub fn resolve(id: &str) -> Result<PolicyConfig, ScenarioError> {
     let mut base_id = id;
     let (mut reliable, mut fair, mut fair_inverted) = (false, false, false);
+    let (mut edf, mut prio, mut tenant_fair, mut preempt) = (false, false, false, false);
     loop {
         if let Some(b) = base_id.strip_suffix("+reliable") {
             base_id = b;
@@ -143,9 +160,21 @@ pub fn resolve(id: &str) -> Result<PolicyConfig, ScenarioError> {
         } else if let Some(b) = base_id.strip_suffix("+fair-inverted") {
             base_id = b;
             fair_inverted = true;
+        } else if let Some(b) = base_id.strip_suffix("+tenant-fair") {
+            base_id = b;
+            tenant_fair = true;
         } else if let Some(b) = base_id.strip_suffix("+fair") {
             base_id = b;
             fair = true;
+        } else if let Some(b) = base_id.strip_suffix("+edf") {
+            base_id = b;
+            edf = true;
+        } else if let Some(b) = base_id.strip_suffix("+prio") {
+            base_id = b;
+            prio = true;
+        } else if let Some(b) = base_id.strip_suffix("+preempt") {
+            base_id = b;
+            preempt = true;
         } else {
             break;
         }
@@ -161,6 +190,28 @@ pub fn resolve(id: &str) -> Result<PolicyConfig, ScenarioError> {
     if fair_inverted {
         p.cross_job = mapred::CrossJobPolicy::FairShareInverted;
         p.label.push_str("+fair-inverted");
+    }
+    if edf {
+        p = p
+            .with_cross_job(mapred::CrossJobPolicy::Edf)
+            .with_preemption();
+        p.label.push_str("+edf");
+    }
+    if prio {
+        p = p
+            .with_cross_job(mapred::CrossJobPolicy::StrictPriority)
+            .with_preemption();
+        p.label.push_str("+prio");
+    }
+    if tenant_fair {
+        p = p
+            .with_cross_job(mapred::CrossJobPolicy::TenantFair)
+            .with_preemption();
+        p.label.push_str("+tenant-fair");
+    }
+    if preempt {
+        p = p.with_preemption();
+        p.label.push_str("+preempt");
     }
     Ok(p)
 }
@@ -204,6 +255,48 @@ mod tests {
         assert_eq!(p.label, "MOON-Hybrid+fair-inverted");
         let p = resolve("hadoop-1min+fair-inverted+reliable").unwrap();
         assert_eq!(p.cross_job, mapred::CrossJobPolicy::FairShareInverted);
+        assert_eq!(p.intermediate_kind, dfs::FileKind::Reliable);
+    }
+
+    #[test]
+    fn scheduling_suffixes_switch_ranking_and_enable_preemption() {
+        let p = resolve("moon-hybrid+edf").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::Edf);
+        assert!(p.preempt);
+        assert_eq!(p.label, "MOON-Hybrid+edf");
+
+        let p = resolve("moon-hybrid+prio").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::StrictPriority);
+        assert!(p.preempt);
+        assert_eq!(p.label, "MOON-Hybrid+prio");
+
+        let p = resolve("hadoop-1min+tenant-fair").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::TenantFair);
+        assert!(p.preempt);
+        assert_eq!(p.label, "Hadoop1Min+tenant-fair");
+
+        // `+tenant-fair` must not be eaten by the `+fair` strip.
+        assert_eq!(
+            resolve("moon-hybrid+tenant-fair").unwrap().cross_job,
+            mapred::CrossJobPolicy::TenantFair
+        );
+
+        // Bare `+preempt` composes with any ranking.
+        let p = resolve("moon-hybrid+fair+preempt").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::FairShare);
+        assert!(p.preempt);
+        assert_eq!(p.label, "MOON-Hybrid+fair+preempt");
+        let p = resolve("moon-hybrid+preempt").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::Fifo);
+        assert!(p.preempt);
+
+        // Plain ids stay non-preemptive.
+        assert!(!resolve("moon-hybrid").unwrap().preempt);
+        assert!(!resolve("moon-hybrid+fair").unwrap().preempt);
+
+        // Suffixes compose with +reliable in either order.
+        let p = resolve("moon-hybrid+reliable+edf").unwrap();
+        assert_eq!(p.cross_job, mapred::CrossJobPolicy::Edf);
         assert_eq!(p.intermediate_kind, dfs::FileKind::Reliable);
     }
 

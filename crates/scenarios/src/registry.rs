@@ -324,12 +324,9 @@ fn job_stream_light() -> ScenarioSpec {
         n_volatile: None,
         seeds: None,
         horizon_secs: Some(7200),
-        jobs: Some(JobStreamSpec {
-            arrivals: ArrivalSpec::Batch {
-                offsets_secs: vec![0.0, 60.0, 120.0, 180.0],
-            },
-            workloads: Vec::new(),
-        }),
+        jobs: Some(JobStreamSpec::new(ArrivalSpec::Batch {
+            offsets_secs: vec![0.0, 60.0, 120.0, 180.0],
+        })),
         telemetry: None,
         tables: vec![
             table(TableKind::Time, "Job stream light{panel}: stream makespan"),
@@ -350,13 +347,10 @@ fn job_stream_heavy() -> ScenarioSpec {
         n_volatile: None,
         seeds: None,
         horizon_secs: Some(14400),
-        jobs: Some(JobStreamSpec {
-            arrivals: ArrivalSpec::Poisson {
-                rate_per_hour: 720.0,
-                count: 24,
-            },
-            workloads: Vec::new(),
-        }),
+        jobs: Some(JobStreamSpec::new(ArrivalSpec::Poisson {
+            rate_per_hour: 720.0,
+            count: 24,
+        })),
         telemetry: None,
         tables: vec![
             table(TableKind::Time, "Job stream heavy{panel}: stream makespan"),
@@ -378,12 +372,12 @@ fn mixed_apps_contention() -> ScenarioSpec {
         seeds: None,
         horizon_secs: None,
         jobs: Some(JobStreamSpec {
-            arrivals: ArrivalSpec::Closed {
+            workloads: vec!["sort".into(), "word count".into()],
+            ..JobStreamSpec::new(ArrivalSpec::Closed {
                 clients: 2,
                 jobs_per_client: 2,
                 think_secs: 120.0,
-            },
-            workloads: vec!["sort".into(), "word count".into()],
+            })
         }),
         telemetry: None,
         tables: vec![
@@ -392,6 +386,92 @@ fn mixed_apps_contention() -> ScenarioSpec {
                 "Mixed apps{panel}: stream makespan under contention",
             ),
             table(TableKind::Jobs, "Mixed apps{panel}: per-job SLOs"),
+        ],
+    }
+}
+
+/// Deadline-aware sibling of [`mixed_apps_contention`]: the same
+/// contended closed stream, but every job carries a relative deadline
+/// and the rows contrast FIFO against preemptive EDF. The jobs table
+/// gains the gated `miss_rate`/`preempted` columns, quantifying EDF's
+/// deadline wins against its kill-and-requeue makespan cost.
+fn mixed_apps_contention_edf() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mixed-apps-contention+edf".into(),
+        title: "Mixed apps under deadlines: preemptive EDF vs FIFO on a contended cluster".into(),
+        workloads: vec!["sort".into()],
+        panels: vec![String::new()],
+        policies: refs(&["moon-hybrid", "moon-hybrid+edf"]),
+        axis: Axis::Rates(vec![0.3]),
+        dedicated: 6,
+        n_volatile: None,
+        seeds: None,
+        horizon_secs: None,
+        jobs: Some(JobStreamSpec {
+            workloads: vec!["sort".into(), "word count".into()],
+            // Cycled with the workloads: sort gets the loose deadline,
+            // word count the tight one EDF must preempt to protect.
+            deadlines_secs: vec![5400.0, 1200.0],
+            ..JobStreamSpec::new(ArrivalSpec::Closed {
+                clients: 3,
+                jobs_per_client: 2,
+                think_secs: 30.0,
+            })
+        }),
+        telemetry: None,
+        tables: vec![
+            table(
+                TableKind::Time,
+                "Mixed apps EDF{panel}: stream makespan under contention",
+            ),
+            table(TableKind::Jobs, "Mixed apps EDF{panel}: per-job SLOs"),
+        ],
+    }
+}
+
+/// Preemption-cost sibling of [`mixed_apps_contention`]: fair share
+/// with and without kill-and-requeue preemption (plus weighted
+/// tenant-fair) on the same contended stream, measuring the p95
+/// queueing-delay win preemption buys against its makespan cost.
+fn mixed_apps_contention_preempt() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "mixed-apps-contention+preempt".into(),
+        title: "Mixed apps: preemptive vs non-preemptive fair share under contention".into(),
+        workloads: vec!["sort".into()],
+        panels: vec![String::new()],
+        policies: refs(&[
+            "moon-hybrid+fair",
+            "moon-hybrid+fair+preempt",
+            "moon-hybrid+tenant-fair",
+        ]),
+        axis: Axis::Rates(vec![0.3]),
+        dedicated: 6,
+        n_volatile: None,
+        seeds: None,
+        horizon_secs: None,
+        jobs: Some(JobStreamSpec {
+            workloads: vec!["sort".into(), "word count".into()],
+            // Alternate jobs across two tenants; tenant 0 carries twice
+            // the weight and each tenant keeps one guaranteed slot.
+            tenants: vec![0, 1],
+            tenant_weights: vec![2, 1],
+            tenant_min_slots: vec![1, 1],
+            ..JobStreamSpec::new(ArrivalSpec::Closed {
+                clients: 3,
+                jobs_per_client: 2,
+                think_secs: 30.0,
+            })
+        }),
+        telemetry: None,
+        tables: vec![
+            table(
+                TableKind::Time,
+                "Mixed apps preemption{panel}: stream makespan under contention",
+            ),
+            table(
+                TableKind::Jobs,
+                "Mixed apps preemption{panel}: per-job SLOs",
+            ),
         ],
     }
 }
@@ -419,13 +499,10 @@ fn fleet(name: &str, scale: &str, n_volatile: u32, horizon_secs: u64) -> Scenari
         n_volatile: None,
         seeds: None,
         horizon_secs: Some(horizon_secs),
-        jobs: Some(JobStreamSpec {
-            arrivals: ArrivalSpec::Poisson {
-                rate_per_hour: 60.0,
-                count: 12,
-            },
-            workloads: Vec::new(),
-        }),
+        jobs: Some(JobStreamSpec::new(ArrivalSpec::Poisson {
+            rate_per_hour: 60.0,
+            count: 12,
+        })),
         telemetry: None,
         tables: vec![
             table(
@@ -466,6 +543,8 @@ pub fn all() -> Vec<ScenarioSpec> {
         job_stream_light(),
         job_stream_heavy(),
         mixed_apps_contention(),
+        mixed_apps_contention_edf(),
+        mixed_apps_contention_preempt(),
         fleet_1k(),
         fleet_10k(),
     ]
@@ -502,6 +581,8 @@ mod tests {
             "job-stream-light",
             "job-stream-heavy",
             "mixed-apps-contention",
+            "mixed-apps-contention+edf",
+            "mixed-apps-contention+preempt",
             "fleet-1k",
             "fleet-10k",
         ] {
@@ -521,6 +602,23 @@ mod tests {
         assert_eq!(jobs.workloads, vec!["sort", "word count"]);
         // Single-job paper scenarios carry no stream.
         assert!(find("fig4").unwrap().jobs.is_none());
+    }
+
+    #[test]
+    fn preemption_variants_carry_scheduling_metadata() {
+        let edf = find("mixed-apps-contention+edf").unwrap();
+        let jobs = edf.jobs.as_ref().unwrap();
+        assert!(jobs.has_metadata(), "EDF variant needs deadlines");
+        assert_eq!(jobs.deadlines_secs.len(), 2);
+        assert!(edf.policies.iter().any(|p| p.id.ends_with("+edf")));
+
+        let pre = find("mixed-apps-contention+preempt").unwrap();
+        let jobs = pre.jobs.as_ref().unwrap();
+        assert_eq!(jobs.tenants, vec![0, 1]);
+        assert_eq!(jobs.tenant_weights, vec![2, 1]);
+        assert_eq!(jobs.tenant_min_slots, vec![1, 1]);
+        assert!(pre.policies.iter().any(|p| p.id.ends_with("+preempt")));
+        assert!(pre.policies.iter().any(|p| p.id.ends_with("+tenant-fair")));
     }
 
     #[test]

@@ -142,17 +142,35 @@ fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
 fn jobs_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
+    // Scheduling-metadata columns (deadline-miss rate, preemption count)
+    // only render when some pooled row actually carries metadata, so
+    // scenarios without `[jobs]` deadlines/priorities/tenants keep their
+    // historical byte-identical table shape.
+    let scheduled = plan.row_labels.iter().enumerate().any(|(row, _)| {
+        results[plan.point_index(panel, row, 0)]
+            .iter()
+            .flat_map(|r| r.jobs.iter().flatten())
+            .any(|j| j.has_metadata())
+    });
     out.push_str(
         "policy\tjob_runs\tcompleted\tmakespan_mean(s)\tslowdown_mean\t\
-         queue_p50(s)\tqueue_p95(s)\n",
+         queue_p50(s)\tqueue_p95(s)",
     );
+    if scheduled {
+        out.push_str("\tmiss_rate\tpreempted");
+    }
+    out.push('\n');
     let mean = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
     for (row, label) in plan.row_labels.iter().enumerate() {
         let rs = &results[plan.point_index(panel, row, 0)];
         if cell_poisoned(rs) {
             // A cut-off run's SLO rows are partial; the whole pooled
             // cell is DNF (counts and means), "-" for the percentiles.
-            out.push_str(&format!("{label}\tDNF\tDNF\tDNF\tDNF\t-\t-\n"));
+            out.push_str(&format!("{label}\tDNF\tDNF\tDNF\tDNF\t-\t-"));
+            if scheduled {
+                out.push_str("\t-\t-");
+            }
+            out.push('\n');
             continue;
         }
         let rows: Vec<&moon::JobSlo> = rs.iter().flat_map(|r| r.jobs.iter().flatten()).collect();
@@ -163,7 +181,7 @@ fn jobs_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize
         queues.sort_by(|a, b| a.partial_cmp(b).expect("queue delays are finite"));
         let fmt1 = |v: Option<f64>| v.map(|s| format!("{s:.1}")).unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
             label,
             rows.len(),
             completed,
@@ -174,6 +192,20 @@ fn jobs_table(title: &str, plan: &Plan, results: &[Vec<RunResult>], panel: usize
             fmt1(percentile(&queues, 0.50)),
             fmt1(percentile(&queues, 0.95)),
         ));
+        if scheduled {
+            // Miss rate is over deadline-carrying job runs only; "-"
+            // when this row's pool had none.
+            let with_deadline = rows.iter().filter(|j| j.deadline.is_some()).count();
+            let missed = rows.iter().filter(|j| j.deadline_missed()).count();
+            let preempted: u64 = rows.iter().map(|j| u64::from(j.metrics.preempted)).sum();
+            let miss = if with_deadline == 0 {
+                "-".into()
+            } else {
+                format!("{:.2}", missed as f64 / with_deadline as f64)
+            };
+            out.push_str(&format!("\t{miss}\t{preempted}"));
+        }
+        out.push('\n');
     }
     out
 }
@@ -511,6 +543,9 @@ mod tests {
             submitted: simkit::SimTime::ZERO,
             first_launch: Some(simkit::SimTime::from_secs(50)),
             finished: Some(simkit::SimTime::from_secs(150)),
+            deadline: None,
+            priority: 0,
+            tenant: 0,
             metrics: Default::default(),
         };
         let results: Vec<Vec<RunResult>> = (0..plan.n_points())
@@ -549,6 +584,9 @@ mod tests {
             submitted: simkit::SimTime::ZERO,
             first_launch: Some(simkit::SimTime::from_secs(launch)),
             finished: finished.map(simkit::SimTime::from_secs),
+            deadline: None,
+            priority: 0,
+            tenant: 0,
             metrics: Default::default(),
         }
     }
@@ -609,6 +647,45 @@ mod tests {
         let last = plan.row_labels.last().unwrap();
         assert!(
             text.contains(&format!("{last}\t2\t0\tDNF\tDNF\t40.0\t60.0")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn jobs_table_gates_scheduling_columns_on_metadata() {
+        let plan = expand::expand(&registry::find("job-stream-light").unwrap()).unwrap();
+        // Metadata-free rows keep the historical header (pinned above in
+        // jobs_table_pools_mixed_committed_and_dnf_cells); one row with a
+        // deadline flips the whole table to the extended shape.
+        let results: Vec<Vec<RunResult>> = (0..plan.n_points())
+            .map(|i| {
+                let mut a = fake_result("x", Some(300.0), 1);
+                let mut slo = fake_slo(100, Some(300));
+                if i == 0 {
+                    // Deadline at 200 s — the job finished at 300 s, so
+                    // it missed; one preemption on the row.
+                    slo.deadline = Some(simkit::SimTime::from_secs(200));
+                    slo.metrics.preempted = 1;
+                }
+                a.jobs = Some(vec![slo]);
+                vec![a]
+            })
+            .collect();
+        let text = render_tables(&plan, &results);
+        assert!(
+            text.contains("queue_p95(s)\tmiss_rate\tpreempted"),
+            "{text}"
+        );
+        let first = plan.row_labels.first().unwrap();
+        assert!(
+            text.contains(&format!("{first}\t1\t1\t300\t1.50\t100.0\t100.0\t1.00\t1")),
+            "{text}"
+        );
+        // Metadata-less sibling rows render "-" for miss rate and a zero
+        // preemption count under the extended header.
+        let second = &plan.row_labels[1];
+        assert!(
+            text.contains(&format!("{second}\t1\t1\t300\t1.50\t100.0\t100.0\t-\t0")),
             "{text}"
         );
     }

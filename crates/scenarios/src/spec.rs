@@ -96,6 +96,44 @@ pub struct JobStreamSpec {
     /// Workload names cycled per job index (empty = every job runs the
     /// panel workload).
     pub workloads: Vec<String>,
+    /// Per-job completion deadlines in seconds after submission, cycled
+    /// per job index (empty = no deadlines). Consumed by the `edf`
+    /// cross-job policy and the jobs table's deadline-miss column.
+    pub deadlines_secs: Vec<f64>,
+    /// Per-job strict-priority tiers, cycled per job index (empty =
+    /// every job at tier 0; higher wins under the `priority` policy).
+    pub priorities: Vec<i64>,
+    /// Per-job tenant ids, cycled per job index (empty = all tenant 0).
+    pub tenants: Vec<u32>,
+    /// Tenant weights for the `tenant-fair` policy, indexed by tenant
+    /// id (missing = weight 1).
+    pub tenant_weights: Vec<u32>,
+    /// Per-tenant minimum slot guarantees, indexed by tenant id.
+    pub tenant_min_slots: Vec<u32>,
+}
+
+impl JobStreamSpec {
+    /// A stream with the given arrivals and no per-job metadata.
+    pub fn new(arrivals: ArrivalSpec) -> Self {
+        JobStreamSpec {
+            arrivals,
+            workloads: Vec::new(),
+            deadlines_secs: Vec::new(),
+            priorities: Vec::new(),
+            tenants: Vec::new(),
+            tenant_weights: Vec::new(),
+            tenant_min_slots: Vec::new(),
+        }
+    }
+
+    /// Does any job of this stream carry scheduling metadata?
+    pub fn has_metadata(&self) -> bool {
+        !self.deadlines_secs.is_empty()
+            || !self.priorities.is_empty()
+            || !self.tenants.is_empty()
+            || !self.tenant_weights.is_empty()
+            || !self.tenant_min_slots.is_empty()
+    }
 }
 
 /// The arrival-process half of a [`JobStreamSpec`].

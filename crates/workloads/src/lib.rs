@@ -27,4 +27,4 @@ pub use apps::{
     GrepMapper, IdentityMapper, IdentityReducer, RangePartitioner, SumReducer, WordCountMapper,
 };
 pub use model::{paper, DurationModel, ReduceCount, WorkloadSpec, GB, MB};
-pub use stream::{ArrivalModel, JobStream};
+pub use stream::{ArrivalModel, JobMeta, JobStream};

@@ -76,18 +76,44 @@ impl ArrivalModel {
     }
 }
 
+/// Scheduling metadata of one job in a stream: what the deadline-,
+/// priority-, and tenant-aware cross-job policies consume. All fields
+/// default to "no metadata", which every policy treats as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobMeta {
+    /// Completion deadline *relative to submission* (the world turns it
+    /// absolute at submit time). `None` = no deadline.
+    pub deadline: Option<SimDuration>,
+    /// Strict-priority tier (higher wins; default 0).
+    pub priority: i32,
+    /// Owning tenant id (default tenant 0).
+    pub tenant: u32,
+}
+
 /// A fully-resolved multi-job stream: the arrival process plus the
 /// workload run by each job.
 ///
 /// `workloads` is cycled by job index (job *k* runs
 /// `workloads[k % len]`); an empty list means every job runs the
-/// experiment's base workload.
+/// experiment's base workload. The per-job scheduling metadata lists
+/// (`deadlines` / `priorities` / `tenants`) cycle the same way.
 #[derive(Debug, Clone)]
 pub struct JobStream {
     /// The arrival process.
     pub arrivals: ArrivalModel,
     /// Per-job workloads, cycled by job index; empty = base workload.
     pub workloads: Vec<WorkloadSpec>,
+    /// Per-job relative deadlines, cycled by job index; empty = none.
+    pub deadlines: Vec<SimDuration>,
+    /// Per-job priorities, cycled by job index; empty = all 0.
+    pub priorities: Vec<i32>,
+    /// Per-job tenant ids, cycled by job index; empty = all tenant 0.
+    pub tenants: Vec<u32>,
+    /// Tenant weights for weighted max-min fairness, indexed by tenant
+    /// id (empty / missing = weight 1).
+    pub tenant_weights: Vec<u32>,
+    /// Per-tenant minimum slot guarantees, indexed by tenant id.
+    pub tenant_min_slots: Vec<u32>,
 }
 
 impl JobStream {
@@ -96,6 +122,11 @@ impl JobStream {
         JobStream {
             arrivals,
             workloads: Vec::new(),
+            deadlines: Vec::new(),
+            priorities: Vec::new(),
+            tenants: Vec::new(),
+            tenant_weights: Vec::new(),
+            tenant_min_slots: Vec::new(),
         }
     }
 
@@ -111,6 +142,26 @@ impl JobStream {
             base
         } else {
             &self.workloads[index as usize % self.workloads.len()]
+        }
+    }
+
+    /// Scheduling metadata of job `index` — each list cycled by index
+    /// like [`Self::workload_for`], defaults where a list is empty.
+    pub fn meta_for(&self, index: u32) -> JobMeta {
+        let cycle = |len: usize| index as usize % len;
+        JobMeta {
+            deadline: (!self.deadlines.is_empty())
+                .then(|| self.deadlines[cycle(self.deadlines.len())]),
+            priority: if self.priorities.is_empty() {
+                0
+            } else {
+                self.priorities[cycle(self.priorities.len())]
+            },
+            tenant: if self.tenants.is_empty() {
+                0
+            } else {
+                self.tenants[cycle(self.tenants.len())]
+            },
         }
     }
 }
@@ -158,5 +209,22 @@ mod tests {
         assert_eq!(stream.workload_for(0, &base).name, "sort");
         assert_eq!(stream.workload_for(1, &base).name, "word count");
         assert_eq!(stream.workload_for(2, &base).name, "sort");
+    }
+
+    #[test]
+    fn meta_cycling_and_defaults() {
+        let mut stream = JobStream::new(ArrivalModel::Batch(vec![SimDuration::ZERO; 4]));
+        assert_eq!(stream.meta_for(3), JobMeta::default());
+        stream.deadlines = vec![SimDuration::from_secs(100)];
+        stream.priorities = vec![2, -1];
+        stream.tenants = vec![0, 1, 1];
+        let m0 = stream.meta_for(0);
+        assert_eq!(m0.deadline, Some(SimDuration::from_secs(100)));
+        assert_eq!(m0.priority, 2);
+        assert_eq!(m0.tenant, 0);
+        let m4 = stream.meta_for(4);
+        assert_eq!(m4.deadline, Some(SimDuration::from_secs(100)));
+        assert_eq!(m4.priority, 2, "priorities cycle mod 2");
+        assert_eq!(m4.tenant, 1, "tenants cycle mod 3");
     }
 }

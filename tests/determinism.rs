@@ -29,6 +29,11 @@ fn assert_identical(a: &RunResult, b: &RunResult) {
                 assert_eq!(ja.submitted, jb.submitted, "job {} arrival", ja.job);
                 assert_eq!(ja.first_launch, jb.first_launch, "job {} launch", ja.job);
                 assert_eq!(ja.finished, jb.finished, "job {} commit", ja.job);
+                assert_eq!(ja.deadline, jb.deadline, "job {} deadline", ja.job);
+                assert_eq!(ja.priority, jb.priority, "job {} priority", ja.job);
+                assert_eq!(ja.tenant, jb.tenant, "job {} tenant", ja.job);
+                // Whole per-job counter block, preemption included.
+                assert_eq!(ja.metrics, jb.metrics, "job {} counters", ja.job);
             }
         }
         _ => panic!("one run has SLO rows, the other does not"),
@@ -147,6 +152,70 @@ fn parallel_sweep_matches_single_thread_sweep() {
                 jobs_per_client: 2,
                 think: workloads::DurationModel::Fixed(simkit::SimDuration::from_secs(15)),
             }),
+        ),
+    ] {
+        points.push(bench::Point {
+            policy,
+            cluster: ClusterConfig::small(0.3),
+            workload: moon::quick_workload(),
+            jobs: Some(stream),
+            telemetry: None,
+        });
+    }
+    // Preemption-heavy points: overlapping jobs with scheduling
+    // metadata under every deadline-/priority-/tenant-aware ranking,
+    // kill-and-requeue on, under churn — pinning the preemption path
+    // (victim ranking, kill-before-assign ordering, requeue) to be
+    // thread-placement-independent and bit-identical per seed.
+    let burst = || {
+        workloads::ArrivalModel::Batch(vec![
+            simkit::SimDuration::ZERO,
+            simkit::SimDuration::from_secs(5),
+            simkit::SimDuration::from_secs(10),
+        ])
+    };
+    for (policy, stream) in [
+        (
+            PolicyConfig::moon_hybrid()
+                .with_cross_job(mapred::CrossJobPolicy::Edf)
+                .with_preemption(),
+            workloads::JobStream {
+                deadlines: vec![
+                    simkit::SimDuration::from_secs(60),
+                    simkit::SimDuration::from_secs(600),
+                ],
+                ..workloads::JobStream::new(burst())
+            },
+        ),
+        (
+            PolicyConfig::moon_hybrid()
+                .with_cross_job(mapred::CrossJobPolicy::StrictPriority)
+                .with_preemption(),
+            workloads::JobStream {
+                priorities: vec![0, 5, 2],
+                ..workloads::JobStream::new(workloads::ArrivalModel::Closed {
+                    clients: 3,
+                    jobs_per_client: 2,
+                    think: workloads::DurationModel::Fixed(simkit::SimDuration::from_secs(5)),
+                })
+            },
+        ),
+        (
+            PolicyConfig::moon_hybrid()
+                .with_cross_job(mapred::CrossJobPolicy::TenantFair)
+                .with_preemption(),
+            workloads::JobStream {
+                tenants: vec![0, 1],
+                tenant_weights: vec![2, 1],
+                tenant_min_slots: vec![1, 1],
+                ..workloads::JobStream::new(burst())
+            },
+        ),
+        (
+            PolicyConfig::moon_hybrid()
+                .with_fair_share()
+                .with_preemption(),
+            workloads::JobStream::new(burst()),
         ),
     ] {
         points.push(bench::Point {

@@ -408,6 +408,21 @@ fn random_spec<R: Rng>(rng: &mut R) -> scenarios::ScenarioSpec {
             },
         },
         workloads: (0..rng.gen_range(0usize..3)).map(|_| word(rng)).collect(),
+        deadlines_secs: (0..rng.gen_range(0usize..3))
+            .map(|i| 120.0 * (i + 1) as f64)
+            .collect(),
+        priorities: (0..rng.gen_range(0usize..3))
+            .map(|_| rng.gen_range(-5i64..=5))
+            .collect(),
+        tenants: (0..rng.gen_range(0usize..3))
+            .map(|_| rng.gen_range(0u32..3))
+            .collect(),
+        tenant_weights: (0..rng.gen_range(0usize..3))
+            .map(|_| rng.gen_range(1u32..5))
+            .collect(),
+        tenant_min_slots: (0..rng.gen_range(0usize..3))
+            .map(|_| rng.gen_range(0u32..4))
+            .collect(),
     });
     scenarios::ScenarioSpec {
         name: format!("spec-{}", rng.gen_range(0..1000)),
